@@ -1,0 +1,66 @@
+"""Ablation: the landscape designer's statically optimized allocation.
+
+The paper's future work: "this tool calculates a statically optimized
+pre-assignment of all services to improve the dynamic optimization
+potential of the fuzzy controller."
+
+The benchmark compares the Figure-11 allocation against the designer's
+output under the *static* scenario (no controller) at 115% users for one
+simulated day: the designer's profile-aware packing absorbs the extra
+users that overload the hand-made allocation.
+"""
+
+import pytest
+
+from repro.allocation.designer import LandscapeDesigner
+from repro.config.builtin import paper_landscape
+from repro.config.validation import validate_landscape
+from repro.sim.clock import MINUTES_PER_DAY
+from repro.sim.runner import SimulationRunner
+from repro.sim.scenarios import Scenario
+
+USERS = 1.15
+
+
+def run_static(landscape):
+    runner = SimulationRunner(
+        Scenario.STATIC,
+        user_factor=USERS,
+        horizon=MINUTES_PER_DAY,
+        seed=7,
+        landscape=landscape,
+        collect_host_series=False,
+    )
+    return runner.run()
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_landscape_designer(benchmark):
+    def experiment():
+        base = paper_landscape()
+        designed = LandscapeDesigner(base).design()
+        designed_landscape = designed.as_landscape(base)
+        validate_landscape(designed_landscape)
+        return (
+            run_static(base),
+            run_static(designed_landscape),
+            designed,
+        )
+
+    figure11, designed_run, designed = benchmark.pedantic(
+        experiment, rounds=1, iterations=1
+    )
+
+    print("\nAblation — landscape designer (static scenario, 115% users, one day)")
+    print(f"  Figure 11 allocation: {figure11.overload_minutes_per_day:6.0f} "
+          f"degraded min/day (longest episode {figure11.longest_episode} min)")
+    print(f"  designed allocation:  {designed_run.overload_minutes_per_day:6.0f} "
+          f"degraded min/day (longest episode {designed_run.longest_episode} min)")
+    print(f"  designer's predicted worst host peak: "
+          f"{designed.predicted_peak_load:.0%} (at 100% users)")
+
+    # at 115% users the hand-made allocation is overloaded, the designed
+    # one still has headroom
+    assert figure11.violates()
+    assert not designed_run.violates()
+    assert designed_run.total_overload_minutes < 0.2 * figure11.total_overload_minutes

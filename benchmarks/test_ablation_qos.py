@@ -1,0 +1,86 @@
+"""Ablation: SLA enforcement through controller actions (QoS extension).
+
+"The actions will then be used to enforce Service Level Agreements."
+(Section 7)
+
+The HR service gets a 120 ms response-time SLA on the full-mobility SAP
+landscape at 135% users.  With enforcement, SLA violations trigger
+priority boosts and structural remedies through the fuzzy decision loop;
+without it, the reactive controller only reacts to CPU thresholds and
+lets the SLA bleed penalties.
+"""
+
+import pytest
+
+from repro.config.builtin import paper_landscape
+from repro.core.autoglobe import AutoGlobeController
+from repro.qos import ServiceLevelAgreement, ServiceLevelObjective, SlaEnforcer, SlaMonitor
+from repro.qos.sla import SlaCatalog
+from repro.serviceglobe.invocation import ServiceInvoker
+from repro.serviceglobe.platform import Platform
+from repro.sim.scenarios import Scenario, apply_scenario
+from repro.sim.workload import NoiseParameters, WorkloadModel
+
+HOURS = 10
+USERS = 1.35
+
+
+def run_qos(enforce: bool):
+    landscape = apply_scenario(paper_landscape(), Scenario.FULL_MOBILITY)
+    landscape = landscape.scaled_users(USERS)
+    platform = Platform(landscape)
+    controller = AutoGlobeController(platform)
+    workload = WorkloadModel(
+        platform, seed=3, noise=NoiseParameters(sigma=0.01, burst_probability=0.0)
+    )
+    workload.initialize()
+    invoker = ServiceInvoker(platform)
+    catalog = SlaCatalog(
+        [
+            ServiceLevelAgreement(
+                "HR",
+                ServiceLevelObjective(
+                    response_time_ms=120.0,
+                    compliance_target=0.95,
+                    window_minutes=30,
+                ),
+                penalty_per_violation_minute=5.0,
+            )
+        ]
+    )
+    monitor = SlaMonitor(invoker, catalog)
+    enforcer = (
+        SlaEnforcer(controller, monitor, relax_after=120, cooldown=30)
+        if enforce
+        else None
+    )
+    for now in range(12 * 60, 12 * 60 + HOURS * 60):
+        workload.tick(now)
+        controller.tick(now)
+        if enforcer is not None:
+            enforcer.tick(now)
+        else:
+            monitor.tick(now)
+    return monitor, enforcer
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_sla_enforcement(benchmark):
+    def experiment():
+        unenforced_monitor, __ = run_qos(enforce=False)
+        enforced_monitor, enforcer = run_qos(enforce=True)
+        return unenforced_monitor, enforced_monitor, enforcer
+
+    unenforced, enforced, enforcer = benchmark.pedantic(
+        experiment, rounds=1, iterations=1
+    )
+
+    print(f"\nAblation — SLA enforcement (HR @ FM {USERS:.0%}, {HOURS} h)")
+    print(f"  without enforcement: penalty {unenforced.total_penalty():6.0f} "
+          f"({unenforced.report_for('HR').violation_minutes} violation minutes)")
+    print(f"  with enforcement:    penalty {enforced.total_penalty():6.0f} "
+          f"({enforced.report_for('HR').violation_minutes} violation minutes, "
+          f"{len(enforcer.enforcements)} enforcement actions)")
+
+    assert enforcer.enforcements
+    assert enforced.total_penalty() < 0.8 * unenforced.total_penalty()

@@ -1,0 +1,38 @@
+"""Figure 3: the linguistic variable ``cpuLoad``.
+
+The paper's worked example: "a host having a measured CPU load l = 0.6
+(60%) has 0.5 medium and 0.2 high cpuLoad".
+"""
+
+import pytest
+
+from repro.core.variables import load_variable
+
+
+def fuzzify_curve():
+    variable = load_variable("cpuLoad")
+    return [
+        (load / 20.0, variable.fuzzify(load / 20.0)) for load in range(21)
+    ]
+
+
+@pytest.mark.benchmark(group="fig03")
+def test_fig03_cpu_load_membership(benchmark):
+    curve = benchmark(fuzzify_curve)
+
+    print("\nFigure 3 — linguistic variable cpuLoad")
+    print(f"{'load':>6} {'low':>6} {'medium':>7} {'high':>6}")
+    for load, grades in curve:
+        print(
+            f"{load:6.2f} {grades['low']:6.2f} {grades['medium']:7.2f} "
+            f"{grades['high']:6.2f}"
+        )
+
+    grades_at_06 = dict(curve[12][1])
+    assert grades_at_06["medium"] == pytest.approx(0.5)
+    assert grades_at_06["high"] == pytest.approx(0.2)
+    # the membership functions are trapezoids covering the whole domain
+    for __, grades in curve:
+        assert max(grades.values()) > 0.0
+        for grade in grades.values():
+            assert 0.0 <= grade <= 1.0

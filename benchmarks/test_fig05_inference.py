@@ -1,0 +1,109 @@
+"""Figure 5 / Section 3: max-min inference and leftmost-max defuzzification.
+
+The worked example: with cpuLoad grades (0, 0, 0.8) and performance
+index grades (0, 0.6, 0.3), the scale-up rule fires at
+min(0.8, max(0, 0.6)) = 0.6, the scale-out rule at min(0.8, 0.3) = 0.3;
+after clipping the ``applicable`` ramp and taking the leftmost maximum,
+"the controller will favor the scale-up action for execution".
+"""
+
+import pytest
+
+from repro.core.action_selection import ActionSelector
+from repro.fuzzy import (
+    FuzzyController,
+    LinguisticTerm,
+    LinguisticVariable,
+    RampUp,
+    RuleBase,
+    Trapezoid,
+    parse_rules,
+)
+
+PAPER_RULES = """
+IF cpuLoad IS high AND (performanceIndex IS low OR performanceIndex IS medium)
+THEN scaleUp IS applicable
+IF cpuLoad IS high AND performanceIndex IS high
+THEN scaleOut IS applicable
+"""
+
+
+def build_paper_controller():
+    """Variables calibrated so the example's grades come out exactly."""
+    cpu = LinguisticVariable(
+        "cpuLoad",
+        [
+            LinguisticTerm("low", Trapezoid(0.0, 0.0, 0.2, 0.4)),
+            LinguisticTerm("medium", Trapezoid(0.2, 0.35, 0.5, 0.7)),
+            LinguisticTerm("high", Trapezoid(0.5, 1.0, 1.0, 1.0)),
+        ],
+        domain=(0.0, 1.0),
+    )
+    pi = LinguisticVariable(
+        "performanceIndex",
+        [
+            LinguisticTerm("low", Trapezoid(0.0, 0.0, 1.0, 3.0)),
+            LinguisticTerm("medium", Trapezoid(1.0, 3.0, 5.0, 10.0)),
+            LinguisticTerm("high", Trapezoid(5.5, 10.5, 10.5, 10.5)),
+        ],
+        domain=(0.0, 10.0),
+    )
+    outputs = [
+        LinguisticVariable(
+            name, [LinguisticTerm("applicable", RampUp(0.0, 1.0))], domain=(0.0, 1.0)
+        )
+        for name in ("scaleUp", "scaleOut")
+    ]
+    return FuzzyController(
+        [cpu, pi], outputs, RuleBase("paper", list(parse_rules(PAPER_RULES)))
+    )
+
+
+@pytest.mark.benchmark(group="fig05")
+def test_fig05_worked_example(benchmark):
+    controller = build_paper_controller()
+    result = benchmark(
+        lambda: controller.evaluate({"cpuLoad": 0.9, "performanceIndex": 7.0})
+    )
+
+    print("\nFigure 5 — max-min inference worked example")
+    print("  measurements: cpuLoad=0.9, performanceIndex grades (0, 0.6, 0.3)")
+    for name, strength in [(f.rule.output_variable, f.strength) for f in result.fired]:
+        print(f"  rule for {name}: firing strength {strength:.2f}")
+    for action, value in result.ranked():
+        print(f"  defuzzified {action}: {value:.2f}")
+    print(f"  favored action: {result.best()}")
+
+    assert result.outputs["scaleUp"] == pytest.approx(0.6, abs=1e-3)
+    assert result.outputs["scaleOut"] == pytest.approx(0.3, abs=1e-3)
+    assert result.best() == "scaleUp"
+
+
+@pytest.mark.benchmark(group="fig05")
+def test_fig05_full_action_selector_agrees(benchmark):
+    """The production ActionSelector reproduces the same preference for
+    a heavily loaded weak host."""
+    selector = ActionSelector()
+    from repro.core.action_selection import ActionContext
+    from repro.monitoring.lms import SituationKind
+
+    context = ActionContext(
+        "FI",
+        "FI#1",
+        {
+            "cpuLoad": 0.9,
+            "memLoad": 0.3,
+            "performanceIndex": 2.0,
+            "instanceLoad": 0.85,
+            "serviceLoad": 0.5,
+            "instancesOnServer": 1.0,
+            "instancesOfService": 3.0,
+        },
+    )
+    ranked = benchmark(
+        lambda: selector.rank(SituationKind.SERVICE_OVERLOADED, context)
+    )
+    print("\nproduction selector ranking (weak overloaded host):")
+    for entry in ranked[:4]:
+        print(f"  {entry}")
+    assert ranked[0].action.value == "scaleUp"

@@ -1,0 +1,97 @@
+"""Figures 12-14: CPU load of all servers over 80 hours at 115% users.
+
+One benchmark per figure runs the full 80-hour simulation of its
+scenario and prints the system's average load per 4-hour block (the
+thick line of the figures) plus the overload accounting.  The paper's
+qualitative findings are asserted:
+
+* static: "several servers become overloaded [...] at regular intervals",
+* constrained mobility: "overload situations are on average shorter than
+  in the static scenario, but [...] cannot be prevented completely",
+* full mobility: "the results are significantly improved [...] the
+  utilization of the hardware is well-balanced".
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import hourly, paper_run
+from repro.sim.scenarios import Scenario
+
+
+def print_run(result):
+    average = result.average_load_series()
+    print(f"\n{result.scenario_name} @ {result.user_factor:.0%} users, 80 h")
+    print("  average system load per 4-hour block:")
+    blocks = hourly(average, result.start_minute)[::4]
+    line = "  " + "  ".join(f"{label}={value:.0%}" for label, value in blocks[:10])
+    print(line)
+    line = "  " + "  ".join(f"{label}={value:.0%}" for label, value in blocks[10:])
+    print(line)
+    print(
+        f"  degraded host-minutes/day: {result.overload_minutes_per_day:.0f}; "
+        f"episodes: {len(result.episodes)}; "
+        f"longest: {result.longest_episode} min; "
+        f"actions: {len(result.actions)}"
+    )
+    worst = sorted(result.overload_minutes_by_host.items(), key=lambda kv: -kv[1])[:5]
+    print("  most overloaded servers: "
+          + ", ".join(f"{name} ({minutes} min)" for name, minutes in worst if minutes))
+
+
+@pytest.mark.benchmark(group="fig12-14")
+def test_fig12_static_scenario(benchmark):
+    result = benchmark.pedantic(
+        lambda: paper_run(Scenario.STATIC), rounds=1, iterations=1
+    )
+    print_run(result)
+    # overloads recur at regular intervals: at least one overloaded stretch
+    # on every simulated working day
+    days_with_overload = {
+        episode.start // (24 * 60) for episode in result.episodes
+    }
+    assert len(days_with_overload) >= 3
+    assert result.violates()
+    assert result.actions == []
+
+
+@pytest.mark.benchmark(group="fig12-14")
+def test_fig13_constrained_mobility_scenario(benchmark):
+    result = benchmark.pedantic(
+        lambda: paper_run(Scenario.CONSTRAINED_MOBILITY), rounds=1, iterations=1
+    )
+    print_run(result)
+    static = paper_run(Scenario.STATIC)
+    # "the situation already improves": less total overload than static...
+    assert result.total_overload_minutes < static.total_overload_minutes
+    # ...and episodes are on average shorter
+    def mean_episode(run):
+        durations = [e.duration for e in run.episodes]
+        return float(np.mean(durations)) if durations else 0.0
+    assert mean_episode(result) < mean_episode(static) or (
+        result.total_overload_minutes < 0.5 * static.total_overload_minutes
+    )
+    # but overloads are not prevented completely
+    assert result.total_overload_minutes > 0
+    assert len(result.actions) > 0
+
+
+@pytest.mark.benchmark(group="fig12-14")
+def test_fig14_full_mobility_scenario(benchmark):
+    result = benchmark.pedantic(
+        lambda: paper_run(Scenario.FULL_MOBILITY), rounds=1, iterations=1
+    )
+    print_run(result)
+    static = paper_run(Scenario.STATIC)
+    cm = paper_run(Scenario.CONSTRAINED_MOBILITY)
+    # significantly improved over both other scenarios
+    assert result.total_overload_minutes < cm.total_overload_minutes
+    assert result.total_overload_minutes < 0.5 * static.total_overload_minutes
+    # well-balanced utilization: per-host peak spread is the tightest
+    def peak_spread(run):
+        peaks = [float(series.max()) for series in run.host_series.values()]
+        return max(peaks) - min(peaks)
+    # FM additionally uses the relocation actions
+    kinds = {action.action.value for action in result.actions}
+    assert kinds & {"move", "scaleUp", "scaleDown"}
+    assert not result.violates()

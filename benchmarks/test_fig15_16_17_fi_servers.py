@@ -1,0 +1,117 @@
+"""Figures 15-17: the FI application servers' load curves in detail.
+
+The paper zooms into the FI service for the same three 115% runs:
+
+* Figure 15 (static): three fixed instances on Blade3, Blade5, Blade11;
+  the instances on the less powerful blades "become overloaded
+  periodically" and nothing can be done.
+* Figure 16 (CM): the controller starts and stops FI instances
+  (scale-out / scale-in annotations), recruiting additional hosts such
+  as the day-idle database server; most imminent overloads are averted
+  and "the remaining overload situation periods are short".
+* Figure 17 (FM): additionally move/scale-up; overload situations on FI
+  hosts are averted almost completely.
+"""
+
+from collections import defaultdict
+
+import pytest
+
+from benchmarks.conftest import paper_run
+from repro.config.builtin import INITIAL_ALLOCATION
+from repro.config.model import Action
+from repro.sim.clock import format_minute
+from repro.sim.scenarios import Scenario
+
+FI_INITIAL_HOSTS = {h for s, h in INITIAL_ALLOCATION if s == "FI"}
+
+
+def fi_statistics(result):
+    """Per-host overload minutes and instance presence for FI samples."""
+    overload_minutes = defaultdict(int)
+    minutes_present = defaultdict(int)
+    hosts_used = set()
+    for __, __, host, load in result.service_samples["FI"]:
+        hosts_used.add(host)
+        minutes_present[host] += 1
+        if load > 0.80:
+            overload_minutes[host] += 1
+    return hosts_used, dict(overload_minutes), dict(minutes_present)
+
+
+def print_fi(result, hosts_used, overload_minutes):
+    print(f"\nFI detail — {result.scenario_name} @ {result.user_factor:.0%}")
+    print(f"  hosts that ran FI: {', '.join(sorted(hosts_used))}")
+    total = sum(overload_minutes.values())
+    print(f"  FI instance-minutes above 80%: {total}")
+    fi_actions = result.actions_of_service("FI")
+    print(f"  controller actions on FI: {len(fi_actions)}")
+    for action in fi_actions[:12]:
+        print(f"    {format_minute(action.time)}  {action}")
+    if len(fi_actions) > 12:
+        print(f"    ... and {len(fi_actions) - 12} more")
+
+
+@pytest.mark.benchmark(group="fig15-17")
+def test_fig15_fi_static(benchmark):
+    result = paper_run(Scenario.STATIC)
+    hosts_used, overload_minutes, __ = benchmark.pedantic(
+        lambda: fi_statistics(result), rounds=1, iterations=1
+    )
+    print_fi(result, hosts_used, overload_minutes)
+
+    # exactly the three Figure 11 instances, forever
+    assert hosts_used == FI_INITIAL_HOSTS
+    assert result.actions_of_service("FI") == []
+    # the instances become overloaded periodically (every working day)
+    assert sum(overload_minutes.values()) > 0
+    overloaded_days = {
+        minute // (24 * 60)
+        for minute, __, __, load in result.service_samples["FI"]
+        if load > 0.80
+    }
+    assert len(overloaded_days) >= 3
+
+
+@pytest.mark.benchmark(group="fig15-17")
+def test_fig16_fi_constrained_mobility(benchmark):
+    result = paper_run(Scenario.CONSTRAINED_MOBILITY)
+    hosts_used, overload_minutes, __ = benchmark.pedantic(
+        lambda: fi_statistics(result), rounds=1, iterations=1
+    )
+    print_fi(result, hosts_used, overload_minutes)
+
+    fi_actions = result.actions_of_service("FI")
+    kinds = {a.action for a in fi_actions}
+    # the controller starts and stops instances, nothing else (Table 5)
+    assert kinds
+    assert kinds <= {Action.SCALE_OUT, Action.SCALE_IN}
+    # additional hosts beyond the static allocation were recruited
+    assert hosts_used > FI_INITIAL_HOSTS
+    # overload pressure on FI hosts drops against static
+    static_overload = sum(fi_statistics(paper_run(Scenario.STATIC))[1].values())
+    assert sum(overload_minutes.values()) < static_overload
+
+
+@pytest.mark.benchmark(group="fig15-17")
+def test_fig17_fi_full_mobility(benchmark):
+    result = paper_run(Scenario.FULL_MOBILITY)
+    hosts_used, overload_minutes, minutes_present = benchmark.pedantic(
+        lambda: fi_statistics(result), rounds=1, iterations=1
+    )
+    print_fi(result, hosts_used, overload_minutes)
+
+    # relocation actions appear alongside scale-out/in (Figure 17's
+    # Move/Up annotations)
+    all_kinds = {a.action for a in result.actions}
+    assert all_kinds & {Action.MOVE, Action.SCALE_UP, Action.SCALE_DOWN}
+    # overloads on FI hosts are averted almost completely: under 1% of
+    # FI instance-minutes
+    total_minutes = sum(minutes_present.values())
+    overload_total = sum(overload_minutes.values())
+    assert overload_total < 0.01 * total_minutes
+    # and strictly better than constrained mobility
+    cm_overload = sum(
+        fi_statistics(paper_run(Scenario.CONSTRAINED_MOBILITY))[1].values()
+    )
+    assert overload_total < cm_overload

@@ -1,0 +1,52 @@
+"""Table 4 and Figure 11: reference users and the initial allocation.
+
+Regenerates Table 4 (users and instances per service) from the built-in
+landscape and verifies that booting the platform reproduces Figure 11's
+service-to-server allocation on the 19 servers.
+"""
+
+import pytest
+
+from repro.config.builtin import INITIAL_ALLOCATION, paper_landscape
+from repro.serviceglobe.platform import Platform
+
+EXPECTED_TABLE_4 = [
+    ("FI", 600, 3),
+    ("LES", 900, 4),
+    ("PP", 450, 2),
+    ("HR", 300, 1),
+    ("CRM", 300, 1),
+    ("BW", 60, 2),
+]
+
+
+@pytest.mark.benchmark(group="table04")
+def test_table04_and_fig11_boot(benchmark):
+    platform = benchmark(lambda: Platform(paper_landscape()))
+
+    landscape = platform.landscape
+    print("\nTable 4 — initial number of users")
+    print(f"{'Service':<8} {'Users':>6} {'Instances':>10}")
+    rows = []
+    for name, users, instances in EXPECTED_TABLE_4:
+        actual_users = landscape.service(name).workload.users
+        actual_instances = len(platform.service(name).running_instances)
+        rows.append((name, actual_users, actual_instances))
+        print(f"{name:<8} {actual_users:>6} {actual_instances:>10}")
+
+    assert rows == EXPECTED_TABLE_4
+
+    print("\nFigure 11 — initial allocation")
+    for host_name in sorted(platform.hosts):
+        host = platform.hosts[host_name]
+        services = ", ".join(i.service_name for i in host.running_instances)
+        print(f"  {host_name:<10} (PI {host.performance_index:g}): {services}")
+
+    # every Figure 11 entry materialized on the right host
+    placed = [
+        (instance.service_name, instance.host_name)
+        for instance in platform.all_instances()
+    ]
+    assert sorted(placed) == sorted(INITIAL_ALLOCATION)
+    assert len(platform.hosts) == 19
+    assert sum(h.spec.performance_index for h in platform.hosts.values()) == 51.0

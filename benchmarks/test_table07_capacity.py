@@ -1,0 +1,55 @@
+"""Table 7: maximum possible, relative number of users per scenario.
+
+"We ran simulation series for the three scenarios and each time
+increased the number of users by 5% until the system became overloaded."
+
+Paper's result:  static 100%, constrained mobility 115%, full mobility
+135%.  The reproduction performs the same 5%-step sweep over full
+80-hour runs; with the default SLA and seed it lands on the paper's
+numbers exactly.  The assertions allow one 5% step of slack on the
+controller scenarios so the benchmark is robust to platform-level
+floating-point drift, and always enforce the ordering
+static < CM < FM.
+"""
+
+import pytest
+
+from repro.sim.capacity import capacity_search
+from repro.sim.scenarios import Scenario
+
+PAPER_TABLE_7 = {
+    Scenario.STATIC: 100,
+    Scenario.CONSTRAINED_MOBILITY: 115,
+    Scenario.FULL_MOBILITY: 135,
+}
+
+
+@pytest.mark.benchmark(group="table07")
+def test_table07_capacity_sweep(benchmark):
+    def sweep():
+        return {scenario: capacity_search(scenario) for scenario in Scenario}
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    print("\nTable 7 — maximum possible, relative number of users")
+    print(f"{'Scenario':<22} {'paper':>6} {'measured':>9}")
+    for scenario in Scenario:
+        measured = results[scenario].max_users_percent
+        print(f"{scenario.value:<22} {PAPER_TABLE_7[scenario]:>5}% {measured:>8}%")
+    for scenario in Scenario:
+        print()
+        print(results[scenario].summary())
+
+    static = results[Scenario.STATIC].max_users_percent
+    cm = results[Scenario.CONSTRAINED_MOBILITY].max_users_percent
+    fm = results[Scenario.FULL_MOBILITY].max_users_percent
+
+    # the headline shape: the controller buys capacity, full mobility
+    # roughly doubles the constrained-mobility gain
+    assert static < cm < fm
+
+    # static is sized exactly for the reference population
+    assert static == 100
+    # one 5% step of slack around the paper's controller numbers
+    assert abs(cm - 115) <= 5
+    assert abs(fm - 135) <= 5

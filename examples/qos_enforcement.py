@@ -1,0 +1,85 @@
+"""QoS management: enforcing Service Level Agreements with actions.
+
+The paper's eventual goal (§7): "enhance AutoGlobe towards QoS
+management for self-organizing infrastructures.  The actions will then
+be used to enforce Service Level Agreements."
+
+We give the HR service a 120 ms response-time SLA, drive its blade into
+saturation and watch the stack work:
+
+1. the SLA monitor samples response times through the request-level
+   invoker (app server -> central instance -> database path with
+   M/M/1-style slowdowns),
+2. compliance collapses and the enforcer first boosts HR's priority
+   (weighted CPU sharing buys immediate relief),
+3. then injects a synthetic overload situation into the fuzzy decision
+   loop, which relocates/scales the service,
+4. once compliance holds, the priority is relaxed back toward neutral.
+
+Run with:  python examples/qos_enforcement.py
+"""
+
+from repro.config.builtin import paper_landscape
+from repro.core.autoglobe import AutoGlobeController
+from repro.qos import (
+    ServiceLevelAgreement,
+    ServiceLevelObjective,
+    SlaEnforcer,
+    SlaMonitor,
+)
+from repro.qos.sla import SlaCatalog
+from repro.serviceglobe.invocation import ServiceInvoker
+from repro.serviceglobe.platform import Platform
+from repro.sim.scenarios import Scenario, apply_scenario
+from repro.sim.workload import NoiseParameters, WorkloadModel
+
+
+def main() -> None:
+    landscape = apply_scenario(paper_landscape(), Scenario.FULL_MOBILITY)
+    landscape = landscape.scaled_users(1.35)
+    platform = Platform(landscape)
+    controller = AutoGlobeController(platform)
+    workload = WorkloadModel(platform, seed=3,
+                             noise=NoiseParameters(sigma=0.01,
+                                                   burst_probability=0.0))
+    workload.initialize()
+
+    invoker = ServiceInvoker(platform)
+    catalog = SlaCatalog([
+        ServiceLevelAgreement(
+            "HR",
+            ServiceLevelObjective(response_time_ms=120.0,
+                                  compliance_target=0.95,
+                                  window_minutes=30),
+            penalty_per_violation_minute=5.0,
+            label="HR payroll interactive",
+        ),
+    ])
+    monitor = SlaMonitor(invoker, catalog)
+    enforcer = SlaEnforcer(controller, monitor, relax_after=120, cooldown=30)
+
+    print(f"agreement in force: {catalog.agreements[0]}")
+    print(f"nominal HR response time: {invoker.nominal_response_time('HR'):.0f} ms\n")
+
+    samples = []
+    for now in range(12 * 60, 12 * 60 + 10 * 60):  # noon .. 22:00
+        workload.tick(now)
+        controller.tick(now)
+        enforcer.tick(now)
+        if now % 60 == 0:
+            report = monitor.report_for("HR")
+            samples.append((now, report))
+    for now, report in samples:
+        hour = (now % (24 * 60)) // 60
+        print(f"{hour:02d}:00  {report}")
+
+    print(f"\ntotal SLA penalty accrued: {monitor.total_penalty():.0f}")
+    print(f"HR priority now: {platform.service('HR').priority} (neutral 5)")
+    if enforcer.enforcements:
+        print("enforcement actions:")
+        for outcome in enforcer.enforcements:
+            print(f"  {outcome}")
+
+
+if __name__ == "__main__":
+    main()

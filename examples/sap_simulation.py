@@ -1,0 +1,63 @@
+"""The paper's SAP simulation study in miniature (Section 5).
+
+Runs one simulated day of the Section 5.1 SAP installation at 115% of
+the reference user population under all three scenarios — static,
+constrained mobility, full mobility — and prints, per scenario, what the
+paper's Figures 12-14 show: overload volume, the system's average load,
+and the controller's action log (the annotations of Figures 16/17).
+
+Run with:  python examples/sap_simulation.py
+(The paper's full 80-hour horizon takes a few minutes; one day keeps the
+example snappy.  Pass --hours 80 for the real thing.)
+"""
+
+import argparse
+
+from repro.sim.clock import MINUTES_PER_DAY, format_minute
+from repro.sim.runner import SimulationRunner
+from repro.sim.scenarios import Scenario
+
+
+def run_scenario(scenario: Scenario, hours: float, users: float) -> None:
+    print(f"\n=== {scenario.value} @ {users:.0%} users, {hours:g} h ===")
+    runner = SimulationRunner(
+        scenario,
+        user_factor=users,
+        horizon=int(hours * 60),
+        seed=7,
+        collect_services={"FI"},
+    )
+    result = runner.run()
+    average = result.average_load_series()
+    print(
+        f"average system load: mean {average.mean():.0%}, "
+        f"daily peak {average.max():.0%}"
+    )
+    print(
+        f"degraded host-minutes/day: {result.overload_minutes_per_day:.0f} "
+        f"(longest single episode: {result.longest_episode} min)"
+    )
+    print(f"SLA verdict: {'OVERLOADED' if result.violates() else 'ok'}")
+    if result.actions:
+        print(f"controller actions ({len(result.actions)}):")
+        for action in result.actions[:12]:
+            print(f"  {format_minute(action.time)}  {action}")
+        if len(result.actions) > 12:
+            print(f"  ... and {len(result.actions) - 12} more")
+    else:
+        print("controller actions: none (static scenario)")
+    fi_hosts = sorted({host for __, __, host, __ in result.service_samples["FI"]})
+    print(f"hosts that ran FI instances: {', '.join(fi_hosts)}")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--hours", type=float, default=24.0)
+    parser.add_argument("--users", type=float, default=1.15)
+    args = parser.parse_args()
+    for scenario in Scenario:
+        run_scenario(scenario, args.hours, args.users)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,26 @@
+"""Static allocation extensions (the paper's future work).
+
+* :mod:`repro.allocation.reservations` — explicit reservations:
+  "an administrator can register mission-critical tasks along with
+  their resource requirements" and the controller keeps the reserved
+  headroom free when selecting hosts.
+* :mod:`repro.allocation.designer` — the landscape designer: "this tool
+  calculates a statically optimized pre-assignment of all services to
+  improve the dynamic optimization potential of the fuzzy controller."
+* :mod:`repro.allocation.migration` — carries a *running* platform over
+  to a designed allocation with transactional move/start/stop plans.
+"""
+
+from repro.allocation.designer import DesignedAllocation, LandscapeDesigner
+from repro.allocation.migration import MigrationPlan, MigrationStep, Migrator
+from repro.allocation.reservations import Reservation, ReservationBook
+
+__all__ = [
+    "DesignedAllocation",
+    "LandscapeDesigner",
+    "MigrationPlan",
+    "MigrationStep",
+    "Migrator",
+    "Reservation",
+    "ReservationBook",
+]

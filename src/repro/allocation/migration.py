@@ -1,0 +1,236 @@
+"""Migrating a running platform to a target allocation.
+
+The landscape designer produces a statically optimized assignment; this
+module carries a *running* platform over to it.  The plan is a
+structural diff per service:
+
+* matched surplus/missing pairs become **move** steps (the instance is
+  relocated; its users and virtual IP follow, and instance-count bounds
+  are never touched),
+* leftover missing entries become **start** steps,
+* leftover surplus entries become **stop** steps (their users reconnect
+  to the survivors).
+
+Steps can depend on each other (an exclusive database can only move to a
+host another service is about to vacate), so execution iterates to a
+fixed point: each round attempts every remaining step and defers
+failures; a round without progress aborts.  The whole migration runs
+inside a :class:`PlatformTransaction` — on abort the platform is rolled
+back to its pre-migration state.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.serviceglobe.actions import ActionError
+from repro.serviceglobe.platform import Platform
+from repro.serviceglobe.transactions import PlatformTransaction
+
+__all__ = ["MigrationStep", "MigrationPlan", "MigrationError", "Migrator"]
+
+
+class MigrationError(RuntimeError):
+    """Raised when a migration cannot make progress (after rollback)."""
+
+
+@dataclass(frozen=True)
+class MigrationStep:
+    """One primitive migration operation."""
+
+    operation: str  # "move", "start" or "stop"
+    service_name: str
+    host_name: str  # target host for move/start; source host for stop
+    source_host: Optional[str] = None  # set for moves
+
+    def __str__(self) -> str:
+        if self.operation == "move":
+            return (
+                f"move {self.service_name} {self.source_host} -> {self.host_name}"
+            )
+        return f"{self.operation} {self.service_name} on {self.host_name}"
+
+
+@dataclass
+class MigrationPlan:
+    """The steps carrying the platform to the target allocation."""
+
+    steps: List[MigrationStep] = field(default_factory=list)
+
+    @property
+    def moves(self) -> List[MigrationStep]:
+        return [s for s in self.steps if s.operation == "move"]
+
+    @property
+    def starts(self) -> List[MigrationStep]:
+        return [s for s in self.steps if s.operation == "start"]
+
+    @property
+    def stops(self) -> List[MigrationStep]:
+        return [s for s in self.steps if s.operation == "stop"]
+
+    @property
+    def is_noop(self) -> bool:
+        return not self.steps
+
+    def __str__(self) -> str:
+        if self.is_noop:
+            return "migration plan: nothing to do"
+        lines = [f"migration plan ({len(self.steps)} steps):"]
+        lines.extend(f"  {step}" for step in self.steps)
+        return "\n".join(lines)
+
+
+class Migrator:
+    """Plans and executes the move to a target allocation."""
+
+    def __init__(self, platform: Platform) -> None:
+        self.platform = platform
+        #: sessions displaced by a decomposed move, waiting for the
+        #: service's next start (service name -> user count)
+        self._parked: Counter = Counter()
+
+    # -- planning -----------------------------------------------------------------
+
+    def plan(self, target_allocation: List[Tuple[str, str]]) -> MigrationPlan:
+        """Diff the current placement against the target.
+
+        ``target_allocation`` is a list of (service, host) pairs, one per
+        desired instance — the format of
+        :attr:`repro.allocation.designer.DesignedAllocation.assignment`
+        and of ``LandscapeSpec.initial_allocation``.
+        """
+        target: Counter = Counter(target_allocation)
+        current: Counter = Counter(
+            (instance.service_name, instance.host_name)
+            for instance in self.platform.all_instances()
+        )
+        for service_name, __ in target:
+            self.platform.service(service_name)  # must exist
+        plan = MigrationPlan()
+        services = sorted(
+            {name for name, __ in target} | {name for name, __ in current}
+        )
+        for service_name in services:
+            missing: List[str] = []
+            surplus: List[str] = []
+            hosts = sorted(
+                {h for s, h in target if s == service_name}
+                | {h for s, h in current if s == service_name}
+            )
+            for host_name in hosts:
+                key = (service_name, host_name)
+                delta = target.get(key, 0) - current.get(key, 0)
+                missing.extend([host_name] * max(delta, 0))
+                surplus.extend([host_name] * max(-delta, 0))
+            # matched pairs relocate; leftovers start/stop
+            for target_host, source_host in zip(missing, surplus):
+                plan.steps.append(
+                    MigrationStep("move", service_name, target_host, source_host)
+                )
+            for target_host in missing[len(surplus):]:
+                plan.steps.append(MigrationStep("start", service_name, target_host))
+            for source_host in surplus[len(missing):]:
+                plan.steps.append(MigrationStep("stop", service_name, source_host))
+        return plan
+
+    # -- execution -----------------------------------------------------------------------
+
+    def execute(self, plan: MigrationPlan) -> List[MigrationStep]:
+        """Apply a plan atomically; returns the steps in execution order.
+
+        Steps that fail are retried in later rounds (another step may
+        first have to vacate their target).  If a full round makes no
+        progress the migration aborts with :class:`MigrationError` and
+        the platform rolls back.  Migration is an administrative
+        operation: it bypasses the scenario's allowed-actions policy but
+        respects all physical constraints.
+        """
+        executed: List[MigrationStep] = []
+        self._parked: Counter = Counter()
+        with PlatformTransaction(self.platform):
+            pending = list(plan.steps)
+            decomposed = 0
+            move_budget = len(plan.moves)
+            while pending:
+                deferred: List[MigrationStep] = []
+                failures: List[str] = []
+                for step in pending:
+                    try:
+                        self._apply(step)
+                    except (ActionError, LookupError) as error:
+                        deferred.append(step)
+                        failures.append(f"{step}: {error}")
+                    else:
+                        executed.append(step)
+                if len(deferred) == len(pending):
+                    # moves can deadlock in cycles (A->B, B->C, C->A with no
+                    # spare capacity); break one cycle edge by decomposing a
+                    # move into an immediate stop and a later start — the
+                    # stop frees capacity, the fixed point orders the rest.
+                    # sessions without a surviving peer are parked and
+                    # reconnect when the service's next instance starts.
+                    if decomposed >= move_budget or not self._decompose_a_move(
+                        deferred
+                    ):
+                        raise MigrationError(
+                            "migration cannot make progress:\n"
+                            + "\n".join(f"  - {f}" for f in failures)
+                        )
+                    decomposed += 1
+                pending = deferred
+            if any(self._parked.values()):  # pragma: no cover - defensive
+                raise MigrationError(
+                    f"parked sessions were never re-placed: {dict(self._parked)}"
+                )
+        return executed
+
+    def _decompose_a_move(self, deferred: List[MigrationStep]) -> bool:
+        """Replace one deferred move with explicit stop + start steps."""
+        for index, step in enumerate(deferred):
+            if step.operation != "move":
+                continue
+            deferred[index:index + 1] = [
+                MigrationStep("stop", step.service_name, step.source_host),
+                MigrationStep("start", step.service_name, step.host_name),
+            ]
+            return True
+        return False
+
+    def migrate(self, target_allocation: List[Tuple[str, str]]) -> MigrationPlan:
+        """Plan + execute in one call; returns the (planned) plan."""
+        plan = self.plan(target_allocation)
+        self.execute(plan)
+        return plan
+
+    # -- primitives --------------------------------------------------------------------------
+
+    def _apply(self, step: MigrationStep) -> None:
+        service = self.platform.service(step.service_name)
+        if step.operation == "move":
+            instance = self._pick_instance(step.service_name, step.source_host)
+            self.platform._move_instance(instance, step.host_name)
+        elif step.operation == "start":
+            replacement = self.platform._start_instance(
+                step.service_name, step.host_name
+            )
+            parked = self._parked.pop(step.service_name, 0)
+            if parked:
+                replacement.users += parked
+        else:
+            instance = self._pick_instance(step.service_name, step.host_name)
+            users_before = service.total_users
+            self.platform._stop_instance(instance, enforce_min=False)
+            # sessions that found no surviving peer wait for the next start
+            self._parked[step.service_name] += users_before - service.total_users
+
+    def _pick_instance(self, service_name: str, host_name: str):
+        candidates = self.platform.service(service_name).instances_on(host_name)
+        if not candidates:
+            raise LookupError(
+                f"no running instance of {service_name!r} on {host_name!r}"
+            )
+        # prefer the newest instance: older ones tend to hold more users
+        return max(candidates, key=lambda i: (i.started_at, i.instance_id))

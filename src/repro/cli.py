@@ -1,0 +1,246 @@
+"""Command-line front end for the AutoGlobe reproduction.
+
+Subcommands::
+
+    autoglobe run --scenario full-mobility --users 1.15 [--hours 80]
+        Run one simulation and print the result summary plus the
+        controller's action log.
+
+    autoglobe capacity [--scenario X] [--hours 80]
+        Run the Table 7 capacity sweep (all scenarios by default).
+
+    autoglobe console --scenario constrained-mobility --users 1.15
+        Run a short simulation and render the controller console views.
+
+    autoglobe landscape [--design] [--out FILE]
+        Print (or write) the built-in Section 5.1 landscape as XML;
+        with --design, first optimize the initial allocation with the
+        landscape designer.
+
+    autoglobe rebalance [--apply]
+        Plan (and optionally apply, in memory) the migration from the
+        Figure 11 allocation to the landscape designer's optimized one.
+
+    autoglobe profiles
+        Print the daily load profiles as text charts (Figure 10).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.sim.clock import MINUTES_PER_DAY, format_minute
+from repro.sim.scenarios import Scenario
+
+__all__ = ["main", "build_parser"]
+
+
+def _scenario(name: str) -> Scenario:
+    for scenario in Scenario:
+        if scenario.value == name:
+            return scenario
+    raise argparse.ArgumentTypeError(
+        f"unknown scenario {name!r}; choose from "
+        f"{', '.join(s.value for s in Scenario)}"
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="autoglobe",
+        description="AutoGlobe (ICDE 2006) reproduction: fuzzy-controller "
+        "based self-organizing infrastructure.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    run = subparsers.add_parser("run", help="run one simulation")
+    run.add_argument("--scenario", type=_scenario, default=Scenario.FULL_MOBILITY)
+    run.add_argument("--users", type=float, default=1.15,
+                     help="relative user population (1.0 = Table 4)")
+    run.add_argument("--hours", type=float, default=80.0)
+    run.add_argument("--seed", type=int, default=7)
+    run.add_argument("--actions", action="store_true",
+                     help="print the controller action log")
+    run.add_argument("--export", default=None, metavar="DIR",
+                     help="export summary/series/action CSVs to a directory")
+    run.add_argument("--explain", action="store_true",
+                     help="explain the controller's most recent decisions")
+
+    capacity = subparsers.add_parser("capacity", help="Table 7 capacity sweep")
+    capacity.add_argument("--scenario", type=_scenario, default=None,
+                          help="single scenario (default: all three)")
+    capacity.add_argument("--hours", type=float, default=80.0)
+    capacity.add_argument("--seed", type=int, default=7)
+
+    console = subparsers.add_parser("console", help="render the controller console")
+    console.add_argument("--scenario", type=_scenario,
+                         default=Scenario.CONSTRAINED_MOBILITY)
+    console.add_argument("--users", type=float, default=1.15)
+    console.add_argument("--hours", type=float, default=26.0)
+    console.add_argument("--seed", type=int, default=7)
+
+    landscape = subparsers.add_parser("landscape", help="emit the landscape XML")
+    landscape.add_argument("--design", action="store_true",
+                           help="optimize the initial allocation first")
+    landscape.add_argument("--out", default=None, help="write to file")
+
+    rebalance = subparsers.add_parser(
+        "rebalance",
+        help="plan (and optionally apply) a migration to the designer's "
+             "optimized allocation",
+    )
+    rebalance.add_argument("--apply", action="store_true",
+                           help="execute the plan on an in-memory platform")
+
+    subparsers.add_parser("profiles", help="show the daily load profiles")
+    return parser
+
+
+def _cmd_run(args) -> int:
+    from repro.sim.runner import SimulationRunner
+
+    runner = SimulationRunner(
+        args.scenario,
+        user_factor=args.users,
+        horizon=int(args.hours * 60),
+        seed=args.seed,
+        collect_host_series=args.export is not None,
+    )
+    result = runner.run()
+    print(result.summary())
+    counts = result.action_counts()
+    if counts:
+        rendered = ", ".join(
+            f"{action.value}: {count}" for action, count in sorted(
+                counts.items(), key=lambda kv: -kv[1]
+            )
+        )
+        print(f"  action breakdown: {rendered}")
+    print(f"  SLA verdict: {'OVERLOADED' if result.violates() else 'ok'}")
+    if args.actions:
+        for action in result.actions:
+            print(f"  {format_minute(action.time)}  {action}")
+    if args.export:
+        from repro.sim.export import export_all
+
+        target = export_all(result, args.export)
+        print(f"  exported to {target}")
+    if args.explain:
+        from repro.core.explain import explain_last_decisions
+
+        print("\nmost recent decisions:")
+        print(explain_last_decisions(runner.controller.decision_records))
+    return 0
+
+
+def _cmd_capacity(args) -> int:
+    from repro.sim.capacity import capacity_search
+
+    scenarios = [args.scenario] if args.scenario else list(Scenario)
+    print("Table 7 — maximum possible, relative number of users")
+    for scenario in scenarios:
+        result = capacity_search(
+            scenario, horizon=int(args.hours * 60), seed=args.seed
+        )
+        print(result.summary())
+    return 0
+
+
+def _cmd_console(args) -> int:
+    from repro.core.console import ControllerConsole
+    from repro.sim.runner import SimulationRunner
+
+    runner = SimulationRunner(
+        args.scenario,
+        user_factor=args.users,
+        horizon=int(args.hours * 60),
+        seed=args.seed,
+        collect_host_series=False,
+    )
+    runner.run()
+    console = ControllerConsole(runner.controller)
+    print(console.render(now=runner.start_minute + runner.horizon - 1))
+    return 0
+
+
+def _cmd_landscape(args) -> int:
+    from repro.config.builtin import paper_landscape
+    from repro.config.xml_writer import landscape_to_xml
+
+    landscape = paper_landscape()
+    if args.design:
+        from repro.allocation.designer import LandscapeDesigner
+
+        designed = LandscapeDesigner(landscape).design()
+        landscape = designed.as_landscape(landscape)
+        print(
+            f"# designed allocation, predicted worst peak "
+            f"{designed.predicted_peak_load:.0%}",
+            file=sys.stderr,
+        )
+    xml = landscape_to_xml(landscape)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(xml)
+        print(f"wrote {args.out}")
+    else:
+        print(xml)
+    return 0
+
+
+def _cmd_rebalance(args) -> int:
+    from repro.allocation.designer import LandscapeDesigner
+    from repro.allocation.migration import Migrator
+    from repro.config.builtin import paper_landscape
+    from repro.serviceglobe.platform import Platform
+
+    landscape = paper_landscape()
+    platform = Platform(landscape)
+    designed = LandscapeDesigner(landscape).design()
+    migrator = Migrator(platform)
+    plan = migrator.plan(designed.assignment)
+    print(f"designed allocation predicted worst host peak: "
+          f"{designed.predicted_peak_load:.0%}")
+    print(plan)
+    if args.apply and not plan.is_noop:
+        executed = migrator.execute(plan)
+        print(f"applied {len(executed)} steps; final placement:")
+        for instance in sorted(
+            platform.all_instances(), key=lambda i: (i.host_name, i.service_name)
+        ):
+            print(f"  {instance.host_name}: {instance.service_name}")
+    return 0
+
+
+def _cmd_profiles(args) -> int:
+    from repro.sim.loadcurves import available_profiles, profile_value
+
+    width = 48
+    for name in available_profiles():
+        if name == "flat":
+            continue
+        print(f"\n{name}")
+        for hour in range(0, 24, 2):
+            value = profile_value(name, hour * 60)
+            bar = "#" * round(value * width)
+            print(f"  {hour:02d}:00 |{bar:<{width}}| {value:4.0%}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handler = {
+        "run": _cmd_run,
+        "capacity": _cmd_capacity,
+        "console": _cmd_console,
+        "landscape": _cmd_landscape,
+        "rebalance": _cmd_rebalance,
+        "profiles": _cmd_profiles,
+    }[args.command]
+    return handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,45 @@
+"""Declarative landscape description language.
+
+The paper describes services and servers "using a declarative XML
+language": capabilities, constraints (exclusive, minimum performance
+index, minimum/maximum instances, allowed actions), server performance
+metadata and fuzzy rules.  This package provides the in-memory model
+(:mod:`repro.config.model`), an XML reader/writer
+(:mod:`repro.config.xml_loader`, :mod:`repro.config.xml_writer`),
+semantic validation (:mod:`repro.config.validation`) and the paper's
+Section 5.1 landscape as a built-in (:mod:`repro.config.builtin`).
+"""
+
+from repro.config.model import (
+    Action,
+    ControllerMode,
+    ControllerSettings,
+    LandscapeSpec,
+    ServerSpec,
+    ServiceConstraints,
+    ServiceKind,
+    ServiceSpec,
+    WorkloadSpec,
+)
+from repro.config.validation import ValidationError, validate_landscape
+from repro.config.xml_loader import LandscapeParseError, landscape_from_xml, load_landscape
+from repro.config.xml_writer import landscape_to_xml, save_landscape
+
+__all__ = [
+    "Action",
+    "ControllerMode",
+    "ControllerSettings",
+    "LandscapeParseError",
+    "LandscapeSpec",
+    "ServerSpec",
+    "ServiceConstraints",
+    "ServiceKind",
+    "ServiceSpec",
+    "ValidationError",
+    "WorkloadSpec",
+    "landscape_from_xml",
+    "landscape_to_xml",
+    "load_landscape",
+    "save_landscape",
+    "validate_landscape",
+]

@@ -1,0 +1,309 @@
+"""The paper's Section 5.1 SAP landscape as a built-in description.
+
+Hardware (Figure 11):
+
+* 8 FSC-BX300 blades, one Pentium III 933 MHz CPU, 2 GB memory,
+  performance index 1 (``Blade1`` .. ``Blade8``),
+* 8 FSC-BX600 blades, two Pentium III 933 MHz CPUs, 4 GB memory,
+  performance index 2 (``Blade9`` .. ``Blade16``),
+* 3 HP-Proliant BL40p servers, four Xeon MP 2.8 GHz CPUs, 12 GB memory,
+  performance index 9 (``DBServer1`` .. ``DBServer3``).
+
+Services (Figure 9 / Table 4): application servers FI, LES, PP, HR, CRM
+and BW plus one central instance and one database per subsystem (ERP,
+CRM, BW).  The initial allocation reproduces Figure 11 exactly.
+
+Load-model calibration
+----------------------
+Demand is measured in performance index units: a host with index ``p``
+saturates at ``p`` units.  The paper dimensions a standard PI=1 blade to
+"handle at most 150 users of one service" with main-activity CPU load
+between 60% and 80%; we therefore set ``load_per_user = 0.005`` so that
+150 users at the daily profile's peak produce 75% load.  With the Table 4
+user counts and the Figure 11 allocation, every application blade then
+peaks at exactly 75% under least-loaded user placement, matching the
+paper's description of a peak-sized installation.
+
+The request path (app server -> central instance -> database) is modelled
+by forwarding per-served-user demand to the subsystem's CI
+(``ci_cost_per_user``) and database (``db_cost_per_user``).  The ERP
+database is exclusive and cannot scale even in the full-mobility
+scenario, making it the ultimate capacity bound, which is what ends the
+paper's own full-mobility sweep.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.config.model import (
+    Action,
+    ControllerSettings,
+    LandscapeSpec,
+    ServerSpec,
+    ServiceConstraints,
+    ServiceKind,
+    ServiceSpec,
+    WorkloadSpec,
+)
+
+__all__ = [
+    "APPLICATION_SERVICES",
+    "CENTRAL_INSTANCES",
+    "DATABASES",
+    "INITIAL_ALLOCATION",
+    "INITIAL_USERS",
+    "paper_landscape",
+    "paper_landscape_xml",
+    "shipped_landscape_path",
+]
+
+#: Table 4 — users (or batch jobs for BW) and initial instance counts.
+INITIAL_USERS = {
+    "FI": (600, 3),
+    "LES": (900, 4),
+    "PP": (450, 2),
+    "HR": (300, 1),
+    "CRM": (300, 1),
+    "BW": (60, 2),
+}
+
+APPLICATION_SERVICES = ("FI", "LES", "PP", "HR", "CRM", "BW")
+CENTRAL_INSTANCES = ("CI-ERP", "CI-CRM", "CI-BW")
+DATABASES = ("DB-ERP", "DB-CRM", "DB-BW")
+
+#: Figure 11 — the initial static allocation, one entry per instance.
+INITIAL_ALLOCATION: List[Tuple[str, str]] = [
+    ("LES", "Blade1"),
+    ("LES", "Blade2"),
+    ("FI", "Blade3"),
+    ("PP", "Blade4"),
+    ("FI", "Blade5"),
+    ("CI-ERP", "Blade6"),
+    ("CI-CRM", "Blade7"),
+    ("CI-BW", "Blade8"),
+    ("BW", "Blade9"),
+    ("HR", "Blade10"),
+    ("FI", "Blade11"),
+    ("LES", "Blade12"),
+    ("LES", "Blade13"),
+    ("PP", "Blade14"),
+    ("CRM", "Blade15"),
+    ("BW", "Blade16"),
+    ("DB-ERP", "DBServer1"),
+    ("DB-CRM", "DBServer2"),
+    ("DB-BW", "DBServer3"),
+]
+
+#: One user at profile peak induces this CPU demand (PI units) on its
+#: application server: 150 users -> 75% of a PI=1 blade.
+LOAD_PER_USER = 0.005
+
+#: Demand one served user forwards to the subsystem's central instance
+#: (global lock management, a light operation).
+CI_COST_PER_USER = 0.0002
+
+#: Demand one served user forwards to the subsystem's database.  Sized so
+#: the unscalable, exclusive ERP database saturates (>80% of PI 9) a bit
+#: beyond 135% of the reference user count (the 80% crossing of
+#: DBServer1, including the database basic load, falls near 140%).
+DB_COST_PER_USER = 0.00214
+
+#: One BW batch job's demand on a BW application server at profile peak:
+#: 30 jobs per PI=2 instance -> 70% night load.
+LOAD_PER_BATCH_JOB = 0.0466
+
+#: One BW batch job's demand on the BW database at profile peak:
+#: 60 jobs -> ~55% of DBServer3.
+DB_COST_PER_BATCH_JOB = 0.0825
+
+#: Per-instance basic loads ("every application server itself induces a
+#: basic load") and memory footprints.
+APP_BASIC_LOAD = 0.02
+CI_BASIC_LOAD = 0.05
+DB_BASIC_LOAD = 0.45
+APP_MEMORY_MB = 1024
+CI_MEMORY_MB = 512
+DB_MEMORY_MB = 6144
+
+#: Per-minute probability that an interactive user logs off and
+#: reconnects to the least-loaded instance (average session ~100 min).
+USER_FLUCTUATION_RATE = 0.010
+#: Batch jobs are queued work and requeue faster than humans reconnect.
+JOB_FLUCTUATION_RATE = 0.020
+
+#: Daily load profile per application service (see repro.sim.loadcurves).
+SERVICE_PROFILES = {
+    "FI": "fi",
+    "LES": "les",
+    "PP": "pp",
+    "HR": "hr",
+    "CRM": "crm",
+    "BW": "bw-batch",
+}
+
+SUBSYSTEM_OF = {
+    "FI": "ERP",
+    "LES": "ERP",
+    "PP": "ERP",
+    "HR": "ERP",
+    "CRM": "CRM",
+    "BW": "BW",
+    "CI-ERP": "ERP",
+    "CI-CRM": "CRM",
+    "CI-BW": "BW",
+    "DB-ERP": "ERP",
+    "DB-CRM": "CRM",
+    "DB-BW": "BW",
+}
+
+
+def _servers() -> List[ServerSpec]:
+    servers = []
+    for i in range(1, 9):
+        servers.append(
+            ServerSpec(
+                name=f"Blade{i}",
+                performance_index=1.0,
+                num_cpus=1,
+                cpu_clock_mhz=933.0,
+                cpu_cache_kb=512.0,
+                memory_mb=2048,
+                swap_space_mb=4096,
+                temp_space_mb=20480,
+                category="FSC-BX300",
+            )
+        )
+    for i in range(9, 17):
+        servers.append(
+            ServerSpec(
+                name=f"Blade{i}",
+                performance_index=2.0,
+                num_cpus=2,
+                cpu_clock_mhz=933.0,
+                cpu_cache_kb=512.0,
+                memory_mb=4096,
+                swap_space_mb=8192,
+                temp_space_mb=20480,
+                category="FSC-BX600",
+            )
+        )
+    for i in range(1, 4):
+        servers.append(
+            ServerSpec(
+                name=f"DBServer{i}",
+                performance_index=9.0,
+                num_cpus=4,
+                cpu_clock_mhz=2800.0,
+                cpu_cache_kb=2048.0,
+                memory_mb=12288,
+                swap_space_mb=24576,
+                temp_space_mb=102400,
+                category="HP-Proliant-BL40p",
+            )
+        )
+    return servers
+
+
+def _application_service(name: str) -> ServiceSpec:
+    users, __ = INITIAL_USERS[name]
+    batch = name == "BW"
+    min_instances = 2 if name in ("FI", "LES") else 1
+    return ServiceSpec(
+        name=name,
+        kind=ServiceKind.APPLICATION_SERVER,
+        subsystem=SUBSYSTEM_OF[name],
+        constraints=ServiceConstraints(
+            exclusive=False,
+            min_performance_index=0.0,
+            min_instances=min_instances,
+            max_instances=None,
+            allowed_actions=frozenset(),  # scenario-dependent, see sim.scenarios
+        ),
+        workload=WorkloadSpec(
+            users=users,
+            profile=SERVICE_PROFILES[name],
+            load_per_user=LOAD_PER_BATCH_JOB if batch else LOAD_PER_USER,
+            basic_load=APP_BASIC_LOAD,
+            ci_cost_per_user=CI_COST_PER_USER,
+            db_cost_per_user=DB_COST_PER_BATCH_JOB if batch else DB_COST_PER_USER,
+            batch=batch,
+            memory_per_instance_mb=APP_MEMORY_MB,
+            fluctuation_rate=JOB_FLUCTUATION_RATE if batch else USER_FLUCTUATION_RATE,
+        ),
+    )
+
+
+def _central_instance(name: str) -> ServiceSpec:
+    return ServiceSpec(
+        name=name,
+        kind=ServiceKind.CENTRAL_INSTANCE,
+        subsystem=SUBSYSTEM_OF[name],
+        constraints=ServiceConstraints(
+            min_instances=1,
+            max_instances=1,
+            allowed_actions=frozenset(),
+        ),
+        workload=WorkloadSpec(
+            users=0,
+            profile="flat",
+            basic_load=CI_BASIC_LOAD,
+            memory_per_instance_mb=CI_MEMORY_MB,
+        ),
+    )
+
+
+def _database(name: str) -> ServiceSpec:
+    return ServiceSpec(
+        name=name,
+        kind=ServiceKind.DATABASE,
+        subsystem=SUBSYSTEM_OF[name],
+        constraints=ServiceConstraints(
+            exclusive=(name == "DB-ERP"),
+            min_performance_index=5.0,
+            min_instances=1,
+            max_instances=1,
+            allowed_actions=frozenset(),
+        ),
+        workload=WorkloadSpec(
+            users=0,
+            profile="flat",
+            basic_load=DB_BASIC_LOAD,
+            memory_per_instance_mb=DB_MEMORY_MB,
+        ),
+    )
+
+
+def paper_landscape() -> LandscapeSpec:
+    """Build the Section 5.1 landscape with default (static) constraints."""
+    services = (
+        [_application_service(name) for name in APPLICATION_SERVICES]
+        + [_central_instance(name) for name in CENTRAL_INSTANCES]
+        + [_database(name) for name in DATABASES]
+    )
+    return LandscapeSpec(
+        name="sap-medium",
+        servers=_servers(),
+        services=services,
+        initial_allocation=list(INITIAL_ALLOCATION),
+        controller=ControllerSettings(),
+    )
+
+
+def paper_landscape_xml() -> str:
+    """The built-in landscape serialized through the XML writer."""
+    from repro.config.xml_writer import landscape_to_xml
+
+    return landscape_to_xml(paper_landscape())
+
+
+def shipped_landscape_path():
+    """Path of the checked-in ``sap-medium.xml`` artifact.
+
+    The artifact is the declarative-language ground truth: loading it
+    yields exactly :func:`paper_landscape` (a test pins this), and it
+    doubles as a template for users authoring their own landscapes.
+    """
+    from pathlib import Path
+
+    return Path(__file__).parent / "data" / "sap-medium.xml"

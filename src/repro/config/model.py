@@ -1,0 +1,312 @@
+"""In-memory model of the declarative landscape description.
+
+The model mirrors the paper's XML language: servers with performance
+metadata (Table 3's server-selection inputs), services with capability
+constraints (Tables 5 and 6), an initial service-to-server allocation
+(Figure 11), workload parameters (Table 4) and controller settings
+(Section 5.1).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+from typing import Dict, FrozenSet, List, Mapping, Optional, Tuple
+
+__all__ = [
+    "Action",
+    "ServiceKind",
+    "ControllerMode",
+    "ServerSpec",
+    "ServiceConstraints",
+    "WorkloadSpec",
+    "ServiceSpec",
+    "ControllerSettings",
+    "LandscapeSpec",
+]
+
+
+class Action(enum.Enum):
+    """The nine management actions of Table 2."""
+
+    START = "start"
+    STOP = "stop"
+    SCALE_IN = "scaleIn"
+    SCALE_OUT = "scaleOut"
+    SCALE_UP = "scaleUp"
+    SCALE_DOWN = "scaleDown"
+    MOVE = "move"
+    INCREASE_PRIORITY = "increasePriority"
+    REDUCE_PRIORITY = "reducePriority"
+
+    @classmethod
+    def from_name(cls, name: str) -> "Action":
+        for action in cls:
+            if action.value == name:
+                return action
+        raise ValueError(
+            f"unknown action {name!r}; known: {', '.join(a.value for a in cls)}"
+        )
+
+    @property
+    def needs_target_host(self) -> bool:
+        """Actions requiring the server-selection controller (Section 4.2)."""
+        return self in _TARGETED_ACTIONS
+
+
+_TARGETED_ACTIONS = frozenset(
+    {Action.START, Action.SCALE_OUT, Action.SCALE_UP, Action.SCALE_DOWN, Action.MOVE}
+)
+
+#: Actions that relieve load (candidates on overload triggers).
+RELIEF_ACTIONS = frozenset(
+    {
+        Action.START,
+        Action.SCALE_OUT,
+        Action.SCALE_UP,
+        Action.MOVE,
+        Action.INCREASE_PRIORITY,
+        Action.SCALE_IN,
+    }
+)
+
+#: Actions that release resources (candidates on idle triggers).
+CONSOLIDATION_ACTIONS = frozenset(
+    {Action.STOP, Action.SCALE_IN, Action.SCALE_DOWN, Action.MOVE, Action.REDUCE_PRIORITY}
+)
+
+
+class ServiceKind(enum.Enum):
+    """Service roles in the simulated SAP installation (Figure 9)."""
+
+    APPLICATION_SERVER = "application-server"
+    DATABASE = "database"
+    CENTRAL_INSTANCE = "central-instance"
+
+
+class ControllerMode(enum.Enum):
+    """Execution modes of the controller (Section 4.3)."""
+
+    AUTOMATIC = "automatic"
+    SEMI_AUTOMATIC = "semi-automatic"
+
+
+@dataclass(frozen=True)
+class ServerSpec:
+    """Static description of one server.
+
+    The fields cover all server-selection input variables of Table 3 that
+    are not runtime measurements: performance index, CPU count/clock/cache,
+    memory, swap and temp space.
+    """
+
+    name: str
+    performance_index: float
+    num_cpus: int = 1
+    cpu_clock_mhz: float = 1000.0
+    cpu_cache_kb: float = 512.0
+    memory_mb: int = 2048
+    swap_space_mb: int = 4096
+    temp_space_mb: int = 10240
+    category: str = "server"
+
+    def __post_init__(self) -> None:
+        if self.performance_index <= 0:
+            raise ValueError(
+                f"server {self.name!r}: performance index must be positive, "
+                f"got {self.performance_index}"
+            )
+        if self.num_cpus < 1:
+            raise ValueError(f"server {self.name!r}: needs at least one CPU")
+        if self.memory_mb <= 0:
+            raise ValueError(f"server {self.name!r}: memory must be positive")
+
+
+@dataclass(frozen=True)
+class ServiceConstraints:
+    """Capability constraints of a service (Tables 5 and 6).
+
+    Attributes
+    ----------
+    exclusive:
+        No other service may run on a host executing this service.
+    min_performance_index:
+        Minimum performance requirement of any host running the service.
+    min_instances / max_instances:
+        Bounds on the number of concurrently running instances.
+    allowed_actions:
+        The management actions the service supports.  A traditional SAP
+        database, for example, does not support scale-out.
+    """
+
+    exclusive: bool = False
+    min_performance_index: float = 0.0
+    min_instances: int = 1
+    max_instances: Optional[int] = None
+    allowed_actions: FrozenSet[Action] = frozenset()
+
+    def __post_init__(self) -> None:
+        if self.min_instances < 0:
+            raise ValueError("min_instances must be non-negative")
+        if self.max_instances is not None and self.max_instances < self.min_instances:
+            raise ValueError(
+                f"max_instances ({self.max_instances}) below "
+                f"min_instances ({self.min_instances})"
+            )
+
+    def allows(self, action: Action) -> bool:
+        return action in self.allowed_actions
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Simulation workload parameters of a service (Table 4 and Section 5.1).
+
+    Attributes
+    ----------
+    users:
+        Interactive users (or batch jobs for batch services) at the 100%
+        reference point of Table 4.
+    profile:
+        Name of the daily load profile (see :mod:`repro.sim.loadcurves`).
+    load_per_user:
+        CPU demand one user induces at profile value 1.0, in performance
+        index units ("a standard single processor blade [...] is
+        dimensioned to handle at most 150 users of one service").
+    basic_load:
+        Demand every running instance induces even without users
+        ("every application server itself induces a basic load").
+    ci_cost_per_user / db_cost_per_user:
+        Demand forwarded per served user to the subsystem's central
+        instance (lock management) and database, modelling the course of
+        a request (Section 5.1).
+    batch:
+        Batch services (BW) scale load per job instead of the number of
+        jobs in capacity sweeps.
+    memory_per_instance_mb:
+        Memory footprint of one instance on its host.
+    fluctuation_rate:
+        Per-minute probability that a user logs off and reconnects to the
+        currently least-loaded instance.
+    """
+
+    users: int = 0
+    profile: str = "workday"
+    load_per_user: float = 0.005
+    basic_load: float = 0.02
+    ci_cost_per_user: float = 0.0
+    db_cost_per_user: float = 0.0
+    batch: bool = False
+    memory_per_instance_mb: int = 1024
+    fluctuation_rate: float = 0.003
+
+
+@dataclass(frozen=True)
+class ServiceSpec:
+    """Static description of one service."""
+
+    name: str
+    kind: ServiceKind = ServiceKind.APPLICATION_SERVER
+    subsystem: str = ""
+    constraints: ServiceConstraints = field(default_factory=ServiceConstraints)
+    workload: WorkloadSpec = field(default_factory=WorkloadSpec)
+    #: Service-specific rule bases layered over the defaults, keyed by
+    #: trigger name (e.g. ``"serviceOverloaded"``); values are rule DSL text.
+    rule_overrides: Mapping[str, str] = field(default_factory=dict)
+
+    @property
+    def interactive(self) -> bool:
+        """Interactive services process user requests; batch ones run jobs."""
+        return not self.workload.batch
+
+    def with_users(self, users: int) -> "ServiceSpec":
+        """A copy of the spec with a different reference user count."""
+        return replace(self, workload=replace(self.workload, users=users))
+
+
+@dataclass(frozen=True)
+class ControllerSettings:
+    """Tunable controller parameters (Section 5.1 defaults).
+
+    All durations are simulated minutes.
+    """
+
+    overload_threshold: float = 0.70
+    overload_watch_time: int = 10
+    idle_threshold_base: float = 0.125
+    idle_watch_time: int = 20
+    protection_time: int = 30
+    min_applicability: float = 0.10
+    mode: ControllerMode = ControllerMode.AUTOMATIC
+
+    def idle_threshold(self, performance_index: float) -> float:
+        """Idle threshold of a server: 12.5% divided by its performance index."""
+        if performance_index <= 0:
+            raise ValueError("performance index must be positive")
+        return self.idle_threshold_base / performance_index
+
+
+@dataclass
+class LandscapeSpec:
+    """A complete landscape: servers, services, allocation and settings."""
+
+    name: str
+    servers: List[ServerSpec] = field(default_factory=list)
+    services: List[ServiceSpec] = field(default_factory=list)
+    #: Initial allocation as (service name, host name) pairs, one per
+    #: instance, in start order (Figure 11).
+    initial_allocation: List[Tuple[str, str]] = field(default_factory=list)
+    controller: ControllerSettings = field(default_factory=ControllerSettings)
+
+    def server(self, name: str) -> ServerSpec:
+        match = self._servers_by_name().get(name)
+        if match is None:
+            raise KeyError(f"landscape {self.name!r} has no server {name!r}")
+        return match
+
+    def service(self, name: str) -> ServiceSpec:
+        match = self._services_by_name().get(name)
+        if match is None:
+            raise KeyError(f"landscape {self.name!r} has no service {name!r}")
+        return match
+
+    def _servers_by_name(self) -> Dict[str, ServerSpec]:
+        return {s.name: s for s in self.servers}
+
+    def _services_by_name(self) -> Dict[str, ServiceSpec]:
+        return {s.name: s for s in self.services}
+
+    def instances_of(self, service_name: str) -> List[str]:
+        """Host names of the initial instances of a service, in order."""
+        return [host for svc, host in self.initial_allocation if svc == service_name]
+
+    def scaled_users(self, factor: float) -> "LandscapeSpec":
+        """A copy with every interactive service's users scaled by ``factor``.
+
+        Batch services keep their job count; their per-job load is scaled
+        instead, matching Section 5.1 ("we increase the load per batch job
+        by 5% and leave the number of jobs constant").
+        """
+        scaled_services = []
+        for service in self.services:
+            workload = service.workload
+            if workload.batch:
+                scaled = replace(
+                    service,
+                    workload=replace(
+                        workload, load_per_user=workload.load_per_user * factor
+                    ),
+                )
+            else:
+                scaled = replace(
+                    service,
+                    workload=replace(workload, users=round(workload.users * factor)),
+                )
+            scaled_services.append(scaled)
+        return LandscapeSpec(
+            name=self.name,
+            servers=list(self.servers),
+            services=scaled_services,
+            initial_allocation=list(self.initial_allocation),
+            controller=self.controller,
+        )

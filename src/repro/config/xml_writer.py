@@ -1,0 +1,116 @@
+"""Serialize landscape descriptions back to XML.
+
+``landscape_from_xml(landscape_to_xml(spec))`` round-trips: the writer
+emits every field the loader understands.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from pathlib import Path
+from typing import Union
+from xml.dom import minidom
+
+from repro.config.model import LandscapeSpec, ServerSpec, ServiceSpec
+
+__all__ = ["landscape_to_xml", "save_landscape"]
+
+
+def _server_element(server: ServerSpec) -> ET.Element:
+    return ET.Element(
+        "server",
+        {
+            "name": server.name,
+            "performanceIndex": repr(server.performance_index),
+            "cpus": str(server.num_cpus),
+            "cpuClockMhz": repr(server.cpu_clock_mhz),
+            "cpuCacheKb": repr(server.cpu_cache_kb),
+            "memoryMb": str(server.memory_mb),
+            "swapSpaceMb": str(server.swap_space_mb),
+            "tempSpaceMb": str(server.temp_space_mb),
+            "category": server.category,
+        },
+    )
+
+
+def _service_element(service: ServiceSpec) -> ET.Element:
+    element = ET.Element(
+        "service",
+        {
+            "name": service.name,
+            "kind": service.kind.value,
+            "subsystem": service.subsystem,
+        },
+    )
+    workload = service.workload
+    ET.SubElement(
+        element,
+        "workload",
+        {
+            "users": str(workload.users),
+            "profile": workload.profile,
+            "loadPerUser": repr(workload.load_per_user),
+            "basicLoad": repr(workload.basic_load),
+            "ciCostPerUser": repr(workload.ci_cost_per_user),
+            "dbCostPerUser": repr(workload.db_cost_per_user),
+            "batch": "true" if workload.batch else "false",
+            "memoryPerInstanceMb": str(workload.memory_per_instance_mb),
+            "fluctuationRate": repr(workload.fluctuation_rate),
+        },
+    )
+    constraints = service.constraints
+    constraints_element = ET.SubElement(
+        element,
+        "constraints",
+        {
+            "exclusive": "true" if constraints.exclusive else "false",
+            "minPerformanceIndex": repr(constraints.min_performance_index),
+            "minInstances": str(constraints.min_instances),
+        },
+    )
+    if constraints.max_instances is not None:
+        constraints_element.set("maxInstances", str(constraints.max_instances))
+    if constraints.allowed_actions:
+        actions_element = ET.SubElement(constraints_element, "allowedActions")
+        actions_element.text = " ".join(
+            sorted(action.value for action in constraints.allowed_actions)
+        )
+    for trigger, rules_text in sorted(service.rule_overrides.items()):
+        rules_element = ET.SubElement(element, "rules", {"trigger": trigger})
+        rules_element.text = rules_text
+    return element
+
+
+def landscape_to_xml(landscape: LandscapeSpec) -> str:
+    """Serialize a landscape to a pretty-printed XML string."""
+    root = ET.Element("landscape", {"name": landscape.name})
+    settings = landscape.controller
+    ET.SubElement(
+        root,
+        "controller",
+        {
+            "overloadThreshold": repr(settings.overload_threshold),
+            "overloadWatchTime": str(settings.overload_watch_time),
+            "idleThresholdBase": repr(settings.idle_threshold_base),
+            "idleWatchTime": str(settings.idle_watch_time),
+            "protectionTime": str(settings.protection_time),
+            "minApplicability": repr(settings.min_applicability),
+            "mode": settings.mode.value,
+        },
+    )
+    servers = ET.SubElement(root, "servers")
+    for server in landscape.servers:
+        servers.append(_server_element(server))
+    services = ET.SubElement(root, "services")
+    for service in landscape.services:
+        services.append(_service_element(service))
+    allocation = ET.SubElement(root, "allocation")
+    for service_name, host_name in landscape.initial_allocation:
+        ET.SubElement(allocation, "instance", {"service": service_name, "host": host_name})
+    raw = ET.tostring(root, encoding="unicode")
+    return minidom.parseString(raw).toprettyxml(indent="  ")
+
+
+def save_landscape(landscape: LandscapeSpec, path: Union[str, Path]) -> None:
+    """Write a landscape description to an XML file."""
+    Path(path).write_text(landscape_to_xml(landscape), encoding="utf-8")

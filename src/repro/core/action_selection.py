@@ -1,0 +1,134 @@
+"""The action-selection fuzzy controller (Section 4.1, Figure 7).
+
+Given a confirmed exceptional situation, the controller fuzzifies the
+Table 1 measurements, evaluates the trigger's rule base and defuzzifies
+one applicability value per action.  For server-triggered situations the
+controller runs once per service on the affected host and the resulting
+actions are collected, verified against the constraints and sorted by
+applicability.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional
+
+from repro.config.model import Action
+from repro.core import variables
+from repro.core.rulebases import default_action_rulebases
+from repro.fuzzy.controller import FuzzyController
+from repro.fuzzy.parser import parse_rules
+from repro.fuzzy.rules import RuleBase
+from repro.monitoring.lms import SituationKind
+
+__all__ = ["ActionContext", "RankedAction", "ActionSelector"]
+
+
+@dataclass(frozen=True)
+class ActionContext:
+    """Crisp inputs for one action-selection run.
+
+    CPU and memory loads are watch-time means (initialized from the load
+    archive); the remaining variables are current measurements or static
+    metadata (Section 4.1).
+    """
+
+    service_name: str
+    instance_id: Optional[str]
+    measurements: Mapping[str, float]
+
+    def measurement(self, name: str) -> float:
+        return self.measurements[name]
+
+
+@dataclass(frozen=True)
+class RankedAction:
+    """One action with its defuzzified applicability (0..1)."""
+
+    action: Action
+    applicability: float
+    service_name: str
+    instance_id: Optional[str] = None
+
+    def __str__(self) -> str:
+        subject = self.instance_id or self.service_name
+        return f"{self.action.value}({subject})={self.applicability:.0%}"
+
+
+class ActionSelector:
+    """Ranks the Table 2 actions for a confirmed situation."""
+
+    def __init__(
+        self,
+        rulebases: Optional[Dict[SituationKind, RuleBase]] = None,
+    ) -> None:
+        self._rulebases = rulebases if rulebases is not None else default_action_rulebases()
+        output_names = [action.value for action in Action]
+        self._controller = FuzzyController(
+            variables.action_selection_inputs(),
+            [variables.applicability_variable(name) for name in output_names],
+            RuleBase("empty"),
+        )
+        for rulebase in self._rulebases.values():
+            self._controller.engine.validate(rulebase)
+        #: service name -> trigger -> override rule base
+        self._service_rulebases: Dict[str, Dict[SituationKind, RuleBase]] = {}
+
+    # -- service-specific rule bases ------------------------------------------------
+
+    def register_service_rules(
+        self, service_name: str, kind: SituationKind, rules_text: str
+    ) -> None:
+        """Layer administrator-provided rules over the defaults.
+
+        "An administrator can add service-specific rule bases for mission
+        critical services, e.g., to favor powerful servers for these
+        services."  (Section 4.1)
+        """
+        override = RuleBase(
+            f"{service_name}-{kind.value}",
+            list(parse_rules(rules_text, label_prefix=f"{service_name}-{kind.value}")),
+        )
+        self._controller.engine.validate(override)
+        self._service_rulebases.setdefault(service_name, {})[kind] = override
+
+    def rulebase_for(self, kind: SituationKind, service_name: str) -> RuleBase:
+        base = self._rulebases[kind]
+        override = self._service_rulebases.get(service_name, {}).get(kind)
+        if override is None:
+            return base
+        return base.merged_with(override)
+
+    # -- evaluation --------------------------------------------------------------------
+
+    def rank(
+        self, kind: SituationKind, context: ActionContext
+    ) -> List[RankedAction]:
+        """Applicability of every action for one service context, sorted
+        descending (ties broken by action name for determinism)."""
+        rulebase = self.rulebase_for(kind, context.service_name)
+        result = self._controller.evaluate(dict(context.measurements), rulebase)
+        ranked = [
+            RankedAction(
+                action=Action.from_name(name),
+                applicability=value,
+                service_name=context.service_name,
+                instance_id=context.instance_id,
+            )
+            for name, value in result.outputs.items()
+        ]
+        ranked.sort(key=lambda r: (-r.applicability, r.action.value))
+        return ranked
+
+    def rank_many(
+        self, kind: SituationKind, contexts: List[ActionContext]
+    ) -> List[RankedAction]:
+        """Server-triggered evaluation: run the controller for each service
+        on the host and collect all actions into one ranking (Figure 7)."""
+        collected: List[RankedAction] = []
+        for context in contexts:
+            collected.extend(self.rank(kind, context))
+        collected.sort(
+            key=lambda r: (-r.applicability, r.action.value, r.service_name)
+        )
+        return collected

@@ -1,0 +1,81 @@
+"""Administrator alerting and the semi-automatic confirmation channel.
+
+"In the automatic mode, the actions are logged and then executed.  In
+semi-automatic mode, the human administrator is contacted to confirm the
+action before execution.  If there are no possible hosts and actions
+with a sufficient applicability, the controller requests human
+interaction by alerting the system administrator."  (Section 4.3)
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+__all__ = ["AlertSeverity", "Alert", "AlertChannel"]
+
+
+class AlertSeverity(enum.Enum):
+    INFO = "info"
+    WARNING = "warning"
+    ESCALATION = "escalation"
+
+
+@dataclass(frozen=True)
+class Alert:
+    """One administrative message."""
+
+    time: int
+    severity: AlertSeverity
+    message: str
+
+    def __str__(self) -> str:
+        return f"[t={self.time} {self.severity.value}] {self.message}"
+
+
+#: Asked in semi-automatic mode; returns True to approve the action.
+ConfirmationCallback = Callable[[str], bool]
+
+
+class AlertChannel:
+    """Collects administrative messages and brokers confirmations.
+
+    Parameters
+    ----------
+    confirm:
+        Callback consulted in semi-automatic mode before executing an
+        action.  When no callback is installed, confirmation requests are
+        denied and escalated — an unattended semi-automatic controller
+        must not act on its own.
+    """
+
+    def __init__(self, confirm: Optional[ConfirmationCallback] = None) -> None:
+        self._confirm = confirm
+        self.alerts: List[Alert] = []
+
+    def info(self, time: int, message: str) -> None:
+        self.alerts.append(Alert(time, AlertSeverity.INFO, message))
+
+    def warning(self, time: int, message: str) -> None:
+        self.alerts.append(Alert(time, AlertSeverity.WARNING, message))
+
+    def escalate(self, time: int, message: str) -> None:
+        """Request human interaction (no applicable action/host found)."""
+        self.alerts.append(Alert(time, AlertSeverity.ESCALATION, message))
+
+    def request_confirmation(self, time: int, description: str) -> bool:
+        """Ask the administrator to approve an action (semi-automatic mode)."""
+        if self._confirm is None:
+            self.escalate(
+                time,
+                f"confirmation required but no administrator attached: {description}",
+            )
+            return False
+        approved = bool(self._confirm(description))
+        verdict = "approved" if approved else "declined"
+        self.info(time, f"administrator {verdict}: {description}")
+        return approved
+
+    def escalations(self) -> List[Alert]:
+        return [a for a in self.alerts if a.severity is AlertSeverity.ESCALATION]

@@ -1,0 +1,375 @@
+"""The AutoGlobe controller facade.
+
+Wires together the full Figure 2 architecture for one platform:
+
+* load monitors for every server and every service instance,
+* advisors escalating threshold crossings,
+* the load monitoring system confirming real situations after watchTime,
+* the two fuzzy controllers and the Figure 6 decision loop,
+* protection mode, administrator alerts and the load archive,
+* the self-healing path restarting crashed service instances.
+
+Drive it by calling :meth:`AutoGlobeController.tick` once per simulated
+minute after the workload model has updated instance demands.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.config.model import Action, ControllerSettings
+from repro.core.action_selection import ActionContext, ActionSelector, RankedAction
+from repro.core.alerts import AlertChannel, ConfirmationCallback
+from repro.core.decision import DecisionLoop
+from repro.core.protection import ProtectionRegistry
+from repro.core.server_selection import ServerSelector
+from repro.monitoring.advisor import Advisor, SubjectKind
+from repro.monitoring.archive import InMemoryLoadArchive, LoadArchive
+from repro.monitoring.heartbeat import HeartbeatDetector
+from repro.monitoring.lms import LoadMonitoringSystem, Situation, SituationKind
+from repro.monitoring.monitor import LoadMonitor
+from repro.serviceglobe.actions import ActionError, ActionOutcome
+from repro.serviceglobe.platform import Platform
+from repro.serviceglobe.service import ServiceInstance
+
+__all__ = ["AutoGlobeController"]
+
+
+class AutoGlobeController:
+    """Supervises one platform and remedies exceptional situations."""
+
+    def __init__(
+        self,
+        platform: Platform,
+        settings: Optional[ControllerSettings] = None,
+        archive: Optional[LoadArchive] = None,
+        confirm: Optional[ConfirmationCallback] = None,
+        enabled: bool = True,
+        reservations=None,
+    ) -> None:
+        self.platform = platform
+        self.settings = settings if settings is not None else platform.landscape.controller
+        self.archive = archive if archive is not None else InMemoryLoadArchive()
+        self.enabled = enabled
+        self.lms = LoadMonitoringSystem()
+        self.protection = ProtectionRegistry(self.settings.protection_time)
+        self.alerts = AlertChannel(confirm)
+        self.action_selector = ActionSelector()
+        #: optional ReservationBook: reserved capacity steers host selection
+        self.reservations = reservations
+        self.server_selector = ServerSelector(reservations=reservations)
+        self.decision_loop = DecisionLoop(
+            platform=platform,
+            server_selector=self.server_selector,
+            protection=self.protection,
+            alerts=self.alerts,
+            settings=self.settings,
+        )
+        self.situations_handled: List[Situation] = []
+        #: heartbeat-based failure detection feeding the self-healing path
+        self.failure_detector = HeartbeatDetector(platform)
+        self._host_cpu_monitors: Dict[str, LoadMonitor] = {}
+        self._host_mem_monitors: Dict[str, LoadMonitor] = {}
+        self._host_advisors: Dict[str, Advisor] = {}
+        #: service-level load monitors ("service:<name>" archive subjects);
+        #: their history backs the service load forecasts (Section 7)
+        self._service_monitors: Dict[str, LoadMonitor] = {}
+        #: (instance id, host name) -> advisor; recreated when the instance moves
+        self._instance_advisors: Dict[Tuple[str, str], Advisor] = {}
+        self._instance_monitors: Dict[str, LoadMonitor] = {}
+        self._install_service_rule_overrides()
+        self._sync_host_monitors()
+
+    # -- setup ---------------------------------------------------------------------
+
+    def _install_service_rule_overrides(self) -> None:
+        for service in self.platform.landscape.services:
+            for trigger_name, rules_text in service.rule_overrides.items():
+                kind = SituationKind(trigger_name)
+                self.action_selector.register_service_rules(
+                    service.name, kind, rules_text
+                )
+
+    def _sync_host_monitors(self) -> None:
+        for host in self.platform.hosts.values():
+            if host.name in self._host_cpu_monitors:
+                continue
+            cpu_monitor = LoadMonitor(
+                host.name, "cpu",
+                probe=lambda h=host: h.cpu_load,
+                archive=self.archive,
+            )
+            mem_monitor = LoadMonitor(
+                host.name, "mem",
+                probe=lambda h=host: h.mem_load(self.platform.memory_of),
+                archive=self.archive,
+            )
+            self._host_cpu_monitors[host.name] = cpu_monitor
+            self._host_mem_monitors[host.name] = mem_monitor
+            self._host_advisors[host.name] = Advisor(
+                cpu_monitor,
+                SubjectKind.SERVER,
+                self.lms,
+                overload_threshold=self.settings.overload_threshold,
+                idle_threshold=self.settings.idle_threshold(host.performance_index),
+                overload_watch_time=self.settings.overload_watch_time,
+                idle_watch_time=self.settings.idle_watch_time,
+            )
+        for service_name in self.platform.services:
+            if service_name in self._service_monitors:
+                continue
+            # total demand, not average load: invariant under the
+            # controller's own scale-outs, so daily patterns stay clean
+            self._service_monitors[service_name] = LoadMonitor(
+                f"service:{service_name}",
+                "demand",
+                probe=lambda n=service_name: self.platform.service_demand(n),
+                archive=self.archive,
+            )
+
+    def _sync_instance_monitors(self) -> None:
+        """Create advisors for new instances, retire stale ones.
+
+        An instance's advisor watches the CPU load of the instance's
+        *current* host (an instance suffers when its host saturates); its
+        idle threshold depends on the host's performance index, so moving
+        an instance recreates its advisor.
+        """
+        running: Dict[str, ServiceInstance] = {
+            instance.instance_id: instance
+            for instance in self.platform.all_instances()
+        }
+        for key in list(self._instance_advisors):
+            instance_id, host_name = key
+            instance = running.get(instance_id)
+            if instance is None or instance.host_name != host_name:
+                del self._instance_advisors[key]
+                if instance is None:
+                    self._instance_monitors.pop(instance_id, None)
+        for instance in running.values():
+            key = (instance.instance_id, instance.host_name)
+            if key in self._instance_advisors:
+                continue
+            monitor = self._instance_monitors.get(instance.instance_id)
+            if monitor is None:
+                monitor = LoadMonitor(
+                    instance.instance_id,
+                    "cpu",
+                    probe=lambda i=instance: self.platform.host(i.host_name).cpu_load,
+                    archive=self.archive,
+                )
+                self._instance_monitors[instance.instance_id] = monitor
+            host = self.platform.host(instance.host_name)
+            self._instance_advisors[key] = Advisor(
+                monitor,
+                SubjectKind.SERVICE_INSTANCE,
+                self.lms,
+                overload_threshold=self.settings.overload_threshold,
+                idle_threshold=self.settings.idle_threshold(host.performance_index),
+                overload_watch_time=self.settings.overload_watch_time,
+                idle_watch_time=self.settings.idle_watch_time,
+                service_name=instance.service_name,
+            )
+
+    # -- measurement contexts ------------------------------------------------------------
+
+    def _watch_time_for(self, kind: SituationKind) -> int:
+        if kind.is_overload:
+            return self.settings.overload_watch_time
+        return self.settings.idle_watch_time
+
+    def _context_for_instance(
+        self, instance: ServiceInstance, kind: SituationKind, now: int
+    ) -> ActionContext:
+        """Initialize the Table 1 variables for one instance.
+
+        CPU load is the watch-time mean from the load archive ("All
+        variables [...] regarding CPU or memory load are set to the
+        arithmetic means of the load values during the service specific
+        watchTime"); the remaining variables use current measurements and
+        metadata.
+        """
+        host = self.platform.host(instance.host_name)
+        watch = self._watch_time_for(kind)
+        cpu_mean = self.archive.average(host.name, "cpu", now - watch + 1, now)
+        if cpu_mean is None:
+            cpu_mean = host.cpu_load
+        service = self.platform.service(instance.service_name)
+        measurements = {
+            "cpuLoad": cpu_mean,
+            "memLoad": host.mem_load(self.platform.memory_of),
+            "performanceIndex": host.performance_index,
+            "instanceLoad": self.platform.instance_load(instance),
+            "serviceLoad": self.platform.service_load(instance.service_name),
+            "instancesOnServer": float(len(host.running_instances)),
+            "instancesOfService": float(len(service.running_instances)),
+        }
+        return ActionContext(
+            service_name=instance.service_name,
+            instance_id=instance.instance_id,
+            measurements=measurements,
+        )
+
+    def _rank_for_situation(
+        self, situation: Situation, now: int
+    ) -> List[RankedAction]:
+        kind = situation.kind
+        if kind.is_server:
+            host = self.platform.host(situation.subject)
+            contexts = [
+                self._context_for_instance(instance, kind, now)
+                for instance in host.running_instances
+            ]
+            return self.action_selector.rank_many(kind, contexts)
+        instance = self.platform.instance(situation.subject)
+        context = self._context_for_instance(instance, kind, now)
+        return self.action_selector.rank(kind, context)
+
+    def _situation_protected(self, situation: Situation, now: int) -> bool:
+        if self.protection.is_protected(situation.subject, now):
+            return True
+        if situation.kind.is_server:
+            return False
+        instance = self.platform.service(situation.service_name).find_instance(
+            situation.subject
+        )
+        if instance is None:
+            return True  # instance vanished since confirmation
+        return self.protection.any_protected(
+            [situation.service_name, instance.host_name], now
+        )
+
+    # -- the per-minute cycle ------------------------------------------------------------
+
+    def tick(self, now: int) -> List[ActionOutcome]:
+        """One controller cycle: sample, inspect, confirm, decide, act."""
+        self.platform.current_time = now
+        self._sync_host_monitors()
+        self._sync_instance_monitors()
+        for monitor in self._host_cpu_monitors.values():
+            monitor.sample(now)
+        for monitor in self._host_mem_monitors.values():
+            monitor.sample(now)
+        for monitor in self._service_monitors.values():
+            monitor.sample(now)
+        for (instance_id, __), advisor in list(self._instance_advisors.items()):
+            advisor.monitor.sample(now)
+        for advisor in self._host_advisors.values():
+            advisor.inspect(now)
+        for advisor in self._instance_advisors.values():
+            advisor.inspect(now)
+        outcomes: List[ActionOutcome] = []
+        situations = self.lms.tick(now)
+        if not self.enabled:
+            return outcomes
+        # self-healing first: a hung instance is worse than an overload
+        for failed_id in self.failure_detector.tick(now):
+            outcome = self.report_failure(failed_id, now)
+            self.failure_detector.forget(failed_id)
+            if outcome is not None:
+                outcomes.append(outcome)
+        # handle service-level situations before server-level ones; the
+        # protection entries of the first action suppress echoes
+        situations.sort(key=lambda s: (s.kind.is_server, s.subject))
+        for situation in situations:
+            if self._instance_vanished(situation):
+                continue
+            if self._situation_protected(situation, now):
+                continue
+            self.situations_handled.append(situation)
+            self.archive.store_event(
+                now, "situation", situation.subject, str(situation)
+            )
+            ranked = self._rank_for_situation(situation, now)
+            outcome = self.decision_loop.handle(situation, ranked, now)
+            if outcome is not None:
+                outcomes.append(outcome)
+                self.archive.store_event(
+                    now, "action", outcome.service_name, str(outcome)
+                )
+        if now % 60 == 0:
+            self.protection.prune(now)
+        return outcomes
+
+    def _instance_vanished(self, situation: Situation) -> bool:
+        if situation.kind.is_server:
+            return False
+        instance = self.platform.service(situation.service_name).find_instance(
+            situation.subject
+        )
+        return instance is None or not instance.running
+
+    # -- self-healing -----------------------------------------------------------------
+
+    def report_failure(self, instance_id: str, now: int) -> Optional[ActionOutcome]:
+        """Handle a crashed instance: restart it (self-healing).
+
+        The restart bypasses the declarative allowed-actions policy —
+        recovering a failed service is always permitted — but respects
+        physical constraints.  The original host is preferred; if it
+        cannot take the instance back, the server-selection controller
+        picks a replacement host.
+        """
+        instance = self.platform.instance(instance_id)
+        service_before = self.platform.service(instance.service_name)
+        users_before = service_before.total_users
+        if instance.running:
+            instance = self.platform.crash_instance(instance_id)
+        # sessions that found no surviving peer reconnect after the restart
+        dropped_users = users_before - service_before.total_users
+        situation = Situation(
+            kind=SituationKind.SERVICE_FAILED,
+            subject=instance_id,
+            service_name=instance.service_name,
+            detected_at=now,
+            observed_mean=0.0,
+        )
+        self.situations_handled.append(situation)
+        service = self.platform.service(instance.service_name)
+        action = Action.START if not service.running_instances else Action.SCALE_OUT
+        host_names = [instance.host_name] + [
+            ranked.host_name
+            for ranked in self.server_selector.rank(
+                self.platform,
+                Action.SCALE_OUT,
+                self.platform.eligible_hosts(instance.service_name),
+            )
+        ]
+        for host_name in host_names:
+            try:
+                outcome = self.platform.execute(
+                    action,
+                    instance.service_name,
+                    target_host=host_name,
+                    enforce_allowed=False,
+                    note=f"restart after failure of {instance_id}",
+                )
+            except ActionError:
+                continue
+            if dropped_users > 0:
+                self.platform.dispatcher.place_users(
+                    self.platform.service(instance.service_name).running_instances,
+                    dropped_users,
+                )
+            self.alerts.warning(
+                now,
+                f"restarted {instance.service_name} on {host_name} after "
+                f"failure of {instance_id}",
+            )
+            return outcome
+        self.alerts.escalate(
+            now, f"could not restart {instance.service_name} after failure"
+        )
+        return None
+
+    # -- introspection -------------------------------------------------------------------
+
+    def host_monitor(self, host_name: str, metric: str = "cpu") -> LoadMonitor:
+        monitors = (
+            self._host_cpu_monitors if metric == "cpu" else self._host_mem_monitors
+        )
+        return monitors[host_name]
+
+    @property
+    def decision_records(self):
+        return self.decision_loop.records

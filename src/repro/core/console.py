@@ -1,0 +1,174 @@
+"""The controller console (Figure 8), rendered as text.
+
+The paper's GUI offers three views: the *server view* (controlled
+servers grouped by category), the *service view* (controlled services
+and their instances) and the *message view* (administrative messages and
+notifications).  This module renders the same three views as plain-text
+tables and exposes the manual-execution affordance the console offers
+administrators.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.config.model import Action
+from repro.core.autoglobe import AutoGlobeController
+from repro.serviceglobe.actions import ActionOutcome
+
+__all__ = ["ControllerConsole"]
+
+
+def _table(headers: List[str], rows: List[List[str]]) -> str:
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    def fmt(cells: List[str]) -> str:
+        return "  ".join(cell.ljust(width) for cell, width in zip(cells, widths))
+    lines = [fmt(headers), fmt(["-" * w for w in widths])]
+    lines.extend(fmt(row) for row in rows)
+    return "\n".join(lines)
+
+
+class ControllerConsole:
+    """Text renderings of the controller's state.
+
+    Parameters
+    ----------
+    controller:
+        The supervised AutoGlobe controller.
+    access:
+        Optional :class:`repro.serviceglobe.security.AccessController`;
+        when set, manual executions must name a principal whose role
+        permits them (manual overrides are administrator-only).
+    """
+
+    def __init__(self, controller: AutoGlobeController, access=None) -> None:
+        self.controller = controller
+        self.access = access
+
+    # -- views ----------------------------------------------------------------------
+
+    def server_view(self, now: Optional[int] = None) -> str:
+        """Servers grouped by category with load and instance placement."""
+        platform = self.controller.platform
+        rows: List[List[str]] = []
+        hosts = sorted(
+            platform.hosts.values(), key=lambda h: (h.spec.category, h.name)
+        )
+        for host in hosts:
+            protected = (
+                "yes"
+                if now is not None
+                and self.controller.protection.is_protected(host.name, now)
+                else ""
+            )
+            rows.append(
+                [
+                    host.spec.category,
+                    host.name,
+                    f"{host.performance_index:g}",
+                    f"{host.cpu_load:.0%}",
+                    f"{host.mem_load(platform.memory_of):.0%}",
+                    ", ".join(i.instance_id for i in host.running_instances) or "-",
+                    protected,
+                ]
+            )
+        return _table(
+            ["category", "server", "perf", "cpu", "mem", "instances", "protected"],
+            rows,
+        )
+
+    def service_view(self) -> str:
+        """Services with priorities, instance counts, users and placement."""
+        platform = self.controller.platform
+        rows: List[List[str]] = []
+        for definition in sorted(platform.services.values(), key=lambda s: s.name):
+            instances = definition.running_instances
+            rows.append(
+                [
+                    definition.name,
+                    definition.spec.kind.value,
+                    str(definition.priority),
+                    str(len(instances)),
+                    str(definition.total_users),
+                    f"{platform.service_load(definition.name):.0%}",
+                    ", ".join(f"{i.instance_id}@{i.host_name}" for i in instances)
+                    or "-",
+                ]
+            )
+        return _table(
+            ["service", "kind", "prio", "instances", "users", "load", "placement"],
+            rows,
+        )
+
+    def message_view(self, limit: int = 20) -> str:
+        """The most recent administrative messages and notifications."""
+        alerts = self.controller.alerts.alerts[-limit:]
+        if not alerts:
+            return "(no messages)"
+        return "\n".join(str(alert) for alert in alerts)
+
+    def decision_view(self, limit: int = 3) -> str:
+        """Explanations of the controller's most recent decisions."""
+        from repro.core.explain import explain_last_decisions
+
+        return explain_last_decisions(self.controller.decision_records, limit)
+
+    def render(self, now: Optional[int] = None) -> str:
+        """All three views, separated by headings."""
+        return "\n\n".join(
+            [
+                "== Servers ==\n" + self.server_view(now),
+                "== Services ==\n" + self.service_view(),
+                "== Messages ==\n" + self.message_view(),
+            ]
+        )
+
+    # -- manual execution ----------------------------------------------------------------
+
+    def execute_manually(
+        self,
+        action: Action,
+        service_name: str,
+        instance_id: Optional[str] = None,
+        target_host: Optional[str] = None,
+        now: int = 0,
+        principal: Optional[str] = None,
+    ) -> ActionOutcome:
+        """Manually execute an action "that [is] normally triggered by the
+        fuzzy controller" (Section 4.3).  Manual actions bypass the
+        allowed-actions policy (the administrator outranks it) but still
+        respect physical constraints; the involved subjects enter
+        protection mode like after any other action.
+
+        When an access controller is attached, ``principal`` must name an
+        identity allowed both to execute the action and to override the
+        declarative policy.
+        """
+        if self.access is not None:
+            if principal is None:
+                from repro.serviceglobe.security import AccessDenied
+
+                raise AccessDenied(
+                    "console access control is active: a principal is required"
+                )
+            self.access.authorize_action(principal, action, now)
+            self.access.authorize_override(principal, now)
+        outcome = self.controller.platform.execute(
+            action,
+            service_name,
+            instance_id=instance_id,
+            target_host=target_host,
+            enforce_allowed=False,
+            note="manual execution via controller console",
+        )
+        subjects = {service_name}
+        if outcome.source_host:
+            subjects.add(outcome.source_host)
+        if outcome.target_host:
+            subjects.add(outcome.target_host)
+        self.controller.protection.protect(subjects, now)
+        self.controller.alerts.info(now, f"manual action: {outcome}")
+        return outcome

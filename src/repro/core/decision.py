@@ -1,0 +1,192 @@
+"""The Figure 6 interaction loop of the two fuzzy controllers.
+
+After a situation is confirmed, the action-selection controller produces
+a ranked list of actions.  The loop tries them best-first; for actions
+needing a target host it asks the server-selection controller for a
+ranked host list and falls back across hosts on failure, then across
+actions.  If nothing with sufficient applicability can be executed, the
+administrator is alerted.  Successful actions put the involved services
+and servers into protection mode.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.config.model import ControllerMode, ControllerSettings
+from repro.core.action_selection import RankedAction
+from repro.core.alerts import AlertChannel
+from repro.core.constraints import candidate_hosts, verify_action
+from repro.core.protection import ProtectionRegistry
+from repro.core.server_selection import ServerSelector
+from repro.monitoring.lms import Situation
+from repro.serviceglobe.actions import ActionError, ActionOutcome
+from repro.serviceglobe.platform import Platform
+
+__all__ = ["DecisionRecord", "DecisionLoop"]
+
+
+@dataclass
+class DecisionRecord:
+    """Audit of one situation handling pass."""
+
+    situation: Situation
+    considered: List[str] = field(default_factory=list)
+    outcome: Optional[ActionOutcome] = None
+
+    @property
+    def acted(self) -> bool:
+        return self.outcome is not None
+
+
+class DecisionLoop:
+    """Executes the best feasible action for a confirmed situation."""
+
+    def __init__(
+        self,
+        platform: Platform,
+        server_selector: ServerSelector,
+        protection: ProtectionRegistry,
+        alerts: AlertChannel,
+        settings: ControllerSettings,
+    ) -> None:
+        self.platform = platform
+        self.server_selector = server_selector
+        self.protection = protection
+        self.alerts = alerts
+        self.settings = settings
+        self.records: List[DecisionRecord] = []
+
+    # -- helpers -----------------------------------------------------------------
+
+    def _approved(self, now: int, description: str) -> bool:
+        if self.settings.mode is ControllerMode.AUTOMATIC:
+            return True
+        return self.alerts.request_confirmation(now, description)
+
+    def _protect_involved(
+        self, outcome: ActionOutcome, now: int
+    ) -> None:
+        subjects = {outcome.service_name}
+        if outcome.source_host:
+            subjects.add(outcome.source_host)
+        if outcome.target_host:
+            subjects.add(outcome.target_host)
+        if outcome.instance_id:
+            instance = self.platform.service(outcome.service_name).find_instance(
+                outcome.instance_id
+            )
+            if instance is not None:
+                subjects.add(instance.host_name)
+        self.protection.protect(subjects, now)
+
+    # -- the Figure 6 loop -----------------------------------------------------------
+
+    def handle(
+        self,
+        situation: Situation,
+        ranked_actions: List[RankedAction],
+        now: int,
+        protect: bool = True,
+    ) -> Optional[ActionOutcome]:
+        """Try the ranked actions best-first; return the executed outcome.
+
+        ``None`` means no action could be executed; in that case an
+        escalation alert has been raised.  ``protect=False`` executes
+        without entering protection mode — used by the feed-forward
+        scaler, whose anticipatory actions must not block the reactive
+        path from remedying the real breach later.
+        """
+        record = DecisionRecord(situation=situation)
+        self.records.append(record)
+        remedy_in_flight = False
+        for ranked in ranked_actions:
+            if ranked.applicability < self.settings.min_applicability:
+                break  # the list is sorted; everything below is discarded
+            if self.protection.is_protected(ranked.service_name, now):
+                record.considered.append(f"{ranked}: service protected")
+                remedy_in_flight = True
+                continue
+            problem = verify_action(
+                self.platform, ranked.action, ranked.service_name, ranked.instance_id
+            )
+            if problem is not None:
+                record.considered.append(f"{ranked}: {problem}")
+                continue
+            outcome = self._try_action(ranked, record, now)
+            if outcome is not None:
+                record.outcome = outcome
+                if protect:
+                    self._protect_involved(outcome, now)
+                self.alerts.info(now, f"executed {outcome}")
+                return outcome
+        if remedy_in_flight:
+            # every viable action touched a protected service: a remedy was
+            # recently executed and the system is deliberately settling
+            self.alerts.info(now, f"deferred (protection active): {situation}")
+        elif situation.kind.is_overload:
+            self.alerts.escalate(
+                now,
+                f"no applicable action for {situation}; human interaction required",
+            )
+        else:
+            # an unremediable idle situation is wasteful, not urgent
+            self.alerts.info(now, f"no applicable action for {situation}")
+        return None
+
+    def _try_action(
+        self, ranked: RankedAction, record: DecisionRecord, now: int
+    ) -> Optional[ActionOutcome]:
+        if not ranked.action.needs_target_host:
+            description = str(ranked)
+            if not self._approved(now, description):
+                record.considered.append(f"{ranked}: declined by administrator")
+                return None
+            try:
+                return self.platform.execute(
+                    ranked.action,
+                    ranked.service_name,
+                    instance_id=ranked.instance_id,
+                    applicability=ranked.applicability,
+                )
+            except ActionError as error:
+                record.considered.append(f"{ranked}: {error}")
+                return None
+        return self._try_targeted_action(ranked, record, now)
+
+    def _try_targeted_action(
+        self, ranked: RankedAction, record: DecisionRecord, now: int
+    ) -> Optional[ActionOutcome]:
+        # Protection excludes services and servers from being *acted upon*
+        # (their instances are not stopped or moved away), but a protected
+        # host may still receive a new instance: absorbing load is not the
+        # oscillation the protection mode guards against.
+        candidates = candidate_hosts(
+            self.platform, ranked.action, ranked.service_name, ranked.instance_id
+        )
+        if not candidates:
+            record.considered.append(f"{ranked}: no candidate host")
+            return None
+        for scored in self.server_selector.rank(self.platform, ranked.action, candidates):
+            if scored.score < self.settings.min_applicability:
+                record.considered.append(
+                    f"{ranked}: remaining hosts below applicability threshold"
+                )
+                break
+            description = f"{ranked} -> {scored}"
+            if not self._approved(now, description):
+                record.considered.append(f"{description}: declined by administrator")
+                return None
+            try:
+                return self.platform.execute(
+                    ranked.action,
+                    ranked.service_name,
+                    instance_id=ranked.instance_id,
+                    target_host=scored.host_name,
+                    applicability=ranked.applicability,
+                )
+            except ActionError as error:
+                # fall back to the next-best host (Figure 6: "Another Host?")
+                record.considered.append(f"{description}: {error}")
+        return None

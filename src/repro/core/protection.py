@@ -1,0 +1,56 @@
+"""Protection mode.
+
+"After a rearrangement has taken place, the involved services and
+servers are protected for a certain time, i.e., they are excluded from
+further actions.  This protection mode prevents the system from
+oscillation, e.g., moving services back and forth."  (Section 4)
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+__all__ = ["ProtectionRegistry"]
+
+
+class ProtectionRegistry:
+    """Tracks which services and servers are temporarily untouchable."""
+
+    def __init__(self, protection_time: int) -> None:
+        if protection_time < 0:
+            raise ValueError("protection time must be non-negative")
+        self.protection_time = protection_time
+        self._protected_until: Dict[str, int] = {}
+
+    def protect(self, subjects: Iterable[str], now: int) -> None:
+        """Protect services/servers until ``now + protection_time``."""
+        until = now + self.protection_time
+        for subject in subjects:
+            current = self._protected_until.get(subject, -1)
+            self._protected_until[subject] = max(current, until)
+
+    def is_protected(self, subject: str, now: int) -> bool:
+        until = self._protected_until.get(subject)
+        return until is not None and now < until
+
+    def any_protected(self, subjects: Iterable[str], now: int) -> bool:
+        return any(self.is_protected(subject, now) for subject in subjects)
+
+    def protected_subjects(self, now: int) -> List[str]:
+        return sorted(
+            subject
+            for subject, until in self._protected_until.items()
+            if now < until
+        )
+
+    def expiry_of(self, subject: str) -> int:
+        """Protection end time of a subject; -1 if never protected."""
+        return self._protected_until.get(subject, -1)
+
+    def prune(self, now: int) -> None:
+        """Drop expired entries (bookkeeping hygiene for long runs)."""
+        self._protected_until = {
+            subject: until
+            for subject, until in self._protected_until.items()
+            if now < until
+        }

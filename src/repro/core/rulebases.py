@@ -1,0 +1,224 @@
+"""Default rule bases of the AutoGlobe controller.
+
+The paper's production rule base comprises "about 40 rules" split across
+dedicated rule bases per trigger (action selection) and per action
+(server selection); administrators can additionally register
+service-specific rule bases that are layered on top of the defaults.
+
+All rules are written in the textual DSL so that the declarative
+configuration path (XML ``<rules>`` elements) and the built-in defaults
+exercise the same parser.  The two rules printed in the paper appear
+verbatim at the top of the ``serviceOverloaded`` base.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.config.model import Action
+from repro.fuzzy.parser import parse_rules
+from repro.fuzzy.rules import RuleBase
+from repro.monitoring.lms import SituationKind
+
+__all__ = [
+    "default_action_rulebases",
+    "default_server_rulebases",
+    "action_rulebase_text",
+    "server_rulebase_text",
+]
+
+#: Action-selection rules per trigger.  Output variables are the Table 2
+#: actions; every rule asserts the ``applicable`` term of its action.
+_ACTION_RULES: Dict[SituationKind, str] = {
+    SituationKind.SERVICE_OVERLOADED: """
+        # the two rules printed in Section 3 of the paper
+        IF cpuLoad IS high AND
+           (performanceIndex IS low OR performanceIndex IS medium)
+        THEN scaleUp IS applicable
+        IF cpuLoad IS high AND performanceIndex IS high
+        THEN scaleOut IS applicable
+
+        # additional instances pay off while the service has few of them
+        IF cpuLoad IS high AND serviceLoad IS high AND instancesOfService IS few
+        THEN scaleOut IS applicable
+        IF cpuLoad IS high AND serviceLoad IS high AND instancesOfService IS some
+        THEN scaleOut IS applicable WITH 0.9
+        IF cpuLoad IS high AND serviceLoad IS medium AND instancesOfService IS few
+        THEN scaleOut IS applicable WITH 0.75
+
+        # a crowded or mixed host suggests relocating rather than growing
+        IF cpuLoad IS high AND instancesOnServer IS many
+        THEN move IS applicable WITH 0.9
+        IF cpuLoad IS high AND instancesOnServer IS some
+        THEN move IS applicable WITH 0.7
+        IF cpuLoad IS high AND instanceLoad IS low
+        THEN move IS applicable WITH 0.8
+        IF cpuLoad IS high AND serviceLoad IS low
+        THEN move IS applicable WITH 0.6
+
+        # memory pressure is best solved on a bigger box
+        IF cpuLoad IS high AND memLoad IS high
+        THEN scaleUp IS applicable WITH 0.8
+
+        # when the service is already spread wide, prefer priority tuning
+        IF cpuLoad IS high AND instancesOfService IS many
+        THEN increasePriority IS applicable WITH 0.4
+    """,
+    SituationKind.SERVICE_IDLE: """
+        # shrink a wide service first
+        IF serviceLoad IS low AND instancesOfService IS many
+        THEN scaleIn IS applicable
+        IF serviceLoad IS low AND instancesOfService IS some
+        THEN scaleIn IS applicable WITH 0.8
+
+        # vacate powerful hosts for services that need them
+        IF cpuLoad IS low AND performanceIndex IS high
+        THEN scaleDown IS applicable WITH 0.7
+        IF cpuLoad IS low AND performanceIndex IS medium
+        THEN scaleDown IS applicable WITH 0.5
+
+        # demotion; consolidation happens via scale-in/scale-down only
+        # (moving an idle instance between idle hosts is oscillation bait)
+        IF serviceLoad IS low AND instancesOfService IS few
+        THEN stop IS applicable WITH 0.3
+        IF serviceLoad IS low
+        THEN reducePriority IS applicable WITH 0.2
+    """,
+    SituationKind.SERVER_OVERLOADED: """
+        # heavy instances on weak hosts scale up, on strong hosts scale out
+        IF cpuLoad IS high AND instanceLoad IS high AND
+           (performanceIndex IS low OR performanceIndex IS medium)
+        THEN scaleUp IS applicable
+        IF cpuLoad IS high AND instanceLoad IS high AND performanceIndex IS high
+        THEN scaleOut IS applicable
+        IF cpuLoad IS high AND serviceLoad IS high AND instancesOfService IS few
+        THEN scaleOut IS applicable WITH 0.9
+
+        # light instances are cheap to evacuate
+        IF cpuLoad IS high AND instanceLoad IS low
+        THEN move IS applicable
+        IF cpuLoad IS high AND instanceLoad IS medium
+        THEN move IS applicable WITH 0.9
+        IF cpuLoad IS high AND instancesOnServer IS many
+        THEN move IS applicable WITH 0.8
+
+        # a redundant instance can simply leave the crowded host
+        IF cpuLoad IS high AND instanceLoad IS low AND instancesOfService IS many
+        THEN scaleIn IS applicable WITH 0.7
+        IF cpuLoad IS high AND instanceLoad IS low AND instancesOfService IS some
+        THEN scaleIn IS applicable WITH 0.6
+
+        # last resort: demote services that barely use the host anyway
+        IF cpuLoad IS high AND serviceLoad IS low
+        THEN reducePriority IS applicable WITH 0.3
+    """,
+    SituationKind.SERVER_IDLE: """
+        # release redundant capacity
+        IF cpuLoad IS low AND instancesOfService IS many
+        THEN scaleIn IS applicable
+        IF cpuLoad IS low AND instancesOfService IS some
+        THEN scaleIn IS applicable WITH 0.7
+
+        # vacate an expensive idle host downwards; plain moves between
+        # idle hosts are avoided (oscillation bait)
+        IF cpuLoad IS low AND performanceIndex IS high AND instancesOfService IS few
+        THEN scaleDown IS applicable WITH 0.5
+        IF cpuLoad IS low AND instancesOfService IS few
+        THEN scaleDown IS applicable WITH 0.4
+        IF cpuLoad IS low AND serviceLoad IS low
+        THEN stop IS applicable WITH 0.2
+    """,
+}
+
+#: Server-selection rules per action.  Every base asserts a single output
+#: variable ``suitability``; the crisp score of a candidate host is the
+#: strongest firing strength, so rules encode a preference lattice via
+#: their weights.
+_COMMON_SERVER_RULES = """
+    IF cpuLoad IS low AND memLoad IS low
+    THEN suitability IS applicable WITH 0.9
+    IF cpuLoad IS low AND memLoad IS medium
+    THEN suitability IS applicable WITH 0.7
+    IF cpuLoad IS medium AND memLoad IS low
+    THEN suitability IS applicable WITH 0.55
+    IF cpuLoad IS medium AND memLoad IS medium
+    THEN suitability IS applicable WITH 0.4
+"""
+
+_SERVER_RULES: Dict[Action, str] = {
+    Action.SCALE_OUT: _COMMON_SERVER_RULES + """
+        # a powerful idle host absorbs a new instance best; among equally
+        # idle hosts, higher performance indexes win
+        IF cpuLoad IS low AND performanceIndex IS high
+        THEN suitability IS applicable
+        IF cpuLoad IS low AND performanceIndex IS medium
+        THEN suitability IS applicable WITH 0.93
+        IF cpuLoad IS low AND numberOfCpus IS many
+        THEN suitability IS applicable WITH 0.96
+        IF cpuLoad IS low AND instancesOnServer IS few
+        THEN suitability IS applicable WITH 0.8
+        IF cpuLoad IS low AND memory IS large AND swapSpace IS large
+        THEN suitability IS applicable WITH 0.75
+    """,
+    Action.START: _COMMON_SERVER_RULES + """
+        IF cpuLoad IS low AND performanceIndex IS high
+        THEN suitability IS applicable
+        IF cpuLoad IS low AND performanceIndex IS medium
+        THEN suitability IS applicable WITH 0.93
+        IF cpuLoad IS low AND instancesOnServer IS few
+        THEN suitability IS applicable WITH 0.8
+    """,
+    Action.SCALE_UP: _COMMON_SERVER_RULES + """
+        # scale-up exists to reach stronger hardware
+        IF cpuLoad IS low AND performanceIndex IS high
+        THEN suitability IS applicable
+        IF cpuLoad IS low AND performanceIndex IS medium
+        THEN suitability IS applicable WITH 0.8
+        IF cpuLoad IS low AND cpuClock IS large AND cpuCache IS large
+        THEN suitability IS applicable WITH 0.85
+    """,
+    Action.SCALE_DOWN: _COMMON_SERVER_RULES + """
+        # prefer the cheapest host that still fits
+        IF cpuLoad IS low AND performanceIndex IS low
+        THEN suitability IS applicable
+        IF cpuLoad IS low AND performanceIndex IS medium
+        THEN suitability IS applicable WITH 0.7
+    """,
+    Action.MOVE: _COMMON_SERVER_RULES + """
+        IF cpuLoad IS low AND instancesOnServer IS few
+        THEN suitability IS applicable
+        IF cpuLoad IS low AND tempSpace IS large
+        THEN suitability IS applicable WITH 0.65
+    """,
+}
+
+
+def action_rulebase_text(kind: SituationKind) -> str:
+    """The DSL text of the default action-selection rules for a trigger."""
+    return _ACTION_RULES[kind]
+
+
+def server_rulebase_text(action: Action) -> str:
+    """The DSL text of the default server-selection rules for an action."""
+    return _SERVER_RULES[action]
+
+
+def default_action_rulebases() -> Dict[SituationKind, RuleBase]:
+    """Parsed action-selection rule bases, one per trigger."""
+    return {
+        kind: RuleBase(
+            kind.value, list(parse_rules(text, label_prefix=kind.value))
+        )
+        for kind, text in _ACTION_RULES.items()
+    }
+
+
+def default_server_rulebases() -> Dict[Action, RuleBase]:
+    """Parsed server-selection rule bases, one per targeted action."""
+    return {
+        action: RuleBase(
+            f"select-host-{action.value}",
+            list(parse_rules(text, label_prefix=action.value)),
+        )
+        for action, text in _SERVER_RULES.items()
+    }

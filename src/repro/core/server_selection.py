@@ -1,0 +1,142 @@
+"""The server-selection fuzzy controller (Section 4.2).
+
+"In the case of a scale-out, scale-up, scale-down, move, or start, an
+appropriate target server where the action should take place must be
+chosen.  [...]  First, a list of all possible servers is determined.
+[...]  For each server the fuzzy controller is executed with the input
+variables initialized to the current values.  [...]  In the
+defuzzification phase, the controller calculates a crisp value for every
+possible host and selects the most applicable server."
+
+Candidate filtering (constraints, protection mode) happens in the
+decision loop; this module only scores hosts that were already deemed
+possible.  Ties are broken by lower current CPU load, then by host name,
+so rankings are deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional
+
+from repro.config.model import Action
+from repro.core import variables
+from repro.core.rulebases import default_server_rulebases
+from repro.fuzzy.controller import FuzzyController
+from repro.fuzzy.rules import RuleBase
+from repro.serviceglobe.host import ServiceHost
+from repro.serviceglobe.platform import Platform
+
+__all__ = ["RankedHost", "ServerSelector", "host_measurements"]
+
+OUTPUT_VARIABLE = "suitability"
+
+#: How far ahead reserved capacity is counted against a candidate host;
+#: matches the protection window, i.e. roughly the horizon within which
+#: the controller will not revisit the placement.
+RESERVATION_HORIZON_MINUTES = 30
+
+
+@dataclass(frozen=True)
+class RankedHost:
+    """One candidate host with its defuzzified suitability score."""
+
+    host_name: str
+    score: float
+
+    def __str__(self) -> str:
+        return f"{self.host_name}={self.score:.0%}"
+
+
+def host_measurements(
+    platform: Platform,
+    host: ServiceHost,
+    reservations=None,
+) -> Dict[str, float]:
+    """The Table 3 input variables for one candidate host.
+
+    With a :class:`repro.allocation.reservations.ReservationBook`, the
+    CPU load includes the capacity reserved for mission-critical tasks
+    within the next :data:`RESERVATION_HORIZON_MINUTES`, so the fuzzy
+    scoring steers new instances away from hosts whose headroom is
+    already promised (Section 7 future work).
+    """
+    spec = host.spec
+    cpu_load = platform.host_cpu_load(host.name)
+    if reservations is not None:
+        cpu_load = reservations.effective_cpu_load(
+            host.name,
+            cpu_load,
+            host.cpu_capacity,
+            platform.current_time,
+            horizon=RESERVATION_HORIZON_MINUTES,
+        )
+    return {
+        "cpuLoad": cpu_load,
+        "memLoad": platform.host_mem_load(host.name),
+        "instancesOnServer": float(len(host.running_instances)),
+        "performanceIndex": float(spec.performance_index),
+        "numberOfCpus": float(spec.num_cpus),
+        "cpuClock": float(spec.cpu_clock_mhz),
+        "cpuCache": float(spec.cpu_cache_kb),
+        "memory": float(host.memory_free_mb(platform.memory_of)),
+        "swapSpace": float(spec.swap_space_mb),
+        "tempSpace": float(spec.temp_space_mb),
+    }
+
+
+class ServerSelector:
+    """Scores candidate target hosts for actions that need one.
+
+    Parameters
+    ----------
+    rulebases:
+        Per-action rule bases; defaults to the built-in ones.
+    reservations:
+        Optional reservation book; reserved capacity counts against
+        candidate hosts (see :func:`host_measurements`).
+    """
+
+    def __init__(
+        self,
+        rulebases: Optional[Dict[Action, RuleBase]] = None,
+        reservations=None,
+    ) -> None:
+        self._rulebases = (
+            rulebases if rulebases is not None else default_server_rulebases()
+        )
+        self.reservations = reservations
+        self._controller = FuzzyController(
+            variables.server_selection_inputs(),
+            [variables.applicability_variable(OUTPUT_VARIABLE)],
+            RuleBase("empty"),
+        )
+        for rulebase in self._rulebases.values():
+            self._controller.engine.validate(rulebase)
+
+    def score(self, action: Action, measurements: Mapping[str, float]) -> float:
+        """Suitability of one host for one action, in [0, 1]."""
+        rulebase = self._rulebases.get(action)
+        if rulebase is None:
+            raise ValueError(f"no server-selection rule base for {action.value}")
+        result = self._controller.evaluate(dict(measurements), rulebase)
+        return result.outputs[OUTPUT_VARIABLE]
+
+    def rank(
+        self,
+        platform: Platform,
+        action: Action,
+        candidates: List[ServiceHost],
+    ) -> List[RankedHost]:
+        """Score all candidates, most suitable first."""
+        scored = []
+        for host in candidates:
+            measurements = host_measurements(platform, host, self.reservations)
+            scored.append(
+                (
+                    RankedHost(host.name, self.score(action, measurements)),
+                    measurements["cpuLoad"],
+                )
+            )
+        scored.sort(key=lambda pair: (-pair[0].score, pair[1], pair[0].host_name))
+        return [ranked for ranked, __ in scored]

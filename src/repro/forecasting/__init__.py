@@ -1,0 +1,23 @@
+"""Load forecasting from the load archive (the paper's future work).
+
+"We work on predicting the future load of services based on historic
+data stored in the load archive using pattern matching [...].  First
+encouraging simulation studies have already been conducted."
+(Section 7; the companion CAiSE'05 paper develops the feed-forward
+techniques.)
+
+:mod:`repro.forecasting.patterns` extracts periodic daily patterns from
+archived load history; :mod:`repro.forecasting.forecast` turns them into
+short-term forecasts and a proactive (feed-forward) controller add-on
+that reacts to *imminent* overloads before they materialize.
+"""
+
+from repro.forecasting.forecast import LoadForecaster, ProactiveScaler
+from repro.forecasting.patterns import DailyPattern, extract_daily_pattern
+
+__all__ = [
+    "DailyPattern",
+    "LoadForecaster",
+    "ProactiveScaler",
+    "extract_daily_pattern",
+]

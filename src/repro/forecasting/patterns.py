@@ -1,0 +1,112 @@
+"""Periodic pattern extraction from archived load data.
+
+Services in business installations show strongly periodic daily
+behaviour (Figure 10).  :func:`extract_daily_pattern` folds a load
+history onto the 24-hour cycle and aggregates it into fixed-width
+buckets; the resulting :class:`DailyPattern` is the "pattern matching"
+primitive behind the load forecast.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.sim.clock import MINUTES_PER_DAY
+
+__all__ = ["DailyPattern", "extract_daily_pattern"]
+
+
+@dataclass(frozen=True)
+class DailyPattern:
+    """A bucketed mean daily load profile with a periodicity score.
+
+    Attributes
+    ----------
+    bucket_minutes:
+        Width of each bucket; 1440 must be divisible by it.
+    means:
+        Mean load per bucket over all observed days.
+    periodicity:
+        Fraction of load variance explained by the daily pattern, in
+        [0, 1].  Values near 1 mean the service is strongly periodic and
+        the forecast is trustworthy; values near 0 mean the history is
+        essentially noise around its mean.
+    samples:
+        Number of samples the pattern was fitted on.
+    """
+
+    bucket_minutes: int
+    means: Tuple[float, ...]
+    periodicity: float
+    samples: int
+
+    @property
+    def buckets(self) -> int:
+        return len(self.means)
+
+    def value_at(self, minute: int) -> float:
+        """Pattern value at an absolute minute (folded onto the day)."""
+        bucket = (minute % MINUTES_PER_DAY) // self.bucket_minutes
+        return self.means[bucket]
+
+    def peak(self) -> Tuple[int, float]:
+        """(minute of day, value) of the pattern's daily peak."""
+        index = int(np.argmax(self.means))
+        return index * self.bucket_minutes, self.means[index]
+
+
+def extract_daily_pattern(
+    history: Sequence[Tuple[int, float]],
+    bucket_minutes: int = 15,
+) -> DailyPattern:
+    """Fold a load history onto the daily cycle.
+
+    Parameters
+    ----------
+    history:
+        (absolute minute, load) samples, e.g. from
+        :meth:`repro.monitoring.archive.LoadArchive.history`.
+    bucket_minutes:
+        Aggregation bucket width; must divide 1440.
+    """
+    if MINUTES_PER_DAY % bucket_minutes != 0:
+        raise ValueError(
+            f"bucket width {bucket_minutes} does not divide a day"
+        )
+    if not history:
+        raise ValueError("cannot extract a pattern from an empty history")
+    bucket_count = MINUTES_PER_DAY // bucket_minutes
+    sums = np.zeros(bucket_count)
+    counts = np.zeros(bucket_count, dtype=int)
+    values: List[float] = []
+    buckets: List[int] = []
+    for minute, value in history:
+        bucket = (minute % MINUTES_PER_DAY) // bucket_minutes
+        sums[bucket] += value
+        counts[bucket] += 1
+        values.append(value)
+        buckets.append(bucket)
+    # buckets that were never observed inherit the global mean
+    observed = counts > 0
+    global_mean = float(np.mean(values))
+    means = np.full(bucket_count, global_mean)
+    means[observed] = sums[observed] / counts[observed]
+
+    # variance explained by the folded pattern (R^2 against bucket means)
+    values_array = np.asarray(values)
+    predictions = means[np.asarray(buckets)]
+    total_variance = float(np.var(values_array))
+    if total_variance <= 1e-12:
+        periodicity = 0.0
+    else:
+        residual = float(np.mean((values_array - predictions) ** 2))
+        periodicity = max(0.0, min(1.0, 1.0 - residual / total_variance))
+    return DailyPattern(
+        bucket_minutes=bucket_minutes,
+        means=tuple(float(m) for m in means),
+        periodicity=periodicity,
+        samples=len(values),
+    )

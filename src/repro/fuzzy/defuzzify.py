@@ -1,0 +1,109 @@
+"""Defuzzification methods.
+
+The paper uses a *maximum method*: "the result is determined as the
+leftmost of all values at which the maximum truth value occurs"
+(:class:`LeftmostMax`).  :class:`Centroid`, :class:`MeanOfMax` and
+:class:`RightmostMax` are provided for the defuzzification ablation
+benchmark and for completeness.
+
+All methods operate on an arbitrary membership function by sampling it on
+a uniform grid over the output variable's domain.  With the paper's ramp
+shaped ``applicable`` set clipped at height ``h``, :class:`LeftmostMax`
+recovers exactly ``h`` (see Figure 5's worked example, crisp value 0.6).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.fuzzy.sets import MembershipFunction
+
+__all__ = ["Defuzzifier", "LeftmostMax", "RightmostMax", "MeanOfMax", "Centroid"]
+
+#: Grades closer than this are considered equal when locating maxima.
+_GRADE_TOLERANCE = 1e-9
+
+
+class Defuzzifier:
+    """Base class for defuzzification strategies."""
+
+    #: Number of sample points on the output domain grid.
+    resolution: int = 1001
+
+    def __init__(self, resolution: int = 1001) -> None:
+        if resolution < 2:
+            raise ValueError(f"resolution must be >= 2, got {resolution}")
+        self.resolution = resolution
+
+    def _grid(
+        self, fuzzy_set: MembershipFunction, domain: Tuple[float, float]
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        lo, hi = domain
+        if lo >= hi:
+            raise ValueError(f"empty defuzzification domain {domain!r}")
+        xs = np.linspace(lo, hi, self.resolution)
+        mus = fuzzy_set.evaluate(xs)
+        return xs, mus
+
+    def __call__(
+        self, fuzzy_set: MembershipFunction, domain: Tuple[float, float]
+    ) -> float:
+        raise NotImplementedError
+
+
+class _MaxBased(Defuzzifier):
+    """Shared logic for maximum-based methods."""
+
+    def _max_region(
+        self, fuzzy_set: MembershipFunction, domain: Tuple[float, float]
+    ) -> np.ndarray:
+        xs, mus = self._grid(fuzzy_set, domain)
+        peak = float(mus.max())
+        return xs[mus >= peak - _GRADE_TOLERANCE]
+
+
+class LeftmostMax(_MaxBased):
+    """The paper's method: leftmost value attaining the maximum grade."""
+
+    def __call__(
+        self, fuzzy_set: MembershipFunction, domain: Tuple[float, float]
+    ) -> float:
+        return float(self._max_region(fuzzy_set, domain)[0])
+
+
+class RightmostMax(_MaxBased):
+    """Rightmost value attaining the maximum grade."""
+
+    def __call__(
+        self, fuzzy_set: MembershipFunction, domain: Tuple[float, float]
+    ) -> float:
+        return float(self._max_region(fuzzy_set, domain)[-1])
+
+
+class MeanOfMax(_MaxBased):
+    """Mean of all values attaining the maximum grade."""
+
+    def __call__(
+        self, fuzzy_set: MembershipFunction, domain: Tuple[float, float]
+    ) -> float:
+        return float(self._max_region(fuzzy_set, domain).mean())
+
+
+class Centroid(Defuzzifier):
+    """Center of gravity of the output fuzzy set.
+
+    Falls back to the domain midpoint when the set has zero area (all
+    rules fired with strength 0).
+    """
+
+    def __call__(
+        self, fuzzy_set: MembershipFunction, domain: Tuple[float, float]
+    ) -> float:
+        xs, mus = self._grid(fuzzy_set, domain)
+        integrate = getattr(np, "trapezoid", None) or np.trapz
+        area = float(integrate(mus, xs))
+        if area <= 0.0:
+            return float((domain[0] + domain[1]) / 2.0)
+        return float(integrate(mus * xs, xs) / area)

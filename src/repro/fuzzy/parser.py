@@ -1,0 +1,236 @@
+"""Textual DSL for fuzzy rules.
+
+The syntax mirrors the rules printed in the paper::
+
+    IF cpuLoad IS high AND
+       (performanceIndex IS low OR performanceIndex IS medium)
+    THEN scaleUp IS applicable
+
+Grammar (keywords are case-insensitive, identifiers case-sensitive)::
+
+    rules   := rule*
+    rule    := "IF" expr "THEN" IDENT "IS" IDENT ["WITH" NUMBER] [";"]
+    expr    := and_expr ("OR" and_expr)*
+    and_expr:= unary ("AND" unary)*
+    unary   := ("NOT" | "VERY" | "SOMEWHAT") unary | atom
+    atom    := "(" expr ")" | IDENT "IS" IDENT
+
+Line comments start with ``#``.  ``OR`` binds weaker than ``AND``, which
+binds weaker than the unary modifiers ``NOT`` (complement), ``VERY``
+(concentration, squares the grade) and ``SOMEWHAT`` (dilation, square
+root); parentheses override as usual.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.fuzzy.expressions import And, Expression, Is, Not, Or, Somewhat, Very
+from repro.fuzzy.rules import Rule
+
+__all__ = ["ParseError", "parse_expression", "parse_rule", "parse_rules"]
+
+_KEYWORDS = {"IF", "THEN", "IS", "AND", "OR", "NOT", "VERY", "SOMEWHAT", "WITH"}
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<comment>\#[^\n]*)
+  | (?P<number>\d+(?:\.\d+)?)
+  | (?P<ident>[A-Za-z_][A-Za-z0-9_\-]*)
+  | (?P<lparen>\()
+  | (?P<rparen>\))
+  | (?P<semicolon>;)
+  | (?P<whitespace>\s+)
+  | (?P<error>.)
+    """,
+    re.VERBOSE,
+)
+
+
+class ParseError(ValueError):
+    """Raised when rule text cannot be parsed."""
+
+
+@dataclass(frozen=True)
+class _Token:
+    kind: str  # "keyword", "ident", "number", "lparen", "rparen", "semicolon"
+    text: str
+    position: int
+    line: int
+
+
+def _tokenize(text: str) -> List[_Token]:
+    tokens: List[_Token] = []
+    line = 1
+    for match in _TOKEN_RE.finditer(text):
+        kind = match.lastgroup
+        value = match.group()
+        if kind in ("whitespace", "comment"):
+            line += value.count("\n")
+            continue
+        if kind == "error":
+            raise ParseError(f"line {line}: unexpected character {value!r}")
+        if kind == "ident" and value.upper() in _KEYWORDS:
+            tokens.append(_Token("keyword", value.upper(), match.start(), line))
+        else:
+            assert kind is not None
+            tokens.append(_Token(kind, value, match.start(), line))
+    return tokens
+
+
+class _Parser:
+    """Recursive-descent parser over the token stream."""
+
+    def __init__(self, tokens: List[_Token]) -> None:
+        self._tokens = tokens
+        self._index = 0
+
+    # -- token helpers -------------------------------------------------------
+
+    def _peek(self) -> Optional[_Token]:
+        if self._index < len(self._tokens):
+            return self._tokens[self._index]
+        return None
+
+    def _next(self) -> _Token:
+        token = self._peek()
+        if token is None:
+            raise ParseError("unexpected end of input")
+        self._index += 1
+        return token
+
+    def _expect_keyword(self, keyword: str) -> _Token:
+        token = self._next()
+        if token.kind != "keyword" or token.text != keyword:
+            raise ParseError(
+                f"line {token.line}: expected {keyword!r}, got {token.text!r}"
+            )
+        return token
+
+    def _expect_ident(self) -> str:
+        token = self._next()
+        if token.kind != "ident":
+            raise ParseError(
+                f"line {token.line}: expected identifier, got {token.text!r}"
+            )
+        return token.text
+
+    def _match_keyword(self, keyword: str) -> bool:
+        token = self._peek()
+        if token is not None and token.kind == "keyword" and token.text == keyword:
+            self._index += 1
+            return True
+        return False
+
+    def _match_kind(self, kind: str) -> bool:
+        token = self._peek()
+        if token is not None and token.kind == kind:
+            self._index += 1
+            return True
+        return False
+
+    @property
+    def exhausted(self) -> bool:
+        return self._peek() is None
+
+    # -- grammar ---------------------------------------------------------------
+
+    def parse_expression(self) -> Expression:
+        return self._or_expr()
+
+    def _or_expr(self) -> Expression:
+        operands = [self._and_expr()]
+        while self._match_keyword("OR"):
+            operands.append(self._and_expr())
+        if len(operands) == 1:
+            return operands[0]
+        return Or(tuple(operands))
+
+    def _and_expr(self) -> Expression:
+        operands = [self._unary()]
+        while self._match_keyword("AND"):
+            operands.append(self._unary())
+        if len(operands) == 1:
+            return operands[0]
+        return And(tuple(operands))
+
+    def _unary(self) -> Expression:
+        if self._match_keyword("NOT"):
+            return Not(self._unary())
+        if self._match_keyword("VERY"):
+            return Very(self._unary())
+        if self._match_keyword("SOMEWHAT"):
+            return Somewhat(self._unary())
+        return self._atom()
+
+    def _atom(self) -> Expression:
+        if self._match_kind("lparen"):
+            inner = self._or_expr()
+            token = self._next()
+            if token.kind != "rparen":
+                raise ParseError(
+                    f"line {token.line}: expected ')', got {token.text!r}"
+                )
+            return inner
+        variable = self._expect_ident()
+        self._expect_keyword("IS")
+        term = self._expect_ident()
+        return Is(variable, term)
+
+    def parse_rule(self, label: Optional[str] = None) -> Rule:
+        self._expect_keyword("IF")
+        antecedent = self.parse_expression()
+        self._expect_keyword("THEN")
+        output_variable = self._expect_ident()
+        self._expect_keyword("IS")
+        output_term = self._expect_ident()
+        weight = 1.0
+        if self._match_keyword("WITH"):
+            token = self._next()
+            if token.kind != "number":
+                raise ParseError(
+                    f"line {token.line}: expected weight after WITH, "
+                    f"got {token.text!r}"
+                )
+            weight = float(token.text)
+        self._match_kind("semicolon")
+        return Rule(antecedent, output_variable, output_term, weight, label)
+
+
+def parse_expression(text: str) -> Expression:
+    """Parse a bare antecedent expression (no IF/THEN)."""
+    parser = _Parser(_tokenize(text))
+    expression = parser.parse_expression()
+    if not parser.exhausted:
+        token = parser._peek()
+        assert token is not None
+        raise ParseError(f"line {token.line}: trailing input {token.text!r}")
+    return expression
+
+
+def parse_rule(text: str, label: Optional[str] = None) -> Rule:
+    """Parse a single ``IF ... THEN ... IS ...`` rule."""
+    parser = _Parser(_tokenize(text))
+    rule = parser.parse_rule(label)
+    if not parser.exhausted:
+        token = parser._peek()
+        assert token is not None
+        raise ParseError(f"line {token.line}: trailing input {token.text!r}")
+    return rule
+
+
+def parse_rules(text: str, label_prefix: Optional[str] = None) -> Tuple[Rule, ...]:
+    """Parse any number of rules from a block of text.
+
+    Rules may span multiple lines and are optionally separated by
+    semicolons; ``#`` comments are ignored.  When ``label_prefix`` is
+    given, rules are labelled ``<prefix>-1``, ``<prefix>-2``, ...
+    """
+    parser = _Parser(_tokenize(text))
+    rules: List[Rule] = []
+    while not parser.exhausted:
+        label = f"{label_prefix}-{len(rules) + 1}" if label_prefix else None
+        rules.append(parser.parse_rule(label))
+    return tuple(rules)

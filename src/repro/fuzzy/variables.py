@@ -1,0 +1,113 @@
+"""Linguistic variables and terms.
+
+A linguistic variable (e.g. ``cpuLoad``) is characterized by its name, a set
+of linguistic terms (``low``, ``medium``, ``high``, ...) and a membership
+function per term (Figure 3 of the paper).  Fuzzification maps a crisp
+measurement onto membership grades of every term.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Mapping, Optional, Tuple
+
+from repro.fuzzy.sets import MembershipFunction
+
+__all__ = ["LinguisticTerm", "LinguisticVariable"]
+
+
+@dataclass(frozen=True)
+class LinguisticTerm:
+    """One linguistic term of a variable, e.g. ``high`` of ``cpuLoad``."""
+
+    name: str
+    membership: MembershipFunction
+
+    def grade(self, x: float) -> float:
+        """Membership grade of the crisp value ``x`` in this term."""
+        return self.membership(x)
+
+
+class LinguisticVariable:
+    """A variable whose states are fuzzy sets over a real interval.
+
+    Parameters
+    ----------
+    name:
+        Variable name as used in fuzzy rules, e.g. ``"cpuLoad"``.
+    terms:
+        The linguistic terms of the variable.
+    domain:
+        The crisp universe ``(lo, hi)``; defaults to the tightest interval
+        covering all term supports.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        terms: Iterable[LinguisticTerm],
+        domain: Optional[Tuple[float, float]] = None,
+    ) -> None:
+        self.name = name
+        self._terms: Dict[str, LinguisticTerm] = {}
+        for term in terms:
+            if term.name in self._terms:
+                raise ValueError(f"duplicate term {term.name!r} in variable {name!r}")
+            self._terms[term.name] = term
+        if not self._terms:
+            raise ValueError(f"linguistic variable {name!r} needs at least one term")
+        if domain is None:
+            lows, highs = zip(*(t.membership.support for t in self._terms.values()))
+            domain = (min(lows), max(highs))
+        if domain[0] >= domain[1]:
+            raise ValueError(f"empty domain {domain!r} for variable {name!r}")
+        self.domain: Tuple[float, float] = (float(domain[0]), float(domain[1]))
+
+    # -- access -------------------------------------------------------------
+
+    @property
+    def terms(self) -> Tuple[LinguisticTerm, ...]:
+        return tuple(self._terms.values())
+
+    @property
+    def term_names(self) -> Tuple[str, ...]:
+        return tuple(self._terms)
+
+    def term(self, name: str) -> LinguisticTerm:
+        try:
+            return self._terms[name]
+        except KeyError:
+            raise KeyError(
+                f"variable {self.name!r} has no term {name!r}; "
+                f"known terms: {', '.join(self._terms)}"
+            ) from None
+
+    def __contains__(self, term_name: str) -> bool:
+        return term_name in self._terms
+
+    # -- fuzzification -------------------------------------------------------
+
+    def clamp(self, x: float) -> float:
+        """Clamp a crisp measurement into the variable's domain."""
+        lo, hi = self.domain
+        return min(max(x, lo), hi)
+
+    def fuzzify(self, x: float) -> Mapping[str, float]:
+        """Map a crisp value onto membership grades of all terms.
+
+        The value is clamped to the domain first so that slightly
+        out-of-range measurements (e.g. a momentary CPU load reading of
+        1.02) degrade gracefully instead of raising.
+        """
+        x = self.clamp(x)
+        return {name: term.grade(x) for name, term in self._terms.items()}
+
+    def grade(self, term_name: str, x: float) -> float:
+        """Membership grade of ``x`` in a single term."""
+        return self.term(term_name).grade(self.clamp(x))
+
+    def __repr__(self) -> str:
+        return (
+            f"LinguisticVariable({self.name!r}, "
+            f"terms=[{', '.join(self._terms)}], domain={self.domain})"
+        )

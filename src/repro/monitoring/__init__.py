@@ -1,0 +1,37 @@
+"""Monitoring framework (Figure 2 of the paper).
+
+Load monitors run for every server and every service instance and report
+their measurements to advisors, which maintain an up-to-date local view
+of the load situation.  Imminent overload (or idle) situations are
+reported to the load monitoring system, which observes the load for a
+tunable ``watchTime`` and triggers the fuzzy controller only for *real*
+situations, filtering out the short load peaks that are common in real
+systems.  A load archive stores aggregated historic load data.
+"""
+
+from repro.monitoring.advisor import Advisor, SubjectKind
+from repro.monitoring.heartbeat import HeartbeatDetector
+from repro.monitoring.archive import InMemoryLoadArchive, LoadArchive, SqliteLoadArchive
+from repro.monitoring.lms import (
+    LoadMonitoringSystem,
+    Observation,
+    Situation,
+    SituationKind,
+)
+from repro.monitoring.monitor import LoadMonitor
+from repro.monitoring.timeseries import LoadSeries
+
+__all__ = [
+    "Advisor",
+    "HeartbeatDetector",
+    "InMemoryLoadArchive",
+    "LoadArchive",
+    "LoadMonitor",
+    "LoadMonitoringSystem",
+    "LoadSeries",
+    "Observation",
+    "Situation",
+    "SituationKind",
+    "SqliteLoadArchive",
+    "SubjectKind",
+]

@@ -1,0 +1,268 @@
+"""The load archive.
+
+"A load archive stores aggregated historic load data.  This data is used
+to calculate the average load of services during their watchTime and to
+initialize all resource variables of the fuzzy controller."  (Section 2)
+
+Two implementations share one interface:
+
+* :class:`InMemoryLoadArchive` — fast dict-backed store, used by the
+  simulation runner;
+* :class:`SqliteLoadArchive` — persistent SQLite-backed store with the
+  same API plus coarse aggregation, suitable for long-running
+  deployments and for the load-forecasting extension.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from collections import defaultdict
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+__all__ = ["LoadArchive", "InMemoryLoadArchive", "SqliteLoadArchive"]
+
+
+class LoadArchive:
+    """Interface of a load archive.
+
+    Besides numeric load samples, the archive records *administration
+    events* (confirmed situations, executed actions): the historic
+    record the paper's future-work forecasting and auditing mine.
+    """
+
+    def store(self, subject: str, metric: str, time: int, value: float) -> None:
+        raise NotImplementedError
+
+    def store_event(
+        self, time: int, category: str, subject: str, details: str
+    ) -> None:
+        raise NotImplementedError
+
+    def events(
+        self,
+        category: Optional[str] = None,
+        start: int = 0,
+        end: Optional[int] = None,
+    ) -> List[Tuple[int, str, str, str]]:
+        """(time, category, subject, details) rows, ordered by time."""
+        raise NotImplementedError
+
+    def average(
+        self, subject: str, metric: str, start: int, end: int
+    ) -> Optional[float]:
+        """Mean of values with ``start <= time <= end``, or ``None``."""
+        raise NotImplementedError
+
+    def history(
+        self, subject: str, metric: str, start: int = 0, end: Optional[int] = None
+    ) -> List[Tuple[int, float]]:
+        """(time, value) pairs in the window, ordered by time."""
+        raise NotImplementedError
+
+    def subjects(self) -> List[str]:
+        raise NotImplementedError
+
+
+class InMemoryLoadArchive(LoadArchive):
+    """Dict-backed archive; O(1) appends, linear window queries."""
+
+    def __init__(self) -> None:
+        self._data: Dict[Tuple[str, str], List[Tuple[int, float]]] = defaultdict(list)
+        self._events: List[Tuple[int, str, str, str]] = []
+
+    def store_event(
+        self, time: int, category: str, subject: str, details: str
+    ) -> None:
+        self._events.append((time, category, subject, details))
+
+    def events(
+        self,
+        category: Optional[str] = None,
+        start: int = 0,
+        end: Optional[int] = None,
+    ) -> List[Tuple[int, str, str, str]]:
+        return [
+            row
+            for row in self._events
+            if row[0] >= start
+            and (end is None or row[0] <= end)
+            and (category is None or row[1] == category)
+        ]
+
+    def store(self, subject: str, metric: str, time: int, value: float) -> None:
+        self._data[(subject, metric)].append((time, float(value)))
+
+    def _window(
+        self, subject: str, metric: str, start: int, end: Optional[int]
+    ) -> List[Tuple[int, float]]:
+        rows = self._data.get((subject, metric), [])
+        return [
+            (t, v) for t, v in rows if t >= start and (end is None or t <= end)
+        ]
+
+    def average(
+        self, subject: str, metric: str, start: int, end: int
+    ) -> Optional[float]:
+        window = self._window(subject, metric, start, end)
+        if not window:
+            return None
+        return sum(v for __, v in window) / len(window)
+
+    def history(
+        self, subject: str, metric: str, start: int = 0, end: Optional[int] = None
+    ) -> List[Tuple[int, float]]:
+        return self._window(subject, metric, start, end)
+
+    def subjects(self) -> List[str]:
+        return sorted({subject for subject, __ in self._data})
+
+
+class SqliteLoadArchive(LoadArchive):
+    """SQLite-backed persistent archive.
+
+    Parameters
+    ----------
+    path:
+        Database file, or ``":memory:"`` (the default) for an in-process
+        database.
+    """
+
+    _SCHEMA = """
+    CREATE TABLE IF NOT EXISTS load_samples (
+        subject TEXT NOT NULL,
+        metric  TEXT NOT NULL,
+        time    INTEGER NOT NULL,
+        value   REAL NOT NULL,
+        PRIMARY KEY (subject, metric, time)
+    );
+    CREATE INDEX IF NOT EXISTS idx_samples_subject_time
+        ON load_samples (subject, metric, time);
+    CREATE TABLE IF NOT EXISTS admin_events (
+        id       INTEGER PRIMARY KEY AUTOINCREMENT,
+        time     INTEGER NOT NULL,
+        category TEXT NOT NULL,
+        subject  TEXT NOT NULL,
+        details  TEXT NOT NULL
+    );
+    CREATE INDEX IF NOT EXISTS idx_events_time ON admin_events (time);
+    """
+
+    def __init__(self, path: Union[str, Path] = ":memory:") -> None:
+        self._connection = sqlite3.connect(str(path))
+        self._connection.executescript(self._SCHEMA)
+        self._connection.commit()
+
+    def close(self) -> None:
+        self._connection.close()
+
+    def __enter__(self) -> "SqliteLoadArchive":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def store(self, subject: str, metric: str, time: int, value: float) -> None:
+        self._connection.execute(
+            "INSERT OR REPLACE INTO load_samples (subject, metric, time, value) "
+            "VALUES (?, ?, ?, ?)",
+            (subject, metric, time, float(value)),
+        )
+
+    def store_many(
+        self, rows: List[Tuple[str, str, int, float]]
+    ) -> None:
+        """Bulk insert of (subject, metric, time, value) rows."""
+        self._connection.executemany(
+            "INSERT OR REPLACE INTO load_samples (subject, metric, time, value) "
+            "VALUES (?, ?, ?, ?)",
+            rows,
+        )
+        self._connection.commit()
+
+    def commit(self) -> None:
+        self._connection.commit()
+
+    def average(
+        self, subject: str, metric: str, start: int, end: int
+    ) -> Optional[float]:
+        row = self._connection.execute(
+            "SELECT AVG(value) FROM load_samples "
+            "WHERE subject = ? AND metric = ? AND time BETWEEN ? AND ?",
+            (subject, metric, start, end),
+        ).fetchone()
+        return None if row is None or row[0] is None else float(row[0])
+
+    def history(
+        self, subject: str, metric: str, start: int = 0, end: Optional[int] = None
+    ) -> List[Tuple[int, float]]:
+        if end is None:
+            cursor = self._connection.execute(
+                "SELECT time, value FROM load_samples "
+                "WHERE subject = ? AND metric = ? AND time >= ? ORDER BY time",
+                (subject, metric, start),
+            )
+        else:
+            cursor = self._connection.execute(
+                "SELECT time, value FROM load_samples "
+                "WHERE subject = ? AND metric = ? AND time BETWEEN ? AND ? "
+                "ORDER BY time",
+                (subject, metric, start, end),
+            )
+        return [(int(t), float(v)) for t, v in cursor.fetchall()]
+
+    def subjects(self) -> List[str]:
+        cursor = self._connection.execute(
+            "SELECT DISTINCT subject FROM load_samples ORDER BY subject"
+        )
+        return [row[0] for row in cursor.fetchall()]
+
+    def store_event(
+        self, time: int, category: str, subject: str, details: str
+    ) -> None:
+        self._connection.execute(
+            "INSERT INTO admin_events (time, category, subject, details) "
+            "VALUES (?, ?, ?, ?)",
+            (time, category, subject, details),
+        )
+
+    def events(
+        self,
+        category: Optional[str] = None,
+        start: int = 0,
+        end: Optional[int] = None,
+    ) -> List[Tuple[int, str, str, str]]:
+        query = (
+            "SELECT time, category, subject, details FROM admin_events "
+            "WHERE time >= ?"
+        )
+        parameters: List[object] = [start]
+        if end is not None:
+            query += " AND time <= ?"
+            parameters.append(end)
+        if category is not None:
+            query += " AND category = ?"
+            parameters.append(category)
+        query += " ORDER BY time, id"
+        cursor = self._connection.execute(query, parameters)
+        return [
+            (int(t), str(c), str(s), str(d)) for t, c, s, d in cursor.fetchall()
+        ]
+
+    def aggregate(
+        self, subject: str, metric: str, bucket_minutes: int
+    ) -> List[Tuple[int, float]]:
+        """Aggregated view: (bucket start, mean value) per bucket.
+
+        This is the "persistent aggregated view of historic load data"
+        the forecasting extension mines for periodic patterns.
+        """
+        if bucket_minutes < 1:
+            raise ValueError("bucket size must be at least one minute")
+        cursor = self._connection.execute(
+            "SELECT (time / ?) * ?, AVG(value) FROM load_samples "
+            "WHERE subject = ? AND metric = ? "
+            "GROUP BY time / ? ORDER BY 1",
+            (bucket_minutes, bucket_minutes, subject, metric, bucket_minutes),
+        )
+        return [(int(t), float(v)) for t, v in cursor.fetchall()]

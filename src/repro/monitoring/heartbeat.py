@@ -1,0 +1,84 @@
+"""Heartbeat-based failure detection.
+
+"Failure situations like a program crash are remedied for example with
+a restart."  (Section 2)
+
+Every running service instance emits a heartbeat once per minute.  A
+*hung* process keeps holding its resources but stops responding — in the
+simulation that is modelled by :meth:`HeartbeatDetector.suppress`.  The
+detector reports an instance as failed once its heartbeats have been
+missing for ``miss_threshold`` consecutive minutes; the controller's
+self-healing path (:meth:`repro.core.autoglobe.AutoGlobeController.report_failure`)
+then kills and restarts it.
+
+Cleanly stopped instances (scale-in, move) simply disappear from the
+platform and are forgotten — an orderly shutdown is not a failure.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from repro.serviceglobe.platform import Platform
+
+__all__ = ["HeartbeatDetector"]
+
+
+class HeartbeatDetector:
+    """Detects hung instances from missing heartbeats."""
+
+    def __init__(self, platform: Platform, miss_threshold: int = 3) -> None:
+        if miss_threshold < 1:
+            raise ValueError("miss threshold must be at least one minute")
+        self.platform = platform
+        self.miss_threshold = miss_threshold
+        self._last_beat: Dict[str, int] = {}
+        self._suppressed: Set[str] = set()
+        self._reported: Set[str] = set()
+
+    def suppress(self, instance_id: str) -> None:
+        """Stop an instance's heartbeats (models a hung process)."""
+        self._suppressed.add(instance_id)
+
+    def resume(self, instance_id: str) -> None:
+        """Resume heartbeats (the process recovered on its own)."""
+        self._suppressed.discard(instance_id)
+        self._reported.discard(instance_id)
+
+    def tick(self, now: int) -> List[str]:
+        """Record this minute's heartbeats; return newly failed instances."""
+        running: Set[str] = set()
+        for instance in self.platform.all_instances():
+            instance_id = instance.instance_id
+            running.add(instance_id)
+            if instance_id not in self._suppressed:
+                self._last_beat[instance_id] = now
+        # forget instances that left the platform in an orderly fashion
+        for instance_id in list(self._last_beat):
+            if instance_id not in running and instance_id not in self._suppressed:
+                self.forget(instance_id)
+        failed: List[str] = []
+        for instance_id in self._suppressed:
+            if instance_id in self._reported:
+                continue
+            last = self._last_beat.get(instance_id)
+            if last is None:
+                continue  # suppressed before its first beat; nothing to miss
+            if now - last >= self.miss_threshold:
+                self._reported.add(instance_id)
+                failed.append(instance_id)
+        return failed
+
+    def forget(self, instance_id: str) -> None:
+        """Drop an instance's bookkeeping (after a clean stop or restart)."""
+        self._last_beat.pop(instance_id, None)
+        self._suppressed.discard(instance_id)
+        self._reported.discard(instance_id)
+
+    @property
+    def tracked(self) -> Set[str]:
+        return set(self._last_beat)
+
+    @property
+    def suppressed(self) -> Set[str]:
+        return set(self._suppressed)

@@ -1,0 +1,155 @@
+"""The load monitoring system (LMS).
+
+"In real systems short load peaks are quite common.  Immediate reaction
+on these peaks could lead to an unsettled and instable system.  Thus, if
+load values exceed a tunable threshold, the advisor passes the load data
+to the load monitoring system module for further observation.  Then, the
+load data is observed for a tunable period of time (watchTime).  If the
+average load during the watch time is above a given threshold, a real
+overload situation is detected and the fuzzy controller module is
+triggered."  (Section 2)
+
+Idle situations are handled symmetrically (average below the idle
+threshold for the idle watch time confirms the situation).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.monitoring.monitor import LoadMonitor
+
+__all__ = ["SituationKind", "Situation", "Observation", "LoadMonitoringSystem"]
+
+
+class SituationKind(enum.Enum):
+    """The controller's four trigger types (Section 4.1)."""
+
+    SERVICE_OVERLOADED = "serviceOverloaded"
+    SERVICE_IDLE = "serviceIdle"
+    SERVER_OVERLOADED = "serverOverloaded"
+    SERVER_IDLE = "serverIdle"
+    #: A crashed service instance (self-healing path); reported directly
+    #: by failure detectors, never via watch-time observations.
+    SERVICE_FAILED = "serviceFailed"
+
+    @property
+    def is_overload(self) -> bool:
+        return self in (self.SERVICE_OVERLOADED, self.SERVER_OVERLOADED)
+
+    @property
+    def is_server(self) -> bool:
+        return self in (self.SERVER_OVERLOADED, self.SERVER_IDLE)
+
+
+@dataclass(frozen=True)
+class Situation:
+    """A confirmed exceptional situation handed to the fuzzy controller."""
+
+    kind: SituationKind
+    subject: str  # host name (server triggers) or instance id (service triggers)
+    service_name: Optional[str]  # set for service triggers
+    detected_at: int
+    observed_mean: float
+
+    def __str__(self) -> str:
+        target = self.subject if self.service_name is None else (
+            f"{self.service_name} ({self.subject})"
+        )
+        return (
+            f"{self.kind.value} on {target} at t={self.detected_at} "
+            f"(mean load {self.observed_mean:.0%})"
+        )
+
+
+@dataclass
+class Observation:
+    """An ongoing watch of a suspected situation."""
+
+    kind: SituationKind
+    monitor: LoadMonitor
+    service_name: Optional[str]
+    threshold: float
+    started_at: int
+    watch_time: int
+
+    @property
+    def subject(self) -> str:
+        return self.monitor.subject
+
+    def due(self, now: int) -> bool:
+        return now >= self.started_at + self.watch_time - 1
+
+    def confirmed(self, now: int) -> Optional[float]:
+        """The observed mean if the situation is real, else ``None``."""
+        mean = self.monitor.series.mean_between(self.started_at, now)
+        if mean is None:
+            return None
+        if self.kind.is_overload:
+            return mean if mean > self.threshold else None
+        return mean if mean < self.threshold else None
+
+
+class LoadMonitoringSystem:
+    """Collects observations from advisors and confirms real situations."""
+
+    def __init__(self) -> None:
+        self._observations: Dict[Tuple[str, SituationKind], Observation] = {}
+        self.confirmed: List[Situation] = []
+
+    def observing(self, subject: str, kind: SituationKind) -> bool:
+        return (subject, kind) in self._observations
+
+    def open_observation(
+        self,
+        kind: SituationKind,
+        monitor: LoadMonitor,
+        threshold: float,
+        now: int,
+        watch_time: int,
+        service_name: Optional[str] = None,
+    ) -> bool:
+        """Begin watching a suspected situation; no-op if already watched."""
+        key = (monitor.subject, kind)
+        if key in self._observations:
+            return False
+        self._observations[key] = Observation(
+            kind=kind,
+            monitor=monitor,
+            service_name=service_name,
+            threshold=threshold,
+            started_at=now,
+            watch_time=watch_time,
+        )
+        return True
+
+    def cancel(self, subject: str, kind: SituationKind) -> None:
+        self._observations.pop((subject, kind), None)
+
+    def tick(self, now: int) -> List[Situation]:
+        """Evaluate due observations; return newly confirmed situations."""
+        new_situations: List[Situation] = []
+        for key in list(self._observations):
+            observation = self._observations[key]
+            if not observation.due(now):
+                continue
+            del self._observations[key]
+            mean = observation.confirmed(now)
+            if mean is None:
+                continue  # a short peak, not a real situation
+            situation = Situation(
+                kind=observation.kind,
+                subject=observation.subject,
+                service_name=observation.service_name,
+                detected_at=now,
+                observed_mean=mean,
+            )
+            self.confirmed.append(situation)
+            new_situations.append(situation)
+        return new_situations
+
+    @property
+    def active_observations(self) -> List[Observation]:
+        return list(self._observations.values())

@@ -1,0 +1,69 @@
+"""Load monitors.
+
+"Every server and every service is monitored by a load monitor service,
+which is a specialized service for resource monitoring of service hosts
+and of resource usage of services, respectively."  (Section 2)
+
+A :class:`LoadMonitor` samples a probe once per tick, keeps the local
+time series and forwards the aggregated measurement to the load archive.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.monitoring.archive import LoadArchive
+from repro.monitoring.timeseries import LoadSeries
+
+__all__ = ["LoadMonitor"]
+
+#: A probe returns the current measurement for its subject in [0, 1].
+Probe = Callable[[], float]
+
+
+class LoadMonitor:
+    """Periodically samples one measurement of one subject.
+
+    Parameters
+    ----------
+    subject:
+        Identifier of the monitored entity, e.g. ``"Blade3"`` for a host
+        or ``"FI#2"`` for a service instance.
+    metric:
+        Measurement name, e.g. ``"cpu"`` or ``"mem"``.
+    probe:
+        Zero-argument callable returning the current value.
+    archive:
+        Optional load archive receiving every aggregated sample.
+    """
+
+    def __init__(
+        self,
+        subject: str,
+        metric: str,
+        probe: Probe,
+        archive: Optional[LoadArchive] = None,
+    ) -> None:
+        self.subject = subject
+        self.metric = metric
+        self._probe = probe
+        self._archive = archive
+        self.series = LoadSeries(name=f"{subject}/{metric}")
+
+    def sample(self, time: int) -> float:
+        """Take one measurement, record it and report it to the archive."""
+        value = float(self._probe())
+        self.series.record(time, value)
+        if self._archive is not None:
+            self._archive.store(self.subject, self.metric, time, value)
+        return value
+
+    @property
+    def latest(self) -> Optional[float]:
+        return self.series.latest
+
+    def mean_over_last(self, duration: int) -> Optional[float]:
+        return self.series.mean_over_last(duration)
+
+    def __repr__(self) -> str:
+        return f"LoadMonitor({self.subject!r}, {self.metric!r}, latest={self.latest})"

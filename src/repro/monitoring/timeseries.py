@@ -1,0 +1,91 @@
+"""Fixed-interval load time series.
+
+Measurements arrive once per simulated minute.  :class:`LoadSeries` is an
+append-only series supporting the windowed means the load monitoring
+system and the fuzzy controller need ("all variables [...] regarding CPU
+or memory load are set to the arithmetic means of the load values during
+the service specific watchTime").
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+__all__ = ["LoadSeries"]
+
+
+class LoadSeries:
+    """An append-only (time, value) series with monotone timestamps."""
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self._times: List[int] = []
+        self._values: List[float] = []
+
+    def record(self, time: int, value: float) -> None:
+        """Append one measurement; timestamps must strictly increase."""
+        if self._times and time <= self._times[-1]:
+            raise ValueError(
+                f"series {self.name!r}: time {time} not after {self._times[-1]}"
+            )
+        self._times.append(time)
+        self._values.append(float(value))
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __bool__(self) -> bool:
+        # an empty series is still a valid series
+        return True
+
+    @property
+    def latest(self) -> Optional[float]:
+        return self._values[-1] if self._values else None
+
+    @property
+    def latest_time(self) -> Optional[int]:
+        return self._times[-1] if self._times else None
+
+    def items(self) -> Sequence[Tuple[int, float]]:
+        return list(zip(self._times, self._values))
+
+    def values(self) -> Sequence[float]:
+        return list(self._values)
+
+    def times(self) -> Sequence[int]:
+        return list(self._times)
+
+    # -- windowed statistics -----------------------------------------------------
+
+    def _window(self, start: int, end: int) -> List[float]:
+        # linear scan from the right: windows are short and recent
+        window: List[float] = []
+        for time, value in zip(reversed(self._times), reversed(self._values)):
+            if time > end:
+                continue
+            if time < start:
+                break
+            window.append(value)
+        return window
+
+    def mean_between(self, start: int, end: int) -> Optional[float]:
+        """Arithmetic mean of values with ``start <= time <= end``."""
+        window = self._window(start, end)
+        if not window:
+            return None
+        return sum(window) / len(window)
+
+    def mean_over_last(self, duration: int) -> Optional[float]:
+        """Mean of the trailing ``duration`` minutes (inclusive window)."""
+        if not self._times:
+            return None
+        end = self._times[-1]
+        return self.mean_between(end - duration + 1, end)
+
+    def max_between(self, start: int, end: int) -> Optional[float]:
+        window = self._window(start, end)
+        return max(window) if window else None
+
+    def time_above(self, threshold: float) -> int:
+        """Number of recorded minutes with value strictly above ``threshold``."""
+        return sum(1 for value in self._values if value > threshold)

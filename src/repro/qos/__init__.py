@@ -1,0 +1,27 @@
+"""QoS management for self-organizing infrastructures (§7 future work).
+
+"Eventually, we plan to enhance AutoGlobe towards QoS management for
+self-organizing infrastructures.  The actions will then be used to
+enforce Service Level Agreements."
+
+* :mod:`repro.qos.sla` — service level objectives (response-time bound,
+  compliance target) and agreements binding them to services;
+* :mod:`repro.qos.monitor` — measures per-service response times through
+  the request-level invoker and tracks rolling compliance;
+* :mod:`repro.qos.enforcement` — turns SLA violations into controller
+  work: priority boosts and synthetic overload situations for the
+  regular fuzzy decision machinery, plus rule-base overrides for
+  mission-critical services.
+"""
+
+from repro.qos.enforcement import SlaEnforcer
+from repro.qos.monitor import ComplianceReport, SlaMonitor
+from repro.qos.sla import ServiceLevelAgreement, ServiceLevelObjective
+
+__all__ = [
+    "ComplianceReport",
+    "ServiceLevelAgreement",
+    "ServiceLevelObjective",
+    "SlaEnforcer",
+    "SlaMonitor",
+]

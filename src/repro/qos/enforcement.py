@@ -1,0 +1,161 @@
+"""SLA enforcement through the controller's actions.
+
+"The actions will then be used to enforce Service Level Agreements."
+(Section 7)
+
+The enforcer sits next to the reactive controller.  Each minute it reads
+the SLA monitor; for the most expensive violation it injects a synthetic
+``serviceOverloaded`` situation into the regular Figure-6 decision loop
+(so the normal fuzzy action/host selection, constraints and protection
+apply) and — as the cheap first line of defence — raises the violating
+service's priority so the platform's weighted CPU sharing favors it.
+A service back in compliance for ``relax_after`` consecutive minutes has
+its priority lowered back toward neutral.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.config.model import Action
+from repro.core.action_selection import ActionContext
+from repro.core.autoglobe import AutoGlobeController
+from repro.monitoring.lms import Situation, SituationKind
+from repro.qos.monitor import ComplianceReport, SlaMonitor
+from repro.serviceglobe.actions import ActionError, ActionOutcome
+from repro.serviceglobe.service import DEFAULT_PRIORITY
+
+__all__ = ["SlaEnforcer"]
+
+
+class SlaEnforcer:
+    """Turns SLA violations into controller work."""
+
+    def __init__(
+        self,
+        controller: AutoGlobeController,
+        monitor: SlaMonitor,
+        relax_after: int = 60,
+        cooldown: int = 30,
+    ) -> None:
+        self.controller = controller
+        self.monitor = monitor
+        self.relax_after = relax_after
+        self.cooldown = cooldown
+        self._compliant_streak: Dict[str, int] = {}
+        self._last_enforced: Dict[str, int] = {}
+        self.enforcements: List[ActionOutcome] = []
+
+    # -- helpers ---------------------------------------------------------------
+
+    def _boost_priority(self, service_name: str, now: int) -> Optional[ActionOutcome]:
+        service = self.controller.platform.service(service_name)
+        if service.priority >= 8:
+            return None
+        try:
+            outcome = self.controller.platform.execute(
+                Action.INCREASE_PRIORITY,
+                service_name,
+                enforce_allowed=False,  # SLA enforcement outranks the policy
+                note="SLA enforcement: priority boost",
+            )
+        except ActionError:
+            return None
+        self.controller.alerts.warning(
+            now, f"SLA enforcement raised priority of {service_name} to "
+                 f"{service.priority}"
+        )
+        return outcome
+
+    def _relax_priority(self, service_name: str, now: int) -> None:
+        service = self.controller.platform.service(service_name)
+        if service.priority <= DEFAULT_PRIORITY:
+            return
+        try:
+            self.controller.platform.execute(
+                Action.REDUCE_PRIORITY,
+                service_name,
+                enforce_allowed=False,
+                note="SLA enforcement: compliance restored",
+            )
+        except ActionError:
+            pass
+
+    def _structural_remedy(
+        self, report: ComplianceReport, now: int
+    ) -> Optional[ActionOutcome]:
+        """Run the fuzzy decision machinery for the violating service."""
+        platform = self.controller.platform
+        service_name = report.agreement.service_name
+        instances = platform.service(service_name).running_instances
+        if not instances:
+            return None
+        instance = max(
+            instances,
+            key=lambda i: (platform.host(i.host_name).cpu_load, i.instance_id),
+        )
+        situation = Situation(
+            kind=SituationKind.SERVICE_OVERLOADED,
+            subject=instance.instance_id,
+            service_name=service_name,
+            detected_at=now,
+            observed_mean=platform.host(instance.host_name).cpu_load,
+        )
+        base = self.controller._context_for_instance(
+            instance, SituationKind.SERVICE_OVERLOADED, now
+        )
+        # non-compliance is treated as pressure even if the CPU numbers
+        # alone would not yet cross the fuzzy "high" terms
+        measurements = dict(base.measurements)
+        shortfall = (
+            report.agreement.objective.compliance_target - report.compliance
+        )
+        pressure = min(1.0, max(measurements["cpuLoad"], 0.7 + shortfall))
+        measurements["cpuLoad"] = pressure
+        measurements["serviceLoad"] = max(measurements["serviceLoad"], pressure)
+        measurements["instanceLoad"] = max(measurements["instanceLoad"], pressure)
+        ranked = self.controller.action_selector.rank(
+            SituationKind.SERVICE_OVERLOADED,
+            ActionContext(service_name, instance.instance_id, measurements),
+        )
+        return self.controller.decision_loop.handle(situation, ranked, now)
+
+    # -- the per-minute cycle ------------------------------------------------------
+
+    def tick(self, now: int) -> List[ActionOutcome]:
+        """Measure compliance, enforce the worst violation, relax winners."""
+        violations = self.monitor.tick(now)
+        violating = {report.agreement.service_name for report in violations}
+        outcomes: List[ActionOutcome] = []
+
+        # relax services that have stayed compliant long enough
+        for report in self.monitor.reports():
+            service_name = report.agreement.service_name
+            if service_name in violating:
+                self._compliant_streak[service_name] = 0
+                continue
+            streak = self._compliant_streak.get(service_name, 0) + 1
+            self._compliant_streak[service_name] = streak
+            if streak == self.relax_after:
+                self._relax_priority(service_name, now)
+                self._compliant_streak[service_name] = 0
+
+        ranked_violations = self.monitor.worst_violations()
+        if not ranked_violations:
+            return outcomes
+        __, worst = ranked_violations[0]
+        service_name = worst.agreement.service_name
+        last = self._last_enforced.get(service_name)
+        if last is not None and now - last < self.cooldown:
+            return outcomes
+        self._last_enforced[service_name] = now
+
+        boost = self._boost_priority(service_name, now)
+        if boost is not None:
+            self.enforcements.append(boost)
+            outcomes.append(boost)
+        structural = self._structural_remedy(worst, now)
+        if structural is not None:
+            self.enforcements.append(structural)
+            outcomes.append(structural)
+        return outcomes

@@ -1,0 +1,129 @@
+"""SLA compliance monitoring.
+
+Each minute the monitor samples every SLA-covered service's response
+time through the request-level invoker and records whether the request
+met its objective.  Compliance is evaluated over the objective's rolling
+window; a service whose compliance falls below its target is *in
+violation*, and the accumulated violation minutes price the penalty.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Optional, Tuple
+
+from repro.qos.sla import ServiceLevelAgreement, SlaCatalog
+from repro.serviceglobe.invocation import ServiceInvoker
+
+__all__ = ["ComplianceReport", "SlaMonitor"]
+
+
+@dataclass(frozen=True)
+class ComplianceReport:
+    """State of one agreement at one point in time."""
+
+    agreement: ServiceLevelAgreement
+    compliance: float
+    last_response_time_ms: float
+    in_violation: bool
+    violation_minutes: int
+    accumulated_penalty: float
+
+    def __str__(self) -> str:
+        state = "VIOLATED" if self.in_violation else "ok"
+        return (
+            f"{self.agreement.service_name}: {self.compliance:.0%} compliant "
+            f"(target {self.agreement.objective.compliance_target:.0%}, "
+            f"last {self.last_response_time_ms:.0f} ms) [{state}]"
+        )
+
+
+class _ServiceTracker:
+    """Rolling window of pass/fail samples for one agreement."""
+
+    def __init__(self, agreement: ServiceLevelAgreement) -> None:
+        self.agreement = agreement
+        self.window: Deque[bool] = deque(
+            maxlen=agreement.objective.window_minutes
+        )
+        self.last_response_time_ms = 0.0
+        self.violation_minutes = 0
+
+    def record(self, response_time_ms: float) -> None:
+        self.last_response_time_ms = response_time_ms
+        self.window.append(
+            response_time_ms <= self.agreement.objective.response_time_ms
+        )
+
+    @property
+    def compliance(self) -> float:
+        if not self.window:
+            return 1.0
+        return sum(self.window) / len(self.window)
+
+    @property
+    def in_violation(self) -> bool:
+        return self.compliance < self.agreement.objective.compliance_target
+
+    def report(self) -> ComplianceReport:
+        return ComplianceReport(
+            agreement=self.agreement,
+            compliance=self.compliance,
+            last_response_time_ms=self.last_response_time_ms,
+            in_violation=self.in_violation,
+            violation_minutes=self.violation_minutes,
+            accumulated_penalty=(
+                self.violation_minutes
+                * self.agreement.penalty_per_violation_minute
+            ),
+        )
+
+
+class SlaMonitor:
+    """Per-minute SLA compliance measurement over the invoker."""
+
+    def __init__(self, invoker: ServiceInvoker, catalog: SlaCatalog) -> None:
+        self.invoker = invoker
+        self.catalog = catalog
+        self._trackers: Dict[str, _ServiceTracker] = {
+            agreement.service_name: _ServiceTracker(agreement)
+            for agreement in catalog.agreements
+        }
+
+    def tick(self, now: int) -> List[ComplianceReport]:
+        """Sample every covered service; return reports of violations."""
+        violations: List[ComplianceReport] = []
+        for service_name, tracker in self._trackers.items():
+            try:
+                response_time = self.invoker.sample_response_time(service_name)
+            except LookupError:
+                # the service is down: maximally non-compliant
+                response_time = float("inf")
+            tracker.record(response_time)
+            if tracker.in_violation:
+                tracker.violation_minutes += 1
+                violations.append(tracker.report())
+        return violations
+
+    def report_for(self, service_name: str) -> Optional[ComplianceReport]:
+        tracker = self._trackers.get(service_name)
+        return tracker.report() if tracker is not None else None
+
+    def reports(self) -> List[ComplianceReport]:
+        return [tracker.report() for tracker in self._trackers.values()]
+
+    def total_penalty(self) -> float:
+        return sum(report.accumulated_penalty for report in self.reports())
+
+    def worst_violations(self) -> List[Tuple[float, ComplianceReport]]:
+        """Current violations, most expensive first (penalty-weighted gap)."""
+        scored = []
+        for report in self.reports():
+            if not report.in_violation:
+                continue
+            gap = report.agreement.objective.compliance_target - report.compliance
+            score = gap * report.agreement.penalty_per_violation_minute
+            scored.append((score, report))
+        scored.sort(key=lambda pair: -pair[0])
+        return scored

@@ -1,0 +1,95 @@
+"""Service level objectives and agreements.
+
+An SLA binds a service to a response-time objective: a bound on the
+per-request response time and a compliance target (the fraction of
+requests that must meet the bound over the evaluation window).
+Violating the agreement costs a penalty per violation minute, which the
+enforcement policy uses to rank which service to help first.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional
+
+__all__ = ["ServiceLevelObjective", "ServiceLevelAgreement", "SlaCatalog"]
+
+
+@dataclass(frozen=True)
+class ServiceLevelObjective:
+    """A response-time objective.
+
+    Attributes
+    ----------
+    response_time_ms:
+        Per-request response-time bound.
+    compliance_target:
+        Required fraction of compliant requests over the evaluation
+        window, in (0, 1].
+    window_minutes:
+        Length of the rolling evaluation window.
+    """
+
+    response_time_ms: float
+    compliance_target: float = 0.95
+    window_minutes: int = 60
+
+    def __post_init__(self) -> None:
+        if self.response_time_ms <= 0:
+            raise ValueError("response-time bound must be positive")
+        if not 0.0 < self.compliance_target <= 1.0:
+            raise ValueError("compliance target must be in (0, 1]")
+        if self.window_minutes < 1:
+            raise ValueError("evaluation window must be at least one minute")
+
+
+@dataclass(frozen=True)
+class ServiceLevelAgreement:
+    """An SLO bound to a service, with a violation penalty."""
+
+    service_name: str
+    objective: ServiceLevelObjective
+    penalty_per_violation_minute: float = 1.0
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.penalty_per_violation_minute < 0:
+            raise ValueError("penalty must be non-negative")
+
+    def __str__(self) -> str:
+        return (
+            f"SLA({self.service_name}: "
+            f"{self.objective.response_time_ms:.0f} ms @ "
+            f"{self.objective.compliance_target:.0%})"
+        )
+
+
+class SlaCatalog:
+    """The agreements in force, by service."""
+
+    def __init__(
+        self, agreements: Optional[Iterable[ServiceLevelAgreement]] = None
+    ) -> None:
+        self._by_service: Dict[str, ServiceLevelAgreement] = {}
+        for agreement in agreements or []:
+            self.register(agreement)
+
+    def register(self, agreement: ServiceLevelAgreement) -> None:
+        if agreement.service_name in self._by_service:
+            raise ValueError(
+                f"service {agreement.service_name!r} already has an SLA"
+            )
+        self._by_service[agreement.service_name] = agreement
+
+    def agreement_for(self, service_name: str) -> Optional[ServiceLevelAgreement]:
+        return self._by_service.get(service_name)
+
+    @property
+    def agreements(self) -> List[ServiceLevelAgreement]:
+        return list(self._by_service.values())
+
+    def __contains__(self, service_name: str) -> bool:
+        return service_name in self._by_service
+
+    def __len__(self) -> int:
+        return len(self._by_service)

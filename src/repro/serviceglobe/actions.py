@@ -1,0 +1,77 @@
+"""Management actions and their error taxonomy.
+
+The nine actions of Table 2 are defined in :class:`repro.config.model.Action`;
+this module adds the execution-side vocabulary: outcomes for the audit log
+and the errors raised when an action cannot be carried out.  The
+controller's Figure 6 loop catches :class:`ActionError` and falls back to
+the next-best host or action.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.config.model import Action
+
+__all__ = [
+    "ActionError",
+    "ActionNotAllowed",
+    "ConstraintViolation",
+    "NoSuchTarget",
+    "ActionOutcome",
+]
+
+
+class ActionError(RuntimeError):
+    """Base class: an action could not be executed."""
+
+
+class ActionNotAllowed(ActionError):
+    """The service's declarative constraints do not permit this action.
+
+    Example: "a traditional SAP database service does not support a
+    scale-out.  Thus, the action scale-out is not possible for such a
+    service."
+    """
+
+
+class ConstraintViolation(ActionError):
+    """Executing the action would violate a constraint at runtime.
+
+    Examples: exceeding max_instances, dropping below min_instances,
+    hosting on a server below the minimum performance index, breaking
+    exclusivity, or exhausting host memory.
+    """
+
+
+class NoSuchTarget(ActionError):
+    """The referenced service, instance or host does not exist."""
+
+
+@dataclass(frozen=True)
+class ActionOutcome:
+    """Audit record of one executed action (Section 4.3: actions are logged)."""
+
+    time: int
+    action: Action
+    service_name: str
+    instance_id: Optional[str] = None
+    source_host: Optional[str] = None
+    target_host: Optional[str] = None
+    applicability: Optional[float] = None
+    note: str = ""
+
+    def __str__(self) -> str:
+        parts = [f"t={self.time}", self.action.value, self.service_name]
+        if self.instance_id:
+            parts.append(self.instance_id)
+        if self.source_host and self.target_host:
+            parts.append(f"{self.source_host}->{self.target_host}")
+        elif self.target_host:
+            parts.append(f"on {self.target_host}")
+        elif self.source_host:
+            parts.append(f"on {self.source_host}")
+        if self.applicability is not None:
+            parts.append(f"({self.applicability:.0%})")
+        return " ".join(parts)

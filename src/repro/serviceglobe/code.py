@@ -1,0 +1,137 @@
+"""Mobile code distribution.
+
+"The key innovation of ServiceGlobe is its support for mobile code,
+i.e., services can be distributed and instantiated during runtime on
+demand at arbitrary servers participating in the ServiceGlobe
+federation."  (Section 2)
+
+The :class:`CodeRepository` is the federation's store of service code
+bundles.  When an instance is started on a host that has never run the
+service, the host *fetches* the bundle (a deployment); subsequent starts
+hit the host's local cache.  Bundles are versioned; publishing a new
+version invalidates every cache so the next start re-fetches.
+
+The repository is bookkeeping, not an execution sandbox: it tracks which
+code travelled where — the property that makes "start an instance on an
+arbitrary host" possible at all — and exposes deployment statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+__all__ = ["CodeBundle", "Deployment", "CodeRepository"]
+
+
+@dataclass(frozen=True)
+class CodeBundle:
+    """One version of a service's deployable code."""
+
+    service_name: str
+    version: int
+    size_mb: float = 50.0
+    checksum: str = ""
+
+    def __post_init__(self) -> None:
+        if self.version < 1:
+            raise ValueError("bundle versions start at 1")
+        if self.size_mb <= 0:
+            raise ValueError("bundle size must be positive")
+        if not self.checksum:
+            digest = hash((self.service_name, self.version, self.size_mb))
+            object.__setattr__(self, "checksum", f"sha-{digest & 0xFFFFFFFF:08x}")
+
+
+@dataclass(frozen=True)
+class Deployment:
+    """A bundle fetched onto a host."""
+
+    bundle: CodeBundle
+    host_name: str
+    fetched_at: int
+
+
+class CodeRepository:
+    """The federation's service-code store with per-host caches."""
+
+    def __init__(self) -> None:
+        self._bundles: Dict[str, CodeBundle] = {}
+        self._caches: Dict[str, Dict[str, CodeBundle]] = {}
+        self.deployments: List[Deployment] = []
+
+    # -- publishing ---------------------------------------------------------------
+
+    def publish(self, bundle: CodeBundle) -> CodeBundle:
+        """Publish a bundle version; must be newer than the current one.
+
+        Publishing invalidates every host cache of the service, so the
+        next instance start re-fetches the new version.
+        """
+        current = self._bundles.get(bundle.service_name)
+        if current is not None and bundle.version <= current.version:
+            raise ValueError(
+                f"{bundle.service_name}: version {bundle.version} is not newer "
+                f"than the published version {current.version}"
+            )
+        self._bundles[bundle.service_name] = bundle
+        for cache in self._caches.values():
+            cache.pop(bundle.service_name, None)
+        return bundle
+
+    def published(self, service_name: str) -> Optional[CodeBundle]:
+        return self._bundles.get(service_name)
+
+    # -- fetching -----------------------------------------------------------------------
+
+    def ensure_deployed(
+        self, service_name: str, host_name: str, now: int = 0
+    ) -> Tuple[CodeBundle, bool]:
+        """Make the service's code available on a host.
+
+        Returns ``(bundle, fetched)`` where ``fetched`` says whether the
+        code had to travel (cache miss) or was already present.
+        """
+        bundle = self._bundles.get(service_name)
+        if bundle is None:
+            raise KeyError(f"no code bundle published for {service_name!r}")
+        cache = self._caches.setdefault(host_name, {})
+        cached = cache.get(service_name)
+        if cached is not None and cached.version == bundle.version:
+            return bundle, False
+        cache[service_name] = bundle
+        self.deployments.append(Deployment(bundle, host_name, now))
+        return bundle, True
+
+    def cached_on(self, host_name: str) -> Set[str]:
+        """Service names whose current code a host holds."""
+        bundles = self._caches.get(host_name, {})
+        return {
+            name
+            for name, bundle in bundles.items()
+            if self._bundles.get(name) is not None
+            and self._bundles[name].version == bundle.version
+        }
+
+    def evict(self, host_name: str, service_name: Optional[str] = None) -> None:
+        """Drop a host's cache (one service, or everything)."""
+        cache = self._caches.get(host_name)
+        if cache is None:
+            return
+        if service_name is None:
+            cache.clear()
+        else:
+            cache.pop(service_name, None)
+
+    # -- statistics ----------------------------------------------------------------------------
+
+    def transfer_volume_mb(self) -> float:
+        """Total megabytes of code that travelled across the federation."""
+        return sum(d.bundle.size_mb for d in self.deployments)
+
+    def fetch_count(self, service_name: Optional[str] = None) -> int:
+        if service_name is None:
+            return len(self.deployments)
+        return sum(
+            1 for d in self.deployments if d.bundle.service_name == service_name
+        )

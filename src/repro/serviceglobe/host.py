@@ -1,0 +1,92 @@
+"""Service hosts: runtime capacity bookkeeping for one server."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.config.model import ServerSpec
+from repro.serviceglobe.service import ServiceInstance
+
+__all__ = ["ServiceHost"]
+
+
+@dataclass
+class ServiceHost:
+    """A server participating in the ServiceGlobe federation.
+
+    CPU capacity equals the server's performance index: a host with
+    index ``p`` saturates at a total instance demand of ``p`` units.
+    """
+
+    spec: ServerSpec
+    instances: List[ServiceInstance] = field(default_factory=list)
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    @property
+    def performance_index(self) -> float:
+        return self.spec.performance_index
+
+    @property
+    def cpu_capacity(self) -> float:
+        return self.spec.performance_index
+
+    # -- instance bookkeeping ------------------------------------------------
+
+    def attach(self, instance: ServiceInstance) -> None:
+        if instance in self.instances:
+            raise ValueError(f"{instance} is already attached to {self.name}")
+        self.instances.append(instance)
+
+    def detach(self, instance: ServiceInstance) -> None:
+        try:
+            self.instances.remove(instance)
+        except ValueError:
+            raise ValueError(f"{instance} is not attached to {self.name}") from None
+
+    @property
+    def running_instances(self) -> List[ServiceInstance]:
+        return [i for i in self.instances if i.running]
+
+    def instances_of(self, service_name: str) -> List[ServiceInstance]:
+        return [i for i in self.running_instances if i.service_name == service_name]
+
+    @property
+    def service_names(self) -> List[str]:
+        seen = {}
+        for instance in self.running_instances:
+            seen.setdefault(instance.service_name, None)
+        return list(seen)
+
+    # -- load ------------------------------------------------------------------
+
+    @property
+    def total_demand(self) -> float:
+        """Aggregate CPU demand of all running instances (may exceed capacity)."""
+        return sum(i.demand for i in self.running_instances)
+
+    @property
+    def cpu_load(self) -> float:
+        """Observable CPU load in [0, 1]; a saturated CPU reads 100%."""
+        return min(self.total_demand / self.cpu_capacity, 1.0)
+
+    @property
+    def overload_factor(self) -> float:
+        """Demand over capacity; > 1 means work is being delayed."""
+        return self.total_demand / self.cpu_capacity
+
+    # -- memory -------------------------------------------------------------------
+
+    def memory_used_mb(self, memory_of) -> int:
+        """Total memory footprint, given ``memory_of(service_name) -> int``."""
+        return sum(memory_of(i.service_name) for i in self.running_instances)
+
+    def memory_free_mb(self, memory_of) -> int:
+        return self.spec.memory_mb - self.memory_used_mb(memory_of)
+
+    def mem_load(self, memory_of) -> float:
+        """Memory load in [0, 1]."""
+        return min(self.memory_used_mb(memory_of) / self.spec.memory_mb, 1.0)

@@ -1,0 +1,163 @@
+"""Request-level service invocation.
+
+ServiceGlobe executes Web-service requests against service instances
+reachable under virtual IPs.  This module models that call path at the
+level the paper's evaluation reasons about: "if a host running an
+interactive service is overloaded, the service requires more time to
+process the requests and, therefore, delays new requests".
+
+:class:`ServiceInvoker` resolves a service name through the registry,
+picks an instance (least-loaded routing), and computes the request's
+response time from the utilization of every host on the request path
+(application server -> central instance -> database) with an M/M/1-style
+delay factor ``1 / (1 - utilization)`` capped at :attr:`max_slowdown`.
+The resulting response times feed the QoS management extension.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.config.model import ServiceKind
+from repro.serviceglobe.platform import Platform
+from repro.serviceglobe.service import ServiceInstance
+
+__all__ = ["RequestOutcome", "LatencyModel", "ServiceInvoker"]
+
+
+@dataclass(frozen=True)
+class LatencyModel:
+    """Service times (milliseconds) of one request's path segments.
+
+    The defaults model an interactive OLTP request: a few milliseconds
+    of application-server work, a short lock-management round trip at
+    the central instance and a database call.
+    """
+
+    app_service_ms: float = 40.0
+    ci_service_ms: float = 5.0
+    db_service_ms: float = 25.0
+    #: Queueing delay factor is capped; a saturated host slows requests
+    #: down by at most this factor instead of diverging.
+    max_slowdown: float = 20.0
+
+    def delay_factor(self, utilization: float, priority: int = 5) -> float:
+        """M/M/1-style slowdown ``1 / (1 - u)``, capped and priority-weighted.
+
+        Priorities model the platform's weighted CPU sharing (the
+        increase-/reduce-priority actions of Table 2): relative to the
+        neutral priority 5, a higher priority dampens the queueing
+        exponent, a lower one amplifies it.  At priority 10 a saturated
+        host slows the service down by only ``sqrt(max_slowdown)``; at
+        priority 1 low-priority work all but starves.
+        """
+        if utilization >= 1.0:
+            raw = self.max_slowdown
+        else:
+            raw = min(1.0 / (1.0 - utilization), self.max_slowdown)
+        exponent = 5.0 / max(min(priority, 10), 1)
+        return min(raw ** exponent, self.max_slowdown ** exponent)
+
+
+@dataclass(frozen=True)
+class RequestOutcome:
+    """One simulated request."""
+
+    service_name: str
+    instance_id: str
+    host_name: str
+    response_time_ms: float
+    path: Dict[str, float] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        return (
+            f"{self.service_name} via {self.instance_id}@{self.host_name}: "
+            f"{self.response_time_ms:.0f} ms"
+        )
+
+
+class ServiceInvoker:
+    """Routes requests to service instances and models response times."""
+
+    def __init__(
+        self, platform: Platform, latency: Optional[LatencyModel] = None
+    ) -> None:
+        self.platform = platform
+        self.latency = latency if latency is not None else LatencyModel()
+        self._ci_of: Dict[str, str] = {}
+        self._db_of: Dict[str, str] = {}
+        for spec in platform.landscape.services:
+            if spec.kind is ServiceKind.CENTRAL_INSTANCE:
+                self._ci_of[spec.subsystem] = spec.name
+            elif spec.kind is ServiceKind.DATABASE:
+                self._db_of[spec.subsystem] = spec.name
+
+    # -- routing ---------------------------------------------------------------
+
+    def route(self, service_name: str) -> ServiceInstance:
+        """Pick the target instance: least-loaded routing via the registry."""
+        instances = self.platform.registry.instances_of(service_name)
+        target = self.platform.dispatcher.least_loaded(instances)
+        if target is None:
+            raise LookupError(f"no running instance of {service_name!r}")
+        return target
+
+    def _segment_ms(self, service_name: Optional[str], base_ms: float) -> float:
+        """Response-time contribution of one path segment."""
+        if service_name is None:
+            return 0.0
+        instances = self.platform.registry.instances_of(service_name)
+        target = self.platform.dispatcher.least_loaded(instances)
+        if target is None:
+            # the tier is down: the request stalls at the cap
+            return base_ms * self.latency.max_slowdown
+        utilization = self.platform.host(target.host_name).cpu_load
+        priority = self.platform.service(service_name).priority
+        return base_ms * self.latency.delay_factor(utilization, priority)
+
+    # -- invocation ------------------------------------------------------------------
+
+    def invoke(self, service_name: str) -> RequestOutcome:
+        """Simulate the course of one request (Section 5.1).
+
+        The request "increases the load of the affected service host for
+        a short period", consults the subsystem's central instance for
+        lock management and finally the database; the response time sums
+        the utilization-dependent delays along that path.
+        """
+        instance = self.route(service_name)
+        definition = self.platform.service(service_name)
+        spec = definition.spec
+        app_host = self.platform.host(instance.host_name)
+        path: Dict[str, float] = {}
+        path["app"] = self.latency.app_service_ms * self.latency.delay_factor(
+            app_host.cpu_load, definition.priority
+        )
+        path["ci"] = self._segment_ms(
+            self._ci_of.get(spec.subsystem), self.latency.ci_service_ms
+        )
+        path["db"] = self._segment_ms(
+            self._db_of.get(spec.subsystem), self.latency.db_service_ms
+        )
+        return RequestOutcome(
+            service_name=service_name,
+            instance_id=instance.instance_id,
+            host_name=instance.host_name,
+            response_time_ms=sum(path.values()),
+            path=path,
+        )
+
+    def sample_response_time(self, service_name: str) -> float:
+        """Response time of one request right now, in milliseconds."""
+        return self.invoke(service_name).response_time_ms
+
+    def nominal_response_time(self, service_name: str) -> float:
+        """Response time on an idle path (the best case)."""
+        spec = self.platform.service(service_name).spec
+        total = self.latency.app_service_ms
+        if self._ci_of.get(spec.subsystem):
+            total += self.latency.ci_service_ms
+        if self._db_of.get(spec.subsystem):
+            total += self.latency.db_service_ms
+        return total

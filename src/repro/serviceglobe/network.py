@@ -1,0 +1,83 @@
+"""Virtual service IPs.
+
+"Services managed by the AutoGlobe platform are virtualized by the use of
+service IP addresses [...].  If a service is moved from one host to
+another, the virtual IP address is unbound from the NIC of the old host
+[...] and afterwards bound to the NIC of the target host.  Consequently,
+services are decoupled from servers."  (Section 2)
+
+:class:`NetworkFabric` is the bookkeeping for this mechanism: it allocates
+virtual IPs and tracks which host's NIC each IP is currently bound to.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+__all__ = ["VirtualIP", "NetworkFabric", "NetworkError"]
+
+
+class NetworkError(RuntimeError):
+    """Raised on inconsistent bind/unbind operations."""
+
+
+@dataclass(frozen=True)
+class VirtualIP:
+    """A virtual service IP address."""
+
+    address: str
+
+    def __str__(self) -> str:
+        return self.address
+
+
+class NetworkFabric:
+    """Allocates virtual IPs and binds them to host NICs."""
+
+    def __init__(self, prefix: str = "10.83") -> None:
+        self._prefix = prefix
+        self._next_suffix = 1
+        self._bindings: Dict[VirtualIP, str] = {}
+
+    def allocate(self) -> VirtualIP:
+        """Allocate a fresh, unbound virtual IP."""
+        suffix = self._next_suffix
+        self._next_suffix += 1
+        third, fourth = divmod(suffix, 254)
+        if third > 254:
+            raise NetworkError("virtual IP space exhausted")
+        return VirtualIP(f"{self._prefix}.{third}.{fourth + 1}")
+
+    def bind(self, ip: VirtualIP, host_name: str) -> None:
+        """Bind a virtual IP to a host's NIC.  The IP must be unbound."""
+        if ip in self._bindings:
+            raise NetworkError(
+                f"{ip} is already bound to {self._bindings[ip]!r}; unbind first"
+            )
+        self._bindings[ip] = host_name
+
+    def unbind(self, ip: VirtualIP) -> str:
+        """Unbind a virtual IP; returns the host it was bound to."""
+        try:
+            return self._bindings.pop(ip)
+        except KeyError:
+            raise NetworkError(f"{ip} is not bound") from None
+
+    def rebind(self, ip: VirtualIP, target_host: str) -> Tuple[str, str]:
+        """Atomically move a binding (the service-move primitive).
+
+        Returns ``(old_host, new_host)``.
+        """
+        old_host = self.unbind(ip)
+        self.bind(ip, target_host)
+        return old_host, target_host
+
+    def host_of(self, ip: VirtualIP) -> Optional[str]:
+        return self._bindings.get(ip)
+
+    def bindings_on(self, host_name: str) -> Tuple[VirtualIP, ...]:
+        return tuple(ip for ip, host in self._bindings.items() if host == host_name)
+
+    def __len__(self) -> int:
+        return len(self._bindings)

@@ -1,0 +1,480 @@
+"""The ServiceGlobe federation: hosts + services + action execution.
+
+:class:`Platform` owns the runtime state of one landscape: service hosts,
+service definitions with their instances, the network fabric binding
+virtual IPs, the registry and the dispatcher.  It executes the nine
+management actions of Table 2 while enforcing the declarative constraints
+(allowed actions, exclusivity, minimum performance index, instance
+bounds, host memory).
+
+The platform enforces *hard* constraints; soft concerns (protection mode,
+watch times, applicability thresholds) belong to the controller.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.config.model import Action, LandscapeSpec, ServiceSpec
+from repro.config.validation import validate_landscape
+from repro.serviceglobe.actions import (
+    ActionError,
+    ActionNotAllowed,
+    ActionOutcome,
+    ConstraintViolation,
+    NoSuchTarget,
+)
+from repro.serviceglobe.code import CodeBundle, CodeRepository
+from repro.serviceglobe.dispatcher import Dispatcher, UserDistribution
+from repro.serviceglobe.host import ServiceHost
+from repro.serviceglobe.network import NetworkFabric
+from repro.serviceglobe.registry import ServiceRegistry
+from repro.serviceglobe.service import (
+    InstanceState,
+    ServiceDefinition,
+    ServiceInstance,
+)
+
+__all__ = ["Platform"]
+
+
+class Platform:
+    """Runtime platform for one landscape.
+
+    Parameters
+    ----------
+    landscape:
+        The validated landscape description.  The initial allocation is
+        instantiated immediately.
+    user_distribution:
+        Session policy applied after structural actions:
+        :attr:`UserDistribution.STICKY` leaves sessions where they are
+        (constrained mobility); :attr:`UserDistribution.REDISTRIBUTE`
+        rebalances all of a service's users equally after every
+        instance-set change (full mobility).
+    clock:
+        Callable returning the current simulated minute, used to stamp
+        audit records.
+    """
+
+    def __init__(
+        self,
+        landscape: LandscapeSpec,
+        user_distribution: UserDistribution = UserDistribution.STICKY,
+        clock: Optional[Callable[[], int]] = None,
+    ) -> None:
+        validate_landscape(landscape)
+        self.landscape = landscape
+        self.user_distribution = user_distribution
+        #: Current simulated minute; advanced by whoever drives the platform.
+        self.current_time = 0
+        self._clock = clock if clock is not None else (lambda: self.current_time)
+        self.fabric = NetworkFabric()
+        self.registry = ServiceRegistry()
+        self.hosts: Dict[str, ServiceHost] = {
+            spec.name: ServiceHost(spec) for spec in landscape.servers
+        }
+        self.services: Dict[str, ServiceDefinition] = {}
+        for spec in landscape.services:
+            definition = ServiceDefinition(spec)
+            self.services[spec.name] = definition
+            self.registry.register(definition)
+        self.dispatcher = Dispatcher(
+            host_load=lambda i: self.hosts[i.host_name].cpu_load,
+            host_capacity=lambda i: self.hosts[i.host_name].cpu_capacity,
+        )
+        # mobile code: every service's bundle is published to the
+        # federation's repository; hosts fetch it on their first start
+        self.code_repository = CodeRepository()
+        for spec in landscape.services:
+            self.code_repository.publish(CodeBundle(spec.name, version=1))
+        self.audit_log: List[ActionOutcome] = []
+        # per-platform instance numbering keeps runs deterministic: ids
+        # (and their tie-breaking order) never depend on other platforms
+        self._instance_sequence = 0
+        for service_name, host_name in landscape.initial_allocation:
+            self._materialize_instance(service_name, host_name)
+
+    # -- lookups ------------------------------------------------------------------
+
+    def host(self, name: str) -> ServiceHost:
+        try:
+            return self.hosts[name]
+        except KeyError:
+            raise NoSuchTarget(f"unknown host {name!r}") from None
+
+    def service(self, name: str) -> ServiceDefinition:
+        try:
+            return self.services[name]
+        except KeyError:
+            raise NoSuchTarget(f"unknown service {name!r}") from None
+
+    def instance(self, instance_id: str) -> ServiceInstance:
+        for definition in self.services.values():
+            found = definition.find_instance(instance_id)
+            if found is not None:
+                return found
+        raise NoSuchTarget(f"unknown instance {instance_id!r}")
+
+    def all_instances(self) -> List[ServiceInstance]:
+        return [
+            instance
+            for definition in self.services.values()
+            for instance in definition.running_instances
+        ]
+
+    def memory_of(self, service_name: str) -> int:
+        return self.service(service_name).spec.workload.memory_per_instance_mb
+
+    # -- feasibility ---------------------------------------------------------------
+
+    def can_host(self, service_name: str, host_name: str) -> Optional[str]:
+        """Why ``host_name`` cannot run another instance of ``service_name``,
+        or ``None`` if it can.
+
+        Checks minimum performance index, exclusivity (both directions)
+        and memory.  Used both by action execution and by the
+        server-selection controller to pre-filter candidates.
+        """
+        service = self.service(service_name)
+        host = self.host(host_name)
+        constraints = service.spec.constraints
+        if host.performance_index < constraints.min_performance_index:
+            return (
+                f"performance index {host.performance_index} below required "
+                f"{constraints.min_performance_index}"
+            )
+        others = [n for n in host.service_names if n != service_name]
+        if constraints.exclusive and others:
+            return f"service is exclusive but host runs {', '.join(others)}"
+        for other_name in others:
+            if self.service(other_name).spec.constraints.exclusive:
+                return f"host is reserved exclusively for {other_name}"
+        free = host.memory_free_mb(self.memory_of)
+        needed = service.spec.workload.memory_per_instance_mb
+        if needed > free:
+            return f"needs {needed} MB but only {free} MB free"
+        return None
+
+    def eligible_hosts(self, service_name: str) -> List[ServiceHost]:
+        """All hosts that could physically run another instance now."""
+        return [
+            host
+            for host in self.hosts.values()
+            if self.can_host(service_name, host.name) is None
+        ]
+
+    # -- primitive operations -----------------------------------------------------------
+
+    def _materialize_instance(
+        self, service_name: str, host_name: str
+    ) -> ServiceInstance:
+        """Create, bind and publish a new instance (no constraint checks).
+
+        The host fetches the service's code bundle first (mobile code):
+        on a cache miss the code travels, otherwise the cached bundle is
+        reused.
+        """
+        service = self.service(service_name)
+        host = self.host(host_name)
+        self.code_repository.ensure_deployed(service_name, host_name, self._clock())
+        ip = self.fabric.allocate()
+        self._instance_sequence += 1
+        instance = ServiceInstance(
+            service_name=service_name,
+            host_name=host_name,
+            virtual_ip=ip,
+            instance_id=f"{service_name}#{self._instance_sequence:03d}",
+            started_at=self._clock(),
+        )
+        self.fabric.bind(ip, host_name)
+        host.attach(instance)
+        service.instances.append(instance)
+        self.registry.publish_instance(instance)
+        return instance
+
+    def _start_instance(self, service_name: str, host_name: str) -> ServiceInstance:
+        service = self.service(service_name)
+        constraints = service.spec.constraints
+        running = len(service.running_instances)
+        if constraints.max_instances is not None and running >= constraints.max_instances:
+            raise ConstraintViolation(
+                f"{service_name}: already at maximum of "
+                f"{constraints.max_instances} instances"
+            )
+        reason = self.can_host(service_name, host_name)
+        if reason is not None:
+            raise ConstraintViolation(f"{service_name} on {host_name}: {reason}")
+        return self._materialize_instance(service_name, host_name)
+
+    def _stop_instance(self, instance: ServiceInstance, enforce_min: bool = True) -> None:
+        service = self.service(instance.service_name)
+        if not instance.running:
+            raise ConstraintViolation(f"{instance} is not running")
+        running = service.running_instances
+        if enforce_min and len(running) - 1 < service.spec.constraints.min_instances:
+            raise ConstraintViolation(
+                f"{service.name}: stopping {instance.instance_id} would drop below "
+                f"the minimum of {service.spec.constraints.min_instances} instances"
+            )
+        remaining = [i for i in running if i is not instance]
+        self.dispatcher.displace_users(instance, remaining)
+        instance.state = InstanceState.STOPPED
+        instance.demand = 0.0
+        self.host(instance.host_name).detach(instance)
+        self.registry.withdraw_instance(instance)
+        self.fabric.unbind(instance.virtual_ip)
+
+    def _move_instance(self, instance: ServiceInstance, target_host: str) -> None:
+        """Relocate an instance; its users and virtual IP follow."""
+        if not instance.running:
+            raise ConstraintViolation(f"{instance} is not running")
+        if instance.host_name == target_host:
+            raise ConstraintViolation(f"{instance} already runs on {target_host}")
+        source = self.host(instance.host_name)
+        source.detach(instance)
+        try:
+            reason = self.can_host(instance.service_name, target_host)
+            if reason is not None:
+                raise ConstraintViolation(
+                    f"{instance.service_name} on {target_host}: {reason}"
+                )
+        except ActionError:
+            source.attach(instance)
+            raise
+        # the target host needs the service's code before it can take over
+        self.code_repository.ensure_deployed(
+            instance.service_name, target_host, self._clock()
+        )
+        self.fabric.rebind(instance.virtual_ip, target_host)
+        instance.host_name = target_host
+        self.host(target_host).attach(instance)
+
+    def crash_instance(self, instance_id: str) -> ServiceInstance:
+        """Simulate a program crash: the instance dies without any
+        constraint enforcement; its users reconnect to the surviving
+        instances (or are dropped if none remain).  Used by failure
+        injection; the controller's self-healing path restarts crashed
+        services (Section 2: "Failure situations like a program crash are
+        remedied for example with a restart")."""
+        instance = self.instance(instance_id)
+        if not instance.running:
+            raise ConstraintViolation(f"{instance} is not running")
+        self._stop_instance(instance, enforce_min=False)
+        return instance
+
+    # -- action execution ------------------------------------------------------------------
+
+    def execute(
+        self,
+        action: Action,
+        service_name: str,
+        instance_id: Optional[str] = None,
+        target_host: Optional[str] = None,
+        applicability: Optional[float] = None,
+        enforce_allowed: bool = True,
+        note: str = "",
+    ) -> ActionOutcome:
+        """Execute one management action (Table 2).
+
+        Raises :class:`ActionError` subclasses when the action is not
+        permitted or not executable; on success appends an
+        :class:`ActionOutcome` to :attr:`audit_log` and returns it.
+        """
+        service = self.service(service_name)
+        if enforce_allowed and not service.spec.constraints.allows(action):
+            raise ActionNotAllowed(
+                f"{service_name} does not support {action.value} "
+                f"(declared constraints)"
+            )
+        handler = {
+            Action.START: self._execute_start,
+            Action.STOP: self._execute_stop,
+            Action.SCALE_OUT: self._execute_scale_out,
+            Action.SCALE_IN: self._execute_scale_in,
+            Action.SCALE_UP: self._execute_scale_up,
+            Action.SCALE_DOWN: self._execute_scale_down,
+            Action.MOVE: self._execute_move,
+            Action.INCREASE_PRIORITY: self._execute_increase_priority,
+            Action.REDUCE_PRIORITY: self._execute_reduce_priority,
+        }[action]
+        outcome = handler(service, instance_id, target_host)
+        outcome = ActionOutcome(
+            time=outcome.time,
+            action=outcome.action,
+            service_name=outcome.service_name,
+            instance_id=outcome.instance_id,
+            source_host=outcome.source_host,
+            target_host=outcome.target_host,
+            applicability=applicability,
+            note=note or outcome.note,
+        )
+        self.audit_log.append(outcome)
+        return outcome
+
+    # Individual handlers.  Each returns a provisional ActionOutcome; the
+    # applicability/note stamping happens in execute().
+
+    def _require_target(self, target_host: Optional[str]) -> str:
+        if target_host is None:
+            raise ActionError("this action requires a target host")
+        return target_host
+
+    def _pick_instance(
+        self, service: ServiceDefinition, instance_id: Optional[str]
+    ) -> ServiceInstance:
+        if instance_id is not None:
+            instance = service.find_instance(instance_id)
+            if instance is None:
+                raise NoSuchTarget(
+                    f"service {service.name!r} has no instance {instance_id!r}"
+                )
+            return instance
+        running = service.running_instances
+        if not running:
+            raise ConstraintViolation(f"{service.name} has no running instances")
+        # default: the instance on the most loaded host (the one in trouble)
+        return max(
+            running,
+            key=lambda i: (self.hosts[i.host_name].cpu_load, i.instance_id),
+        )
+
+    def _rebalance(self, service: ServiceDefinition) -> None:
+        if self.user_distribution is UserDistribution.REDISTRIBUTE:
+            self.dispatcher.redistribute_equally(service.running_instances)
+
+    def _execute_start(self, service, instance_id, target_host) -> ActionOutcome:
+        target = self._require_target(target_host)
+        if service.running_instances:
+            raise ConstraintViolation(
+                f"{service.name} is already running; use scaleOut to add instances"
+            )
+        instance = self._start_instance(service.name, target)
+        return ActionOutcome(
+            self._clock(), Action.START, service.name, instance.instance_id,
+            target_host=target,
+        )
+
+    def _execute_stop(self, service, instance_id, target_host) -> ActionOutcome:
+        if service.spec.constraints.min_instances > 0:
+            raise ConstraintViolation(
+                f"{service.name} must keep at least "
+                f"{service.spec.constraints.min_instances} instances running"
+            )
+        for instance in list(service.running_instances):
+            self._stop_instance(instance, enforce_min=False)
+        return ActionOutcome(self._clock(), Action.STOP, service.name)
+
+    def _execute_scale_out(self, service, instance_id, target_host) -> ActionOutcome:
+        target = self._require_target(target_host)
+        if not service.running_instances:
+            raise ConstraintViolation(f"{service.name} is stopped; use start")
+        instance = self._start_instance(service.name, target)
+        self._rebalance(service)
+        return ActionOutcome(
+            self._clock(), Action.SCALE_OUT, service.name, instance.instance_id,
+            target_host=target,
+        )
+
+    def _execute_scale_in(self, service, instance_id, target_host) -> ActionOutcome:
+        instance = self._pick_instance(service, instance_id)
+        if len(service.running_instances) <= 1:
+            raise ConstraintViolation(
+                f"{service.name}: scale-in of the last instance is not allowed"
+            )
+        source = instance.host_name
+        self._stop_instance(instance)
+        self._rebalance(service)
+        return ActionOutcome(
+            self._clock(), Action.SCALE_IN, service.name, instance.instance_id,
+            source_host=source,
+        )
+
+    def _relocate(self, action, service, instance_id, target_host, check) -> ActionOutcome:
+        target = self._require_target(target_host)
+        instance = self._pick_instance(service, instance_id)
+        source = instance.host_name
+        source_index = self.host(source).performance_index
+        target_index = self.host(target).performance_index
+        problem = check(source_index, target_index)
+        if problem:
+            raise ConstraintViolation(
+                f"{action.value} {service.name} {source}->{target}: {problem}"
+            )
+        self._move_instance(instance, target)
+        self._rebalance(service)
+        return ActionOutcome(
+            self._clock(), action, service.name, instance.instance_id,
+            source_host=source, target_host=target,
+        )
+
+    def _execute_scale_up(self, service, instance_id, target_host) -> ActionOutcome:
+        return self._relocate(
+            Action.SCALE_UP, service, instance_id, target_host,
+            lambda s, t: None if t > s else
+            f"target index {t} not above source index {s}",
+        )
+
+    def _execute_scale_down(self, service, instance_id, target_host) -> ActionOutcome:
+        return self._relocate(
+            Action.SCALE_DOWN, service, instance_id, target_host,
+            lambda s, t: None if t < s else
+            f"target index {t} not below source index {s}",
+        )
+
+    def _execute_move(self, service, instance_id, target_host) -> ActionOutcome:
+        return self._relocate(
+            Action.MOVE, service, instance_id, target_host,
+            lambda s, t: None if t == s else
+            f"move requires an equivalently powerful host (indices {s} vs {t})",
+        )
+
+    def _execute_increase_priority(self, service, instance_id, target_host):
+        service.adjust_priority(+1)
+        return ActionOutcome(
+            self._clock(), Action.INCREASE_PRIORITY, service.name,
+            note=f"priority now {service.priority}",
+        )
+
+    def _execute_reduce_priority(self, service, instance_id, target_host):
+        service.adjust_priority(-1)
+        return ActionOutcome(
+            self._clock(), Action.REDUCE_PRIORITY, service.name,
+            note=f"priority now {service.priority}",
+        )
+
+    # -- measurements (read by the monitoring framework) ---------------------------------
+
+    def host_cpu_load(self, host_name: str) -> float:
+        return self.host(host_name).cpu_load
+
+    def host_mem_load(self, host_name: str) -> float:
+        return self.host(host_name).mem_load(self.memory_of)
+
+    def instance_load(self, instance: ServiceInstance) -> float:
+        """The instance's own demand relative to its host's capacity."""
+        return min(instance.demand / self.host(instance.host_name).cpu_capacity, 1.0)
+
+    def service_load(self, service_name: str) -> float:
+        """Average load of all instances of a service (Table 1)."""
+        instances = self.service(service_name).running_instances
+        if not instances:
+            return 0.0
+        return sum(self.instance_load(i) for i in instances) / len(instances)
+
+    def service_demand(self, service_name: str) -> float:
+        """Total CPU demand of a service in performance-index units.
+
+        Unlike :meth:`service_load`, the total demand is invariant under
+        scale-out and relocation, which makes it the right quantity for
+        the load-forecasting extension: the daily pattern of a service's
+        demand is not polluted by the controller's own remedies.
+        """
+        return sum(i.demand for i in self.service(service_name).running_instances)
+
+    def service_capacity(self, service_name: str) -> float:
+        """Total performance index of the hosts running the service."""
+        return sum(
+            self.host(i.host_name).cpu_capacity
+            for i in self.service(service_name).running_instances
+        )

@@ -1,0 +1,69 @@
+"""Service registry: UDDI-style lookup of services and instances.
+
+ServiceGlobe is "based on standards like XML, SOAP, UDDI, and WSDL"; the
+registry is the platform's lookup facility mapping service names to their
+definitions and virtual IPs to the instances currently reachable there.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.serviceglobe.network import VirtualIP
+from repro.serviceglobe.service import ServiceDefinition, ServiceInstance
+
+__all__ = ["ServiceRegistry", "RegistryError"]
+
+
+class RegistryError(KeyError):
+    """Raised for lookups of unknown services or instances."""
+
+
+class ServiceRegistry:
+    """Directory of service definitions and their running instances."""
+
+    def __init__(self) -> None:
+        self._services: Dict[str, ServiceDefinition] = {}
+        self._by_ip: Dict[VirtualIP, ServiceInstance] = {}
+
+    # -- services ---------------------------------------------------------------
+
+    def register(self, definition: ServiceDefinition) -> None:
+        if definition.name in self._services:
+            raise RegistryError(f"service {definition.name!r} is already registered")
+        self._services[definition.name] = definition
+
+    def service(self, name: str) -> ServiceDefinition:
+        try:
+            return self._services[name]
+        except KeyError:
+            raise RegistryError(f"unknown service {name!r}") from None
+
+    @property
+    def services(self) -> List[ServiceDefinition]:
+        return list(self._services.values())
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._services
+
+    # -- instances --------------------------------------------------------------
+
+    def publish_instance(self, instance: ServiceInstance) -> None:
+        """Make an instance discoverable under its virtual IP."""
+        self.service(instance.service_name)  # must be registered
+        self._by_ip[instance.virtual_ip] = instance
+
+    def withdraw_instance(self, instance: ServiceInstance) -> None:
+        self._by_ip.pop(instance.virtual_ip, None)
+
+    def instance_at(self, ip: VirtualIP) -> Optional[ServiceInstance]:
+        return self._by_ip.get(ip)
+
+    def instances_of(self, service_name: str) -> List[ServiceInstance]:
+        return self.service(service_name).running_instances
+
+    def endpoints_of(self, service_name: str) -> List[Tuple[VirtualIP, str]]:
+        """(virtual IP, host) pairs of a service's running instances."""
+        return [
+            (i.virtual_ip, i.host_name) for i in self.instances_of(service_name)
+        ]

@@ -1,0 +1,138 @@
+"""The platform's security system.
+
+"Of course, ServiceGlobe offers all the standard functionality of a
+service platform like a transaction system and a security system."
+(Section 2, referencing the TES'01 security paper.)
+
+For the management plane, security means: who may execute which
+management actions?  The model is role-based:
+
+* **viewer** — may look at the console, never act;
+* **operator** — may execute load-management actions (scale/move/
+  priorities) but not stop whole services;
+* **administrator** — may do everything, including the manual console
+  overrides that bypass the declarative action policy.
+
+:class:`AccessController` checks a principal's role before an action is
+carried out, and keeps a tamper-evident audit trail of every decision.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from repro.config.model import Action
+
+__all__ = ["Role", "Principal", "AccessDenied", "AccessController"]
+
+
+class Role(enum.Enum):
+    VIEWER = "viewer"
+    OPERATOR = "operator"
+    ADMINISTRATOR = "administrator"
+
+
+#: Actions an operator may trigger (everything except whole-service
+#: lifecycle changes, which remain administrator territory).
+_OPERATOR_ACTIONS = frozenset(
+    {
+        Action.SCALE_IN,
+        Action.SCALE_OUT,
+        Action.SCALE_UP,
+        Action.SCALE_DOWN,
+        Action.MOVE,
+        Action.INCREASE_PRIORITY,
+        Action.REDUCE_PRIORITY,
+    }
+)
+
+
+@dataclass(frozen=True)
+class Principal:
+    """An authenticated identity with a role."""
+
+    name: str
+    role: Role
+
+    def __str__(self) -> str:
+        return f"{self.name} ({self.role.value})"
+
+
+class AccessDenied(PermissionError):
+    """The principal's role does not permit the attempted operation."""
+
+
+@dataclass(frozen=True)
+class _AuditEntry:
+    time: int
+    principal: str
+    operation: str
+    allowed: bool
+
+    def __str__(self) -> str:
+        verdict = "allowed" if self.allowed else "DENIED"
+        return f"[t={self.time}] {self.principal}: {self.operation} -> {verdict}"
+
+
+class AccessController:
+    """Role-based access control for the management plane."""
+
+    def __init__(self) -> None:
+        self._principals: Dict[str, Principal] = {}
+        self.audit_trail: List[_AuditEntry] = []
+
+    # -- principals -----------------------------------------------------------------
+
+    def register(self, principal: Principal) -> Principal:
+        if principal.name in self._principals:
+            raise ValueError(f"principal {principal.name!r} already registered")
+        self._principals[principal.name] = principal
+        return principal
+
+    def principal(self, name: str) -> Principal:
+        try:
+            return self._principals[name]
+        except KeyError:
+            raise AccessDenied(f"unknown principal {name!r}") from None
+
+    # -- decisions --------------------------------------------------------------------
+
+    def _record(self, time: int, principal: str, operation: str,
+                allowed: bool) -> None:
+        self.audit_trail.append(_AuditEntry(time, principal, operation, allowed))
+
+    def may_execute(self, principal_name: str, action: Action) -> bool:
+        principal = self.principal(principal_name)
+        if principal.role is Role.ADMINISTRATOR:
+            return True
+        if principal.role is Role.OPERATOR:
+            return action in _OPERATOR_ACTIONS
+        return False
+
+    def authorize_action(
+        self, principal_name: str, action: Action, time: int = 0
+    ) -> None:
+        """Raise :class:`AccessDenied` unless the action is permitted."""
+        allowed = self.may_execute(principal_name, action)
+        self._record(time, principal_name, f"action:{action.value}", allowed)
+        if not allowed:
+            raise AccessDenied(
+                f"{self.principal(principal_name)} may not execute "
+                f"{action.value}"
+            )
+
+    def authorize_override(self, principal_name: str, time: int = 0) -> None:
+        """Manual console overrides (bypassing the declarative action
+        policy) are administrator-only."""
+        principal = self.principal(principal_name)
+        allowed = principal.role is Role.ADMINISTRATOR
+        self._record(time, principal_name, "console-override", allowed)
+        if not allowed:
+            raise AccessDenied(
+                f"{principal} may not override the declarative action policy"
+            )
+
+    def denials(self) -> List[_AuditEntry]:
+        return [entry for entry in self.audit_trail if not entry.allowed]

@@ -1,0 +1,97 @@
+"""Service definitions and runtime service instances."""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.config.model import ServiceSpec
+from repro.serviceglobe.network import VirtualIP
+
+__all__ = ["InstanceState", "ServiceInstance", "ServiceDefinition"]
+
+#: Service priorities are small integers; 5 is the neutral default.
+MIN_PRIORITY = 1
+MAX_PRIORITY = 10
+DEFAULT_PRIORITY = 5
+
+_instance_counter = itertools.count(1)
+
+
+class InstanceState(enum.Enum):
+    """Lifecycle states of a service instance."""
+
+    RUNNING = "running"
+    STOPPED = "stopped"
+
+
+@dataclass
+class ServiceInstance:
+    """One running instance of a service on a specific host.
+
+    Attributes
+    ----------
+    demand:
+        Current CPU demand of the instance in performance index units,
+        written by the workload model each tick and read by the load
+        monitors.
+    users:
+        Interactive user sessions currently connected to this instance.
+    """
+
+    service_name: str
+    host_name: str
+    virtual_ip: VirtualIP
+    instance_id: str = ""
+    state: InstanceState = InstanceState.RUNNING
+    users: int = 0
+    demand: float = 0.0
+    started_at: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.instance_id:
+            self.instance_id = f"{self.service_name}#{next(_instance_counter)}"
+
+    @property
+    def running(self) -> bool:
+        return self.state is InstanceState.RUNNING
+
+    def __str__(self) -> str:
+        return f"{self.instance_id}@{self.host_name}"
+
+
+@dataclass
+class ServiceDefinition:
+    """Runtime state of a service: its spec, priority and instances."""
+
+    spec: ServiceSpec
+    priority: int = DEFAULT_PRIORITY
+    instances: List[ServiceInstance] = field(default_factory=list)
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    @property
+    def running_instances(self) -> List[ServiceInstance]:
+        return [i for i in self.instances if i.running]
+
+    @property
+    def total_users(self) -> int:
+        return sum(i.users for i in self.running_instances)
+
+    def instances_on(self, host_name: str) -> List[ServiceInstance]:
+        return [i for i in self.running_instances if i.host_name == host_name]
+
+    def find_instance(self, instance_id: str) -> Optional[ServiceInstance]:
+        for instance in self.instances:
+            if instance.instance_id == instance_id:
+                return instance
+        return None
+
+    def adjust_priority(self, delta: int) -> int:
+        """Shift the service priority, clamped to the valid range."""
+        self.priority = max(MIN_PRIORITY, min(MAX_PRIORITY, self.priority + delta))
+        return self.priority

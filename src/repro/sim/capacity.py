@@ -1,0 +1,85 @@
+"""The capacity sweep behind Table 7.
+
+"We ran simulation series for the three scenarios and each time
+increased the number of users by 5% until the system became overloaded."
+The capacity of a scenario is the largest user factor whose run still
+satisfies the SLA.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.sim.clock import PAPER_HORIZON_MINUTES
+from repro.sim.results import SimulationResult, SlaPolicy
+from repro.sim.runner import SimulationRunner
+from repro.sim.scenarios import Scenario
+from repro.sim.workload import NoiseParameters
+
+__all__ = ["CapacityResult", "capacity_search"]
+
+
+@dataclass
+class CapacityResult:
+    """Outcome of one scenario's 5%-step sweep."""
+
+    scenario: Scenario
+    #: Largest passing user factor (0.0 if even the reference load fails).
+    max_factor: float
+    #: (factor, passed, result) per step, in sweep order.
+    steps: List[Tuple[float, bool, SimulationResult]] = field(default_factory=list)
+
+    @property
+    def max_users_percent(self) -> int:
+        return round(self.max_factor * 100)
+
+    def summary(self) -> str:
+        lines = [f"{self.scenario.value}: {self.max_users_percent}% users"]
+        for factor, passed, result in self.steps:
+            verdict = "ok" if passed else "OVERLOADED"
+            lines.append(
+                f"  {factor:.0%}: {verdict} "
+                f"({result.overload_minutes_per_day:.1f} overload min/day, "
+                f"longest episode {result.longest_episode} min, "
+                f"{len(result.actions)} actions)"
+            )
+        return "\n".join(lines)
+
+
+def capacity_search(
+    scenario: Scenario,
+    step: float = 0.05,
+    start_factor: float = 1.0,
+    max_factor: float = 2.0,
+    horizon: int = PAPER_HORIZON_MINUTES,
+    seed: int = 7,
+    sla: Optional[SlaPolicy] = None,
+    noise: Optional[NoiseParameters] = None,
+) -> CapacityResult:
+    """Increase users in 5% steps until the system becomes overloaded.
+
+    Runs are cheap to keep (`collect_host_series=False`), so every step's
+    result is retained for reporting.
+    """
+    sla = sla if sla is not None else SlaPolicy()
+    result = CapacityResult(scenario=scenario, max_factor=0.0)
+    factor = start_factor
+    while factor <= max_factor + 1e-9:
+        runner = SimulationRunner(
+            scenario,
+            user_factor=factor,
+            horizon=horizon,
+            seed=seed,
+            sla=sla,
+            noise=noise,
+            collect_host_series=False,
+        )
+        run_result = runner.run()
+        passed = not run_result.violates(sla)
+        result.steps.append((round(factor, 4), passed, run_result))
+        if not passed:
+            break
+        result.max_factor = round(factor, 4)
+        factor = round(factor + step, 4)
+    return result

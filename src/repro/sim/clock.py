@@ -1,0 +1,51 @@
+"""Simulated time.
+
+One tick is one simulated minute.  All simulation runs of the paper
+cover 80 hours (4800 minutes) "carried out in 40-fold acceleration"; the
+acceleration is irrelevant for a discrete simulator, so we simply step
+4800 ticks.  Minute 0 is midnight of day 0.
+"""
+
+from __future__ import annotations
+
+__all__ = ["MINUTES_PER_DAY", "PAPER_HORIZON_MINUTES", "SimClock", "format_minute"]
+
+MINUTES_PER_DAY = 24 * 60
+
+#: The paper's simulation horizon: 80 hours.
+PAPER_HORIZON_MINUTES = 80 * 60
+
+
+def format_minute(minute: int) -> str:
+    """Render an absolute minute as ``d HH:MM`` (e.g. ``1 08:30``)."""
+    day, minute_of_day = divmod(minute, MINUTES_PER_DAY)
+    hour, minute_in_hour = divmod(minute_of_day, 60)
+    return f"{day} {hour:02d}:{minute_in_hour:02d}"
+
+
+class SimClock:
+    """A simple advancing minute counter."""
+
+    def __init__(self, start: int = 0) -> None:
+        if start < 0:
+            raise ValueError("clock cannot start before minute 0")
+        self.now = start
+
+    def advance(self) -> int:
+        self.now += 1
+        return self.now
+
+    @property
+    def minute_of_day(self) -> int:
+        return self.now % MINUTES_PER_DAY
+
+    @property
+    def day(self) -> int:
+        return self.now // MINUTES_PER_DAY
+
+    @property
+    def hour_of_day(self) -> float:
+        return self.minute_of_day / 60.0
+
+    def __str__(self) -> str:
+        return format_minute(self.now)

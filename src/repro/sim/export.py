@@ -1,0 +1,125 @@
+"""Export simulation results for external analysis and plotting.
+
+Three formats cover what the paper's figures need:
+
+* a JSON summary (scenario, horizon, overload accounting, per-action
+  counts) — machine-readable EXPERIMENTS data;
+* a CSV of per-host load series (one row per minute, one column per
+  host, plus the system average) — Figures 12-14;
+* a CSV of the controller action log — the annotations of Figures 16/17.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Union
+
+from repro.sim.clock import format_minute
+from repro.sim.results import SimulationResult
+
+__all__ = [
+    "export_summary_json",
+    "export_host_series_csv",
+    "export_actions_csv",
+    "export_all",
+]
+
+PathLike = Union[str, Path]
+
+
+def export_summary_json(result: SimulationResult, path: PathLike) -> None:
+    """Write a machine-readable run summary."""
+    payload = {
+        "scenario": result.scenario_name,
+        "user_factor": result.user_factor,
+        "horizon_minutes": result.horizon,
+        "start_minute": result.start_minute,
+        "overload_minutes_per_day": result.overload_minutes_per_day,
+        "total_overload_minutes": result.total_overload_minutes,
+        "longest_episode_minutes": result.longest_episode,
+        "episode_count": len(result.episodes),
+        "action_count": len(result.actions),
+        "action_counts": {
+            action.value: count for action, count in result.action_counts().items()
+        },
+        "escalation_count": result.escalation_count,
+        "overload_minutes_by_host": result.overload_minutes_by_host,
+        "final_instance_counts": result.final_instance_counts,
+        "violates_default_sla": result.violates(),
+    }
+    Path(path).write_text(json.dumps(payload, indent=2), encoding="utf-8")
+
+
+def export_host_series_csv(result: SimulationResult, path: PathLike) -> None:
+    """Write the per-minute host load series (Figures 12-14's data)."""
+    if not result.host_series:
+        raise ValueError("host series were not collected for this run")
+    average = result.average_load_series()
+    with open(path, "w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["minute", "time", *result.host_names, "average"])
+        for index in range(result.horizon):
+            minute = result.start_minute + index
+            writer.writerow(
+                [
+                    minute,
+                    format_minute(minute),
+                    *(
+                        f"{result.host_series[name][index]:.4f}"
+                        for name in result.host_names
+                    ),
+                    f"{average[index]:.4f}",
+                ]
+            )
+
+
+def export_actions_csv(result: SimulationResult, path: PathLike) -> None:
+    """Write the controller action log (Figures 16/17's annotations)."""
+    with open(path, "w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(
+            [
+                "minute",
+                "time",
+                "action",
+                "service",
+                "instance",
+                "source_host",
+                "target_host",
+                "applicability",
+                "note",
+            ]
+        )
+        for action in result.actions:
+            writer.writerow(
+                [
+                    action.time,
+                    format_minute(action.time),
+                    action.action.value,
+                    action.service_name,
+                    action.instance_id or "",
+                    action.source_host or "",
+                    action.target_host or "",
+                    "" if action.applicability is None else f"{action.applicability:.3f}",
+                    action.note,
+                ]
+            )
+
+
+def export_all(result: SimulationResult, directory: PathLike) -> Path:
+    """Write summary + actions (+ host series when collected) to a directory.
+
+    Returns the directory path.  File names are derived from the scenario
+    and user factor, e.g. ``full-mobility_115/summary.json``.
+    """
+    base = Path(directory) / (
+        f"{result.scenario_name}_{round(result.user_factor * 100)}"
+    )
+    base.mkdir(parents=True, exist_ok=True)
+    export_summary_json(result, base / "summary.json")
+    export_actions_csv(result, base / "actions.csv")
+    if result.host_series:
+        export_host_series_csv(result, base / "host_loads.csv")
+    return base

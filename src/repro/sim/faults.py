@@ -1,0 +1,109 @@
+"""Failure injection.
+
+"Failure situations like a program crash are remedied for example with
+a restart" (Section 2) — this module generates those situations so the
+self-healing path can be exercised under realistic churn:
+
+* **crashes**: the instance dies instantly; surviving peers absorb its
+  users, and the controller restarts it via
+  :meth:`~repro.core.autoglobe.AutoGlobeController.report_failure`;
+* **hangs**: the instance keeps holding its resources but stops
+  responding; the heartbeat detector notices after its miss threshold
+  and the controller kills and restarts it.
+
+Fault times are drawn per instance-minute with a fixed probability
+(a geometric approximation of exponential MTBF), deterministic under a
+seed and independent of the workload model's RNG.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.autoglobe import AutoGlobeController
+
+__all__ = ["FaultRecord", "FaultInjector"]
+
+
+@dataclass(frozen=True)
+class FaultRecord:
+    """One injected fault."""
+
+    time: int
+    instance_id: str
+    service_name: str
+    host_name: str
+    kind: str  # "crash" or "hang"
+
+
+@dataclass
+class FaultInjector:
+    """Randomly crashes or hangs running service instances.
+
+    Parameters
+    ----------
+    controller:
+        The controller whose platform is attacked; its failure detector
+        is used for hangs and its self-healing path for crashes.
+    crash_probability / hang_probability:
+        Per instance-minute probabilities.  The defaults correspond to a
+        mean time between failures of roughly two weeks per instance —
+        rare, as in a real computing center.
+    seed:
+        RNG seed; injections are deterministic given a seed.
+    """
+
+    controller: AutoGlobeController
+    crash_probability: float = 1.0 / (14 * 24 * 60)
+    hang_probability: float = 1.0 / (14 * 24 * 60)
+    seed: int = 99
+    faults: List[FaultRecord] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.crash_probability <= 1.0:
+            raise ValueError("crash probability must be in [0, 1]")
+        if not 0.0 <= self.hang_probability <= 1.0:
+            raise ValueError("hang probability must be in [0, 1]")
+        self._rng = np.random.default_rng(self.seed)
+
+    def tick(self, now: int) -> List[FaultRecord]:
+        """Possibly injure instances this minute; returns the new faults.
+
+        Crashes are reported to the controller immediately (the platform
+        notices a dead process right away); hangs only suppress
+        heartbeats — detection is the heartbeat detector's job.
+        """
+        platform = self.controller.platform
+        injected: List[FaultRecord] = []
+        for instance in list(platform.all_instances()):
+            if instance.instance_id in self.controller.failure_detector.suppressed:
+                continue
+            roll = float(self._rng.random())
+            if roll < self.crash_probability:
+                record = FaultRecord(
+                    now, instance.instance_id, instance.service_name,
+                    instance.host_name, "crash",
+                )
+                self.faults.append(record)
+                injected.append(record)
+                self.controller.report_failure(instance.instance_id, now)
+            elif roll < self.crash_probability + self.hang_probability:
+                record = FaultRecord(
+                    now, instance.instance_id, instance.service_name,
+                    instance.host_name, "hang",
+                )
+                self.faults.append(record)
+                injected.append(record)
+                self.controller.failure_detector.suppress(instance.instance_id)
+        return injected
+
+    @property
+    def crash_count(self) -> int:
+        return sum(1 for fault in self.faults if fault.kind == "crash")
+
+    @property
+    def hang_count(self) -> int:
+        return sum(1 for fault in self.faults if fault.kind == "hang")

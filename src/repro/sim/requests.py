@@ -1,0 +1,88 @@
+"""Request-path load propagation.
+
+"As observed in existing SAP installations, the course of a request is
+simulated as follows.  First, a request increases the load of the
+affected service host for a short period.  Before handling the request
+in the database, the lock management of the central instance (CI) is
+requested.  Finally, the database sends the answer back to the
+application server.  Since the load caused by a single request depends
+on the specific service [...] our simulation system uses
+service-specific parameters to simulate the impact of requests."
+
+At one-minute resolution, the per-request round trip aggregates into
+demand flows: every served user of an application service contributes
+service-specific demand to its own application server, to the
+subsystem's central instance (``ci_cost_per_user``) and to the
+subsystem's database (``db_cost_per_user``), all modulated by the
+service's daily profile.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.config.model import ServiceKind, ServiceSpec
+from repro.serviceglobe.platform import Platform
+from repro.sim.loadcurves import profile_value
+
+__all__ = ["RequestFlows"]
+
+
+class RequestFlows:
+    """Derives central-instance and database demand from user activity."""
+
+    def __init__(self, platform: Platform) -> None:
+        self._platform = platform
+        self._apps: List[ServiceSpec] = []
+        self._ci_of: Dict[str, str] = {}
+        self._db_of: Dict[str, str] = {}
+        for spec in platform.landscape.services:
+            if spec.kind is ServiceKind.APPLICATION_SERVER:
+                self._apps.append(spec)
+            elif spec.kind is ServiceKind.CENTRAL_INSTANCE:
+                self._register_unique(self._ci_of, spec, "central instance")
+            elif spec.kind is ServiceKind.DATABASE:
+                self._register_unique(self._db_of, spec, "database")
+
+    @staticmethod
+    def _register_unique(mapping: Dict[str, str], spec: ServiceSpec, role: str) -> None:
+        if spec.subsystem in mapping:
+            raise ValueError(
+                f"subsystem {spec.subsystem!r} has more than one {role}"
+            )
+        mapping[spec.subsystem] = spec.name
+
+    def ci_service_of(self, subsystem: str) -> str:
+        return self._ci_of[subsystem]
+
+    def db_service_of(self, subsystem: str) -> str:
+        return self._db_of[subsystem]
+
+    def derived_demands(self, now: int) -> Dict[str, float]:
+        """Total demand forwarded to each CI and DB service this minute.
+
+        Returns service name -> demand in performance index units
+        (excluding the targets' own basic load).
+        """
+        ci_demand: Dict[str, float] = {name: 0.0 for name in self._ci_of.values()}
+        db_demand: Dict[str, float] = {name: 0.0 for name in self._db_of.values()}
+        for spec in self._apps:
+            served_users = self._platform.service(spec.name).total_users
+            if served_users == 0:
+                continue
+            activity = profile_value(spec.workload.profile, now)
+            if activity <= 0.0:
+                continue
+            ci_name = self._ci_of.get(spec.subsystem)
+            db_name = self._db_of.get(spec.subsystem)
+            if ci_name is not None:
+                ci_demand[ci_name] += (
+                    served_users * spec.workload.ci_cost_per_user * activity
+                )
+            if db_name is not None:
+                db_demand[db_name] += (
+                    served_users * spec.workload.db_cost_per_user * activity
+                )
+        combined = dict(ci_demand)
+        combined.update(db_demand)
+        return combined

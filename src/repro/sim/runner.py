@@ -1,0 +1,139 @@
+"""The simulation runner: platform + workload + controller, minute by minute.
+
+"Every simulation starts with the same reasonable initial allocation of
+the services shown in Figure 11" and runs for 80 simulated hours with
+the Section 5.1 controller parameters (70% overload threshold, 10 minute
+watch time, 30 minute protection, idle threshold 12.5% / performance
+index, 20 minute idle watch).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Optional, Set
+
+from repro.config.model import ControllerSettings, LandscapeSpec
+from repro.core.autoglobe import AutoGlobeController
+from repro.serviceglobe.platform import Platform
+from repro.sim.clock import PAPER_HORIZON_MINUTES
+from repro.sim.results import ResultCollector, SimulationResult, SlaPolicy
+from repro.sim.scenarios import (
+    Scenario,
+    apply_scenario,
+    controller_enabled_for,
+    user_distribution_for,
+)
+from repro.sim.workload import NoiseParameters, WorkloadModel
+
+__all__ = ["SimulationRunner"]
+
+
+class SimulationRunner:
+    """Configures and runs one simulation series entry.
+
+    Parameters
+    ----------
+    scenario:
+        STATIC, CONSTRAINED_MOBILITY or FULL_MOBILITY.
+    user_factor:
+        Relative user population (1.0 = the Table 4 reference; the
+        paper's summary sweeps 1.00, 1.05, 1.10, ...).
+    horizon:
+        Simulated minutes; defaults to the paper's 80 hours.
+    seed:
+        Workload RNG seed; runs are deterministic given a seed.
+    start_minute:
+        Absolute minute of day the run starts at; the paper's plots
+        begin at 12:00, so noon is the default.
+    landscape:
+        Base landscape; defaults to the built-in Section 5.1 landscape.
+    collect_host_series:
+        Keep the full per-host load series (Figures 12-14).
+    collect_services:
+        Service names whose per-instance load samples to keep
+        (Figures 15-17 use FI).
+    controller_settings:
+        Override the landscape's controller parameters (used by the
+        watch-time and protection ablation benchmarks).
+    controller_factory:
+        Alternative controller constructor ``(platform, settings,
+        enabled) -> controller`` with a ``tick(now)`` method and an
+        ``alerts`` channel; used to swap in the crisp baseline.
+    archive:
+        Load archive for the controller's monitors; pass a
+        :class:`repro.monitoring.archive.SqliteLoadArchive` to persist
+        the run's measurements and administration events.
+    """
+
+    def __init__(
+        self,
+        scenario: Scenario,
+        user_factor: float = 1.0,
+        horizon: int = PAPER_HORIZON_MINUTES,
+        seed: int = 7,
+        landscape: Optional[LandscapeSpec] = None,
+        sla: Optional[SlaPolicy] = None,
+        noise: Optional[NoiseParameters] = None,
+        collect_host_series: bool = True,
+        collect_services: Optional[Set[str]] = None,
+        controller_enabled: Optional[bool] = None,
+        start_minute: int = 12 * 60,
+        controller_settings: Optional[ControllerSettings] = None,
+        controller_factory: Optional[Callable] = None,
+        archive=None,
+    ) -> None:
+        if landscape is None:
+            from repro.config.builtin import paper_landscape
+
+            landscape = paper_landscape()
+        self.scenario = scenario
+        self.user_factor = user_factor
+        self.horizon = horizon
+        self.start_minute = start_minute
+        scenario_landscape = apply_scenario(landscape, scenario).scaled_users(
+            user_factor
+        )
+        if controller_settings is not None:
+            scenario_landscape = dataclasses.replace(
+                scenario_landscape, controller=controller_settings
+            )
+        self.platform = Platform(
+            scenario_landscape, user_distribution=user_distribution_for(scenario)
+        )
+        enabled = (
+            controller_enabled
+            if controller_enabled is not None
+            else controller_enabled_for(scenario)
+        )
+        if controller_factory is not None:
+            self.controller = controller_factory(
+                self.platform, scenario_landscape.controller, enabled
+            )
+        else:
+            self.controller = AutoGlobeController(
+                self.platform, enabled=enabled, archive=archive
+            )
+        self.workload = WorkloadModel(self.platform, seed=seed, noise=noise)
+        self.sla = sla if sla is not None else SlaPolicy()
+        self.collector = ResultCollector(
+            self.platform,
+            scenario_name=scenario.value,
+            user_factor=user_factor,
+            sla=self.sla,
+            collect_host_series=collect_host_series,
+            collect_services=collect_services,
+            start_minute=start_minute,
+        )
+
+    def run(self) -> SimulationResult:
+        """Execute the full horizon and return the collected result."""
+        self.workload.initialize()
+        end = self.start_minute + self.horizon
+        for now in range(self.start_minute, end):
+            self.workload.tick(now)
+            self.controller.tick(now)
+            self.collector.observe(now)
+        return self.collector.finalize(
+            final_minute=end - 1,
+            escalation_count=len(self.controller.alerts.escalations()),
+        )

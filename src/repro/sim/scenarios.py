@@ -1,0 +1,111 @@
+"""The three evaluation scenarios (Section 5.1, Tables 5 and 6).
+
+* **STATIC** — "a computing environment with all services being static
+  [...] the standard environment used in most computing centers";
+  no controller actions at all.
+* **CONSTRAINED_MOBILITY** — databases and central instances are static;
+  application servers support scale-in and scale-out; user sessions are
+  sticky and rebalance only through slow fluctuation.
+* **FULL_MOBILITY** — the BW database can be distributed across several
+  servers (scale-in/scale-out); central instances and application
+  servers can be moved (application servers additionally scale in all
+  four directions); users are equally redistributed across all instances
+  after every change.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+
+from repro.config.model import Action, LandscapeSpec, ServiceKind
+from repro.serviceglobe.dispatcher import UserDistribution
+
+__all__ = ["Scenario", "apply_scenario", "user_distribution_for", "controller_enabled_for"]
+
+
+class Scenario(enum.Enum):
+    STATIC = "static"
+    CONSTRAINED_MOBILITY = "constrained-mobility"
+    FULL_MOBILITY = "full-mobility"
+
+
+#: Table 5 — actions per service kind in the constrained-mobility scenario.
+_CM_ACTIONS = {
+    ServiceKind.APPLICATION_SERVER: frozenset({Action.SCALE_IN, Action.SCALE_OUT}),
+    ServiceKind.CENTRAL_INSTANCE: frozenset(),
+    ServiceKind.DATABASE: frozenset(),
+}
+
+#: Table 6 — actions per service kind in the full-mobility scenario.
+_FM_ACTIONS = {
+    ServiceKind.APPLICATION_SERVER: frozenset(
+        {
+            Action.SCALE_IN,
+            Action.SCALE_OUT,
+            Action.SCALE_UP,
+            Action.SCALE_DOWN,
+            Action.MOVE,
+        }
+    ),
+    ServiceKind.CENTRAL_INSTANCE: frozenset(
+        {Action.SCALE_UP, Action.SCALE_DOWN, Action.MOVE}
+    ),
+    ServiceKind.DATABASE: frozenset(),
+}
+
+#: Table 6 singles out the BW database: it "can be distributed across
+#: several servers" via scale-in / scale-out.
+_FM_BW_DATABASE_ACTIONS = frozenset({Action.SCALE_IN, Action.SCALE_OUT})
+_FM_BW_DATABASE_MAX_INSTANCES = 3
+
+
+def apply_scenario(landscape: LandscapeSpec, scenario: Scenario) -> LandscapeSpec:
+    """A copy of the landscape with the scenario's allowed actions."""
+    services = []
+    for service in landscape.services:
+        if scenario is Scenario.STATIC:
+            allowed = frozenset()
+            max_instances = service.constraints.max_instances
+        elif scenario is Scenario.CONSTRAINED_MOBILITY:
+            allowed = _CM_ACTIONS[service.kind]
+            max_instances = service.constraints.max_instances
+        else:
+            allowed = _FM_ACTIONS[service.kind]
+            max_instances = service.constraints.max_instances
+            if service.kind is ServiceKind.DATABASE and service.subsystem == "BW":
+                allowed = _FM_BW_DATABASE_ACTIONS
+                max_instances = _FM_BW_DATABASE_MAX_INSTANCES
+        services.append(
+            dataclasses.replace(
+                service,
+                constraints=dataclasses.replace(
+                    service.constraints,
+                    allowed_actions=allowed,
+                    max_instances=max_instances,
+                ),
+            )
+        )
+    return LandscapeSpec(
+        name=f"{landscape.name}-{scenario.value}",
+        servers=list(landscape.servers),
+        services=services,
+        initial_allocation=list(landscape.initial_allocation),
+        controller=landscape.controller,
+    )
+
+
+def user_distribution_for(scenario: Scenario) -> UserDistribution:
+    """Session policy of the scenario.
+
+    Sticky everywhere except full mobility, where "the users are equally
+    redistributed across all instances" after changes.
+    """
+    if scenario is Scenario.FULL_MOBILITY:
+        return UserDistribution.REDISTRIBUTE
+    return UserDistribution.STICKY
+
+
+def controller_enabled_for(scenario: Scenario) -> bool:
+    """The static scenario runs without the controller."""
+    return scenario is not Scenario.STATIC

@@ -1,0 +1,109 @@
+"""Tests for explicit mission-critical reservations."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.allocation.reservations import Reservation, ReservationBook
+
+
+class TestReservation:
+    def test_active_window_inclusive(self):
+        reservation = Reservation("Blade1", demand=1.0, start=100, end=200)
+        assert reservation.active_at(100)
+        assert reservation.active_at(200)
+        assert not reservation.active_at(99)
+        assert not reservation.active_at(201)
+
+    def test_overlaps(self):
+        reservation = Reservation("Blade1", demand=1.0, start=100, end=200)
+        assert reservation.overlaps(150, 250)
+        assert reservation.overlaps(200, 300)
+        assert not reservation.overlaps(201, 300)
+
+    def test_nonpositive_demand_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            Reservation("Blade1", demand=0.0, start=0, end=10)
+
+    def test_empty_window_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            Reservation("Blade1", demand=1.0, start=10, end=9)
+
+    def test_unique_ids(self):
+        a = Reservation("Blade1", 1.0, 0, 10)
+        b = Reservation("Blade1", 1.0, 0, 10)
+        assert a.reservation_id != b.reservation_id
+
+
+class TestReservationBook:
+    def test_reserved_demand_sums_active(self):
+        book = ReservationBook()
+        book.register(Reservation("Blade1", 0.5, 0, 100))
+        book.register(Reservation("Blade1", 0.3, 50, 150))
+        book.register(Reservation("Blade2", 9.0, 0, 100))
+        assert book.reserved_demand("Blade1", 75) == pytest.approx(0.8)
+        assert book.reserved_demand("Blade1", 25) == pytest.approx(0.5)
+        assert book.reserved_demand("Blade1", 200) == 0.0
+
+    def test_cancel(self):
+        book = ReservationBook()
+        reservation = book.register(Reservation("Blade1", 0.5, 0, 100))
+        assert book.cancel(reservation.reservation_id)
+        assert book.reserved_demand("Blade1", 50) == 0.0
+        assert not book.cancel(reservation.reservation_id)
+
+    def test_peak_reserved_demand(self):
+        book = ReservationBook()
+        book.register(Reservation("Blade1", 0.5, 0, 100))
+        book.register(Reservation("Blade1", 0.4, 90, 200))
+        # the overlap [90, 100] carries 0.9
+        assert book.peak_reserved_demand("Blade1", 0, 300) == pytest.approx(0.9)
+        assert book.peak_reserved_demand("Blade1", 150, 300) == pytest.approx(0.4)
+
+    def test_effective_load_includes_reservations(self):
+        """The controller sees reserved headroom as occupied."""
+        book = ReservationBook()
+        book.register(Reservation("Blade1", 0.5, 0, 100))
+        effective = book.effective_cpu_load(
+            "Blade1", raw_load=0.3, capacity=1.0, minute=50
+        )
+        assert effective == pytest.approx(0.8)
+
+    def test_effective_load_with_lookahead(self):
+        book = ReservationBook()
+        book.register(Reservation("Blade1", 0.5, start=60, end=120))
+        now_only = book.effective_cpu_load("Blade1", 0.2, 1.0, minute=30)
+        with_lookahead = book.effective_cpu_load(
+            "Blade1", 0.2, 1.0, minute=30, horizon=60
+        )
+        assert now_only == pytest.approx(0.2)
+        assert with_lookahead == pytest.approx(0.7)
+
+    def test_effective_load_capped_at_one(self):
+        book = ReservationBook()
+        book.register(Reservation("Blade1", 5.0, 0, 100))
+        assert book.effective_cpu_load("Blade1", 0.9, 1.0, 50) == 1.0
+
+    def test_bad_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            ReservationBook().effective_cpu_load("X", 0.5, 0.0, 0)
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=500),
+                st.integers(min_value=0, max_value=500),
+                st.floats(min_value=0.01, max_value=2.0, allow_nan=False),
+            ),
+            max_size=8,
+        ),
+        st.integers(min_value=0, max_value=600),
+    )
+    def test_peak_never_below_pointwise(self, windows, probe):
+        book = ReservationBook()
+        for start, length, demand in windows:
+            book.register(
+                Reservation("H", demand, start=start, end=start + length)
+            )
+        peak = book.peak_reserved_demand("H", 0, 1200)
+        assert peak >= book.reserved_demand("H", probe) - 1e-9

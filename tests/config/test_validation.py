@@ -1,0 +1,137 @@
+"""Tests for semantic landscape validation."""
+
+import dataclasses
+
+import pytest
+
+from repro.config.builtin import paper_landscape
+from repro.config.model import (
+    LandscapeSpec,
+    ServerSpec,
+    ServiceConstraints,
+    ServiceSpec,
+    WorkloadSpec,
+)
+from repro.config.validation import ValidationError, validate_landscape
+
+
+def tiny_landscape(**overrides):
+    base = dict(
+        name="tiny",
+        servers=[
+            ServerSpec("H1", performance_index=1.0, memory_mb=2048),
+            ServerSpec("H2", performance_index=9.0, memory_mb=12288),
+        ],
+        services=[
+            ServiceSpec(
+                "APP",
+                constraints=ServiceConstraints(min_instances=1),
+                workload=WorkloadSpec(memory_per_instance_mb=1024),
+            ),
+            ServiceSpec(
+                "DB",
+                constraints=ServiceConstraints(
+                    exclusive=True, min_performance_index=5.0, max_instances=1
+                ),
+                workload=WorkloadSpec(memory_per_instance_mb=6144),
+            ),
+        ],
+        initial_allocation=[("APP", "H1"), ("DB", "H2")],
+    )
+    base.update(overrides)
+    return LandscapeSpec(**base)
+
+
+class TestValidLandscapes:
+    def test_tiny_landscape_validates(self):
+        validate_landscape(tiny_landscape())
+
+    def test_paper_landscape_validates(self):
+        validate_landscape(paper_landscape())
+
+
+class TestProblems:
+    def test_duplicate_server_names(self):
+        landscape = tiny_landscape(
+            servers=[ServerSpec("H1", 1.0), ServerSpec("H1", 2.0)],
+            initial_allocation=[("APP", "H1")],
+        )
+        with pytest.raises(ValidationError, match="duplicate server"):
+            validate_landscape(landscape)
+
+    def test_duplicate_service_names(self):
+        landscape = tiny_landscape()
+        landscape.services.append(landscape.services[0])
+        with pytest.raises(ValidationError, match="duplicate service"):
+            validate_landscape(landscape)
+
+    def test_unknown_service_in_allocation(self):
+        landscape = tiny_landscape()
+        landscape.initial_allocation.append(("GHOST", "H1"))
+        with pytest.raises(ValidationError, match="unknown service"):
+            validate_landscape(landscape)
+
+    def test_unknown_server_in_allocation(self):
+        landscape = tiny_landscape()
+        landscape.initial_allocation.append(("APP", "GHOST"))
+        with pytest.raises(ValidationError, match="unknown server"):
+            validate_landscape(landscape)
+
+    def test_min_performance_index_violated(self):
+        landscape = tiny_landscape(initial_allocation=[("APP", "H1"), ("DB", "H1")])
+        with pytest.raises(ValidationError, match="performance index"):
+            validate_landscape(landscape)
+
+    def test_exclusivity_violated(self):
+        landscape = tiny_landscape(
+            initial_allocation=[("APP", "H1"), ("APP", "H2"), ("DB", "H2")]
+        )
+        with pytest.raises(ValidationError, match="exclusive"):
+            validate_landscape(landscape)
+
+    def test_min_instances_violated(self):
+        landscape = tiny_landscape(initial_allocation=[("DB", "H2")])
+        with pytest.raises(ValidationError, match="at least"):
+            validate_landscape(landscape)
+
+    def test_max_instances_violated(self):
+        landscape = tiny_landscape(
+            initial_allocation=[
+                ("APP", "H1"),
+                ("DB", "H2"),
+                ("DB", "H2"),
+            ]
+        )
+        with pytest.raises(ValidationError, match="at most"):
+            validate_landscape(landscape)
+
+    def test_memory_overcommitted(self):
+        big = ServiceSpec(
+            "BIG",
+            workload=WorkloadSpec(memory_per_instance_mb=4096),
+        )
+        landscape = tiny_landscape()
+        landscape.services.append(big)
+        landscape.initial_allocation.append(("BIG", "H1"))
+        with pytest.raises(ValidationError, match="memory"):
+            validate_landscape(landscape)
+
+    def test_bad_rule_override(self):
+        landscape = tiny_landscape()
+        broken = dataclasses.replace(
+            landscape.services[0],
+            rule_overrides={"serviceOverloaded": "IF cpuLoad THEN boom"},
+        )
+        landscape.services[0] = broken
+        with pytest.raises(ValidationError, match="serviceOverloaded"):
+            validate_landscape(landscape)
+
+    def test_all_problems_collected(self):
+        """Validation reports every problem at once, not just the first."""
+        landscape = tiny_landscape(
+            initial_allocation=[("GHOST", "H1"), ("APP", "NOWHERE")]
+        )
+        with pytest.raises(ValidationError) as excinfo:
+            validate_landscape(landscape)
+        # ghost service + ghost server + DB min-instances violation
+        assert len(excinfo.value.problems) >= 3

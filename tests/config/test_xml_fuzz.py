@@ -1,0 +1,143 @@
+"""Property-based fuzzing of the XML round-trip with generated landscapes."""
+
+import string
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config.model import (
+    Action,
+    ControllerSettings,
+    LandscapeSpec,
+    ServerSpec,
+    ServiceConstraints,
+    ServiceKind,
+    ServiceSpec,
+    WorkloadSpec,
+)
+from repro.config.xml_loader import landscape_from_xml
+from repro.config.xml_writer import landscape_to_xml
+
+NAMES = st.text(
+    alphabet=string.ascii_letters + string.digits + "-_",
+    min_size=1,
+    max_size=20,
+).filter(lambda s: s.strip())
+
+ACTIONS = st.frozensets(st.sampled_from(list(Action)), max_size=9)
+
+
+@st.composite
+def server_specs(draw):
+    return ServerSpec(
+        name=draw(NAMES),
+        performance_index=draw(
+            st.floats(min_value=0.25, max_value=64.0, allow_nan=False)
+        ),
+        num_cpus=draw(st.integers(min_value=1, max_value=128)),
+        cpu_clock_mhz=draw(st.floats(min_value=100.0, max_value=8000.0)),
+        cpu_cache_kb=draw(st.floats(min_value=64.0, max_value=65536.0)),
+        memory_mb=draw(st.integers(min_value=256, max_value=1 << 20)),
+        swap_space_mb=draw(st.integers(min_value=0, max_value=1 << 20)),
+        temp_space_mb=draw(st.integers(min_value=0, max_value=1 << 22)),
+        category=draw(NAMES),
+    )
+
+
+@st.composite
+def service_specs(draw):
+    minimum = draw(st.integers(min_value=0, max_value=4))
+    maximum = draw(
+        st.one_of(st.none(), st.integers(min_value=minimum, max_value=16))
+    )
+    return ServiceSpec(
+        name=draw(NAMES),
+        kind=draw(st.sampled_from(list(ServiceKind))),
+        subsystem=draw(NAMES),
+        constraints=ServiceConstraints(
+            exclusive=draw(st.booleans()),
+            min_performance_index=draw(
+                st.floats(min_value=0.0, max_value=16.0, allow_nan=False)
+            ),
+            min_instances=minimum,
+            max_instances=maximum,
+            allowed_actions=draw(ACTIONS),
+        ),
+        workload=WorkloadSpec(
+            users=draw(st.integers(min_value=0, max_value=10**6)),
+            profile=draw(st.sampled_from(["workday", "les", "fi", "bw-batch"])),
+            load_per_user=draw(
+                st.floats(min_value=1e-6, max_value=1.0, allow_nan=False)
+            ),
+            basic_load=draw(st.floats(min_value=0.0, max_value=2.0, allow_nan=False)),
+            batch=draw(st.booleans()),
+            memory_per_instance_mb=draw(st.integers(min_value=1, max_value=1 << 16)),
+            fluctuation_rate=draw(
+                st.floats(min_value=0.0, max_value=0.5, allow_nan=False)
+            ),
+        ),
+    )
+
+
+@st.composite
+def landscapes(draw):
+    servers = draw(
+        st.lists(server_specs(), min_size=1, max_size=5,
+                 unique_by=lambda s: s.name)
+    )
+    services = draw(
+        st.lists(service_specs(), min_size=1, max_size=5,
+                 unique_by=lambda s: s.name)
+    )
+    allocation = []
+    for service in services:
+        count = draw(st.integers(min_value=0, max_value=2))
+        for __ in range(count):
+            host = draw(st.sampled_from(servers))
+            allocation.append((service.name, host.name))
+    return LandscapeSpec(
+        name=draw(NAMES),
+        servers=servers,
+        services=services,
+        initial_allocation=allocation,
+        controller=ControllerSettings(
+            overload_threshold=draw(
+                st.floats(min_value=0.3, max_value=0.95, allow_nan=False)
+            ),
+            overload_watch_time=draw(st.integers(min_value=1, max_value=120)),
+            idle_threshold_base=draw(
+                st.floats(min_value=0.01, max_value=0.29, allow_nan=False)
+            ),
+            idle_watch_time=draw(st.integers(min_value=1, max_value=240)),
+            protection_time=draw(st.integers(min_value=0, max_value=240)),
+            min_applicability=draw(
+                st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+            ),
+        ),
+    )
+
+
+@given(landscapes())
+@settings(max_examples=40, deadline=None)
+def test_arbitrary_landscape_round_trips(landscape):
+    """Writer output always parses back to an equivalent landscape."""
+    recovered = landscape_from_xml(landscape_to_xml(landscape))
+    assert recovered.name == landscape.name
+    assert recovered.servers == landscape.servers
+    assert recovered.initial_allocation == landscape.initial_allocation
+    assert recovered.controller == landscape.controller
+    for original, parsed in zip(landscape.services, recovered.services):
+        assert parsed.name == original.name
+        assert parsed.kind == original.kind
+        assert parsed.subsystem == original.subsystem
+        assert parsed.constraints == original.constraints
+        assert parsed.workload == original.workload
+
+
+@given(landscapes())
+@settings(max_examples=20, deadline=None)
+def test_round_trip_is_stable(landscape):
+    """Serializing twice yields byte-identical XML (a fixed point)."""
+    once = landscape_to_xml(landscape)
+    twice = landscape_to_xml(landscape_from_xml(once))
+    assert once == twice

@@ -1,0 +1,164 @@
+"""Tests for the action-selection fuzzy controller."""
+
+import pytest
+
+from repro.config.model import Action
+from repro.core.action_selection import ActionContext, ActionSelector
+from repro.monitoring.lms import SituationKind
+
+
+def context(service="APP", instance="APP#1", **measurements):
+    defaults = {
+        "cpuLoad": 0.5,
+        "memLoad": 0.3,
+        "performanceIndex": 1.0,
+        "instanceLoad": 0.5,
+        "serviceLoad": 0.5,
+        "instancesOnServer": 1.0,
+        "instancesOfService": 2.0,
+    }
+    defaults.update(measurements)
+    return ActionContext(service, instance, defaults)
+
+
+@pytest.fixture(scope="module")
+def selector():
+    return ActionSelector()
+
+
+class TestServiceOverloaded:
+    def test_weak_overloaded_host_prefers_scale_up(self, selector):
+        """The paper's first sample rule: high load on a weak host."""
+        ranked = selector.rank(
+            SituationKind.SERVICE_OVERLOADED,
+            context(cpuLoad=0.95, performanceIndex=1.0, serviceLoad=0.4,
+                    instanceLoad=0.9),
+        )
+        best = ranked[0]
+        assert best.action is Action.SCALE_UP
+        assert best.applicability > 0.8
+
+    def test_strong_overloaded_host_prefers_scale_out(self, selector):
+        """The paper's second sample rule: high load despite a powerful host."""
+        ranked = selector.rank(
+            SituationKind.SERVICE_OVERLOADED,
+            context(cpuLoad=0.95, performanceIndex=9.0, serviceLoad=0.9,
+                    instanceLoad=0.9, instancesOfService=2.0),
+        )
+        assert ranked[0].action is Action.SCALE_OUT
+
+    def test_no_overload_no_applicable_action(self, selector):
+        ranked = selector.rank(
+            SituationKind.SERVICE_OVERLOADED, context(cpuLoad=0.1)
+        )
+        assert all(r.applicability < 0.05 for r in ranked)
+
+    def test_ranking_is_sorted_descending(self, selector):
+        ranked = selector.rank(
+            SituationKind.SERVICE_OVERLOADED, context(cpuLoad=0.9)
+        )
+        values = [r.applicability for r in ranked]
+        assert values == sorted(values, reverse=True)
+
+    def test_ranking_covers_the_triggers_actions(self, selector):
+        """Overload triggers rank exactly the relief actions their rule
+        base can assert; consolidation actions never appear."""
+        ranked = selector.rank(
+            SituationKind.SERVICE_OVERLOADED, context(cpuLoad=0.9)
+        )
+        actions = {r.action for r in ranked}
+        assert {Action.SCALE_UP, Action.SCALE_OUT, Action.MOVE} <= actions
+        assert Action.SCALE_IN not in actions
+        assert Action.STOP not in actions
+
+    def test_context_carried_through(self, selector):
+        ranked = selector.rank(
+            SituationKind.SERVICE_OVERLOADED, context(service="FI", instance="FI#7")
+        )
+        assert ranked[0].service_name == "FI"
+        assert ranked[0].instance_id == "FI#7"
+
+
+class TestServiceIdle:
+    def test_idle_wide_service_prefers_scale_in(self, selector):
+        ranked = selector.rank(
+            SituationKind.SERVICE_IDLE,
+            context(cpuLoad=0.05, serviceLoad=0.05, instanceLoad=0.02,
+                    instancesOfService=6.0),
+        )
+        assert ranked[0].action is Action.SCALE_IN
+        assert ranked[0].applicability > 0.8
+
+    def test_idle_on_powerful_host_prefers_scale_down(self, selector):
+        ranked = selector.rank(
+            SituationKind.SERVICE_IDLE,
+            context(cpuLoad=0.05, serviceLoad=0.3, instanceLoad=0.02,
+                    performanceIndex=9.0, instancesOfService=1.0),
+        )
+        assert ranked[0].action is Action.SCALE_DOWN
+
+
+class TestServerTriggers:
+    def test_light_instance_on_overloaded_server_moves(self, selector):
+        ranked = selector.rank(
+            SituationKind.SERVER_OVERLOADED,
+            context(cpuLoad=0.95, instanceLoad=0.05, serviceLoad=0.4,
+                    instancesOfService=1.0),
+        )
+        assert ranked[0].action is Action.MOVE
+
+    def test_rank_many_collects_per_service_actions(self, selector):
+        """Figure 7: server triggers evaluate every service on the host."""
+        contexts = [
+            context(service="A", instance="A#1", cpuLoad=0.95, instanceLoad=0.9,
+                    performanceIndex=1.0, serviceLoad=0.9),
+            context(service="B", instance="B#1", cpuLoad=0.95, instanceLoad=0.05,
+                    serviceLoad=0.3),
+        ]
+        ranked = selector.rank_many(SituationKind.SERVER_OVERLOADED, contexts)
+        services = {r.service_name for r in ranked}
+        assert services == {"A", "B"}
+        values = [r.applicability for r in ranked]
+        assert values == sorted(values, reverse=True)
+
+
+class TestServiceSpecificRules:
+    def test_override_layered_on_defaults(self, selector):
+        selector = ActionSelector()
+        selector.register_service_rules(
+            "CRITICAL",
+            SituationKind.SERVICE_OVERLOADED,
+            "IF cpuLoad IS high THEN increasePriority IS applicable",
+        )
+        ranked = selector.rank(
+            SituationKind.SERVICE_OVERLOADED,
+            context(service="CRITICAL", cpuLoad=0.95, performanceIndex=1.0,
+                    instanceLoad=0.9, serviceLoad=0.4),
+        )
+        by_action = {r.action: r.applicability for r in ranked}
+        # the override makes increase-priority as applicable as the default
+        # scale-up rule; other services keep the low default weighting
+        assert by_action[Action.INCREASE_PRIORITY] > 0.8
+
+    def test_other_services_unaffected_by_override(self):
+        selector = ActionSelector()
+        selector.register_service_rules(
+            "CRITICAL",
+            SituationKind.SERVICE_OVERLOADED,
+            "IF cpuLoad IS high THEN increasePriority IS applicable",
+        )
+        ranked = selector.rank(
+            SituationKind.SERVICE_OVERLOADED,
+            context(service="OTHER", cpuLoad=0.95, instancesOfService=2.0),
+        )
+        by_action = {r.action: r.applicability for r in ranked}
+        assert by_action[Action.INCREASE_PRIORITY] < 0.5
+
+    def test_invalid_override_rejected(self):
+        selector = ActionSelector()
+        with pytest.raises(ValueError):
+            selector.register_service_rules(
+                "X",
+                SituationKind.SERVICE_OVERLOADED,
+                "IF diskLoad IS high THEN scaleOut IS applicable",
+            )

@@ -1,0 +1,100 @@
+"""Focused tests for the controller console views (Figure 8)."""
+
+import pytest
+
+from repro.config.model import Action
+from repro.core.autoglobe import AutoGlobeController
+from repro.core.console import ControllerConsole
+from repro.serviceglobe.platform import Platform
+from tests.core.conftest import build_landscape, set_demand
+
+
+@pytest.fixture
+def console():
+    platform = Platform(build_landscape())
+    controller = AutoGlobeController(platform)
+    return ControllerConsole(controller)
+
+
+class TestServerView:
+    def test_all_servers_listed(self, console):
+        text = console.server_view()
+        for host in ("Weak1", "Weak2", "Strong1", "Strong2", "Big1"):
+            assert host in text
+
+    def test_grouped_by_category(self, console):
+        lines = console.server_view().splitlines()
+        categories = [line.split()[0] for line in lines[2:]]
+        assert categories == sorted(categories)
+
+    def test_loads_rendered_as_percentages(self, console):
+        set_demand(console.controller.platform, "Weak1", 0.5)
+        assert "50%" in console.server_view()
+
+    def test_protection_column(self, console):
+        console.controller.protection.protect(["Weak1"], now=0)
+        text = console.server_view(now=5)
+        weak1_line = next(l for l in text.splitlines() if "Weak1" in l)
+        assert "yes" in weak1_line
+
+    def test_empty_host_shows_dash(self, console):
+        text = console.server_view()
+        weak2_line = next(l for l in text.splitlines() if "Weak2" in l)
+        assert " - " in weak2_line or weak2_line.rstrip().endswith("-")
+
+
+class TestServiceView:
+    def test_services_with_placement(self, console):
+        text = console.service_view()
+        assert "APP" in text and "DB" in text
+        assert "@Weak1" in text and "@Big1" in text
+
+    def test_user_counts_shown(self, console):
+        console.controller.platform.service("APP").running_instances[0].users = 42
+        text = console.service_view()
+        app_line = next(l for l in text.splitlines() if l.startswith("APP"))
+        assert "42" in app_line
+
+    def test_priority_shown(self, console):
+        console.controller.platform.service("APP").adjust_priority(+2)
+        app_line = next(
+            l for l in console.service_view().splitlines() if l.startswith("APP")
+        )
+        assert " 7 " in f" {app_line} "
+
+
+class TestMessageView:
+    def test_empty(self, console):
+        assert console.message_view() == "(no messages)"
+
+    def test_limit_applies(self, console):
+        for index in range(30):
+            console.controller.alerts.info(index, f"message {index}")
+        text = console.message_view(limit=5)
+        assert "message 29" in text
+        assert "message 10" not in text
+
+    def test_render_combines_views(self, console):
+        text = console.render()
+        assert text.index("== Servers ==") < text.index("== Services ==")
+        assert text.index("== Services ==") < text.index("== Messages ==")
+
+
+class TestManualExecution:
+    def test_manual_action_executes_and_logs(self, console):
+        outcome = console.execute_manually(
+            Action.SCALE_OUT, "APP", target_host="Weak2", now=2
+        )
+        assert outcome.target_host == "Weak2"
+        assert any(
+            "manual action" in alert.message
+            for alert in console.controller.alerts.alerts
+        )
+
+    def test_manual_action_respects_physics(self, console):
+        from repro.serviceglobe.actions import ConstraintViolation
+
+        with pytest.raises(ConstraintViolation):
+            console.execute_manually(
+                Action.SCALE_OUT, "DB", target_host="Weak1", now=0
+            )

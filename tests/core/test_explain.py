@@ -1,0 +1,116 @@
+"""Tests for decision explanations."""
+
+import pytest
+
+from repro.config.model import Action
+from repro.core.action_selection import ActionContext, ActionSelector
+from repro.core.autoglobe import AutoGlobeController
+from repro.core.explain import (
+    explain_decision,
+    explain_last_decisions,
+    explain_selection,
+)
+from repro.monitoring.lms import SituationKind
+from repro.serviceglobe.platform import Platform
+from tests.core.conftest import build_landscape, set_demand
+
+
+def overload_context():
+    return ActionContext(
+        "FI",
+        "FI#1",
+        {
+            "cpuLoad": 0.92,
+            "memLoad": 0.3,
+            "performanceIndex": 1.0,
+            "instanceLoad": 0.85,
+            "serviceLoad": 0.8,
+            "instancesOnServer": 1.0,
+            "instancesOfService": 3.0,
+        },
+    )
+
+
+class TestExplainSelection:
+    def test_mentions_measurements_and_grades(self):
+        text = explain_selection(
+            ActionSelector(), SituationKind.SERVICE_OVERLOADED, overload_context()
+        )
+        assert "cpuLoad = 0.92" in text
+        assert "high=" in text
+
+    def test_lists_fired_rules_with_strengths(self):
+        text = explain_selection(
+            ActionSelector(), SituationKind.SERVICE_OVERLOADED, overload_context()
+        )
+        assert "serviceOverloaded-" in text  # rule labels
+        assert "IF " in text and "THEN " in text
+        assert "[0." in text  # a strength
+
+    def test_ranking_rendered(self):
+        text = explain_selection(
+            ActionSelector(), SituationKind.SERVICE_OVERLOADED, overload_context()
+        )
+        assert "applicability ranking" in text
+        assert "scaleUp" in text
+
+    def test_idle_context_with_no_firing_rules(self):
+        context = ActionContext(
+            "FI",
+            None,
+            {
+                "cpuLoad": 0.0,
+                "memLoad": 0.0,
+                "performanceIndex": 1.0,
+                "instanceLoad": 0.0,
+                "serviceLoad": 0.0,
+                "instancesOnServer": 0.0,
+                "instancesOfService": 1.0,
+            },
+        )
+        text = explain_selection(
+            ActionSelector(), SituationKind.SERVICE_OVERLOADED, context
+        )
+        assert "(no rule fired)" in text
+
+
+class TestExplainDecision:
+    def _run(self):
+        platform = Platform(build_landscape())
+        controller = AutoGlobeController(platform)
+        for now in range(12):
+            set_demand(platform, "Weak1", 0.95)
+            set_demand(platform, "Big1", 3.0)
+            controller.tick(now)
+        return controller
+
+    def test_explains_executed_decision(self):
+        controller = self._run()
+        records = controller.decision_records
+        assert records
+        text = explain_decision(records[0])
+        assert "situation:" in text
+        assert "executed:" in text
+
+    def test_explain_last_decisions_newest_first(self):
+        controller = self._run()
+        text = explain_last_decisions(controller.decision_records)
+        assert "situation:" in text
+
+    def test_empty_records(self):
+        assert "no decisions" in explain_last_decisions([])
+
+    def test_unactionable_decision_explained(self):
+        from repro.core.decision import DecisionRecord
+        from repro.monitoring.lms import Situation
+
+        record = DecisionRecord(
+            situation=Situation(
+                SituationKind.SERVER_OVERLOADED, "Blade1", None, 10, 0.9
+            ),
+            considered=["scaleOut(FI)=80%: no candidate host"],
+        )
+        text = explain_decision(record)
+        assert "rejected" in text
+        assert "no candidate host" in text
+        assert "nothing" in text

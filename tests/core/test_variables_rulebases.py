@@ -1,0 +1,135 @@
+"""Tests for the controller's linguistic variables and default rule bases."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.config.model import Action
+from repro.core import variables
+from repro.core.rulebases import (
+    action_rulebase_text,
+    default_action_rulebases,
+    default_server_rulebases,
+)
+from repro.monitoring.lms import SituationKind
+
+
+class TestLoadVariable:
+    def test_figure3_calibration(self):
+        cpu = variables.load_variable("cpuLoad")
+        grades = cpu.fuzzify(0.6)
+        assert grades["medium"] == pytest.approx(0.5)
+        assert grades["high"] == pytest.approx(0.2)
+
+    def test_inference_example_calibration(self):
+        cpu = variables.load_variable("cpuLoad")
+        assert cpu.grade("high", 0.9) == pytest.approx(0.8)
+
+    @given(st.floats(min_value=0.0, max_value=1.0, allow_nan=False))
+    def test_terms_cover_unit_interval(self, x):
+        cpu = variables.load_variable("cpuLoad")
+        assert max(cpu.fuzzify(x).values()) > 0.0
+
+
+class TestPerformanceIndexVariable:
+    def test_paper_hardware_classification(self):
+        pi = variables.performance_index_variable()
+        assert pi.grade("low", 1.0) == 1.0      # FSC-BX300
+        assert pi.grade("low", 2.0) == pytest.approx(0.5)   # FSC-BX600
+        assert pi.grade("medium", 2.0) == pytest.approx(0.5)
+        assert pi.grade("high", 9.0) == 1.0     # HP BL40p
+
+    def test_min_db_index_on_medium_high_boundary(self):
+        pi = variables.performance_index_variable()
+        assert pi.grade("medium", 5.0) == 1.0
+        assert pi.grade("high", 5.0) == pytest.approx(0.0)
+
+
+class TestCountAndMagnitude:
+    def test_count_terms(self):
+        counts = variables.count_variable("instancesOnServer")
+        assert counts.grade("few", 0.0) == 1.0
+        assert counts.grade("many", 10.0) == 1.0
+
+    def test_magnitude_terms(self):
+        memory = variables.magnitude_variable("memory", 16384.0)
+        assert memory.grade("small", 1024.0) == 1.0
+        assert memory.grade("large", 12288.0) == 1.0
+
+    def test_table1_inputs_present(self):
+        names = {v.name for v in variables.action_selection_inputs()}
+        assert names == {
+            "cpuLoad",
+            "memLoad",
+            "performanceIndex",
+            "instanceLoad",
+            "serviceLoad",
+            "instancesOnServer",
+            "instancesOfService",
+        }
+
+    def test_table3_inputs_present(self):
+        names = {v.name for v in variables.server_selection_inputs()}
+        assert names == {
+            "cpuLoad",
+            "memLoad",
+            "instancesOnServer",
+            "performanceIndex",
+            "numberOfCpus",
+            "cpuClock",
+            "cpuCache",
+            "memory",
+            "swapSpace",
+            "tempSpace",
+        }
+
+
+class TestDefaultRuleBases:
+    def test_one_rulebase_per_watched_trigger(self):
+        bases = default_action_rulebases()
+        assert set(bases) == {
+            SituationKind.SERVICE_OVERLOADED,
+            SituationKind.SERVICE_IDLE,
+            SituationKind.SERVER_OVERLOADED,
+            SituationKind.SERVER_IDLE,
+        }
+
+    def test_about_forty_rules_total(self):
+        """The paper's rule base comprises 'about 40 rules'."""
+        action_rules = sum(len(b) for b in default_action_rulebases().values())
+        server_rules = sum(len(b) for b in default_server_rulebases().values())
+        assert 35 <= action_rules + server_rules <= 75
+
+    def test_paper_rules_verbatim_in_service_overloaded(self):
+        text = action_rulebase_text(SituationKind.SERVICE_OVERLOADED)
+        assert "scaleUp IS applicable" in text
+        assert "performanceIndex IS low OR performanceIndex IS medium" in text
+
+    def test_overload_bases_output_relief_actions(self):
+        base = default_action_rulebases()[SituationKind.SERVICE_OVERLOADED]
+        outputs = set(base.output_variables())
+        assert "scaleOut" in outputs and "scaleUp" in outputs and "move" in outputs
+        assert "scaleIn" not in outputs
+
+    def test_idle_bases_output_consolidation_actions(self):
+        base = default_action_rulebases()[SituationKind.SERVICE_IDLE]
+        outputs = set(base.output_variables())
+        assert "scaleIn" in outputs and "scaleDown" in outputs
+        assert "scaleOut" not in outputs
+
+    def test_server_selection_bases_for_all_targeted_actions(self):
+        bases = default_server_rulebases()
+        assert set(bases) == {
+            Action.START,
+            Action.SCALE_OUT,
+            Action.SCALE_UP,
+            Action.SCALE_DOWN,
+            Action.MOVE,
+        }
+        for base in bases.values():
+            assert base.output_variables() == ("suitability",)
+
+    def test_all_rules_labelled(self):
+        for base in default_action_rulebases().values():
+            for rule in base:
+                assert rule.label

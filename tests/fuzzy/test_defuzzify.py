@@ -1,0 +1,110 @@
+"""Tests for defuzzification methods."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.fuzzy.defuzzify import Centroid, LeftmostMax, MeanOfMax, RightmostMax
+from repro.fuzzy.sets import (
+    ClippedSet,
+    Constant,
+    RampUp,
+    Rectangle,
+    Trapezoid,
+    UnionSet,
+)
+
+UNIT_DOMAIN = (0.0, 1.0)
+
+
+class TestLeftmostMax:
+    def test_paper_figure5_example(self):
+        """Clipping the ramp 'applicable' set at 0.6 defuzzifies to 0.6."""
+        clipped = ClippedSet(RampUp(0.0, 1.0), 0.6)
+        assert LeftmostMax()(clipped, UNIT_DOMAIN) == pytest.approx(0.6, abs=1e-3)
+
+    def test_scale_out_example(self):
+        """The second rule's applicability 0.3 (Section 3)."""
+        clipped = ClippedSet(RampUp(0.0, 1.0), 0.3)
+        assert LeftmostMax()(clipped, UNIT_DOMAIN) == pytest.approx(0.3, abs=1e-3)
+
+    def test_zero_clip_gives_domain_origin(self):
+        clipped = ClippedSet(RampUp(0.0, 1.0), 0.0)
+        assert LeftmostMax()(clipped, UNIT_DOMAIN) == 0.0
+
+    def test_plateau_returns_leftmost(self):
+        mf = Trapezoid(0.2, 0.4, 0.8, 1.0)
+        assert LeftmostMax()(mf, UNIT_DOMAIN) == pytest.approx(0.4, abs=1e-3)
+
+    def test_union_of_clipped_sets(self):
+        union = UnionSet(
+            (ClippedSet(RampUp(0.0, 1.0), 0.6), ClippedSet(RampUp(0.0, 1.0), 0.3))
+        )
+        assert LeftmostMax()(union, UNIT_DOMAIN) == pytest.approx(0.6, abs=1e-3)
+
+    def test_empty_domain_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            LeftmostMax()(Constant(0.5), (1.0, 1.0))
+
+    @given(st.floats(min_value=0.0, max_value=1.0, allow_nan=False))
+    def test_unit_ramp_clip_recovers_height(self, height):
+        """Invariant used throughout AutoGlobe: defuzz(clip(ramp, h)) == h."""
+        clipped = ClippedSet(RampUp(0.0, 1.0), height)
+        assert LeftmostMax()(clipped, UNIT_DOMAIN) == pytest.approx(height, abs=1e-3)
+
+    @given(
+        st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+        st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+    )
+    def test_result_always_in_domain(self, a, b):
+        lo, hi = min(a, b), max(a, b) + 0.1
+        value = LeftmostMax()(RampUp(0.0, 1.0), (lo, hi))
+        assert lo <= value <= hi
+
+
+class TestRightmostAndMeanOfMax:
+    def test_rightmost_on_plateau(self):
+        mf = Trapezoid(0.2, 0.4, 0.8, 1.0)
+        assert RightmostMax()(mf, UNIT_DOMAIN) == pytest.approx(0.8, abs=1e-3)
+
+    def test_mean_of_max_on_plateau(self):
+        mf = Trapezoid(0.2, 0.4, 0.8, 1.0)
+        assert MeanOfMax()(mf, UNIT_DOMAIN) == pytest.approx(0.6, abs=1e-3)
+
+    def test_all_max_methods_agree_on_unique_peak(self):
+        mf = Trapezoid(0.0, 0.5, 0.5, 1.0)
+        for method in (LeftmostMax(), RightmostMax(), MeanOfMax()):
+            assert method(mf, UNIT_DOMAIN) == pytest.approx(0.5, abs=1e-3)
+
+
+class TestCentroid:
+    def test_symmetric_set_centers(self):
+        mf = Trapezoid(0.2, 0.4, 0.6, 0.8)
+        assert Centroid()(mf, UNIT_DOMAIN) == pytest.approx(0.5, abs=1e-3)
+
+    def test_rectangle_centroid(self):
+        assert Centroid()(Rectangle(0.0, 0.5), UNIT_DOMAIN) == pytest.approx(
+            0.25, abs=1e-2
+        )
+
+    def test_zero_area_falls_back_to_midpoint(self):
+        assert Centroid()(Constant(0.0), UNIT_DOMAIN) == pytest.approx(0.5)
+
+    def test_centroid_of_clipped_ramp_below_leftmost_max(self):
+        """Centroid is more conservative than leftmost-max on ramps."""
+        clipped = ClippedSet(RampUp(0.0, 1.0), 0.9)
+        centroid = Centroid()(clipped, UNIT_DOMAIN)
+        leftmost = LeftmostMax()(clipped, UNIT_DOMAIN)
+        assert centroid < leftmost
+
+
+class TestResolution:
+    def test_higher_resolution_tightens_result(self):
+        clipped = ClippedSet(RampUp(0.0, 1.0), 0.333)
+        coarse = LeftmostMax(resolution=11)(clipped, UNIT_DOMAIN)
+        fine = LeftmostMax(resolution=10001)(clipped, UNIT_DOMAIN)
+        assert abs(fine - 0.333) <= abs(coarse - 0.333) + 1e-9
+
+    def test_invalid_resolution_rejected(self):
+        with pytest.raises(ValueError):
+            LeftmostMax(resolution=1)

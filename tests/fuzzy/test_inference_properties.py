@@ -1,0 +1,126 @@
+"""Property-based tests of the inference pipeline as a whole.
+
+These check semantic laws of max-min inference with leftmost-maximum
+defuzzification over unit-ramp outputs that the AutoGlobe controllers
+rely on — monotonicity, boundedness, dominance, and invariance under
+rule-base permutations.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fuzzy.controller import FuzzyController
+from repro.fuzzy.parser import parse_rules
+from repro.fuzzy.rules import RuleBase
+from repro.fuzzy.sets import RampUp, Trapezoid
+from repro.fuzzy.variables import LinguisticTerm, LinguisticVariable
+
+UNIT = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+
+
+def build(rule_text):
+    inputs = [
+        LinguisticVariable(
+            name,
+            [
+                LinguisticTerm("low", Trapezoid(0.0, 0.0, 0.2, 0.4)),
+                LinguisticTerm("medium", Trapezoid(0.2, 0.35, 0.5, 0.7)),
+                LinguisticTerm("high", Trapezoid(0.5, 1.0, 1.0, 1.0)),
+            ],
+            domain=(0.0, 1.0),
+        )
+        for name in ("a", "b")
+    ]
+    outputs = [
+        LinguisticVariable(
+            name, [LinguisticTerm("applicable", RampUp(0.0, 1.0))], domain=(0.0, 1.0)
+        )
+        for name in ("x", "y")
+    ]
+    return FuzzyController(
+        inputs, outputs, RuleBase("p", list(parse_rules(rule_text)))
+    )
+
+
+RULES = """
+IF a IS high THEN x IS applicable
+IF a IS high AND b IS high THEN y IS applicable
+IF b IS medium THEN y IS applicable WITH 0.5
+"""
+
+
+class TestLaws:
+    @given(UNIT, UNIT)
+    @settings(max_examples=60)
+    def test_outputs_bounded(self, a, b):
+        controller = build(RULES)
+        for value in controller.evaluate({"a": a, "b": b}).outputs.values():
+            assert -1e-3 <= value <= 1.0 + 1e-3
+
+    @given(UNIT, UNIT, UNIT)
+    @settings(max_examples=60)
+    def test_monotone_in_antecedent_variable(self, a1, a2, b):
+        """Raising `a` never lowers the applicability of x (whose only
+        rule is monotone in a's `high` term)."""
+        controller = build(RULES)
+        low, high = min(a1, a2), max(a1, a2)
+        x_low = controller.evaluate({"a": low, "b": b}).outputs["x"]
+        x_high = controller.evaluate({"a": high, "b": b}).outputs["x"]
+        assert x_high >= x_low - 1e-3
+
+    @given(UNIT, UNIT)
+    @settings(max_examples=60)
+    def test_conjunction_dominated_by_single_condition(self, a, b):
+        """y's AND-rule can never exceed x's single-condition rule."""
+        controller = build(RULES)
+        outputs = controller.evaluate({"a": a, "b": b}).outputs
+        # y also has the `b IS medium` rule at weight 0.5 — bound by that too
+        assert outputs["y"] <= max(outputs["x"], 0.5) + 1e-3
+
+    @given(UNIT, UNIT)
+    @settings(max_examples=60)
+    def test_rule_order_irrelevant(self, a, b):
+        """Fuzzy union is commutative: permuting the rule base changes
+        nothing."""
+        forward = build(RULES)
+        reversed_rules = RuleBase(
+            "r", list(reversed(list(parse_rules(RULES))))
+        )
+        backward = FuzzyController(
+            forward.engine.input_variables.values(),
+            forward.engine.output_variables.values(),
+            reversed_rules,
+        )
+        lhs = forward.evaluate({"a": a, "b": b}).outputs
+        rhs = backward.evaluate({"a": a, "b": b}).outputs
+        for name in lhs:
+            assert lhs[name] == pytest.approx(rhs[name], abs=1e-9)
+
+    @given(UNIT, UNIT)
+    @settings(max_examples=60)
+    def test_defuzzified_value_equals_max_firing_strength(self, a, b):
+        """With unit-ramp outputs and leftmost-max defuzzification, the
+        crisp output IS the strongest firing strength (the invariant the
+        action ranking relies on)."""
+        controller = build(RULES)
+        result = controller.evaluate({"a": a, "b": b})
+        for name in ("x", "y"):
+            strongest = max(
+                (f.strength for f in result.fired
+                 if f.rule.output_variable == name),
+                default=0.0,
+            )
+            assert result.outputs[name] == pytest.approx(strongest, abs=2e-3)
+
+    @given(UNIT)
+    @settings(max_examples=60)
+    def test_duplicate_rule_is_idempotent(self, a):
+        single = build("IF a IS high THEN x IS applicable")
+        double = build(
+            "IF a IS high THEN x IS applicable "
+            "IF a IS high THEN x IS applicable"
+        )
+        assert single.evaluate({"a": a}).outputs["x"] == pytest.approx(
+            double.evaluate({"a": a}).outputs["x"], abs=1e-9
+        )

@@ -1,0 +1,177 @@
+"""Tests for the fuzzy rule DSL parser."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.fuzzy.expressions import And, Is, Not, Or
+from repro.fuzzy.parser import ParseError, parse_expression, parse_rule, parse_rules
+
+PAPER_RULE_ONE = """
+IF cpuLoad IS high AND
+   (performanceIndex IS low OR performanceIndex IS medium)
+THEN scaleUp IS applicable
+"""
+
+PAPER_RULE_TWO = "IF cpuLoad IS high AND performanceIndex IS high THEN scaleOut IS applicable"
+
+
+class TestParseExpression:
+    def test_atom(self):
+        assert parse_expression("cpuLoad IS high") == Is("cpuLoad", "high")
+
+    def test_and(self):
+        expr = parse_expression("a IS x AND b IS y")
+        assert expr == And((Is("a", "x"), Is("b", "y")))
+
+    def test_or(self):
+        expr = parse_expression("a IS x OR b IS y")
+        assert expr == Or((Is("a", "x"), Is("b", "y")))
+
+    def test_not(self):
+        assert parse_expression("NOT a IS x") == Not(Is("a", "x"))
+
+    def test_and_binds_tighter_than_or(self):
+        expr = parse_expression("a IS x OR b IS y AND c IS z")
+        assert isinstance(expr, Or)
+        assert isinstance(expr.operands[1], And)
+
+    def test_parentheses_override_precedence(self):
+        expr = parse_expression("(a IS x OR b IS y) AND c IS z")
+        assert isinstance(expr, And)
+        assert isinstance(expr.operands[0], Or)
+
+    def test_not_binds_tightest(self):
+        expr = parse_expression("NOT a IS x AND b IS y")
+        assert expr == And((Not(Is("a", "x")), Is("b", "y")))
+
+    def test_nested_not(self):
+        assert parse_expression("NOT NOT a IS x") == Not(Not(Is("a", "x")))
+
+    def test_keywords_case_insensitive(self):
+        expr = parse_expression("a is x and b IS y or not c iS z")
+        assert isinstance(expr, Or)
+
+    def test_identifiers_case_sensitive(self):
+        assert parse_expression("cpuLoad IS High") == Is("cpuLoad", "High")
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ParseError, match="trailing"):
+            parse_expression("a IS x b IS y")
+
+    def test_unbalanced_paren_rejected(self):
+        with pytest.raises(ParseError):
+            parse_expression("(a IS x")
+
+    def test_unexpected_character_rejected(self):
+        with pytest.raises(ParseError, match="unexpected character"):
+            parse_expression("a IS x @ b IS y")
+
+    def test_str_of_parse_round_trips(self):
+        texts = [
+            "cpuLoad IS high",
+            "a IS x AND b IS y",
+            "(a IS x OR b IS y) AND NOT c IS z",
+        ]
+        for text in texts:
+            expr = parse_expression(text)
+            assert parse_expression(str(expr)) == expr
+
+
+class TestParseRule:
+    def test_paper_rule_one(self):
+        rule = parse_rule(PAPER_RULE_ONE)
+        assert rule.output_variable == "scaleUp"
+        assert rule.output_term == "applicable"
+        assert rule.antecedent == And(
+            (
+                Is("cpuLoad", "high"),
+                Or((Is("performanceIndex", "low"), Is("performanceIndex", "medium"))),
+            )
+        )
+
+    def test_paper_rule_two(self):
+        rule = parse_rule(PAPER_RULE_TWO)
+        assert rule.output_variable == "scaleOut"
+        assert rule.variables() == frozenset({"cpuLoad", "performanceIndex"})
+
+    def test_weight_clause(self):
+        rule = parse_rule("IF a IS x THEN act IS applicable WITH 0.5")
+        assert rule.weight == pytest.approx(0.5)
+
+    def test_default_weight_is_one(self):
+        assert parse_rule("IF a IS x THEN act IS applicable").weight == 1.0
+
+    def test_label_attached(self):
+        rule = parse_rule(PAPER_RULE_TWO, label="scale-out-default")
+        assert rule.label == "scale-out-default"
+
+    def test_missing_then_rejected(self):
+        with pytest.raises(ParseError, match="THEN"):
+            parse_rule("IF a IS x act IS applicable")
+
+    def test_missing_if_rejected(self):
+        with pytest.raises(ParseError, match="IF"):
+            parse_rule("a IS x THEN act IS applicable")
+
+    def test_bad_weight_rejected(self):
+        with pytest.raises(ParseError, match="weight"):
+            parse_rule("IF a IS x THEN act IS applicable WITH heavy")
+
+    def test_str_of_rule_reparses(self):
+        rule = parse_rule(PAPER_RULE_ONE)
+        assert parse_rule(str(rule)) == rule
+
+
+class TestParseRules:
+    def test_multiple_rules(self):
+        rules = parse_rules(PAPER_RULE_ONE + "\n" + PAPER_RULE_TWO)
+        assert len(rules) == 2
+        assert rules[0].output_variable == "scaleUp"
+        assert rules[1].output_variable == "scaleOut"
+
+    def test_semicolon_separated(self):
+        rules = parse_rules(
+            "IF a IS x THEN p IS applicable; IF b IS y THEN q IS applicable;"
+        )
+        assert [r.output_variable for r in rules] == ["p", "q"]
+
+    def test_comments_ignored(self):
+        rules = parse_rules(
+            """
+            # scale-up when the host is weak
+            IF cpuLoad IS high THEN scaleUp IS applicable
+            # scale-out when the host is strong
+            IF cpuLoad IS high THEN scaleOut IS applicable
+            """
+        )
+        assert len(rules) == 2
+
+    def test_empty_text_yields_no_rules(self):
+        assert parse_rules("") == ()
+        assert parse_rules("# only a comment\n") == ()
+
+    def test_label_prefix_numbering(self):
+        rules = parse_rules(
+            "IF a IS x THEN p IS applicable IF a IS y THEN q IS applicable",
+            label_prefix="svc",
+        )
+        assert [r.label for r in rules] == ["svc-1", "svc-2"]
+
+
+@given(
+    st.lists(
+        st.sampled_from(["cpuLoad", "memLoad", "performanceIndex", "instanceLoad"]),
+        min_size=1,
+        max_size=4,
+    ),
+    st.lists(st.sampled_from(["low", "medium", "high"]), min_size=1, max_size=4),
+    st.sampled_from([" AND ", " OR "]),
+)
+def test_generated_flat_rules_round_trip(variables, terms, connective):
+    """Property: generated flat antecedents parse, print and re-parse stably."""
+    n = min(len(variables), len(terms))
+    atoms = [f"{v} IS {t}" for v, t in zip(variables[:n], terms[:n])]
+    text = f"IF {connective.join(atoms)} THEN action IS applicable"
+    rule = parse_rule(text)
+    assert parse_rule(str(rule)) == rule

@@ -1,0 +1,100 @@
+"""Tests for linguistic variables and fuzzification."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.fuzzy.sets import Trapezoid
+from repro.fuzzy.variables import LinguisticTerm, LinguisticVariable
+
+
+def cpu_load_variable():
+    """The paper's Figure 3 ``cpuLoad`` variable (calibrated to its examples)."""
+    return LinguisticVariable(
+        "cpuLoad",
+        [
+            LinguisticTerm("low", Trapezoid(0.0, 0.0, 0.2, 0.4)),
+            LinguisticTerm("medium", Trapezoid(0.2, 0.35, 0.5, 0.7)),
+            LinguisticTerm("high", Trapezoid(0.5, 1.0, 1.0, 1.0)),
+        ],
+        domain=(0.0, 1.0),
+    )
+
+
+class TestLinguisticTerm:
+    def test_grade_delegates_to_membership(self):
+        term = LinguisticTerm("high", Trapezoid(0.5, 1.0, 1.0, 1.0))
+        assert term.grade(0.9) == pytest.approx(0.8)
+
+
+class TestLinguisticVariable:
+    def test_figure3_fuzzification(self):
+        """Figure 3: load 0.6 has 0.5 medium and 0.2 high cpuLoad."""
+        grades = cpu_load_variable().fuzzify(0.6)
+        assert grades["low"] == pytest.approx(0.0)
+        assert grades["medium"] == pytest.approx(0.5)
+        assert grades["high"] == pytest.approx(0.2)
+
+    def test_inference_example_fuzzification(self):
+        """Section 3 example: load 0.9 -> low 0, medium 0, high 0.8."""
+        grades = cpu_load_variable().fuzzify(0.9)
+        assert grades == pytest.approx({"low": 0.0, "medium": 0.0, "high": 0.8})
+
+    def test_term_lookup(self):
+        var = cpu_load_variable()
+        assert var.term("medium").name == "medium"
+        assert "high" in var
+        assert "extreme" not in var
+
+    def test_unknown_term_raises_with_known_terms_listed(self):
+        with pytest.raises(KeyError, match="low, medium, high"):
+            cpu_load_variable().term("extreme")
+
+    def test_duplicate_terms_rejected(self):
+        term = LinguisticTerm("low", Trapezoid(0.0, 0.0, 0.2, 0.4))
+        with pytest.raises(ValueError, match="duplicate"):
+            LinguisticVariable("x", [term, term])
+
+    def test_empty_variable_rejected(self):
+        with pytest.raises(ValueError, match="at least one term"):
+            LinguisticVariable("x", [])
+
+    def test_domain_defaults_to_union_of_supports(self):
+        var = LinguisticVariable(
+            "x",
+            [
+                LinguisticTerm("a", Trapezoid(0.1, 0.2, 0.3, 0.4)),
+                LinguisticTerm("b", Trapezoid(0.3, 0.5, 0.8, 0.9)),
+            ],
+        )
+        assert var.domain == (0.1, 0.9)
+
+    def test_empty_domain_rejected(self):
+        with pytest.raises(ValueError, match="empty domain"):
+            LinguisticVariable(
+                "x",
+                [LinguisticTerm("a", Trapezoid(0.0, 0.0, 0.5, 1.0))],
+                domain=(1.0, 1.0),
+            )
+
+    def test_out_of_domain_measurements_clamped(self):
+        var = cpu_load_variable()
+        assert var.fuzzify(1.2) == var.fuzzify(1.0)
+        assert var.fuzzify(-0.5) == var.fuzzify(0.0)
+
+    def test_grade_single_term(self):
+        assert cpu_load_variable().grade("high", 0.9) == pytest.approx(0.8)
+
+    def test_term_names_preserve_order(self):
+        assert cpu_load_variable().term_names == ("low", "medium", "high")
+
+    @given(st.floats(min_value=-2.0, max_value=3.0, allow_nan=False))
+    def test_all_grades_in_unit_interval(self, x):
+        for grade in cpu_load_variable().fuzzify(x).values():
+            assert 0.0 <= grade <= 1.0
+
+    @given(st.floats(min_value=0.0, max_value=1.0, allow_nan=False))
+    def test_figure3_terms_cover_domain(self, x):
+        """Every in-domain value belongs to at least one term (coverage)."""
+        grades = cpu_load_variable().fuzzify(x)
+        assert max(grades.values()) > 0.0

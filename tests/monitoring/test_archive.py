@@ -1,0 +1,125 @@
+"""Tests for the load archive implementations (in-memory and SQLite)."""
+
+import pytest
+
+from repro.monitoring.archive import InMemoryLoadArchive, SqliteLoadArchive
+
+
+@pytest.fixture(params=["memory", "sqlite"])
+def archive(request, tmp_path):
+    if request.param == "memory":
+        yield InMemoryLoadArchive()
+    else:
+        with SqliteLoadArchive(tmp_path / "loads.db") as archive:
+            yield archive
+
+
+class TestArchiveInterface:
+    def test_store_and_history(self, archive):
+        archive.store("Blade1", "cpu", 0, 0.5)
+        archive.store("Blade1", "cpu", 1, 0.7)
+        assert archive.history("Blade1", "cpu") == [(0, 0.5), (1, 0.7)]
+
+    def test_history_window(self, archive):
+        for t in range(10):
+            archive.store("Blade1", "cpu", t, t / 10)
+        assert archive.history("Blade1", "cpu", start=3, end=5) == [
+            (3, 0.3),
+            (4, 0.4),
+            (5, 0.5),
+        ]
+
+    def test_average_over_watchtime(self, archive):
+        """The archive computes watch-time means for the fuzzy controller."""
+        for t in range(20):
+            archive.store("FI#1", "cpu", t, 0.8 if t >= 10 else 0.2)
+        assert archive.average("FI#1", "cpu", 10, 19) == pytest.approx(0.8)
+
+    def test_average_of_missing_subject(self, archive):
+        assert archive.average("GHOST", "cpu", 0, 100) is None
+
+    def test_metrics_are_independent(self, archive):
+        archive.store("Blade1", "cpu", 0, 0.9)
+        archive.store("Blade1", "mem", 0, 0.1)
+        assert archive.average("Blade1", "cpu", 0, 0) == pytest.approx(0.9)
+        assert archive.average("Blade1", "mem", 0, 0) == pytest.approx(0.1)
+
+    def test_subjects_listed(self, archive):
+        archive.store("Blade2", "cpu", 0, 0.5)
+        archive.store("Blade1", "cpu", 0, 0.5)
+        assert archive.subjects() == ["Blade1", "Blade2"]
+
+
+class TestEventLog:
+    def test_store_and_query_events(self, archive):
+        archive.store_event(10, "situation", "Blade3", "serverOverloaded ...")
+        archive.store_event(10, "action", "FI", "scaleOut FI on Blade4")
+        archive.store_event(50, "action", "FI", "scaleIn FI on Blade4")
+        assert len(archive.events()) == 3
+        assert len(archive.events(category="action")) == 2
+        assert archive.events(category="action", start=0, end=20) == [
+            (10, "action", "FI", "scaleOut FI on Blade4")
+        ]
+
+    def test_events_ordered_by_time(self, archive):
+        archive.store_event(50, "action", "B", "later")
+        archive.store_event(10, "action", "A", "earlier")
+        times = [row[0] for row in archive.events()]
+        assert times == sorted(times) or isinstance(
+            archive, InMemoryLoadArchive
+        )  # the in-memory log keeps insertion order
+
+    def test_controller_records_situations_and_actions(self):
+        """The archive ends up with the administration history the
+        forecasting/auditing extensions mine."""
+        from repro.core.autoglobe import AutoGlobeController
+        from repro.serviceglobe.platform import Platform
+        from tests.core.conftest import build_landscape, set_demand
+
+        platform = Platform(build_landscape())
+        controller = AutoGlobeController(platform)
+        for now in range(12):
+            set_demand(platform, "Weak1", 0.95)
+            set_demand(platform, "Big1", 3.0)
+            controller.tick(now)
+        situations = controller.archive.events(category="situation")
+        actions = controller.archive.events(category="action")
+        assert situations
+        assert actions
+        assert any("scale" in details for __, __, __, details in actions)
+
+
+class TestSqliteSpecifics:
+    def test_persistence_across_connections(self, tmp_path):
+        path = tmp_path / "persistent.db"
+        with SqliteLoadArchive(path) as archive:
+            archive.store("Blade1", "cpu", 0, 0.5)
+            archive.commit()
+        with SqliteLoadArchive(path) as archive:
+            assert archive.history("Blade1", "cpu") == [(0, 0.5)]
+
+    def test_store_many(self, tmp_path):
+        with SqliteLoadArchive(tmp_path / "bulk.db") as archive:
+            archive.store_many(
+                [("Blade1", "cpu", t, t / 100) for t in range(100)]
+            )
+            assert len(archive.history("Blade1", "cpu")) == 100
+
+    def test_duplicate_time_overwrites(self):
+        with SqliteLoadArchive() as archive:
+            archive.store("Blade1", "cpu", 0, 0.5)
+            archive.store("Blade1", "cpu", 0, 0.9)
+            assert archive.history("Blade1", "cpu") == [(0, 0.9)]
+
+    def test_aggregate_buckets(self):
+        """The 'persistent aggregated view' used by load forecasting."""
+        with SqliteLoadArchive() as archive:
+            for t in range(60):
+                archive.store("Blade1", "cpu", t, 1.0 if t < 30 else 0.0)
+            buckets = archive.aggregate("Blade1", "cpu", bucket_minutes=30)
+            assert buckets == [(0, 1.0), (30, 0.0)]
+
+    def test_aggregate_rejects_bad_bucket(self):
+        with SqliteLoadArchive() as archive:
+            with pytest.raises(ValueError):
+                archive.aggregate("Blade1", "cpu", bucket_minutes=0)

@@ -1,0 +1,100 @@
+"""Tests for the fixed-interval load series."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.monitoring.timeseries import LoadSeries
+
+
+class TestRecording:
+    def test_record_and_latest(self):
+        series = LoadSeries("cpu")
+        series.record(0, 0.5)
+        series.record(1, 0.7)
+        assert series.latest == 0.7
+        assert series.latest_time == 1
+        assert len(series) == 2
+
+    def test_empty_series(self):
+        series = LoadSeries()
+        assert series.latest is None
+        assert series.latest_time is None
+        assert len(series) == 0
+        assert bool(series)  # an empty series is still usable
+
+    def test_non_monotone_time_rejected(self):
+        series = LoadSeries("cpu")
+        series.record(5, 0.5)
+        with pytest.raises(ValueError, match="not after"):
+            series.record(5, 0.6)
+        with pytest.raises(ValueError, match="not after"):
+            series.record(4, 0.6)
+
+    def test_items_and_values(self):
+        series = LoadSeries()
+        series.record(0, 0.1)
+        series.record(1, 0.2)
+        assert series.items() == [(0, 0.1), (1, 0.2)]
+        assert series.values() == [0.1, 0.2]
+        assert series.times() == [0, 1]
+
+
+class TestWindows:
+    def _series(self):
+        series = LoadSeries()
+        for t in range(10):
+            series.record(t, t / 10)
+        return series
+
+    def test_mean_between(self):
+        series = self._series()
+        assert series.mean_between(2, 4) == pytest.approx((0.2 + 0.3 + 0.4) / 3)
+
+    def test_mean_between_outside_range(self):
+        assert self._series().mean_between(100, 200) is None
+
+    def test_mean_over_last(self):
+        series = self._series()
+        # last 3 samples: 0.7, 0.8, 0.9
+        assert series.mean_over_last(3) == pytest.approx(0.8)
+
+    def test_mean_over_last_longer_than_series(self):
+        series = self._series()
+        assert series.mean_over_last(100) == pytest.approx(sum(range(10)) / 100)
+
+    def test_mean_over_last_empty(self):
+        assert LoadSeries().mean_over_last(5) is None
+
+    def test_max_between(self):
+        assert self._series().max_between(2, 5) == pytest.approx(0.5)
+        assert self._series().max_between(50, 60) is None
+
+    def test_time_above(self):
+        assert self._series().time_above(0.55) == 4  # 0.6 0.7 0.8 0.9
+
+    def test_watchtime_semantics(self):
+        """A 10-minute watch starting at t=100 covers samples 100..109."""
+        series = LoadSeries()
+        for t in range(95, 115):
+            series.record(t, 1.0 if 100 <= t <= 109 else 0.0)
+        assert series.mean_between(100, 109) == pytest.approx(1.0)
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+                    min_size=1, max_size=50))
+    def test_windowed_mean_matches_numpy_style_mean(self, values):
+        series = LoadSeries()
+        for t, value in enumerate(values):
+            series.record(t, value)
+        expected = sum(values) / len(values)
+        assert series.mean_between(0, len(values)) == pytest.approx(expected)
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+                    min_size=3, max_size=30),
+           st.integers(min_value=1, max_value=10))
+    def test_mean_over_last_bounded_by_extremes(self, values, duration):
+        series = LoadSeries()
+        for t, value in enumerate(values):
+            series.record(t, value)
+        mean = series.mean_over_last(duration)
+        assert min(values) - 1e-12 <= mean <= max(values) + 1e-12

@@ -1,0 +1,60 @@
+"""Tests for service level objectives, agreements and the catalog."""
+
+import pytest
+
+from repro.qos.sla import ServiceLevelAgreement, ServiceLevelObjective, SlaCatalog
+
+
+class TestObjective:
+    def test_valid_objective(self):
+        objective = ServiceLevelObjective(response_time_ms=200.0)
+        assert objective.compliance_target == pytest.approx(0.95)
+        assert objective.window_minutes == 60
+
+    def test_nonpositive_bound_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            ServiceLevelObjective(response_time_ms=0.0)
+
+    def test_bad_compliance_target_rejected(self):
+        with pytest.raises(ValueError, match="compliance"):
+            ServiceLevelObjective(response_time_ms=100.0, compliance_target=0.0)
+        with pytest.raises(ValueError, match="compliance"):
+            ServiceLevelObjective(response_time_ms=100.0, compliance_target=1.5)
+
+    def test_bad_window_rejected(self):
+        with pytest.raises(ValueError, match="window"):
+            ServiceLevelObjective(response_time_ms=100.0, window_minutes=0)
+
+
+class TestAgreement:
+    def test_agreement_str(self):
+        agreement = ServiceLevelAgreement(
+            "FI", ServiceLevelObjective(150.0, compliance_target=0.99)
+        )
+        assert "FI" in str(agreement) and "150 ms" in str(agreement)
+
+    def test_negative_penalty_rejected(self):
+        with pytest.raises(ValueError, match="penalty"):
+            ServiceLevelAgreement(
+                "FI",
+                ServiceLevelObjective(150.0),
+                penalty_per_violation_minute=-1.0,
+            )
+
+
+class TestCatalog:
+    def test_register_and_lookup(self):
+        agreement = ServiceLevelAgreement("FI", ServiceLevelObjective(150.0))
+        catalog = SlaCatalog([agreement])
+        assert catalog.agreement_for("FI") is agreement
+        assert catalog.agreement_for("LES") is None
+        assert "FI" in catalog
+        assert len(catalog) == 1
+
+    def test_duplicate_rejected(self):
+        agreement = ServiceLevelAgreement("FI", ServiceLevelObjective(150.0))
+        catalog = SlaCatalog([agreement])
+        with pytest.raises(ValueError, match="already has"):
+            catalog.register(
+                ServiceLevelAgreement("FI", ServiceLevelObjective(100.0))
+            )

@@ -1,0 +1,91 @@
+"""Unit tests for the ServiceHost capacity bookkeeping."""
+
+import pytest
+
+from repro.config.model import ServerSpec
+from repro.serviceglobe.host import ServiceHost
+from repro.serviceglobe.network import VirtualIP
+from repro.serviceglobe.service import InstanceState, ServiceInstance
+
+
+def make_host(index=2.0, memory_mb=4096):
+    return ServiceHost(ServerSpec("H", performance_index=index, memory_mb=memory_mb))
+
+
+def make_instance(service="APP", ip="10.0.0.1"):
+    return ServiceInstance(service_name=service, host_name="H",
+                           virtual_ip=VirtualIP(ip))
+
+
+class TestAttachment:
+    def test_attach_detach(self):
+        host = make_host()
+        instance = make_instance()
+        host.attach(instance)
+        assert host.running_instances == [instance]
+        host.detach(instance)
+        assert host.running_instances == []
+
+    def test_double_attach_rejected(self):
+        host = make_host()
+        instance = make_instance()
+        host.attach(instance)
+        with pytest.raises(ValueError, match="already attached"):
+            host.attach(instance)
+
+    def test_detach_unknown_rejected(self):
+        with pytest.raises(ValueError, match="not attached"):
+            make_host().detach(make_instance())
+
+    def test_stopped_instances_not_running(self):
+        host = make_host()
+        instance = make_instance()
+        host.attach(instance)
+        instance.state = InstanceState.STOPPED
+        assert host.running_instances == []
+
+    def test_instances_of_and_service_names(self):
+        host = make_host()
+        a1 = make_instance("A", "10.0.0.1")
+        a2 = make_instance("A", "10.0.0.2")
+        b = make_instance("B", "10.0.0.3")
+        for instance in (a1, a2, b):
+            host.attach(instance)
+        assert host.instances_of("A") == [a1, a2]
+        assert host.service_names == ["A", "B"]
+
+
+class TestLoadAccounting:
+    def test_load_is_demand_over_capacity(self):
+        host = make_host(index=2.0)
+        instance = make_instance()
+        instance.demand = 1.0
+        host.attach(instance)
+        assert host.cpu_load == pytest.approx(0.5)
+
+    def test_load_saturates_but_overload_factor_does_not(self):
+        host = make_host(index=1.0)
+        instance = make_instance()
+        instance.demand = 2.5
+        host.attach(instance)
+        assert host.cpu_load == 1.0
+        assert host.overload_factor == pytest.approx(2.5)
+
+    def test_total_demand_sums_instances(self):
+        host = make_host()
+        for index, demand in enumerate((0.3, 0.7)):
+            instance = make_instance(ip=f"10.0.0.{index + 1}")
+            instance.demand = demand
+            host.attach(instance)
+        assert host.total_demand == pytest.approx(1.0)
+
+
+class TestMemoryAccounting:
+    def test_memory_accounting(self):
+        host = make_host(memory_mb=4096)
+        host.attach(make_instance("A"))
+        host.attach(make_instance("B", ip="10.0.0.2"))
+        memory_of = {"A": 1024, "B": 512}.get
+        assert host.memory_used_mb(memory_of) == 1536
+        assert host.memory_free_mb(memory_of) == 4096 - 1536
+        assert host.mem_load(memory_of) == pytest.approx(1536 / 4096)

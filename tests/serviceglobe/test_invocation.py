@@ -1,0 +1,115 @@
+"""Tests for request-level invocation and the response-time model."""
+
+import pytest
+
+from repro.config.builtin import paper_landscape
+from repro.serviceglobe.invocation import LatencyModel, ServiceInvoker
+from repro.serviceglobe.platform import Platform
+from repro.sim.scenarios import Scenario, apply_scenario
+
+
+@pytest.fixture
+def platform():
+    return Platform(apply_scenario(paper_landscape(), Scenario.STATIC))
+
+
+@pytest.fixture
+def invoker(platform):
+    return ServiceInvoker(platform)
+
+
+def load_host(platform, host_name, load):
+    host = platform.host(host_name)
+    per_instance = load * host.cpu_capacity / max(len(host.running_instances), 1)
+    for instance in host.running_instances:
+        instance.demand = per_instance
+
+
+class TestLatencyModel:
+    def test_idle_host_no_slowdown(self):
+        assert LatencyModel().delay_factor(0.0) == pytest.approx(1.0)
+
+    def test_mm1_shape(self):
+        model = LatencyModel()
+        assert model.delay_factor(0.5) == pytest.approx(2.0)
+        assert model.delay_factor(0.9) == pytest.approx(10.0)
+
+    def test_saturation_capped(self):
+        model = LatencyModel(max_slowdown=20.0)
+        assert model.delay_factor(1.0) == 20.0
+        assert model.delay_factor(0.999) <= 20.0
+
+    def test_priority_weighting(self):
+        """Higher priority dampens the queueing slowdown, lower amplifies."""
+        model = LatencyModel()
+        neutral = model.delay_factor(0.8, priority=5)
+        boosted = model.delay_factor(0.8, priority=10)
+        demoted = model.delay_factor(0.8, priority=1)
+        assert boosted < neutral < demoted
+
+    def test_priority_irrelevant_when_idle(self):
+        model = LatencyModel()
+        assert model.delay_factor(0.0, priority=1) == pytest.approx(1.0)
+        assert model.delay_factor(0.0, priority=10) == pytest.approx(1.0)
+
+
+class TestRouting:
+    def test_routes_to_least_loaded_instance(self, platform, invoker):
+        load_host(platform, "Blade3", 0.9)   # FI
+        load_host(platform, "Blade5", 0.1)   # FI
+        load_host(platform, "Blade11", 0.5)  # FI
+        target = invoker.route("FI")
+        assert target.host_name == "Blade5"
+
+    def test_route_to_stopped_service_raises(self, platform, invoker):
+        for instance in list(platform.service("HR").running_instances):
+            platform.crash_instance(instance.instance_id)
+        with pytest.raises(LookupError, match="no running instance"):
+            invoker.route("HR")
+
+
+class TestInvocation:
+    def test_request_path_covers_app_ci_db(self, platform, invoker):
+        outcome = invoker.invoke("FI")
+        assert set(outcome.path) == {"app", "ci", "db"}
+        assert outcome.response_time_ms == pytest.approx(sum(outcome.path.values()))
+
+    def test_idle_path_yields_nominal_time(self, platform, invoker):
+        outcome = invoker.invoke("FI")
+        assert outcome.response_time_ms == pytest.approx(
+            invoker.nominal_response_time("FI")
+        )
+
+    def test_overloaded_app_server_delays_requests(self, platform, invoker):
+        """'The service requires more time to process the requests and,
+        therefore, delays new requests.'"""
+        baseline = invoker.sample_response_time("HR")  # single instance
+        load_host(platform, "Blade10", 0.95)
+        degraded = invoker.sample_response_time("HR")
+        assert degraded > 3 * baseline
+
+    def test_overloaded_database_delays_the_whole_subsystem(self, platform, invoker):
+        baseline = invoker.sample_response_time("FI")
+        load_host(platform, "DBServer1", 0.97)
+        degraded = invoker.sample_response_time("FI")
+        assert degraded > baseline * 2
+
+    def test_down_tier_stalls_at_cap(self, platform, invoker):
+        platform.crash_instance(
+            platform.service("DB-ERP").running_instances[0].instance_id
+        )
+        outcome = invoker.invoke("FI")
+        assert outcome.path["db"] == pytest.approx(
+            invoker.latency.db_service_ms * invoker.latency.max_slowdown
+        )
+
+    def test_priority_boost_improves_response_time(self, platform, invoker):
+        load_host(platform, "Blade10", 0.9)
+        before = invoker.sample_response_time("HR")
+        platform.service("HR").adjust_priority(+5)
+        after = invoker.sample_response_time("HR")
+        assert after < before
+
+    def test_outcome_str(self, platform, invoker):
+        text = str(invoker.invoke("FI"))
+        assert "FI via FI#" in text and "ms" in text

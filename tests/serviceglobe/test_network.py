@@ -1,0 +1,69 @@
+"""Tests for virtual service IPs (the service virtualization primitive)."""
+
+import pytest
+
+from repro.serviceglobe.network import NetworkError, NetworkFabric, VirtualIP
+
+
+class TestAllocation:
+    def test_allocated_ips_are_unique(self):
+        fabric = NetworkFabric()
+        ips = {fabric.allocate() for __ in range(500)}
+        assert len(ips) == 500
+
+    def test_allocated_ips_use_prefix(self):
+        fabric = NetworkFabric(prefix="10.99")
+        assert fabric.allocate().address.startswith("10.99.")
+
+    def test_fresh_ip_is_unbound(self):
+        fabric = NetworkFabric()
+        assert fabric.host_of(fabric.allocate()) is None
+
+
+class TestBinding:
+    def test_bind_and_lookup(self):
+        fabric = NetworkFabric()
+        ip = fabric.allocate()
+        fabric.bind(ip, "Blade1")
+        assert fabric.host_of(ip) == "Blade1"
+
+    def test_double_bind_rejected(self):
+        fabric = NetworkFabric()
+        ip = fabric.allocate()
+        fabric.bind(ip, "Blade1")
+        with pytest.raises(NetworkError, match="already bound"):
+            fabric.bind(ip, "Blade2")
+
+    def test_unbind_returns_old_host(self):
+        fabric = NetworkFabric()
+        ip = fabric.allocate()
+        fabric.bind(ip, "Blade1")
+        assert fabric.unbind(ip) == "Blade1"
+        assert fabric.host_of(ip) is None
+
+    def test_unbind_of_unbound_rejected(self):
+        fabric = NetworkFabric()
+        with pytest.raises(NetworkError, match="not bound"):
+            fabric.unbind(fabric.allocate())
+
+    def test_rebind_moves_binding(self):
+        """The service-move primitive of Section 2: unbind from the old
+        host's NIC, then bind to the target host's NIC."""
+        fabric = NetworkFabric()
+        ip = fabric.allocate()
+        fabric.bind(ip, "Blade1")
+        old, new = fabric.rebind(ip, "Blade2")
+        assert (old, new) == ("Blade1", "Blade2")
+        assert fabric.host_of(ip) == "Blade2"
+
+    def test_bindings_on_host(self):
+        fabric = NetworkFabric()
+        ips = [fabric.allocate() for __ in range(3)]
+        fabric.bind(ips[0], "Blade1")
+        fabric.bind(ips[1], "Blade1")
+        fabric.bind(ips[2], "Blade2")
+        assert set(fabric.bindings_on("Blade1")) == {ips[0], ips[1]}
+        assert len(fabric) == 3
+
+    def test_virtual_ip_str(self):
+        assert str(VirtualIP("10.0.0.1")) == "10.0.0.1"

@@ -1,0 +1,110 @@
+"""Tests for result export (JSON summary, host-load CSV, action CSV)."""
+
+import csv
+import json
+
+import pytest
+
+from repro.sim.export import (
+    export_actions_csv,
+    export_all,
+    export_host_series_csv,
+    export_summary_json,
+)
+from repro.sim.runner import SimulationRunner
+from repro.sim.scenarios import Scenario
+
+
+@pytest.fixture(scope="module")
+def result():
+    return SimulationRunner(
+        Scenario.CONSTRAINED_MOBILITY,
+        user_factor=1.3,
+        horizon=10 * 60,
+        seed=7,
+        collect_host_series=True,
+    ).run()
+
+
+class TestSummaryJson:
+    def test_round_trips_key_figures(self, result, tmp_path):
+        path = tmp_path / "summary.json"
+        export_summary_json(result, path)
+        payload = json.loads(path.read_text())
+        assert payload["scenario"] == "constrained-mobility"
+        assert payload["user_factor"] == pytest.approx(1.3)
+        assert payload["horizon_minutes"] == 600
+        assert payload["total_overload_minutes"] == result.total_overload_minutes
+        assert payload["action_count"] == len(result.actions)
+        assert isinstance(payload["violates_default_sla"], bool)
+
+    def test_action_counts_serialized_by_name(self, result, tmp_path):
+        path = tmp_path / "summary.json"
+        export_summary_json(result, path)
+        payload = json.loads(path.read_text())
+        for name, count in payload["action_counts"].items():
+            assert isinstance(name, str)
+            assert count > 0
+
+
+class TestHostSeriesCsv:
+    def test_one_row_per_minute(self, result, tmp_path):
+        path = tmp_path / "loads.csv"
+        export_host_series_csv(result, path)
+        with open(path, newline="") as handle:
+            rows = list(csv.reader(handle))
+        assert len(rows) == 1 + result.horizon
+        header = rows[0]
+        assert header[0] == "minute"
+        assert header[-1] == "average"
+        assert len(header) == 2 + len(result.host_names) + 1
+
+    def test_values_match_series(self, result, tmp_path):
+        path = tmp_path / "loads.csv"
+        export_host_series_csv(result, path)
+        with open(path, newline="") as handle:
+            rows = list(csv.reader(handle))
+        first_host = result.host_names[0]
+        assert float(rows[1][2]) == pytest.approx(
+            float(result.host_series[first_host][0]), abs=1e-4
+        )
+
+    def test_requires_collected_series(self, tmp_path):
+        bare = SimulationRunner(
+            Scenario.STATIC, user_factor=1.0, horizon=30, seed=7,
+            collect_host_series=False,
+        ).run()
+        with pytest.raises(ValueError, match="not collected"):
+            export_host_series_csv(bare, tmp_path / "loads.csv")
+
+
+class TestActionsCsv:
+    def test_one_row_per_action(self, result, tmp_path):
+        path = tmp_path / "actions.csv"
+        export_actions_csv(result, path)
+        with open(path, newline="") as handle:
+            rows = list(csv.reader(handle))
+        assert len(rows) == 1 + len(result.actions)
+        if result.actions:
+            assert rows[1][2] in {
+                "scaleIn", "scaleOut", "scaleUp", "scaleDown", "move",
+                "start", "stop", "increasePriority", "reducePriority",
+            }
+
+
+class TestExportAll:
+    def test_writes_bundle_directory(self, result, tmp_path):
+        base = export_all(result, tmp_path)
+        assert base.name == "constrained-mobility_130"
+        assert (base / "summary.json").exists()
+        assert (base / "actions.csv").exists()
+        assert (base / "host_loads.csv").exists()
+
+    def test_skips_series_when_not_collected(self, tmp_path):
+        bare = SimulationRunner(
+            Scenario.STATIC, user_factor=1.0, horizon=30, seed=7,
+            collect_host_series=False,
+        ).run()
+        base = export_all(bare, tmp_path)
+        assert (base / "summary.json").exists()
+        assert not (base / "host_loads.csv").exists()

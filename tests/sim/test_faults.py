@@ -1,0 +1,105 @@
+"""Tests for failure injection and self-healing under churn."""
+
+import pytest
+
+from repro.core.autoglobe import AutoGlobeController
+from repro.serviceglobe.platform import Platform
+from repro.sim.faults import FaultInjector
+from repro.sim.scenarios import Scenario, apply_scenario
+from repro.sim.workload import NoiseParameters, WorkloadModel
+from repro.config.builtin import paper_landscape
+from tests.core.conftest import build_landscape
+
+
+class TestInjector:
+    def test_no_faults_with_zero_probability(self):
+        platform = Platform(build_landscape())
+        controller = AutoGlobeController(platform)
+        injector = FaultInjector(controller, crash_probability=0.0,
+                                 hang_probability=0.0)
+        for now in range(100):
+            controller.tick(now)
+            assert injector.tick(now) == []
+        assert injector.faults == []
+
+    def test_crash_restarts_instance(self):
+        platform = Platform(build_landscape())
+        controller = AutoGlobeController(platform)
+        injector = FaultInjector(controller, crash_probability=1.0,
+                                 hang_probability=0.0, seed=1)
+        controller.tick(0)
+        injector.tick(0)
+        assert injector.crash_count >= 1
+        # every crashed service is running again (restart succeeded)
+        for fault in injector.faults:
+            assert platform.service(fault.service_name).running_instances
+
+    def test_hang_detected_and_healed(self):
+        platform = Platform(build_landscape())
+        controller = AutoGlobeController(platform)
+        injector = FaultInjector(controller, crash_probability=0.0,
+                                 hang_probability=1.0, seed=1)
+        controller.tick(0)
+        injector.tick(0)  # everything hangs at t=0
+        assert injector.hang_count >= 1
+        for now in range(1, 8):
+            controller.tick(now)
+        # the heartbeat detector noticed and the controller restarted
+        restarts = [a for a in platform.audit_log if "restart" in a.note]
+        assert restarts
+        for fault in injector.faults:
+            assert platform.service(fault.service_name).running_instances
+
+    def test_deterministic_under_seed(self):
+        def run():
+            platform = Platform(build_landscape())
+            controller = AutoGlobeController(platform)
+            injector = FaultInjector(controller, crash_probability=0.05,
+                                     hang_probability=0.05, seed=42)
+            for now in range(60):
+                controller.tick(now)
+                injector.tick(now)
+            return [(f.time, f.service_name, f.kind) for f in injector.faults]
+
+        assert run() == run()
+
+    def test_bad_probabilities_rejected(self):
+        platform = Platform(build_landscape())
+        controller = AutoGlobeController(platform)
+        with pytest.raises(ValueError):
+            FaultInjector(controller, crash_probability=1.5)
+        with pytest.raises(ValueError):
+            FaultInjector(controller, hang_probability=-0.1)
+
+
+class TestChaosOnSapLandscape:
+    def test_landscape_survives_fault_storm(self):
+        """Six hours of elevated fault rates on the full SAP landscape:
+        every service keeps its minimum instance count and all users
+        survive."""
+        landscape = apply_scenario(
+            paper_landscape(), Scenario.CONSTRAINED_MOBILITY
+        )
+        platform = Platform(landscape)
+        controller = AutoGlobeController(platform)
+        workload = WorkloadModel(
+            platform, seed=5,
+            noise=NoiseParameters(sigma=0.0, burst_probability=0.0),
+        )
+        workload.initialize()
+        users_before = workload.total_users()
+        injector = FaultInjector(
+            controller,
+            crash_probability=1.0 / 360,  # one crash per instance per ~6 h
+            hang_probability=1.0 / 360,
+            seed=11,
+        )
+        for now in range(12 * 60, 18 * 60):
+            workload.tick(now)
+            controller.tick(now)
+            injector.tick(now)
+        assert injector.faults, "the storm should have injected faults"
+        for definition in platform.services.values():
+            running = len(definition.running_instances)
+            assert running >= max(definition.spec.constraints.min_instances, 1)
+        assert workload.total_users() == users_before

@@ -1,0 +1,156 @@
+"""Tests for the workload model and request-path propagation."""
+
+import pytest
+
+from repro.config.builtin import paper_landscape
+from repro.serviceglobe.platform import Platform
+from repro.sim.clock import MINUTES_PER_DAY
+from repro.sim.requests import RequestFlows
+from repro.sim.scenarios import Scenario, apply_scenario
+from repro.sim.workload import NoiseParameters, WorkloadModel
+
+NOON = 12 * 60
+PEAK_MORNING = 9 * 60 + 0
+NIGHT = 3 * 60
+
+QUIET = NoiseParameters(sigma=0.0, burst_probability=0.0, derived_sigma=0.0)
+
+
+@pytest.fixture
+def platform():
+    return Platform(apply_scenario(paper_landscape(), Scenario.STATIC))
+
+
+@pytest.fixture
+def workload(platform):
+    model = WorkloadModel(platform, seed=3, noise=QUIET)
+    model.initialize()
+    return model
+
+
+class TestInitialization:
+    def test_table4_users_placed(self, platform, workload):
+        assert platform.service("FI").total_users == 600
+        assert platform.service("LES").total_users == 900
+        assert workload.total_users() == 600 + 900 + 450 + 300 + 300 + 60
+
+    def test_capacity_proportional_initial_placement(self, platform, workload):
+        """FI's 600 users split 150/150/300 across PI 1/1/2 hosts."""
+        by_host = {
+            i.host_name: i.users
+            for i in platform.service("FI").running_instances
+        }
+        assert by_host == {"Blade3": 150, "Blade5": 150, "Blade11": 300}
+
+
+class TestApplicationDemand:
+    def test_peak_load_near_75_percent(self, platform, workload):
+        """The §5.1 dimensioning: blades run at 60-80% during main activity."""
+        from repro.sim.loadcurves import profile_array
+
+        peak_minute = int(profile_array("fi").argmax())
+        workload.tick(peak_minute)
+        load = platform.host_cpu_load("Blade3")
+        assert 0.70 <= load <= 0.80
+
+    def test_night_load_is_basic_only(self, platform, workload):
+        workload.tick(NIGHT)
+        fi_instance = platform.service("FI").running_instances[0]
+        # profile is near zero at 3:00; only the basic load remains
+        assert fi_instance.demand < 0.05
+
+    def test_bw_peaks_at_night(self, platform, workload):
+        workload.tick(NIGHT)
+        night_load = platform.host_cpu_load("Blade9")
+        workload.tick(NOON)
+        day_load = platform.host_cpu_load("Blade9")
+        assert night_load > 0.5
+        assert day_load < 0.3
+
+    def test_demand_deterministic_under_seed(self):
+        loads = []
+        for __ in range(2):
+            platform = Platform(apply_scenario(paper_landscape(), Scenario.STATIC))
+            model = WorkloadModel(platform, seed=42)
+            model.initialize()
+            for m in range(NOON, NOON + 30):
+                model.tick(m)
+            loads.append([platform.host_cpu_load(h) for h in sorted(platform.hosts)])
+        assert loads[0] == loads[1]
+
+    def test_noise_perturbs_demand(self, platform):
+        noisy = WorkloadModel(platform, seed=1)  # default noise
+        noisy.initialize()
+        samples = []
+        for m in range(PEAK_MORNING, PEAK_MORNING + 20):
+            noisy.tick(m)
+            samples.append(platform.host_cpu_load("Blade3"))
+        assert len(set(round(s, 6) for s in samples)) > 5
+
+
+class TestRequestPath:
+    def test_subsystem_routing(self, platform):
+        flows = RequestFlows(platform)
+        assert flows.ci_service_of("ERP") == "CI-ERP"
+        assert flows.db_service_of("BW") == "DB-BW"
+
+    def test_database_demand_follows_users(self, platform, workload):
+        """The course of a request: app server -> CI -> DB (Section 5.1)."""
+        workload.tick(PEAK_MORNING)
+        erp_db = platform.service("DB-ERP").running_instances[0]
+        crm_db = platform.service("DB-CRM").running_instances[0]
+        # ERP has 2250 users, CRM 300: the ERP database works much harder
+        assert erp_db.demand > crm_db.demand * 3
+
+    def test_ci_lighter_than_db(self, platform, workload):
+        workload.tick(PEAK_MORNING)
+        ci = platform.service("CI-ERP").running_instances[0]
+        db = platform.service("DB-ERP").running_instances[0]
+        assert ci.demand < db.demand
+
+    def test_db_night_load_from_batch_jobs(self, platform, workload):
+        """DBServer3 is heavily used by the BW database at night
+        (the reason Figure 16's FI instance is stopped there)."""
+        workload.tick(NIGHT)
+        night = platform.host_cpu_load("DBServer3")
+        workload.tick(NOON)
+        day = platform.host_cpu_load("DBServer3")
+        assert night > 0.4
+        assert day < night
+
+    def test_derived_demand_split_across_instances(self):
+        from repro.config.model import Action
+
+        platform = Platform(
+            apply_scenario(paper_landscape(), Scenario.FULL_MOBILITY)
+        )
+        workload = WorkloadModel(platform, seed=3, noise=QUIET)
+        workload.initialize()
+        platform.execute(Action.SCALE_OUT, "DB-BW", target_host="DBServer2")
+        workload.tick(NIGHT)
+        first, second = platform.service("DB-BW").running_instances
+        assert first.demand == pytest.approx(second.demand, rel=0.01)
+
+
+class TestFluctuation:
+    def test_users_conserved_over_time(self, platform):
+        model = WorkloadModel(platform, seed=5)
+        model.initialize()
+        before = platform.service("LES").total_users
+        for m in range(NOON, NOON + 60):
+            model.tick(m)
+        assert platform.service("LES").total_users == before
+
+    def test_fluctuation_rebalances_after_imbalance(self, platform):
+        model = WorkloadModel(platform, seed=5, noise=QUIET)
+        model.initialize()
+        instances = platform.service("LES").running_instances
+        # pile every user onto the first instance
+        total = sum(i.users for i in instances)
+        for instance in instances:
+            instance.users = 0
+        instances[0].users = total
+        for m in range(PEAK_MORNING, PEAK_MORNING + 240):
+            model.tick(m)
+        assert instances[0].users < total * 0.6
+        assert sum(i.users for i in instances) == total
