@@ -1,0 +1,58 @@
+"""Static analysis ("``autoglobe lint``") for rule bases and landscapes.
+
+AutoGlobe's safety story rests on its declarative configuration: the
+fuzzy rule bases drive every controller decision, and the XML landscape
+description constrains what the controller may do.  A contradictory or
+unreachable rule silently degrades the controller; an infeasible
+constraint set only surfaces at runtime as oscillation or a stuck
+allocation.  This package catches those misconfigurations *before* a
+simulation (or a production deployment) runs:
+
+* :mod:`repro.analysis.diagnostics` — the :class:`Diagnostic` model,
+  stable ``AG1xx``/``AG2xx`` codes, text and JSON reporters;
+* :mod:`repro.analysis.rulebase` — the rule-base linter (references,
+  duplicates, oscillation couples, coverage gaps);
+* :mod:`repro.analysis.landscape` — the feasibility analyzer
+  (exclusive placement, performance indexes, capacity and memory
+  headroom, unenforceable action sets);
+* :mod:`repro.analysis.engine` — orchestration, suppressions and the
+  :class:`AnalysisReport` consumed by the CLI and the simulation runner.
+"""
+
+from repro.analysis.diagnostics import (
+    CODE_TABLE,
+    EXIT_CLEAN,
+    EXIT_ERRORS,
+    EXIT_WARNINGS,
+    Diagnostic,
+    Severity,
+    render_json,
+    render_text,
+)
+from repro.analysis.engine import AnalysisReport, LintError, analyze_landscape
+from repro.analysis.landscape import analyze_feasibility
+from repro.analysis.rulebase import (
+    ACTION_COUPLES,
+    RuleBaseLinter,
+    analyze_rule_bases,
+    lint_override_text,
+)
+
+__all__ = [
+    "ACTION_COUPLES",
+    "AnalysisReport",
+    "CODE_TABLE",
+    "Diagnostic",
+    "EXIT_CLEAN",
+    "EXIT_ERRORS",
+    "EXIT_WARNINGS",
+    "LintError",
+    "RuleBaseLinter",
+    "Severity",
+    "analyze_feasibility",
+    "analyze_landscape",
+    "analyze_rule_bases",
+    "lint_override_text",
+    "render_json",
+    "render_text",
+]

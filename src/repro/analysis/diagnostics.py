@@ -1,0 +1,217 @@
+"""Diagnostics framework for the AutoGlobe static analyzers.
+
+Every finding is a :class:`Diagnostic` with a stable code (``AG1xx`` for
+rule-base findings, ``AG2xx`` for landscape feasibility findings), a
+severity, a human-readable message and enough source context (service,
+trigger, rule label, line) to locate the offending declaration.  The
+code is the contract: tests, suppressions (``lintIgnore`` in the XML)
+and CI pipelines key on it, so codes are never renumbered or reused.
+
+Two reporters are provided: a text renderer for humans and a JSON
+renderer for CI integration (``autoglobe lint --format json``).
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+__all__ = [
+    "Severity",
+    "Diagnostic",
+    "CODE_TABLE",
+    "is_known_code",
+    "render_text",
+    "render_json",
+    "exit_code",
+    "EXIT_CLEAN",
+    "EXIT_WARNINGS",
+    "EXIT_ERRORS",
+]
+
+#: ``autoglobe lint`` exit codes, in increasing order of badness.
+EXIT_CLEAN = 0
+EXIT_WARNINGS = 1
+EXIT_ERRORS = 2
+
+
+class Severity(enum.IntEnum):
+    """Severity levels, ordered so that ``max()`` picks the worst."""
+
+    INFO = 10
+    WARNING = 20
+    ERROR = 30
+
+    @property
+    def label(self) -> str:
+        return self.name.lower()
+
+
+#: Registry of all diagnostic codes with a one-line description.  The
+#: default severity is informational; individual findings may up- or
+#: downgrade (e.g. AG203 is a warning near the capacity limit and an
+#: error beyond it).
+CODE_TABLE: Dict[str, Tuple[Severity, str]] = {
+    # -- rule-base linter (AG1xx) ------------------------------------------
+    "AG101": (Severity.ERROR, "rule references an undeclared input variable"),
+    "AG102": (Severity.ERROR, "rule references an undeclared term of an input variable"),
+    "AG103": (Severity.ERROR, "rule asserts an undeclared output variable (unknown action)"),
+    "AG104": (Severity.ERROR, "rule asserts an undeclared term of its output variable"),
+    "AG105": (Severity.WARNING, "duplicate rule (identical antecedent and consequent)"),
+    "AG106": (Severity.WARNING, "shadowed or conflicting rule (identical antecedent, same output)"),
+    "AG107": (Severity.ERROR, "contradictory action couple reachable from overlapping antecedents"),
+    "AG108": (Severity.ERROR, "rule text does not parse"),
+    "AG109": (Severity.ERROR, "rule override names an unknown trigger"),
+    "AG110": (Severity.WARNING, "coverage gap: no rule fires in part of the trigger region"),
+    "AG111": (Severity.WARNING, "dead rule: weight below the controller's minApplicability"),
+    # -- landscape feasibility analyzer (AG2xx) ----------------------------
+    "AG201": (Severity.ERROR, "exclusive services cannot all be placed on distinct hosts"),
+    "AG202": (Severity.ERROR, "minimum performance index unsatisfiable by any server"),
+    "AG203": (Severity.WARNING, "aggregate peak CPU demand close to or beyond total capacity"),
+    "AG204": (Severity.WARNING, "aggregate memory demand close to or beyond total memory"),
+    "AG205": (Severity.WARNING, "minimum instances unenforceable: no start/scale-out allowed"),
+    "AG206": (Severity.WARNING, "rule override asserts an action outside allowedActions"),
+    "AG208": (Severity.ERROR, "workload references an unknown load profile"),
+}
+
+
+def is_known_code(code: str) -> bool:
+    return code in CODE_TABLE
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One static-analysis finding.
+
+    Attributes
+    ----------
+    code:
+        Stable identifier from :data:`CODE_TABLE` (e.g. ``"AG101"``).
+    severity:
+        ERROR findings make ``autoglobe lint`` exit 2, WARNING findings
+        exit 1.
+    message:
+        Human-readable description of this specific finding.
+    subject:
+        What the finding is about, e.g. ``"rulebase serviceOverloaded"``
+        or ``"service DB-ERP"``.
+    service:
+        Owning service, when the finding stems from a per-service
+        declaration; per-service ``lintIgnore`` suppressions key on this.
+    trigger:
+        Trigger name for rule-base findings (``"serviceOverloaded"`` ...).
+    rule_label:
+        Label of the offending rule, when one rule is to blame.
+    line:
+        1-based line within the rule DSL text, when known.
+    details:
+        Machine-readable extras (witness points, demand figures, ...)
+        surfaced verbatim in the JSON report.
+    """
+
+    code: str
+    severity: Severity
+    message: str
+    subject: str = ""
+    service: Optional[str] = None
+    trigger: Optional[str] = None
+    rule_label: Optional[str] = None
+    line: Optional[int] = None
+    details: Mapping[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not is_known_code(self.code):
+            raise ValueError(f"unknown diagnostic code {self.code!r}")
+
+    def location(self) -> str:
+        """Compact source-location prefix, e.g. ``"DB-ERP/serviceOverloaded:3"``."""
+        parts: List[str] = []
+        if self.service:
+            parts.append(self.service)
+        if self.trigger:
+            parts.append(self.trigger)
+        location = "/".join(parts) if parts else (self.subject or "landscape")
+        if self.line is not None:
+            location += f":{self.line}"
+        return location
+
+    def as_dict(self) -> Dict[str, object]:
+        payload: Dict[str, object] = {
+            "code": self.code,
+            "severity": self.severity.label,
+            "message": self.message,
+            "subject": self.subject,
+        }
+        for key, value in (
+            ("service", self.service),
+            ("trigger", self.trigger),
+            ("rule", self.rule_label),
+            ("line", self.line),
+        ):
+            if value is not None:
+                payload[key] = value
+        if self.details:
+            payload["details"] = dict(self.details)
+        return payload
+
+    def __str__(self) -> str:
+        return f"{self.location()}: {self.severity.label}[{self.code}] {self.message}"
+
+
+def _sort_key(diagnostic: Diagnostic) -> Tuple[int, str, str]:
+    return (-int(diagnostic.severity), diagnostic.code, diagnostic.location())
+
+
+def sorted_diagnostics(diagnostics: Iterable[Diagnostic]) -> List[Diagnostic]:
+    """Errors first, then by code and location, for stable reports."""
+    return sorted(diagnostics, key=_sort_key)
+
+
+def _counts(diagnostics: Sequence[Diagnostic]) -> Dict[str, int]:
+    return {
+        "errors": sum(1 for d in diagnostics if d.severity is Severity.ERROR),
+        "warnings": sum(1 for d in diagnostics if d.severity is Severity.WARNING),
+        "infos": sum(1 for d in diagnostics if d.severity is Severity.INFO),
+    }
+
+
+def exit_code(diagnostics: Iterable[Diagnostic], strict: bool = False) -> int:
+    """0 for a clean report, 1 for warnings only, 2 for errors.
+
+    With ``strict``, warnings are promoted to the error exit code.
+    """
+    worst = max((d.severity for d in diagnostics), default=None)
+    if worst is None or worst is Severity.INFO:
+        return EXIT_CLEAN
+    if worst is Severity.ERROR:
+        return EXIT_ERRORS
+    return EXIT_ERRORS if strict else EXIT_WARNINGS
+
+
+def render_text(diagnostics: Sequence[Diagnostic], landscape_name: str = "") -> str:
+    """Human-readable report, one line per finding plus a summary line."""
+    ordered = sorted_diagnostics(diagnostics)
+    lines = [str(d) for d in ordered]
+    counts = _counts(ordered)
+    subject = f"landscape {landscape_name!r}: " if landscape_name else ""
+    if not ordered:
+        lines.append(f"{subject}clean (0 problems)")
+    else:
+        lines.append(
+            f"{subject}{counts['errors']} error(s), {counts['warnings']} warning(s)"
+        )
+    return "\n".join(lines)
+
+
+def render_json(diagnostics: Sequence[Diagnostic], landscape_name: str = "") -> str:
+    """Machine-readable report for CI: stable keys, sorted findings."""
+    ordered = sorted_diagnostics(diagnostics)
+    payload = {
+        "landscape": landscape_name,
+        "summary": _counts(ordered),
+        "exit_code": exit_code(ordered),
+        "diagnostics": [d.as_dict() for d in ordered],
+    }
+    return json.dumps(payload, indent=2, sort_keys=False)

@@ -1,0 +1,117 @@
+"""Orchestration of the AutoGlobe static analyzers.
+
+:func:`analyze_landscape` runs the rule-base linter and the landscape
+feasibility analyzer over one landscape and folds the findings into an
+:class:`AnalysisReport`.  Per-service suppressions declared in the XML
+(``<service lintIgnore="AG110 AG205">``) are honored here, so both the
+CLI and the simulation runner see the same filtered view.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Set, Tuple
+
+from repro.analysis.diagnostics import (
+    Diagnostic,
+    Severity,
+    exit_code,
+    render_json,
+    render_text,
+    sorted_diagnostics,
+)
+from repro.analysis.landscape import analyze_feasibility
+from repro.analysis.rulebase import analyze_rule_bases
+from repro.config.model import LandscapeSpec
+
+__all__ = ["AnalysisReport", "LintError", "analyze_landscape"]
+
+
+@dataclass(frozen=True)
+class AnalysisReport:
+    """All diagnostics for one landscape, pre-sorted (errors first)."""
+
+    landscape_name: str
+    diagnostics: Tuple[Diagnostic, ...]
+
+    @property
+    def errors(self) -> Tuple[Diagnostic, ...]:
+        return tuple(d for d in self.diagnostics if d.severity is Severity.ERROR)
+
+    @property
+    def warnings(self) -> Tuple[Diagnostic, ...]:
+        return tuple(d for d in self.diagnostics if d.severity is Severity.WARNING)
+
+    @property
+    def clean(self) -> bool:
+        return not self.errors and not self.warnings
+
+    def exit_code(self, strict: bool = False) -> int:
+        """0 clean / 1 warnings / 2 errors (strict promotes warnings)."""
+        return exit_code(self.diagnostics, strict=strict)
+
+    def render(self, format: str = "text") -> str:
+        if format == "json":
+            return render_json(self.diagnostics, self.landscape_name)
+        return render_text(self.diagnostics, self.landscape_name)
+
+    def without_codes(self, codes: Iterable[str]) -> "AnalysisReport":
+        """A copy with every diagnostic of the given codes dropped."""
+        dropped = set(codes)
+        return AnalysisReport(
+            self.landscape_name,
+            tuple(d for d in self.diagnostics if d.code not in dropped),
+        )
+
+    def raise_for_findings(self, strict: bool = False) -> None:
+        """Raise :class:`LintError` on errors (and warnings when strict)."""
+        offending = self.errors if not strict else self.errors + self.warnings
+        if offending:
+            raise LintError(self)
+
+
+class LintError(Exception):
+    """A landscape failed static analysis.
+
+    Carries the full :class:`AnalysisReport`; the message is the text
+    rendering, so the administrator sees every finding at once.
+    """
+
+    def __init__(self, report: AnalysisReport) -> None:
+        self.report = report
+        super().__init__(report.render("text"))
+
+
+def _suppressed(landscape: LandscapeSpec, diagnostic: Diagnostic) -> bool:
+    if diagnostic.service is None:
+        return False
+    for service in landscape.services:
+        if service.name == diagnostic.service:
+            return diagnostic.code in service.lint_suppressions
+    return False
+
+
+def analyze_landscape(
+    landscape: LandscapeSpec,
+    include_rule_bases: bool = True,
+    include_feasibility: bool = True,
+    ignore: Optional[Iterable[str]] = None,
+) -> AnalysisReport:
+    """Run all static analyzers over a landscape.
+
+    Never raises on landscape *content* — every finding becomes a
+    diagnostic.  ``ignore`` drops codes globally; per-service
+    ``lintIgnore`` declarations from the XML are always honored.
+    """
+    diagnostics: List[Diagnostic] = []
+    if include_rule_bases:
+        diagnostics.extend(analyze_rule_bases(landscape))
+    if include_feasibility:
+        diagnostics.extend(analyze_feasibility(landscape))
+    ignored: Set[str] = set(ignore or ())
+    kept = [
+        d
+        for d in diagnostics
+        if d.code not in ignored and not _suppressed(landscape, d)
+    ]
+    return AnalysisReport(landscape.name, tuple(sorted_diagnostics(kept)))

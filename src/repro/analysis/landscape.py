@@ -1,0 +1,286 @@
+"""Feasibility analysis of landscape descriptions.
+
+Goes beyond :func:`repro.config.validation.validate_landscape` (which
+checks the *initial* allocation): these checks ask whether the declared
+constraint system can be satisfied — and kept satisfied by the
+controller — at all:
+
+* **AG201** exclusive services each need a dedicated host meeting their
+  performance and memory requirements; a maximum bipartite matching
+  decides whether enough distinct hosts exist (and warns when the
+  exclusive placement necessarily crowds out non-exclusive services);
+* **AG202** a minimum performance index no server reaches means the
+  service can never run anywhere;
+* **AG203** aggregate peak CPU demand (basic loads plus user demand at
+  the profiles' peaks, including central-instance and database
+  forwarding costs) against the total performance-index capacity;
+* **AG204** aggregate memory demand of the minimum instance counts
+  against total memory;
+* **AG205** a positive ``minInstances`` with a non-empty allowed-action
+  set lacking both ``start`` and ``scaleOut`` cannot be re-established
+  by the controller once an instance stops;
+* **AG208** workload profiles must be registered load curves.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.diagnostics import Diagnostic, Severity
+from repro.config.model import Action, LandscapeSpec, ServerSpec, ServiceSpec
+from repro.sim.loadcurves import available_profiles, profile_value
+
+__all__ = ["analyze_feasibility"]
+
+#: Fraction of total memory above which AG204 warns even though the
+#: demand still fits: no headroom is left for scale-out.
+_MEMORY_HEADROOM = 0.90
+
+#: Minutes between samples when locating a profile's daily peak.
+_PEAK_SAMPLE_STEP = 15
+
+
+def _eligible_hosts(service: ServiceSpec, servers: Sequence[ServerSpec]) -> List[str]:
+    return [
+        server.name
+        for server in servers
+        if server.performance_index >= service.constraints.min_performance_index
+        and server.memory_mb >= service.workload.memory_per_instance_mb
+    ]
+
+
+def _max_matching(slots: List[List[str]], hosts: List[str]) -> Dict[int, str]:
+    """Maximum bipartite matching of instance slots onto distinct hosts."""
+    host_of_slot: Dict[int, str] = {}
+    slot_of_host: Dict[str, int] = {}
+
+    def augment(slot: int, visited: Set[str]) -> bool:
+        for host in slots[slot]:
+            if host in visited:
+                continue
+            visited.add(host)
+            holder = slot_of_host.get(host)
+            if holder is None or augment(holder, visited):
+                slot_of_host[host] = slot
+                host_of_slot[slot] = host
+                return True
+        return False
+
+    for slot in range(len(slots)):
+        augment(slot, set())
+    return host_of_slot
+
+
+def _profile_peak(name: str) -> float:
+    return max(
+        profile_value(name, minute) for minute in range(0, 24 * 60, _PEAK_SAMPLE_STEP)
+    )
+
+
+def _instances(landscape: LandscapeSpec, service: ServiceSpec) -> int:
+    allocated = len(landscape.instances_of(service.name))
+    return max(service.constraints.min_instances, allocated)
+
+
+def _peak_demand(service: ServiceSpec, peak: float) -> float:
+    """Peak CPU demand of one service in performance-index units."""
+    workload = service.workload
+    per_user = workload.load_per_user + workload.ci_cost_per_user + workload.db_cost_per_user
+    return workload.users * per_user * peak
+
+
+def analyze_feasibility(landscape: LandscapeSpec) -> List[Diagnostic]:
+    """Run every feasibility check; returns diagnostics, raises nothing."""
+    diagnostics: List[Diagnostic] = []
+    servers = landscape.servers
+    known_profiles = set(available_profiles())
+
+    # -- AG208 + per-service profile peaks ---------------------------------
+    peaks: Dict[str, float] = {}
+    for service in landscape.services:
+        profile = service.workload.profile
+        if profile not in known_profiles:
+            diagnostics.append(
+                Diagnostic(
+                    code="AG208",
+                    severity=Severity.ERROR,
+                    message=(
+                        f"unknown load profile {profile!r}; registered profiles: "
+                        f"{', '.join(sorted(known_profiles))}"
+                    ),
+                    subject=f"service {service.name!r}",
+                    service=service.name,
+                )
+            )
+            peaks[service.name] = 1.0
+        else:
+            peaks[service.name] = _profile_peak(profile)
+
+    # -- AG202: minimum performance index unsatisfiable --------------------
+    for service in landscape.services:
+        if service.constraints.min_instances <= 0:
+            continue
+        if not _eligible_hosts(service, servers):
+            diagnostics.append(
+                Diagnostic(
+                    code="AG202",
+                    severity=Severity.ERROR,
+                    message=(
+                        f"no server satisfies performance index >= "
+                        f"{service.constraints.min_performance_index:g} with "
+                        f"{service.workload.memory_per_instance_mb} MB free "
+                        f"memory; the service can never run"
+                    ),
+                    subject=f"service {service.name!r}",
+                    service=service.name,
+                )
+            )
+
+    # -- AG201: exclusive placement matching -------------------------------
+    slot_services: List[ServiceSpec] = []
+    slots: List[List[str]] = []
+    for service in landscape.services:
+        if not service.constraints.exclusive:
+            continue
+        eligible = _eligible_hosts(service, servers)
+        for _ in range(max(service.constraints.min_instances, 0)):
+            slot_services.append(service)
+            slots.append(eligible)
+    matching = _max_matching(slots, [s.name for s in servers])
+    if len(matching) < len(slots):
+        unplaced = sorted(
+            {slot_services[i].name for i in range(len(slots)) if i not in matching}
+        )
+        diagnostics.append(
+            Diagnostic(
+                code="AG201",
+                severity=Severity.ERROR,
+                message=(
+                    f"exclusive services need {len(slots)} dedicated host(s) but "
+                    f"only {len(matching)} can be matched; unplaceable: "
+                    f"{', '.join(unplaced)}"
+                ),
+                subject="exclusive services",
+                details={"required": len(slots), "matched": len(matching)},
+            )
+        )
+    else:
+        consumed = set(matching.values())
+        for service in landscape.services:
+            if service.constraints.exclusive or service.constraints.min_instances <= 0:
+                continue
+            eligible = _eligible_hosts(service, servers)
+            if eligible and all(host in consumed for host in eligible):
+                diagnostics.append(
+                    Diagnostic(
+                        code="AG201",
+                        severity=Severity.WARNING,
+                        message=(
+                            f"every eligible host "
+                            f"({', '.join(sorted(eligible))}) is claimed by an "
+                            f"exclusive service; placement may be impossible"
+                        ),
+                        subject=f"service {service.name!r}",
+                        service=service.name,
+                    )
+                )
+
+    # -- AG203: aggregate peak CPU demand vs capacity ----------------------
+    supply = sum(server.performance_index for server in servers)
+    basic = sum(
+        service.workload.basic_load * _instances(landscape, service)
+        for service in landscape.services
+    )
+    user_demand = sum(
+        _peak_demand(service, peaks[service.name]) for service in landscape.services
+    )
+    demand = basic + user_demand
+    threshold = landscape.controller.overload_threshold
+    if demand > supply:
+        diagnostics.append(
+            Diagnostic(
+                code="AG203",
+                severity=Severity.ERROR,
+                message=(
+                    f"aggregate peak CPU demand {demand:.2f} exceeds total "
+                    f"capacity {supply:.2f}; the landscape cannot sustain its "
+                    f"declared peak workload"
+                ),
+                subject="capacity",
+                details={"demand": round(demand, 3), "capacity": round(supply, 3)},
+            )
+        )
+    elif supply > 0 and demand > threshold * supply:
+        diagnostics.append(
+            Diagnostic(
+                code="AG203",
+                severity=Severity.WARNING,
+                message=(
+                    f"aggregate peak CPU demand {demand:.2f} is "
+                    f"{demand / supply:.0%} of total capacity {supply:.2f}, above "
+                    f"the overload threshold {threshold:.0%}; expect sustained "
+                    f"overload situations at peak hours"
+                ),
+                subject="capacity",
+                details={"demand": round(demand, 3), "capacity": round(supply, 3)},
+            )
+        )
+
+    # -- AG204: aggregate memory demand vs total memory --------------------
+    total_memory = sum(server.memory_mb for server in servers)
+    memory_demand = sum(
+        service.workload.memory_per_instance_mb * _instances(landscape, service)
+        for service in landscape.services
+    )
+    if memory_demand > total_memory:
+        diagnostics.append(
+            Diagnostic(
+                code="AG204",
+                severity=Severity.ERROR,
+                message=(
+                    f"minimum instance counts need {memory_demand} MB but the "
+                    f"landscape only has {total_memory} MB of memory"
+                ),
+                subject="memory",
+                details={"demand_mb": memory_demand, "total_mb": total_memory},
+            )
+        )
+    elif total_memory > 0 and memory_demand > _MEMORY_HEADROOM * total_memory:
+        diagnostics.append(
+            Diagnostic(
+                code="AG204",
+                severity=Severity.WARNING,
+                message=(
+                    f"minimum instance counts use {memory_demand} MB of "
+                    f"{total_memory} MB ({memory_demand / total_memory:.0%}); "
+                    f"scale-out and move actions will struggle to find memory"
+                ),
+                subject="memory",
+                details={"demand_mb": memory_demand, "total_mb": total_memory},
+            )
+        )
+
+    # -- AG205: min-instances unenforceable under allowed actions ----------
+    for service in landscape.services:
+        constraints = service.constraints
+        if not constraints.allowed_actions or constraints.min_instances <= 0:
+            continue
+        if (
+            Action.START not in constraints.allowed_actions
+            and Action.SCALE_OUT not in constraints.allowed_actions
+        ):
+            diagnostics.append(
+                Diagnostic(
+                    code="AG205",
+                    severity=Severity.WARNING,
+                    message=(
+                        f"minInstances={constraints.min_instances} but neither "
+                        f"{Action.START.value!r} nor {Action.SCALE_OUT.value!r} "
+                        f"is allowed; the controller cannot restore the minimum "
+                        f"after an instance stops"
+                    ),
+                    subject=f"service {service.name!r}",
+                    service=service.name,
+                )
+            )
+    return diagnostics

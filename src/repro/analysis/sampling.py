@@ -1,0 +1,154 @@
+"""Input-space sampling for the rule-base analyzers.
+
+The coverage and contradiction checks reason about *regions* of the
+crisp input space.  Exhaustively enumerating a 7-dimensional space is
+out of the question, so the analyzers sample it:
+
+* per variable, a list of *critical points* — domain endpoints, term
+  corners (trapezoid ``a``/``b``/``c``/``d``) and the midpoints between
+  consecutive corners, where term crossings (the worst-covered spots of
+  a partition) live;
+* the full cartesian product of critical points when it is small enough,
+  falling back to deterministic pseudo-random sampling otherwise.
+
+Everything is deterministic: the fallback RNG is seeded from a constant,
+so lint output is stable run over run.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from repro.fuzzy.variables import LinguisticVariable
+
+__all__ = [
+    "critical_points",
+    "joint_samples",
+    "GradeCache",
+]
+
+#: Cap on the cartesian product of critical points; beyond this the
+#: sampler switches to pseudo-random points.
+_MAX_GRID = 20_000
+
+#: Number of pseudo-random samples when the grid is too large.
+_RANDOM_SAMPLES = 1_024
+
+_SEED = 0xA610B  # stable across runs; "AutoGlobe" in leetspeak-ish hex
+
+
+def _trapezoid_corners(membership: object) -> List[float]:
+    corners = []
+    for attribute in ("a", "b", "c", "d", "lo", "hi", "value"):
+        value = getattr(membership, attribute, None)
+        if isinstance(value, (int, float)):
+            corners.append(float(value))
+    return corners
+
+
+def critical_points(
+    variable: LinguisticVariable,
+    restriction: Optional[Tuple[float, float]] = None,
+) -> List[float]:
+    """Distinct sample points of one variable, sorted ascending.
+
+    ``restriction`` clamps sampling to a sub-range of the domain (used to
+    confine coverage checks to a trigger's firing region).
+    """
+    lo, hi = variable.domain
+    if restriction is not None:
+        lo = max(lo, restriction[0])
+        hi = min(hi, restriction[1])
+    if lo > hi:
+        return []
+    raw: List[float] = [lo, hi]
+    for term in variable.terms:
+        support = term.membership.support
+        raw.extend((support[0], support[1]))
+        raw.extend(_trapezoid_corners(term.membership))
+    in_range = sorted({p for p in raw if lo <= p <= hi})
+    # midpoints catch term crossings, the worst-covered spots
+    points = list(in_range)
+    for left, right in zip(in_range, in_range[1:]):
+        points.append((left + right) / 2.0)
+    return sorted(set(points))
+
+
+def joint_samples(
+    variables: Sequence[LinguisticVariable],
+    restrictions: Optional[Mapping[str, Tuple[float, float]]] = None,
+    max_grid: int = _MAX_GRID,
+    random_samples: int = _RANDOM_SAMPLES,
+) -> Iterator[Dict[str, float]]:
+    """Yield joint assignments (variable name -> crisp value).
+
+    Uses the exact critical-point grid when its size stays below
+    ``max_grid``; otherwise yields ``random_samples`` deterministic
+    pseudo-random points (uniform per variable within its restricted
+    range, occasionally snapped to a critical point so that plateau
+    corners stay reachable in high dimensions).
+    """
+    restrictions = restrictions or {}
+    per_variable: List[Tuple[str, List[float], Tuple[float, float]]] = []
+    for variable in variables:
+        restriction = restrictions.get(variable.name)
+        points = critical_points(variable, restriction)
+        if not points:
+            return  # empty restricted region: nothing to sample
+        lo, hi = variable.domain
+        if restriction is not None:
+            lo, hi = max(lo, restriction[0]), min(hi, restriction[1])
+        per_variable.append((variable.name, points, (lo, hi)))
+
+    grid_size = 1
+    for _, points, _ in per_variable:
+        grid_size *= len(points)
+        if grid_size > max_grid:
+            break
+    if grid_size <= max_grid:
+        names = [name for name, _, _ in per_variable]
+        for combo in itertools.product(*(points for _, points, _ in per_variable)):
+            yield dict(zip(names, combo))
+        return
+
+    rng = random.Random(_SEED)
+    for _ in range(random_samples):
+        sample: Dict[str, float] = {}
+        for name, points, (lo, hi) in per_variable:
+            if rng.random() < 0.5:
+                sample[name] = rng.choice(points)
+            else:
+                sample[name] = rng.uniform(lo, hi)
+        yield sample
+
+
+class GradeCache:
+    """Memoizes fuzzification of sampled points.
+
+    The samplers revisit the same critical points across rules and rule
+    pairs; caching the term grades keeps the linter fast enough to run
+    on every simulation start.
+    """
+
+    def __init__(self, variables: Iterable[LinguisticVariable]) -> None:
+        self._variables: Dict[str, LinguisticVariable] = {
+            v.name: v for v in variables
+        }
+        self._cache: Dict[Tuple[str, float], Mapping[str, float]] = {}
+
+    def variable(self, name: str) -> Optional[LinguisticVariable]:
+        return self._variables.get(name)
+
+    def grades(self, sample: Mapping[str, float]) -> Dict[str, Mapping[str, float]]:
+        """Fuzzified measurements for one joint sample."""
+        result: Dict[str, Mapping[str, float]] = {}
+        for name, value in sample.items():
+            key = (name, value)
+            grades = self._cache.get(key)
+            if grades is None:
+                grades = self._variables[name].fuzzify(value)
+                self._cache[key] = grades
+            result[name] = grades
+        return result

@@ -23,6 +23,12 @@ Subcommands::
 
     autoglobe profiles
         Print the daily load profiles as text charts (Figure 10).
+
+    autoglobe lint [LANDSCAPE.xml] [--format json] [--strict]
+        Statically analyze a landscape description: lint every fuzzy
+        rule base (built-in and per-service overrides) and check the
+        landscape's feasibility.  Exits 0 when clean, 1 on warnings,
+        2 on errors (with --strict, warnings also exit 2).
 """
 
 from __future__ import annotations
@@ -95,6 +101,26 @@ def build_parser() -> argparse.ArgumentParser:
                            help="execute the plan on an in-memory platform")
 
     subparsers.add_parser("profiles", help="show the daily load profiles")
+
+    lint = subparsers.add_parser(
+        "lint",
+        help="statically analyze rule bases and landscape feasibility",
+    )
+    lint.add_argument(
+        "landscape", nargs="?", default=None, metavar="LANDSCAPE.xml",
+        help="landscape XML file (default: the built-in Section 5.1 landscape)",
+    )
+    lint.add_argument("--format", choices=("text", "json"), default="text",
+                      dest="format_", metavar="FORMAT",
+                      help="report format: text (default) or json")
+    lint.add_argument("--strict", action="store_true",
+                      help="treat warnings as errors (exit 2)")
+    lint.add_argument("--ignore", action="append", default=[], metavar="CODE",
+                      help="suppress a diagnostic code globally (repeatable)")
+    lint.add_argument("--no-rules", action="store_true",
+                      help="skip the rule-base linter")
+    lint.add_argument("--no-feasibility", action="store_true",
+                      help="skip the landscape feasibility analyzer")
     return parser
 
 
@@ -229,6 +255,31 @@ def _cmd_profiles(args) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    from repro.analysis import EXIT_ERRORS, analyze_landscape
+
+    if args.landscape:
+        from repro.config.xml_loader import LandscapeParseError, load_landscape
+
+        try:
+            landscape = load_landscape(args.landscape)
+        except (OSError, LandscapeParseError) as exc:
+            print(f"autoglobe lint: {args.landscape}: {exc}", file=sys.stderr)
+            return EXIT_ERRORS
+    else:
+        from repro.config.builtin import paper_landscape
+
+        landscape = paper_landscape()
+    report = analyze_landscape(
+        landscape,
+        include_rule_bases=not args.no_rules,
+        include_feasibility=not args.no_feasibility,
+        ignore=args.ignore,
+    )
+    print(report.render(args.format_))
+    return report.exit_code(strict=args.strict)
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handler = {
@@ -238,6 +289,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "landscape": _cmd_landscape,
         "rebalance": _cmd_rebalance,
         "profiles": _cmd_profiles,
+        "lint": _cmd_lint,
     }[args.command]
     return handler(args)
 

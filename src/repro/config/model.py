@@ -213,6 +213,9 @@ class ServiceSpec:
     #: Service-specific rule bases layered over the defaults, keyed by
     #: trigger name (e.g. ``"serviceOverloaded"``); values are rule DSL text.
     rule_overrides: Mapping[str, str] = field(default_factory=dict)
+    #: Diagnostic codes (e.g. ``"AG110"``) the static analyzers must not
+    #: report for this service; ``lintIgnore="AG110 AG205"`` in the XML.
+    lint_suppressions: FrozenSet[str] = frozenset()
 
     @property
     def interactive(self) -> bool:

@@ -9,7 +9,10 @@ and feasibility before a landscape is handed to the platform:
 * exclusivity respected by the initial allocation,
 * instance counts within the services' min/max bounds,
 * aggregate memory fitting on every host,
-* service-specific rule overrides parsing under the fuzzy rule DSL.
+* service-specific rule overrides passing the rule-base linter: they
+  must parse under the fuzzy rule DSL, name a known trigger and only
+  reference declared variables and terms
+  (see :mod:`repro.analysis.rulebase`).
 """
 
 from __future__ import annotations
@@ -17,7 +20,6 @@ from __future__ import annotations
 from typing import Dict, List
 
 from repro.config.model import LandscapeSpec
-from repro.fuzzy.parser import ParseError, parse_rules
 
 __all__ = ["ValidationError", "validate_landscape"]
 
@@ -106,13 +108,22 @@ def validate_landscape(landscape: LandscapeSpec) -> None:
                 f"initial allocation requires {used_mb} MB"
             )
 
+    # Imported lazily: repro.analysis depends on repro.config.model, so a
+    # top-level import here would close a cycle through config/__init__.
+    from repro.analysis.diagnostics import Severity
+    from repro.analysis.rulebase import lint_override_text
+
     for service_name, service in services.items():
         for trigger, text in service.rule_overrides.items():
-            try:
-                parse_rules(text)
-            except ParseError as exc:
+            diagnostics, _ = lint_override_text(service, trigger, text)
+            for diagnostic in diagnostics:
+                if diagnostic.severity is not Severity.ERROR:
+                    continue
+                if diagnostic.code in service.lint_suppressions:
+                    continue
                 problems.append(
-                    f"service {service_name!r}, rules for trigger {trigger!r}: {exc}"
+                    f"service {service_name!r}, rules for trigger {trigger!r}: "
+                    f"[{diagnostic.code}] {diagnostic.message}"
                 )
 
     if problems:

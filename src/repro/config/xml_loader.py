@@ -182,6 +182,9 @@ def _parse_service(element: ET.Element) -> ServiceSpec:
     for rules_element in element.findall("rules"):
         trigger = _require(rules_element, "trigger")
         rule_overrides[trigger] = (rules_element.text or "").strip()
+    suppressions = frozenset(
+        (element.get("lintIgnore") or "").replace(",", " ").split()
+    )
     return ServiceSpec(
         name=_require(element, "name"),
         kind=kind,
@@ -189,6 +192,7 @@ def _parse_service(element: ET.Element) -> ServiceSpec:
         constraints=_parse_constraints(element.find("constraints")),
         workload=_parse_workload(element.find("workload")),
         rule_overrides=rule_overrides,
+        lint_suppressions=suppressions,
     )
 
 

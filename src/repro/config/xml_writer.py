@@ -42,6 +42,8 @@ def _service_element(service: ServiceSpec) -> ET.Element:
             "subsystem": service.subsystem,
         },
     )
+    if service.lint_suppressions:
+        element.set("lintIgnore", " ".join(sorted(service.lint_suppressions)))
     workload = service.workload
     ET.SubElement(
         element,

@@ -50,7 +50,24 @@ _TOKEN_RE = re.compile(
 
 
 class ParseError(ValueError):
-    """Raised when rule text cannot be parsed."""
+    """Raised when rule text cannot be parsed.
+
+    Carries structured positional context alongside the message:
+    ``line`` is the 1-based line within the parsed text and
+    ``rule_index`` the 1-based rule number when parsing a multi-rule
+    block, so that tooling (validation, ``autoglobe lint``) can point at
+    the offending declaration without scraping the message.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        line: Optional[int] = None,
+        rule_index: Optional[int] = None,
+    ) -> None:
+        super().__init__(message)
+        self.line = line
+        self.rule_index = rule_index
 
 
 @dataclass(frozen=True)
@@ -70,12 +87,13 @@ def _tokenize(text: str) -> List[_Token]:
         if kind in ("whitespace", "comment"):
             line += value.count("\n")
             continue
-        if kind == "error":
-            raise ParseError(f"line {line}: unexpected character {value!r}")
+        if kind is None or kind == "error":
+            raise ParseError(
+                f"line {line}: unexpected character {value!r}", line=line
+            )
         if kind == "ident" and value.upper() in _KEYWORDS:
             tokens.append(_Token("keyword", value.upper(), match.start(), line))
         else:
-            assert kind is not None
             tokens.append(_Token(kind, value, match.start(), line))
     return tokens
 
@@ -97,7 +115,8 @@ class _Parser:
     def _next(self) -> _Token:
         token = self._peek()
         if token is None:
-            raise ParseError("unexpected end of input")
+            last_line = self._tokens[-1].line if self._tokens else None
+            raise ParseError("unexpected end of input", line=last_line)
         self._index += 1
         return token
 
@@ -105,7 +124,8 @@ class _Parser:
         token = self._next()
         if token.kind != "keyword" or token.text != keyword:
             raise ParseError(
-                f"line {token.line}: expected {keyword!r}, got {token.text!r}"
+                f"line {token.line}: expected {keyword!r}, got {token.text!r}",
+                line=token.line,
             )
         return token
 
@@ -113,7 +133,8 @@ class _Parser:
         token = self._next()
         if token.kind != "ident":
             raise ParseError(
-                f"line {token.line}: expected identifier, got {token.text!r}"
+                f"line {token.line}: expected identifier, got {token.text!r}",
+                line=token.line,
             )
         return token.text
 
@@ -171,7 +192,8 @@ class _Parser:
             token = self._next()
             if token.kind != "rparen":
                 raise ParseError(
-                    f"line {token.line}: expected ')', got {token.text!r}"
+                    f"line {token.line}: expected ')', got {token.text!r}",
+                    line=token.line,
                 )
             return inner
         variable = self._expect_ident()
@@ -192,21 +214,27 @@ class _Parser:
             if token.kind != "number":
                 raise ParseError(
                     f"line {token.line}: expected weight after WITH, "
-                    f"got {token.text!r}"
+                    f"got {token.text!r}",
+                    line=token.line,
                 )
             weight = float(token.text)
         self._match_kind("semicolon")
         return Rule(antecedent, output_variable, output_term, weight, label)
 
 
+def _reject_trailing(parser: _Parser) -> None:
+    token = parser._peek()
+    if token is not None:
+        raise ParseError(
+            f"line {token.line}: trailing input {token.text!r}", line=token.line
+        )
+
+
 def parse_expression(text: str) -> Expression:
     """Parse a bare antecedent expression (no IF/THEN)."""
     parser = _Parser(_tokenize(text))
     expression = parser.parse_expression()
-    if not parser.exhausted:
-        token = parser._peek()
-        assert token is not None
-        raise ParseError(f"line {token.line}: trailing input {token.text!r}")
+    _reject_trailing(parser)
     return expression
 
 
@@ -214,10 +242,7 @@ def parse_rule(text: str, label: Optional[str] = None) -> Rule:
     """Parse a single ``IF ... THEN ... IS ...`` rule."""
     parser = _Parser(_tokenize(text))
     rule = parser.parse_rule(label)
-    if not parser.exhausted:
-        token = parser._peek()
-        assert token is not None
-        raise ParseError(f"line {token.line}: trailing input {token.text!r}")
+    _reject_trailing(parser)
     return rule
 
 
@@ -227,10 +252,20 @@ def parse_rules(text: str, label_prefix: Optional[str] = None) -> Tuple[Rule, ..
     Rules may span multiple lines and are optionally separated by
     semicolons; ``#`` comments are ignored.  When ``label_prefix`` is
     given, rules are labelled ``<prefix>-1``, ``<prefix>-2``, ...
+
+    Errors are annotated with the 1-based index of the offending rule
+    (and carry ``line``/``rule_index`` attributes), so a typo in a long
+    ``<rules>`` block of the landscape XML is easy to locate.
     """
     parser = _Parser(_tokenize(text))
     rules: List[Rule] = []
     while not parser.exhausted:
         label = f"{label_prefix}-{len(rules) + 1}" if label_prefix else None
-        rules.append(parser.parse_rule(label))
+        index = len(rules) + 1
+        try:
+            rules.append(parser.parse_rule(label))
+        except ParseError as exc:
+            raise ParseError(
+                f"rule {index}: {exc}", line=exc.line, rule_index=index
+            ) from None
     return tuple(rules)

@@ -63,6 +63,13 @@ class SimulationRunner:
         Load archive for the controller's monitors; pass a
         :class:`repro.monitoring.archive.SqliteLoadArchive` to persist
         the run's measurements and administration events.
+    lint:
+        Static-analysis gate run on the scenario landscape before the
+        platform is built (see :mod:`repro.analysis`).  ``"warn"`` (the
+        default) raises :class:`repro.analysis.LintError` on
+        error-severity findings and keeps warnings in
+        :attr:`lint_report`; ``"strict"`` raises on warnings too;
+        ``"off"`` skips the analysis entirely.
     """
 
     def __init__(
@@ -81,7 +88,12 @@ class SimulationRunner:
         controller_settings: Optional[ControllerSettings] = None,
         controller_factory: Optional[Callable] = None,
         archive=None,
+        lint: str = "warn",
     ) -> None:
+        if lint not in ("off", "warn", "strict"):
+            raise ValueError(
+                f"lint must be 'off', 'warn' or 'strict', got {lint!r}"
+            )
         if landscape is None:
             from repro.config.builtin import paper_landscape
 
@@ -97,6 +109,12 @@ class SimulationRunner:
             scenario_landscape = dataclasses.replace(
                 scenario_landscape, controller=controller_settings
             )
+        self.lint_report = None
+        if lint != "off":
+            from repro.analysis import analyze_landscape
+
+            self.lint_report = analyze_landscape(scenario_landscape)
+            self.lint_report.raise_for_findings(strict=(lint == "strict"))
         self.platform = Platform(
             scenario_landscape, user_distribution=user_distribution_for(scenario)
         )

@@ -1,0 +1,193 @@
+"""End-to-end tests for the ``autoglobe lint`` subcommand."""
+
+import dataclasses
+import json
+from pathlib import Path
+
+import repro.config
+from repro.cli import main
+from repro.config.builtin import paper_landscape
+from repro.config.model import (
+    LandscapeSpec,
+    ServerSpec,
+    ServiceConstraints,
+    ServiceSpec,
+    WorkloadSpec,
+)
+from repro.config.xml_writer import save_landscape
+
+
+def _write(tmp_path, landscape, name="landscape.xml"):
+    path = tmp_path / name
+    save_landscape(landscape, path)
+    return str(path)
+
+
+def _with_override(landscape, text, trigger="serviceOverloaded"):
+    landscape.services[0] = dataclasses.replace(
+        landscape.services[0], rule_overrides={trigger: text}
+    )
+    return landscape
+
+
+class TestLintCommand:
+    def test_builtin_landscape_is_clean(self, capsys):
+        assert main(["lint"]) == 0
+        assert "clean (0 problems)" in capsys.readouterr().out
+
+    def test_bundled_xml_is_clean(self, capsys):
+        bundled = Path(repro.config.__file__).parent / "data" / "sap-medium.xml"
+        assert main(["lint", str(bundled)]) == 0
+        out = capsys.readouterr().out
+        assert "sap-medium" in out and "clean" in out
+
+    def test_undeclared_term_exits_2(self, tmp_path, capsys):
+        path = _write(
+            tmp_path,
+            _with_override(
+                paper_landscape(),
+                "IF cpuLoad IS enormous THEN scaleOut IS applicable",
+            ),
+        )
+        assert main(["lint", path]) == 2
+        out = capsys.readouterr().out
+        assert "error[AG102]" in out and "enormous" in out
+
+    def test_contradiction_exits_2(self, tmp_path, capsys):
+        path = _write(
+            tmp_path,
+            _with_override(
+                paper_landscape(),
+                "IF cpuLoad IS high THEN start IS applicable\n"
+                "IF cpuLoad IS high THEN stop IS applicable",
+            ),
+        )
+        assert main(["lint", path]) == 2
+        assert "error[AG107]" in capsys.readouterr().out
+
+    def test_coverage_gap_warns_and_strict_promotes(self, tmp_path, capsys):
+        landscape = paper_landscape()
+        landscape.controller = dataclasses.replace(
+            landscape.controller, overload_threshold=0.5
+        )
+        path = _write(tmp_path, landscape)
+        assert main(["lint", path, "--ignore", "AG203"]) == 1
+        assert "warning[AG110]" in capsys.readouterr().out
+        assert main(["lint", path, "--ignore", "AG203", "--strict"]) == 2
+
+    def test_infeasible_exclusive_exits_2(self, tmp_path, capsys):
+        landscape = LandscapeSpec(
+            "cramped",
+            servers=[ServerSpec("H1", performance_index=1.0)],
+            services=[
+                ServiceSpec(
+                    "A",
+                    constraints=ServiceConstraints(exclusive=True),
+                    workload=WorkloadSpec(profile="flat", memory_per_instance_mb=256),
+                ),
+                ServiceSpec(
+                    "B",
+                    constraints=ServiceConstraints(exclusive=True),
+                    workload=WorkloadSpec(profile="flat", memory_per_instance_mb=256),
+                ),
+            ],
+        )
+        path = _write(tmp_path, landscape)
+        assert main(["lint", path]) == 2
+        assert "error[AG201]" in capsys.readouterr().out
+
+    def test_json_format(self, tmp_path, capsys):
+        path = _write(
+            tmp_path,
+            _with_override(
+                paper_landscape(),
+                "IF cpuLoad IS enormous THEN scaleOut IS applicable",
+            ),
+        )
+        assert main(["lint", path, "--format", "json"]) == 2
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["exit_code"] == 2
+        assert payload["summary"]["errors"] == 1
+        assert any(d["code"] == "AG102" for d in payload["diagnostics"])
+
+    def test_global_ignore_cleans_report(self, tmp_path, capsys):
+        path = _write(
+            tmp_path,
+            _with_override(
+                paper_landscape(),
+                "IF cpuLoad IS enormous THEN scaleOut IS applicable",
+            ),
+        )
+        assert main(["lint", path, "--ignore", "AG102"]) == 0
+
+    def test_lint_ignore_xml_attribute_round_trips(self, tmp_path, capsys):
+        landscape = _with_override(
+            paper_landscape(),
+            "IF cpuLoad IS enormous THEN scaleOut IS applicable",
+        )
+        landscape.services[0] = dataclasses.replace(
+            landscape.services[0], lint_suppressions=frozenset({"AG102"})
+        )
+        path = _write(tmp_path, landscape)
+        assert main(["lint", path]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_every_seeded_defect_appears_in_json(self, tmp_path, capsys):
+        """The four acceptance fixtures report their codes in JSON too."""
+        gap = paper_landscape()
+        gap.controller = dataclasses.replace(
+            gap.controller, overload_threshold=0.5
+        )
+        cramped = LandscapeSpec(
+            "cramped",
+            servers=[ServerSpec("H1", performance_index=1.0)],
+            services=[
+                ServiceSpec(
+                    name,
+                    constraints=ServiceConstraints(exclusive=True),
+                    workload=WorkloadSpec(
+                        profile="flat", memory_per_instance_mb=256
+                    ),
+                )
+                for name in ("A", "B")
+            ],
+        )
+        fixtures = {
+            "AG102": _with_override(
+                paper_landscape(),
+                "IF cpuLoad IS enormous THEN scaleOut IS applicable",
+            ),
+            "AG107": _with_override(
+                paper_landscape(),
+                "IF cpuLoad IS high THEN start IS applicable\n"
+                "IF cpuLoad IS high THEN stop IS applicable",
+            ),
+            "AG110": gap,
+            "AG201": cramped,
+        }
+        for code, landscape in fixtures.items():
+            path = _write(tmp_path, landscape, name=f"{code}.xml")
+            assert main(["lint", path, "--format", "json"]) in (1, 2)
+            payload = json.loads(capsys.readouterr().out)
+            assert code in {d["code"] for d in payload["diagnostics"]}
+
+    def test_missing_file_reports_cleanly(self, tmp_path, capsys):
+        assert main(["lint", str(tmp_path / "nope.xml")]) == 2
+        err = capsys.readouterr().err
+        assert "autoglobe lint" in err and "nope.xml" in err
+
+    def test_malformed_xml_reports_cleanly(self, tmp_path, capsys):
+        path = tmp_path / "broken.xml"
+        path.write_text("<landscape", encoding="utf-8")
+        assert main(["lint", str(path)]) == 2
+        assert "not well-formed" in capsys.readouterr().err
+
+    def test_analyzers_can_be_disabled(self, tmp_path, capsys):
+        path = _write(
+            tmp_path,
+            _with_override(
+                paper_landscape(),
+                "IF cpuLoad IS enormous THEN scaleOut IS applicable",
+            ),
+        )
+        assert main(["lint", path, "--no-rules"]) == 0

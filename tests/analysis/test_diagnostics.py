@@ -1,0 +1,108 @@
+"""Tests for the diagnostics framework (codes, reporters, exit codes)."""
+
+import json
+
+import pytest
+
+from repro.analysis.diagnostics import (
+    CODE_TABLE,
+    EXIT_CLEAN,
+    EXIT_ERRORS,
+    EXIT_WARNINGS,
+    Diagnostic,
+    Severity,
+    exit_code,
+    render_json,
+    render_text,
+    sorted_diagnostics,
+)
+
+
+def _diag(code="AG101", severity=Severity.ERROR, **kwargs):
+    return Diagnostic(code=code, severity=severity, message="msg", **kwargs)
+
+
+class TestDiagnostic:
+    def test_unknown_code_rejected(self):
+        with pytest.raises(ValueError, match="unknown diagnostic code"):
+            Diagnostic(code="AG999", severity=Severity.ERROR, message="boom")
+
+    def test_code_table_is_consistent(self):
+        for code, (severity, description) in CODE_TABLE.items():
+            assert code.startswith("AG") and len(code) == 5
+            assert isinstance(severity, Severity)
+            assert description
+
+    def test_location_combines_service_trigger_and_line(self):
+        diagnostic = _diag(
+            service="DB-ERP", trigger="serviceOverloaded", line=3
+        )
+        assert diagnostic.location() == "DB-ERP/serviceOverloaded:3"
+
+    def test_location_falls_back_to_subject(self):
+        assert _diag(subject="capacity").location() == "capacity"
+        assert _diag().location() == "landscape"
+
+    def test_str_contains_code_and_severity(self):
+        rendered = str(_diag(code="AG203", severity=Severity.WARNING))
+        assert "warning[AG203]" in rendered
+
+    def test_as_dict_omits_absent_context(self):
+        payload = _diag().as_dict()
+        assert payload["code"] == "AG101"
+        assert "service" not in payload and "line" not in payload
+
+    def test_as_dict_carries_details(self):
+        payload = _diag(details={"demand": 1.5}).as_dict()
+        assert payload["details"] == {"demand": 1.5}
+
+
+class TestOrderingAndExitCodes:
+    def test_errors_sort_before_warnings(self):
+        ordered = sorted_diagnostics(
+            [
+                _diag(code="AG110", severity=Severity.WARNING),
+                _diag(code="AG101", severity=Severity.ERROR),
+            ]
+        )
+        assert [d.code for d in ordered] == ["AG101", "AG110"]
+
+    def test_exit_codes(self):
+        error = _diag(severity=Severity.ERROR)
+        warning = _diag(code="AG110", severity=Severity.WARNING)
+        assert exit_code([]) == EXIT_CLEAN
+        assert exit_code([warning]) == EXIT_WARNINGS
+        assert exit_code([warning, error]) == EXIT_ERRORS
+
+    def test_strict_promotes_warnings(self):
+        warning = _diag(code="AG110", severity=Severity.WARNING)
+        assert exit_code([warning], strict=True) == EXIT_ERRORS
+        assert exit_code([], strict=True) == EXIT_CLEAN
+
+
+class TestReporters:
+    def test_text_report_clean(self):
+        assert "clean (0 problems)" in render_text([], "sap-medium")
+
+    def test_text_report_counts(self):
+        report = render_text(
+            [
+                _diag(severity=Severity.ERROR),
+                _diag(code="AG110", severity=Severity.WARNING),
+            ],
+            "sap-medium",
+        )
+        assert "1 error(s), 1 warning(s)" in report
+        assert "error[AG101]" in report
+
+    def test_json_report_round_trips(self):
+        payload = json.loads(
+            render_json([_diag(service="FI", line=2)], "sap-medium")
+        )
+        assert payload["landscape"] == "sap-medium"
+        assert payload["summary"]["errors"] == 1
+        assert payload["exit_code"] == EXIT_ERRORS
+        [finding] = payload["diagnostics"]
+        assert finding["code"] == "AG101"
+        assert finding["service"] == "FI"
+        assert finding["line"] == 2

@@ -1,0 +1,275 @@
+"""Tests for the landscape feasibility analyzer (AG2xx codes)."""
+
+import dataclasses
+
+from repro.analysis.diagnostics import Severity
+from repro.analysis.engine import LintError, analyze_landscape
+from repro.analysis.landscape import analyze_feasibility
+from repro.config.builtin import paper_landscape
+from repro.config.model import (
+    Action,
+    LandscapeSpec,
+    ServerSpec,
+    ServiceConstraints,
+    ServiceSpec,
+    WorkloadSpec,
+)
+
+import pytest
+
+
+def _codes(diagnostics):
+    return sorted({d.code for d in diagnostics})
+
+
+def _service(name, *, users=0, profile="flat", memory_mb=256, **constraints):
+    return ServiceSpec(
+        name,
+        constraints=ServiceConstraints(**constraints),
+        workload=WorkloadSpec(
+            users=users, profile=profile, memory_per_instance_mb=memory_mb
+        ),
+    )
+
+
+def _landscape(servers, services):
+    return LandscapeSpec("tiny", servers=servers, services=services)
+
+
+class TestFeasibility:
+    def test_ag201_two_exclusive_services_one_host(self):
+        landscape = _landscape(
+            [ServerSpec("H1", performance_index=1.0)],
+            [
+                _service("A", exclusive=True, min_instances=1),
+                _service("B", exclusive=True, min_instances=1),
+            ],
+        )
+        diagnostics = analyze_feasibility(landscape)
+        [finding] = [d for d in diagnostics if d.code == "AG201"]
+        assert finding.severity is Severity.ERROR
+        assert "B" in finding.message
+
+    def test_ag201_warns_when_exclusives_crowd_out_others(self):
+        landscape = _landscape(
+            [
+                ServerSpec("Big", performance_index=4.0),
+                ServerSpec("Small", performance_index=1.0),
+            ],
+            [
+                _service(
+                    "DB", exclusive=True, min_instances=1,
+                    min_performance_index=2.0,
+                ),
+                _service(
+                    "APP", min_instances=1, min_performance_index=2.0,
+                ),
+            ],
+        )
+        findings = [
+            d for d in analyze_feasibility(landscape) if d.code == "AG201"
+        ]
+        assert [d.severity for d in findings] == [Severity.WARNING]
+        assert findings[0].service == "APP"
+
+    def test_ag202_min_performance_index_unsatisfiable(self):
+        landscape = _landscape(
+            [ServerSpec("H1", performance_index=1.0)],
+            [_service("A", min_instances=1, min_performance_index=9.0)],
+        )
+        assert "AG202" in _codes(analyze_feasibility(landscape))
+
+    def test_ag203_demand_beyond_capacity_is_an_error(self):
+        landscape = _landscape(
+            [ServerSpec("H1", performance_index=1.0, memory_mb=1 << 20)],
+            [_service("A", users=1000, min_instances=1)],
+        )
+        [finding] = [
+            d for d in analyze_feasibility(landscape) if d.code == "AG203"
+        ]
+        assert finding.severity is Severity.ERROR
+        assert finding.details["demand"] > finding.details["capacity"]
+
+    def test_ag203_demand_near_capacity_is_a_warning(self):
+        landscape = _landscape(
+            [ServerSpec("H1", performance_index=1.0, memory_mb=1 << 20)],
+            [_service("A", users=170, min_instances=1)],
+        )
+        [finding] = [
+            d for d in analyze_feasibility(landscape) if d.code == "AG203"
+        ]
+        assert finding.severity is Severity.WARNING
+
+    def test_ag204_memory_overcommitted(self):
+        landscape = _landscape(
+            [ServerSpec("H1", performance_index=1.0, memory_mb=512)],
+            [_service("A", min_instances=2, memory_mb=512)],
+        )
+        [finding] = [
+            d for d in analyze_feasibility(landscape) if d.code == "AG204"
+        ]
+        assert finding.severity is Severity.ERROR
+
+    def test_ag205_min_instances_unenforceable(self):
+        landscape = _landscape(
+            [ServerSpec("H1", performance_index=1.0)],
+            [
+                _service(
+                    "A",
+                    min_instances=1,
+                    allowed_actions=frozenset({Action.STOP, Action.MOVE}),
+                )
+            ],
+        )
+        assert "AG205" in _codes(analyze_feasibility(landscape))
+
+    def test_ag205_not_raised_for_scenario_neutral_services(self):
+        """An empty allowed-action set means 'decided by the scenario'."""
+        landscape = _landscape(
+            [ServerSpec("H1", performance_index=1.0)],
+            [_service("A", min_instances=1)],
+        )
+        assert "AG205" not in _codes(analyze_feasibility(landscape))
+
+    def test_ag208_unknown_profile(self):
+        landscape = _landscape(
+            [ServerSpec("H1", performance_index=1.0)],
+            [_service("A", profile="full-moon")],
+        )
+        [finding] = [
+            d for d in analyze_feasibility(landscape) if d.code == "AG208"
+        ]
+        assert finding.severity is Severity.ERROR
+        assert "full-moon" in finding.message
+
+    def test_paper_landscape_is_feasible(self):
+        assert analyze_feasibility(paper_landscape()) == []
+
+
+class TestEngine:
+    def test_paper_landscape_report_is_clean(self):
+        report = analyze_landscape(paper_landscape())
+        assert report.clean
+        assert report.exit_code() == 0
+
+    def test_global_ignore_drops_codes(self):
+        landscape = _landscape(
+            [ServerSpec("H1", performance_index=1.0)],
+            [_service("A", profile="full-moon")],
+        )
+        report = analyze_landscape(landscape, ignore=["AG208"])
+        assert "AG208" not in _codes(report.diagnostics)
+
+    def test_per_service_suppression(self):
+        landscape = _landscape(
+            [ServerSpec("H1", performance_index=1.0)],
+            [
+                dataclasses.replace(
+                    _service("A", profile="full-moon"),
+                    lint_suppressions=frozenset({"AG208"}),
+                )
+            ],
+        )
+        report = analyze_landscape(landscape)
+        assert report.clean
+
+    def test_suppression_does_not_leak_to_other_services(self):
+        landscape = _landscape(
+            [ServerSpec("H1", performance_index=1.0)],
+            [
+                dataclasses.replace(
+                    _service("A", profile="full-moon"),
+                    lint_suppressions=frozenset({"AG208"}),
+                ),
+                _service("B", profile="full-moon"),
+            ],
+        )
+        report = analyze_landscape(landscape)
+        assert [d.service for d in report.diagnostics] == ["B"]
+
+    def test_raise_for_findings(self):
+        landscape = _landscape(
+            [ServerSpec("H1", performance_index=1.0)],
+            [_service("A", profile="full-moon")],
+        )
+        report = analyze_landscape(landscape)
+        with pytest.raises(LintError, match="AG208") as excinfo:
+            report.raise_for_findings()
+        assert excinfo.value.report is report
+
+    def test_strict_raises_on_warnings(self):
+        landscape = _landscape(
+            [ServerSpec("H1", performance_index=1.0, memory_mb=1 << 20)],
+            [_service("A", users=170, min_instances=1)],
+        )
+        report = analyze_landscape(landscape)
+        report.raise_for_findings()  # warnings alone do not raise
+        with pytest.raises(LintError, match="AG203"):
+            report.raise_for_findings(strict=True)
+
+    def test_without_codes(self):
+        landscape = _landscape(
+            [ServerSpec("H1", performance_index=1.0)],
+            [_service("A", profile="full-moon")],
+        )
+        report = analyze_landscape(landscape)
+        assert report.without_codes(["AG208"]).clean
+
+
+class TestRunnerIntegration:
+    def test_runner_records_clean_report(self):
+        from repro.sim.runner import SimulationRunner
+        from repro.sim.scenarios import Scenario
+
+        runner = SimulationRunner(
+            Scenario.STATIC, user_factor=1.0, horizon=1,
+            collect_host_series=False,
+        )
+        assert runner.lint_report is not None
+        assert runner.lint_report.exit_code() == 0
+
+    def test_runner_lint_off(self):
+        from repro.sim.runner import SimulationRunner
+        from repro.sim.scenarios import Scenario
+
+        runner = SimulationRunner(
+            Scenario.STATIC, user_factor=1.0, horizon=1,
+            collect_host_series=False, lint="off",
+        )
+        assert runner.lint_report is None
+
+    def test_runner_rejects_error_landscape(self):
+        from repro.sim.runner import SimulationRunner
+        from repro.sim.scenarios import Scenario
+
+        landscape = paper_landscape()
+        landscape.services[0] = dataclasses.replace(
+            landscape.services[0],
+            rule_overrides={
+                "serviceOverloaded": (
+                    "IF cpuLoad IS enormous THEN scaleOut IS applicable"
+                )
+            },
+        )
+        with pytest.raises(LintError, match="AG102"):
+            SimulationRunner(
+                Scenario.STATIC, user_factor=1.0, horizon=1,
+                landscape=landscape, collect_host_series=False,
+            )
+
+    def test_runner_strict_rejects_warnings(self):
+        from repro.sim.runner import SimulationRunner
+        from repro.sim.scenarios import Scenario
+
+        with pytest.raises(LintError, match="AG203"):
+            SimulationRunner(
+                Scenario.STATIC, user_factor=1.6, horizon=1,
+                collect_host_series=False, lint="strict",
+            )
+
+    def test_runner_rejects_bad_lint_mode(self):
+        from repro.sim.runner import SimulationRunner
+        from repro.sim.scenarios import Scenario
+
+        with pytest.raises(ValueError, match="lint"):
+            SimulationRunner(Scenario.STATIC, lint="loud")

@@ -1,0 +1,143 @@
+"""Property tests: the analyzers report, they never crash.
+
+The contract of :func:`repro.analysis.analyze_landscape` is that every
+landscape *content* problem becomes a diagnostic — in particular the
+linter must never raise on a landscape that
+:func:`repro.config.validation.validate_landscape` accepts (the
+analyzers run unconditionally at simulation start).  We check the
+stronger property: no generated landscape, valid or not, makes the
+analyzers raise.
+"""
+
+import string
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import analyze_landscape
+from repro.config.model import (
+    Action,
+    ControllerSettings,
+    LandscapeSpec,
+    ServerSpec,
+    ServiceConstraints,
+    ServiceSpec,
+    WorkloadSpec,
+)
+from repro.config.validation import ValidationError, validate_landscape
+
+NAMES = st.text(
+    alphabet=string.ascii_letters + string.digits + "-_",
+    min_size=1,
+    max_size=12,
+).filter(lambda s: s.strip())
+
+#: A mix of clean, defective and malformed override texts, so the
+#: generated landscapes exercise AG101-AG111 alongside the AG2xx checks.
+OVERRIDE_TEXTS = st.sampled_from(
+    [
+        "IF cpuLoad IS high THEN scaleOut IS applicable",
+        "IF cpuLoad IS high AND memLoad IS low THEN scaleUp IS applicable WITH 0.6",
+        "IF cpuLoad IS enormous THEN scaleOut IS applicable",
+        "IF warpFactor IS high THEN scaleOut IS applicable",
+        "IF cpuLoad IS high THEN start IS applicable\n"
+        "IF cpuLoad IS high THEN stop IS applicable",
+        "IF cpuLoad THEN boom",
+        "",
+    ]
+)
+
+TRIGGERS = st.sampled_from(
+    ["serviceOverloaded", "serviceIdle", "serverIdle", "madeUpTrigger"]
+)
+
+
+@st.composite
+def service_specs(draw):
+    overrides = {}
+    if draw(st.booleans()):
+        overrides[draw(TRIGGERS)] = draw(OVERRIDE_TEXTS)
+    return ServiceSpec(
+        name=draw(NAMES),
+        constraints=ServiceConstraints(
+            exclusive=draw(st.booleans()),
+            min_performance_index=draw(
+                st.floats(min_value=0.0, max_value=16.0, allow_nan=False)
+            ),
+            min_instances=draw(st.integers(min_value=0, max_value=4)),
+            allowed_actions=draw(
+                st.frozensets(st.sampled_from(list(Action)), max_size=9)
+            ),
+        ),
+        workload=WorkloadSpec(
+            users=draw(st.integers(min_value=0, max_value=10**4)),
+            profile=draw(st.sampled_from(["flat", "fi", "crm", "no-such-profile"])),
+            memory_per_instance_mb=draw(st.integers(min_value=1, max_value=1 << 14)),
+        ),
+        rule_overrides=overrides,
+    )
+
+
+@st.composite
+def landscapes(draw):
+    servers = draw(
+        st.lists(server_specs(), min_size=1, max_size=4, unique_by=lambda s: s.name)
+    )
+    services = draw(
+        st.lists(service_specs(), min_size=1, max_size=4, unique_by=lambda s: s.name)
+    )
+    allocation = []
+    for service in services:
+        for __ in range(draw(st.integers(min_value=0, max_value=2))):
+            allocation.append((service.name, draw(st.sampled_from(servers)).name))
+    return LandscapeSpec(
+        name=draw(NAMES),
+        servers=servers,
+        services=services,
+        initial_allocation=allocation,
+        controller=ControllerSettings(
+            overload_threshold=draw(
+                st.floats(min_value=0.3, max_value=0.95, allow_nan=False)
+            ),
+            idle_threshold_base=draw(
+                st.floats(min_value=0.01, max_value=0.29, allow_nan=False)
+            ),
+            min_applicability=draw(
+                st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+            ),
+        ),
+    )
+
+
+@st.composite
+def server_specs(draw):
+    return ServerSpec(
+        name=draw(NAMES),
+        performance_index=draw(
+            st.floats(min_value=0.25, max_value=16.0, allow_nan=False)
+        ),
+        memory_mb=draw(st.integers(min_value=256, max_value=1 << 16)),
+    )
+
+
+@given(landscapes())
+@settings(max_examples=25, deadline=None)
+def test_analyzers_never_raise(landscape):
+    """Every landscape yields a report; both renderers always succeed."""
+    report = analyze_landscape(landscape)
+    assert report.exit_code() in (0, 1, 2)
+    assert report.render("text")
+    assert report.render("json")
+
+
+@given(landscapes())
+@settings(max_examples=25, deadline=None)
+def test_validated_landscapes_lint_without_raising(landscape):
+    """The linter is total on everything validate_landscape accepts."""
+    try:
+        validate_landscape(landscape)
+    except ValidationError:
+        pass  # still covered by test_analyzers_never_raise
+    else:
+        report = analyze_landscape(landscape)
+        assert report.render("text")

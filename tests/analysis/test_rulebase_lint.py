@@ -1,0 +1,214 @@
+"""Tests for the rule-base linter: one seeded defect per AG1xx code."""
+
+import dataclasses
+
+import pytest
+
+from repro.analysis.diagnostics import Severity
+from repro.analysis.rulebase import (
+    RuleBaseLinter,
+    action_universe,
+    analyze_rule_bases,
+    lint_override_text,
+    trigger_region,
+)
+from repro.config.builtin import paper_landscape
+from repro.config.model import Action, ServiceConstraints, ServiceSpec
+from repro.fuzzy.parser import parse_rules
+from repro.fuzzy.rules import RuleBase
+from repro.monitoring.lms import SituationKind
+
+
+def _linter(min_applicability=0.10):
+    inputs, outputs = action_universe()
+    return RuleBaseLinter(inputs, outputs, min_applicability=min_applicability)
+
+
+def _base(text, name="test"):
+    return RuleBase(name, list(parse_rules(text, label_prefix=name)))
+
+
+def _codes(diagnostics):
+    return [d.code for d in diagnostics]
+
+
+class TestStaticChecks:
+    def test_ag101_undeclared_input_variable(self):
+        base = _base("IF warpFactor IS high THEN scaleOut IS applicable")
+        diagnostics = _linter().lint_static(base, "test")
+        assert _codes(diagnostics) == ["AG101"]
+        assert "warpFactor" in diagnostics[0].message
+
+    def test_ag102_undeclared_term(self):
+        base = _base("IF cpuLoad IS enormous THEN scaleOut IS applicable")
+        diagnostics = _linter().lint_static(base, "test")
+        assert _codes(diagnostics) == ["AG102"]
+        assert "enormous" in diagnostics[0].message
+
+    def test_ag103_undeclared_output_variable(self):
+        base = _base("IF cpuLoad IS high THEN flyAway IS applicable")
+        diagnostics = _linter().lint_static(base, "test")
+        assert _codes(diagnostics) == ["AG103"]
+
+    def test_ag104_undeclared_output_term(self):
+        base = _base("IF cpuLoad IS high THEN scaleOut IS mandatory")
+        diagnostics = _linter().lint_static(base, "test")
+        assert _codes(diagnostics) == ["AG104"]
+
+    def test_ag105_duplicate_rule(self):
+        base = _base(
+            "IF cpuLoad IS high THEN scaleOut IS applicable\n"
+            "IF cpuLoad IS high THEN scaleOut IS applicable"
+        )
+        diagnostics = _linter().lint_static(base, "test")
+        assert _codes(diagnostics) == ["AG105"]
+        assert diagnostics[0].rule_label == "test-2"
+
+    def test_ag106_shadowed_by_weight(self):
+        base = _base(
+            "IF cpuLoad IS high THEN scaleOut IS applicable WITH 0.9\n"
+            "IF cpuLoad IS high THEN scaleOut IS applicable WITH 0.4"
+        )
+        diagnostics = _linter().lint_static(base, "test")
+        assert _codes(diagnostics) == ["AG106"]
+        assert "weight" in diagnostics[0].message
+
+    def test_ag111_dead_rule(self):
+        base = _base("IF cpuLoad IS high THEN scaleOut IS applicable WITH 0.05")
+        diagnostics = _linter().lint_static(base, "test")
+        assert _codes(diagnostics) == ["AG111"]
+
+    def test_clean_rule_passes(self):
+        base = _base("IF cpuLoad IS high THEN scaleOut IS applicable")
+        assert _linter().lint_static(base, "test") == []
+
+
+class TestDynamicChecks:
+    def test_ag107_contradictory_couple(self):
+        base = _base(
+            "IF cpuLoad IS high THEN start IS applicable\n"
+            "IF cpuLoad IS high THEN stop IS applicable"
+        )
+        diagnostics = _linter().find_contradictions(base, "test")
+        assert _codes(diagnostics) == ["AG107"]
+        assert diagnostics[0].details["couple"] == ["start", "stop"]
+        assert diagnostics[0].details["strength"] >= 0.5
+
+    def test_weakly_overlapping_couple_tolerated(self):
+        base = _base(
+            "IF cpuLoad IS high THEN scaleOut IS applicable WITH 0.4\n"
+            "IF cpuLoad IS low THEN scaleIn IS applicable WITH 0.4"
+        )
+        assert _linter().find_contradictions(base, "test") == []
+
+    def test_ag110_coverage_gap_in_region(self):
+        base = _base("IF cpuLoad IS low THEN scaleIn IS applicable")
+        diagnostics = _linter().find_coverage_gaps(
+            base, "test", region={"cpuLoad": (0.8, 1.0)}
+        )
+        assert _codes(diagnostics) == ["AG110"]
+        assert "witness" in diagnostics[0].details
+
+    def test_ag110_empty_base_is_a_noop_trigger(self):
+        diagnostics = _linter().find_coverage_gaps(RuleBase("empty", []), "test")
+        assert _codes(diagnostics) == ["AG110"]
+        assert "no evaluable rules" in diagnostics[0].message
+
+    def test_covered_region_is_clean(self):
+        base = _base("IF cpuLoad IS high THEN scaleOut IS applicable")
+        diagnostics = _linter().find_coverage_gaps(
+            base, "test", region={"cpuLoad": (0.8, 1.0)}
+        )
+        assert diagnostics == []
+
+
+class TestOverrideLint:
+    def _service(self, **constraint_kwargs):
+        return ServiceSpec(
+            "FI", constraints=ServiceConstraints(**constraint_kwargs)
+        )
+
+    def test_ag108_parse_error_with_line(self):
+        diagnostics, base = lint_override_text(
+            self._service(), "serviceOverloaded", "IF cpuLoad THEN boom"
+        )
+        assert _codes(diagnostics) == ["AG108"]
+        assert base is None
+        assert diagnostics[0].line == 1
+
+    def test_ag109_unknown_trigger(self):
+        diagnostics, base = lint_override_text(
+            self._service(),
+            "serverExploded",
+            "IF cpuLoad IS high THEN scaleOut IS applicable",
+        )
+        assert _codes(diagnostics) == ["AG109"]
+        assert base is None
+
+    def test_ag206_action_outside_allowed_set(self):
+        diagnostics, base = lint_override_text(
+            self._service(allowed_actions=frozenset({Action.SCALE_IN})),
+            "serviceOverloaded",
+            "IF cpuLoad IS high THEN scaleOut IS applicable",
+        )
+        assert _codes(diagnostics) == ["AG206"]
+        assert diagnostics[0].severity is Severity.WARNING
+        assert base is not None
+
+    def test_valid_override_is_clean(self):
+        diagnostics, base = lint_override_text(
+            self._service(),
+            "serviceOverloaded",
+            "IF cpuLoad IS high THEN scaleOut IS applicable",
+        )
+        assert diagnostics == []
+        assert len(base) == 1
+
+
+class TestBuiltinsAndLandscape:
+    def test_builtin_rule_bases_are_clean(self):
+        assert analyze_rule_bases(paper_landscape()) == []
+
+    def test_override_with_undeclared_term_reported(self):
+        landscape = paper_landscape()
+        landscape.services[0] = dataclasses.replace(
+            landscape.services[0],
+            rule_overrides={
+                "serviceOverloaded": (
+                    "IF cpuLoad IS enormous THEN scaleOut IS applicable"
+                )
+            },
+        )
+        assert "AG102" in _codes(analyze_rule_bases(landscape))
+
+    def test_contradictory_override_reported_on_merged_base(self):
+        landscape = paper_landscape()
+        landscape.services[0] = dataclasses.replace(
+            landscape.services[0],
+            rule_overrides={
+                "serviceOverloaded": (
+                    "IF cpuLoad IS high THEN start IS applicable\n"
+                    "IF cpuLoad IS high THEN stop IS applicable"
+                )
+            },
+        )
+        diagnostics = analyze_rule_bases(landscape)
+        assert "AG107" in _codes(diagnostics)
+
+    def test_raised_threshold_opens_coverage_gap(self):
+        landscape = paper_landscape()
+        landscape.controller = dataclasses.replace(
+            landscape.controller, overload_threshold=0.5
+        )
+        assert "AG110" in _codes(analyze_rule_bases(landscape))
+
+    def test_trigger_regions(self):
+        landscape = paper_landscape()
+        overload = trigger_region(SituationKind.SERVICE_OVERLOADED, landscape)
+        assert overload == {
+            "cpuLoad": (landscape.controller.overload_threshold, 1.0)
+        }
+        idle = trigger_region(SituationKind.SERVER_IDLE, landscape)
+        (low, high) = idle["cpuLoad"]
+        assert low == 0.0 and 0.0 < high <= 1.0
+        assert trigger_region(SituationKind.SERVICE_FAILED, landscape) == {}

@@ -126,6 +126,44 @@ class TestProblems:
         with pytest.raises(ValidationError, match="serviceOverloaded"):
             validate_landscape(landscape)
 
+    def test_override_with_undeclared_term_rejected(self):
+        """Overrides that parse but reference unknown terms fail validation."""
+        landscape = tiny_landscape()
+        landscape.services[0] = dataclasses.replace(
+            landscape.services[0],
+            rule_overrides={
+                "serviceOverloaded": (
+                    "IF cpuLoad IS enormous THEN scaleOut IS applicable"
+                )
+            },
+        )
+        with pytest.raises(ValidationError, match="AG102"):
+            validate_landscape(landscape)
+
+    def test_override_with_unknown_trigger_rejected(self):
+        landscape = tiny_landscape()
+        landscape.services[0] = dataclasses.replace(
+            landscape.services[0],
+            rule_overrides={
+                "serverExploded": "IF cpuLoad IS high THEN scaleOut IS applicable"
+            },
+        )
+        with pytest.raises(ValidationError, match="AG109"):
+            validate_landscape(landscape)
+
+    def test_suppressed_code_is_not_a_problem(self):
+        landscape = tiny_landscape()
+        landscape.services[0] = dataclasses.replace(
+            landscape.services[0],
+            rule_overrides={
+                "serviceOverloaded": (
+                    "IF cpuLoad IS enormous THEN scaleOut IS applicable"
+                )
+            },
+            lint_suppressions=frozenset({"AG102"}),
+        )
+        validate_landscape(landscape)
+
     def test_all_problems_collected(self):
         """Validation reports every problem at once, not just the first."""
         landscape = tiny_landscape(

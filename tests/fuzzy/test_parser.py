@@ -159,6 +159,45 @@ class TestParseRules:
         assert [r.label for r in rules] == ["svc-1", "svc-2"]
 
 
+class TestStructuredErrors:
+    """ParseError carries line/rule_index context for tooling."""
+
+    def test_line_attribute_on_syntax_error(self):
+        with pytest.raises(ParseError) as excinfo:
+            parse_rule("IF a IS x\nTHEN act applicable")
+        assert excinfo.value.line == 2
+
+    def test_line_attribute_on_bad_character(self):
+        with pytest.raises(ParseError) as excinfo:
+            parse_expression("a IS x AND\nb IS @")
+        assert excinfo.value.line == 2
+
+    def test_line_attribute_on_trailing_input(self):
+        with pytest.raises(ParseError) as excinfo:
+            parse_expression("a IS x b IS y")
+        assert excinfo.value.line == 1
+
+    def test_rule_index_in_multi_rule_block(self):
+        text = (
+            "IF a IS x THEN p IS applicable\n"
+            "IF b IS y THEN q IS applicable\n"
+            "IF c IS z THEN\n"
+        )
+        with pytest.raises(ParseError, match="rule 3") as excinfo:
+            parse_rules(text)
+        assert excinfo.value.rule_index == 3
+
+    def test_rule_index_default_is_none(self):
+        with pytest.raises(ParseError) as excinfo:
+            parse_rule("IF a IS x act IS applicable")
+        assert excinfo.value.rule_index is None
+
+    def test_end_of_input_reports_last_line(self):
+        with pytest.raises(ParseError, match="end of input") as excinfo:
+            parse_rule("IF a IS x\nTHEN act IS")
+        assert excinfo.value.line == 2
+
+
 @given(
     st.lists(
         st.sampled_from(["cpuLoad", "memLoad", "performanceIndex", "instanceLoad"]),
