@@ -4,7 +4,10 @@ Subcommands::
 
     autoglobe run --scenario full-mobility --users 1.15 [--hours 80]
         Run one simulation and print the result summary plus the
-        controller's action log.
+        controller's action log.  With --chaos, additionally inject
+        instance/host crashes, hangs, monitoring outages and flaky
+        actions (seeded via --chaos-seed) and report availability/MTTR;
+        --no-controller runs the chaos baseline without self-healing.
 
     autoglobe capacity [--scenario X] [--hours 80]
         Run the Table 7 capacity sweep (all scenarios by default).
@@ -73,6 +76,13 @@ def build_parser() -> argparse.ArgumentParser:
                      help="export summary/series/action CSVs to a directory")
     run.add_argument("--explain", action="store_true",
                      help="explain the controller's most recent decisions")
+    run.add_argument("--chaos", action="store_true",
+                     help="inject faults: instance/host crashes, hangs, "
+                          "monitoring outages and flaky actions")
+    run.add_argument("--chaos-seed", type=int, default=115,
+                     help="fault-injection RNG seed (default 115)")
+    run.add_argument("--no-controller", action="store_true",
+                     help="disable the controller (chaos baseline)")
 
     capacity = subparsers.add_parser("capacity", help="Table 7 capacity sweep")
     capacity.add_argument("--scenario", type=_scenario, default=None,
@@ -127,15 +137,30 @@ def build_parser() -> argparse.ArgumentParser:
 def _cmd_run(args) -> int:
     from repro.sim.runner import SimulationRunner
 
+    chaos = None
+    if args.chaos:
+        from repro.sim.scenarios import default_chaos
+
+        chaos = default_chaos(seed=args.chaos_seed)
     runner = SimulationRunner(
         args.scenario,
         user_factor=args.users,
         horizon=int(args.hours * 60),
         seed=args.seed,
         collect_host_series=args.export is not None,
+        controller_enabled=False if args.no_controller else None,
+        chaos=chaos,
     )
     result = runner.run()
     print(result.summary())
+    if runner.injector is not None:
+        print(f"  {runner.injector.summary()}")
+        worst = sorted(
+            (a for a in result.availability.values() if a.down_minutes),
+            key=lambda a: a.availability,
+        )[:3]
+        for record in worst:
+            print(f"  {record}")
     counts = result.action_counts()
     if counts:
         rendered = ", ".join(

@@ -28,7 +28,8 @@ from repro.monitoring.archive import InMemoryLoadArchive, LoadArchive
 from repro.monitoring.heartbeat import HeartbeatDetector
 from repro.monitoring.lms import LoadMonitoringSystem, Situation, SituationKind
 from repro.monitoring.monitor import LoadMonitor
-from repro.serviceglobe.actions import ActionError, ActionOutcome
+from repro.serviceglobe.actions import ActionError, ActionOutcome, NoSuchTarget
+from repro.serviceglobe.executor import ActionExecutor
 from repro.serviceglobe.platform import Platform
 from repro.serviceglobe.service import ServiceInstance
 
@@ -46,6 +47,7 @@ class AutoGlobeController:
         confirm: Optional[ConfirmationCallback] = None,
         enabled: bool = True,
         reservations=None,
+        executor: Optional[ActionExecutor] = None,
     ) -> None:
         self.platform = platform
         self.settings = settings if settings is not None else platform.landscape.controller
@@ -58,16 +60,27 @@ class AutoGlobeController:
         #: optional ReservationBook: reserved capacity steers host selection
         self.reservations = reservations
         self.server_selector = ServerSelector(reservations=reservations)
+        #: every controller-issued action flows through this executor;
+        #: the default is a transparent pass-through, chaos runs inject
+        #: transient failures, latency and timeouts here
+        self.executor = executor if executor is not None else ActionExecutor(platform)
         self.decision_loop = DecisionLoop(
             platform=platform,
             server_selector=self.server_selector,
             protection=self.protection,
             alerts=self.alerts,
             settings=self.settings,
+            executor=self.executor,
         )
         self.situations_handled: List[Situation] = []
         #: heartbeat-based failure detection feeding the self-healing path
         self.failure_detector = HeartbeatDetector(platform)
+        #: host name -> last minute (inclusive) its load reports are lost;
+        #: fed by failure injection to model monitoring degradation
+        self._monitor_outages: Dict[str, int] = {}
+        #: service name -> preferred host for a restart that could not be
+        #: executed yet (every eligible host down); retried each tick
+        self._pending_restarts: Dict[str, str] = {}
         self._host_cpu_monitors: Dict[str, LoadMonitor] = {}
         self._host_mem_monitors: Dict[str, LoadMonitor] = {}
         self._host_advisors: Dict[str, Advisor] = {}
@@ -239,6 +252,33 @@ class AutoGlobeController:
             [situation.service_name, instance.host_name], now
         )
 
+    # -- monitoring degradation --------------------------------------------------------
+
+    def degrade_monitoring(self, host_name: str, until: int) -> None:
+        """Lose the host's load reports up to minute ``until`` (inclusive).
+
+        Models a monitoring outage: the host keeps running, but its
+        advisors see no fresh measurements.  The stale-data guards in
+        :class:`~repro.monitoring.advisor.Advisor` and the coverage check
+        in the LMS keep the controller from mistaking the gap for zero
+        load.
+        """
+        current = self._monitor_outages.get(host_name, -1)
+        self._monitor_outages[host_name] = max(current, until)
+
+    def _blind_hosts(self, now: int) -> set:
+        """Hosts with no usable measurements this minute: down or in a
+        monitoring outage."""
+        blind = {
+            name for name, host in self.platform.hosts.items() if not host.up
+        }
+        for name, until in list(self._monitor_outages.items()):
+            if now <= until:
+                blind.add(name)
+            else:
+                del self._monitor_outages[name]
+        return blind
+
     # -- the per-minute cycle ------------------------------------------------------------
 
     def tick(self, now: int) -> List[ActionOutcome]:
@@ -246,25 +286,53 @@ class AutoGlobeController:
         self.platform.current_time = now
         self._sync_host_monitors()
         self._sync_instance_monitors()
-        for monitor in self._host_cpu_monitors.values():
-            monitor.sample(now)
-        for monitor in self._host_mem_monitors.values():
-            monitor.sample(now)
+        blind = self._blind_hosts(now)
+        for name, monitor in self._host_cpu_monitors.items():
+            if name in blind:
+                monitor.mark_dropped(now)
+            else:
+                monitor.sample(now)
+        for name, monitor in self._host_mem_monitors.items():
+            if name in blind:
+                monitor.mark_dropped(now)
+            else:
+                monitor.sample(now)
+        # service demand is aggregated from the registry's own state, not
+        # shipped through per-host monitoring agents: always available
         for monitor in self._service_monitors.values():
             monitor.sample(now)
-        for (instance_id, __), advisor in list(self._instance_advisors.items()):
-            advisor.monitor.sample(now)
-        for advisor in self._host_advisors.values():
-            advisor.inspect(now)
-        for advisor in self._instance_advisors.values():
-            advisor.inspect(now)
+        for (__, host_name), advisor in list(self._instance_advisors.items()):
+            if host_name in blind:
+                advisor.monitor.mark_dropped(now)
+            else:
+                advisor.monitor.sample(now)
+        for name, advisor in self._host_advisors.items():
+            if name not in blind:
+                advisor.inspect(now)
+        for (__, host_name), advisor in self._instance_advisors.items():
+            if host_name not in blind:
+                advisor.inspect(now)
+        # a crashed host voids its pending observations: whatever was
+        # suspected before the crash cannot be confirmed against a host
+        # that no longer exists in the landscape
+        for name, host in self.platform.hosts.items():
+            if not host.up:
+                self.lms.cancel_subject(name)
         outcomes: List[ActionOutcome] = []
         situations = self.lms.tick(now)
         if not self.enabled:
             return outcomes
         # self-healing first: a hung instance is worse than an overload
+        for service_name in sorted(self._pending_restarts):
+            outcome = self._retry_restart(service_name, now)
+            if outcome is not None:
+                outcomes.append(outcome)
+        for orphan in self.platform.drain_orphans():
+            outcome = self._heal(orphan.instance_id, now)
+            if outcome is not None:
+                outcomes.append(outcome)
         for failed_id in self.failure_detector.tick(now):
-            outcome = self.report_failure(failed_id, now)
+            outcome = self._heal(failed_id, now)
             self.failure_detector.forget(failed_id)
             if outcome is not None:
                 outcomes.append(outcome)
@@ -272,6 +340,8 @@ class AutoGlobeController:
         # protection entries of the first action suppress echoes
         situations.sort(key=lambda s: (s.kind.is_server, s.subject))
         for situation in situations:
+            if situation.kind.is_server and situation.subject in blind:
+                continue  # no trustworthy measurements behind it
             if self._instance_vanished(situation):
                 continue
             if self._situation_protected(situation, now):
@@ -301,6 +371,20 @@ class AutoGlobeController:
 
     # -- self-healing -----------------------------------------------------------------
 
+    def _heal(self, instance_id: str, now: int) -> Optional[ActionOutcome]:
+        """Self-healing wrapper tolerant of racy bookkeeping.
+
+        Under combined faults (a host crash sweeping away an instance
+        the heartbeat detector was about to report) the instance may be
+        unknown by the time healing runs; that is not an error, the
+        instance's service was already handled by another path.
+        """
+        try:
+            return self.report_failure(instance_id, now)
+        except NoSuchTarget:
+            self.failure_detector.forget(instance_id)
+            return None
+
     def report_failure(self, instance_id: str, now: int) -> Optional[ActionOutcome]:
         """Handle a crashed instance: restart it (self-healing).
 
@@ -325,41 +409,77 @@ class AutoGlobeController:
             observed_mean=0.0,
         )
         self.situations_handled.append(situation)
-        service = self.platform.service(instance.service_name)
-        action = Action.START if not service.running_instances else Action.SCALE_OUT
-        host_names = [instance.host_name] + [
-            ranked.host_name
-            for ranked in self.server_selector.rank(
-                self.platform,
-                Action.SCALE_OUT,
-                self.platform.eligible_hosts(instance.service_name),
-            )
-        ]
-        for host_name in host_names:
-            try:
-                outcome = self.platform.execute(
-                    action,
-                    instance.service_name,
-                    target_host=host_name,
-                    enforce_allowed=False,
-                    note=f"restart after failure of {instance_id}",
-                )
-            except ActionError:
-                continue
+        outcome = self._start_somewhere(
+            instance.service_name,
+            preferred_host=instance.host_name,
+            note=f"restart after failure of {instance_id}",
+            now=now,
+        )
+        if outcome is not None:
             if dropped_users > 0:
                 self.platform.dispatcher.place_users(
                     self.platform.service(instance.service_name).running_instances,
                     dropped_users,
                 )
-            self.alerts.warning(
-                now,
-                f"restarted {instance.service_name} on {host_name} after "
-                f"failure of {instance_id}",
-            )
             return outcome
+        # nowhere to restart right now (e.g. every eligible host down);
+        # remember the service and keep retrying every tick until a host
+        # returns — a crashed service must not stay dead forever
+        self._pending_restarts.setdefault(
+            instance.service_name, instance.host_name
+        )
         self.alerts.escalate(
             now, f"could not restart {instance.service_name} after failure"
         )
+        return None
+
+    def _start_somewhere(
+        self, service_name: str, preferred_host: str, note: str, now: int
+    ) -> Optional[ActionOutcome]:
+        """Start one instance on the preferred host or any eligible one."""
+        service = self.platform.service(service_name)
+        action = Action.START if not service.running_instances else Action.SCALE_OUT
+        host_names = [preferred_host] + [
+            ranked.host_name
+            for ranked in self.server_selector.rank(
+                self.platform,
+                Action.SCALE_OUT,
+                self.platform.eligible_hosts(service_name),
+            )
+        ]
+        for host_name in host_names:
+            try:
+                outcome = self.executor.execute(
+                    action,
+                    service_name,
+                    target_host=host_name,
+                    enforce_allowed=False,
+                    note=note,
+                )
+            except ActionError:
+                continue
+            self.alerts.warning(
+                now, f"restarted {service_name} on {host_name} ({note})"
+            )
+            return outcome
+        return None
+
+    def _retry_restart(self, service_name: str, now: int) -> Optional[ActionOutcome]:
+        """Retry a restart that previously found no live host."""
+        preferred = self._pending_restarts[service_name]
+        if self.platform.service(service_name).running_instances:
+            # someone else brought the service back in the meantime
+            del self._pending_restarts[service_name]
+            return None
+        outcome = self._start_somewhere(
+            service_name,
+            preferred_host=preferred,
+            note="deferred restart after failure",
+            now=now,
+        )
+        if outcome is not None:
+            del self._pending_restarts[service_name]
+        return outcome
         return None
 
     # -- introspection -------------------------------------------------------------------

@@ -22,6 +22,7 @@ from repro.core.protection import ProtectionRegistry
 from repro.core.server_selection import ServerSelector
 from repro.monitoring.lms import Situation
 from repro.serviceglobe.actions import ActionError, ActionOutcome
+from repro.serviceglobe.executor import ActionExecutor
 from repro.serviceglobe.platform import Platform
 
 __all__ = ["DecisionRecord", "DecisionLoop"]
@@ -50,12 +51,16 @@ class DecisionLoop:
         protection: ProtectionRegistry,
         alerts: AlertChannel,
         settings: ControllerSettings,
+        executor: Optional[ActionExecutor] = None,
     ) -> None:
         self.platform = platform
         self.server_selector = server_selector
         self.protection = protection
         self.alerts = alerts
         self.settings = settings
+        #: every action flows through the failure-hardened executor; the
+        #: default is a transparent pass-through (no injected faults)
+        self.executor = executor if executor is not None else ActionExecutor(platform)
         self.records: List[DecisionRecord] = []
 
     # -- helpers -----------------------------------------------------------------
@@ -144,7 +149,7 @@ class DecisionLoop:
                 record.considered.append(f"{ranked}: declined by administrator")
                 return None
             try:
-                return self.platform.execute(
+                return self.executor.execute(
                     ranked.action,
                     ranked.service_name,
                     instance_id=ranked.instance_id,
@@ -179,7 +184,7 @@ class DecisionLoop:
                 record.considered.append(f"{description}: declined by administrator")
                 return None
             try:
-                return self.platform.execute(
+                return self.executor.execute(
                     ranked.action,
                     ranked.service_name,
                     instance_id=ranked.instance_id,
@@ -187,6 +192,8 @@ class DecisionLoop:
                     applicability=ranked.applicability,
                 )
             except ActionError as error:
-                # fall back to the next-best host (Figure 6: "Another Host?")
+                # fall back to the next-best host (Figure 6: "Another Host?"
+                # — a transient failure that exhausted its retries lands
+                # here too, so flaky actuation degrades into fallback)
                 record.considered.append(f"{description}: {error}")
         return None

@@ -42,6 +42,11 @@ class Advisor:
         Watch durations in minutes (paper defaults: 10 and 20).
     service_name:
         For service-instance advisors, the owning service.
+    max_staleness:
+        Escalate only on *fresh* measurements: if the latest sample is
+        older than this many minutes (load reports were dropped or the
+        host is unreachable), the advisor stays quiet instead of acting
+        on stale data — a report gap is not zero load.
     """
 
     def __init__(
@@ -54,6 +59,7 @@ class Advisor:
         overload_watch_time: int,
         idle_watch_time: int,
         service_name: Optional[str] = None,
+        max_staleness: int = 2,
     ) -> None:
         if idle_threshold >= overload_threshold:
             raise ValueError(
@@ -68,6 +74,9 @@ class Advisor:
         self.overload_watch_time = overload_watch_time
         self.idle_watch_time = idle_watch_time
         self.service_name = service_name
+        if max_staleness < 0:
+            raise ValueError("max staleness must be non-negative")
+        self.max_staleness = max_staleness
         if subject_kind is SubjectKind.SERVICE_INSTANCE and service_name is None:
             raise ValueError("service-instance advisors need a service name")
 
@@ -84,9 +93,18 @@ class Advisor:
         return SituationKind.SERVICE_IDLE
 
     def inspect(self, now: int) -> None:
-        """Check the latest measurement and escalate threshold crossings."""
+        """Check the latest measurement and escalate threshold crossings.
+
+        Stale measurements (older than ``max_staleness`` minutes) are
+        ignored: when load reports stop arriving the advisor cannot tell
+        overload from idle, so it escalates nothing rather than treating
+        the gap as zero load.
+        """
         value = self.monitor.latest
         if value is None:
+            return
+        staleness = self.monitor.staleness(now)
+        if staleness is not None and staleness > self.max_staleness:
             return
         if value > self.overload_threshold:
             self._lms.open_observation(

@@ -53,9 +53,16 @@ class HeartbeatDetector:
             running.add(instance_id)
             if instance_id not in self._suppressed:
                 self._last_beat[instance_id] = now
-        # forget instances that left the platform in an orderly fashion
+        # Forget instances no longer on the platform — whether they left
+        # in an orderly fashion or died while suppressed (a hung instance
+        # killed by a host crash or scale-in).  Keeping suppressed entries
+        # alive would leak bookkeeping unboundedly under churn and later
+        # report an instance that no longer exists.
         for instance_id in list(self._last_beat):
-            if instance_id not in running and instance_id not in self._suppressed:
+            if instance_id not in running:
+                self.forget(instance_id)
+        for instance_id in list(self._suppressed):
+            if instance_id not in running:
                 self.forget(instance_id)
         failed: List[str] = []
         for instance_id in self._suppressed:

@@ -66,7 +66,15 @@ class Situation:
 
 @dataclass
 class Observation:
-    """An ongoing watch of a suspected situation."""
+    """An ongoing watch of a suspected situation.
+
+    ``min_coverage`` guards against monitoring degradation: when load
+    reports are dropped, the watch window has gaps.  A situation is only
+    confirmed when at least this fraction of the window's minutes have
+    real samples — a mean over two surviving points is not the paper's
+    "average load during the watch time", and acting on it would treat
+    missing data as evidence.
+    """
 
     kind: SituationKind
     monitor: LoadMonitor
@@ -74,6 +82,7 @@ class Observation:
     threshold: float
     started_at: int
     watch_time: int
+    min_coverage: float = 0.5
 
     @property
     def subject(self) -> str:
@@ -82,8 +91,15 @@ class Observation:
     def due(self, now: int) -> bool:
         return now >= self.started_at + self.watch_time - 1
 
+    def coverage(self, now: int) -> float:
+        """Fraction of the watch window backed by real samples."""
+        window = max(now - self.started_at + 1, 1)
+        return self.monitor.series.count_between(self.started_at, now) / window
+
     def confirmed(self, now: int) -> Optional[float]:
         """The observed mean if the situation is real, else ``None``."""
+        if self.coverage(now) < self.min_coverage:
+            return None  # too many reports lost to judge the situation
         mean = self.monitor.series.mean_between(self.started_at, now)
         if mean is None:
             return None
@@ -127,6 +143,16 @@ class LoadMonitoringSystem:
 
     def cancel(self, subject: str, kind: SituationKind) -> None:
         self._observations.pop((subject, kind), None)
+
+    def cancel_subject(self, subject: str) -> int:
+        """Drop every observation of one subject (e.g. its host crashed).
+
+        Returns the number of cancelled observations.
+        """
+        keys = [key for key in self._observations if key[0] == subject]
+        for key in keys:
+            del self._observations[key]
+        return len(keys)
 
     def tick(self, now: int) -> List[Situation]:
         """Evaluate due observations; return newly confirmed situations."""

@@ -49,6 +49,8 @@ class LoadMonitor:
         self._probe = probe
         self._archive = archive
         self.series = LoadSeries(name=f"{subject}/{metric}")
+        #: minutes whose report never arrived (monitoring degradation)
+        self.dropped_reports = 0
 
     def sample(self, time: int) -> float:
         """Take one measurement, record it and report it to the archive."""
@@ -57,6 +59,22 @@ class LoadMonitor:
         if self._archive is not None:
             self._archive.store(self.subject, self.metric, time, value)
         return value
+
+    def mark_dropped(self, time: int) -> None:
+        """This minute's load report was lost in transit.
+
+        Nothing is recorded — a gap is a gap, not zero load.  The series
+        keeps its last real sample, so :meth:`staleness` grows until
+        reports resume.
+        """
+        self.dropped_reports += 1
+
+    def staleness(self, now: int) -> Optional[int]:
+        """Minutes since the last real sample; ``None`` before the first."""
+        last = self.series.latest_time
+        if last is None:
+            return None
+        return now - last
 
     @property
     def latest(self) -> Optional[float]:

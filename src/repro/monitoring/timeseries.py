@@ -75,6 +75,17 @@ class LoadSeries:
             return None
         return sum(window) / len(window)
 
+    def count_between(self, start: int, end: int) -> int:
+        """Number of recorded samples with ``start <= time <= end``.
+
+        Measurements can be *missing* from a window (dropped load
+        reports, a monitoring outage); consumers that need a minimum
+        coverage — e.g. the load monitoring system confirming a
+        situation — compare this count against the window length instead
+        of silently treating gaps as zero load.
+        """
+        return len(self._window(start, end))
+
     def mean_over_last(self, duration: int) -> Optional[float]:
         """Mean of the trailing ``duration`` minutes (inclusive window)."""
         if not self._times:

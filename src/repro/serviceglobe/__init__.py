@@ -22,7 +22,9 @@ from repro.serviceglobe.actions import (
     ActionOutcome,
     ConstraintViolation,
     NoSuchTarget,
+    TransientActionFailure,
 )
+from repro.serviceglobe.executor import ActionExecutor, ExecutionFaults, RetryPolicy
 from repro.serviceglobe.dispatcher import Dispatcher, UserDistribution
 from repro.serviceglobe.host import ServiceHost
 from repro.serviceglobe.invocation import LatencyModel, RequestOutcome, ServiceInvoker
@@ -36,12 +38,14 @@ __all__ = [
     "AccessController",
     "AccessDenied",
     "ActionError",
+    "ActionExecutor",
     "ActionNotAllowed",
     "ActionOutcome",
     "CodeBundle",
     "CodeRepository",
     "ConstraintViolation",
     "Dispatcher",
+    "ExecutionFaults",
     "InstanceState",
     "LatencyModel",
     "NetworkFabric",
@@ -50,12 +54,14 @@ __all__ = [
     "Platform",
     "PlatformTransaction",
     "RequestOutcome",
+    "RetryPolicy",
     "Role",
     "ServiceDefinition",
     "ServiceHost",
     "ServiceInvoker",
     "ServiceInstance",
     "ServiceRegistry",
+    "TransientActionFailure",
     "UserDistribution",
     "VirtualIP",
 ]

@@ -19,6 +19,7 @@ __all__ = [
     "ActionNotAllowed",
     "ConstraintViolation",
     "NoSuchTarget",
+    "TransientActionFailure",
     "ActionOutcome",
 ]
 
@@ -49,9 +50,48 @@ class NoSuchTarget(ActionError):
     """The referenced service, instance or host does not exist."""
 
 
+class TransientActionFailure(ActionError):
+    """An action attempt failed for a non-structural reason.
+
+    Host agents lose packets, daemons time out, processes die while
+    starting: the action *would* be legal, it just did not happen this
+    time.  The executor retries these with backoff; after the retry
+    budget is exhausted the failure propagates as an :class:`ActionError`
+    so the Figure 6 loop falls back to the next-best host or action.
+
+    Attributes (best effort, set by whoever raised):
+    ``instance_id``, ``source_host``, ``target_host`` identify a
+    half-completed relocation; ``instance_lost`` is ``True`` when the
+    compensation could not restore the source instance (its host died
+    while the instance was in flight).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        instance_id: Optional[str] = None,
+        source_host: Optional[str] = None,
+        target_host: Optional[str] = None,
+    ) -> None:
+        super().__init__(message)
+        self.instance_id = instance_id
+        self.source_host = source_host
+        self.target_host = target_host
+        self.instance_lost = False
+
+
 @dataclass(frozen=True)
 class ActionOutcome:
-    """Audit record of one executed action (Section 4.3: actions are logged)."""
+    """Audit record of one executed action (Section 4.3: actions are logged).
+
+    ``status`` distinguishes the record kinds the failure-hardened
+    executor writes: ``"ok"`` (the action took effect), ``"failed"``
+    (the retry budget was exhausted) and ``"compensated"`` (a relocation
+    failed mid-flight and the source instance was rolled back).
+    ``attempts`` counts execution attempts including the successful one;
+    ``duration`` is the simulated minutes the action took end to end,
+    including retry backoff.
+    """
 
     time: int
     action: Action
@@ -61,6 +101,17 @@ class ActionOutcome:
     target_host: Optional[str] = None
     applicability: Optional[float] = None
     note: str = ""
+    status: str = "ok"
+    attempts: int = 1
+    duration: float = 0.0
+
+    @property
+    def succeeded(self) -> bool:
+        return self.status == "ok"
+
+    @property
+    def retried(self) -> bool:
+        return self.attempts > 1
 
     def __str__(self) -> str:
         parts = [f"t={self.time}", self.action.value, self.service_name]
@@ -74,4 +125,8 @@ class ActionOutcome:
             parts.append(f"on {self.source_host}")
         if self.applicability is not None:
             parts.append(f"({self.applicability:.0%})")
+        if self.attempts > 1:
+            parts.append(f"[attempts={self.attempts}]")
+        if self.status != "ok":
+            parts.append(f"[{self.status.upper()}]")
         return " ".join(parts)

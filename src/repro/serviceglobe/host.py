@@ -21,6 +21,9 @@ class ServiceHost:
 
     spec: ServerSpec
     instances: List[ServiceInstance] = field(default_factory=list)
+    #: A crashed host takes its capacity out of the landscape until it
+    #: reboots; while down it runs nothing and accepts nothing.
+    up: bool = True
 
     @property
     def name(self) -> str:

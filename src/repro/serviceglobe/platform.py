@@ -23,6 +23,7 @@ from repro.serviceglobe.actions import (
     ActionOutcome,
     ConstraintViolation,
     NoSuchTarget,
+    TransientActionFailure,
 )
 from repro.serviceglobe.code import CodeBundle, CodeRepository
 from repro.serviceglobe.dispatcher import Dispatcher, UserDistribution
@@ -89,6 +90,15 @@ class Platform:
         for spec in landscape.services:
             self.code_repository.publish(CodeBundle(spec.name, version=1))
         self.audit_log: List[ActionOutcome] = []
+        #: Instances lost in flight: a relocation's source host died before
+        #: the move could be rolled back.  The controller's self-healing
+        #: path drains this list and restarts them elsewhere.
+        self.orphans: List[ServiceInstance] = []
+        #: Optional commit barrier for relocations, installed by the action
+        #: executor: called after the source instance is detached and before
+        #: the target takes over; raising :class:`TransientActionFailure`
+        #: there models a failed target start and triggers compensation.
+        self.move_fault_hook: Optional[Callable[[ServiceInstance, str], None]] = None
         # per-platform instance numbering keeps runs deterministic: ids
         # (and their tie-breaking order) never depend on other platforms
         self._instance_sequence = 0
@@ -139,6 +149,8 @@ class Platform:
         service = self.service(service_name)
         host = self.host(host_name)
         constraints = service.spec.constraints
+        if not host.up:
+            return "host is down"
         if host.performance_index < constraints.min_performance_index:
             return (
                 f"performance index {host.performance_index} below required "
@@ -226,7 +238,17 @@ class Platform:
         self.fabric.unbind(instance.virtual_ip)
 
     def _move_instance(self, instance: ServiceInstance, target_host: str) -> None:
-        """Relocate an instance; its users and virtual IP follow."""
+        """Relocate an instance; its users and virtual IP follow.
+
+        A relocation is a two-phase operation: the instance is detached
+        from its source host first, then started on the target.  If the
+        second phase fails — the target is found infeasible, or the
+        executor's commit barrier injects a failed target start — the
+        move is *compensated*: the source instance is restored.  When
+        even that is impossible (the source host died while the instance
+        was in flight) the instance is lost and queued on
+        :attr:`orphans` for the self-healing path.
+        """
         if not instance.running:
             raise ConstraintViolation(f"{instance} is not running")
         if instance.host_name == target_host:
@@ -239,8 +261,15 @@ class Platform:
                 raise ConstraintViolation(
                     f"{instance.service_name} on {target_host}: {reason}"
                 )
-        except ActionError:
-            source.attach(instance)
+            if self.move_fault_hook is not None:
+                self.move_fault_hook(instance, target_host)
+        except ActionError as error:
+            restored = self._compensate_move(instance, source)
+            if isinstance(error, TransientActionFailure):
+                error.instance_id = instance.instance_id
+                error.source_host = source.name
+                error.target_host = target_host
+                error.instance_lost = not restored
             raise
         # the target host needs the service's code before it can take over
         self.code_repository.ensure_deployed(
@@ -249,6 +278,36 @@ class Platform:
         self.fabric.rebind(instance.virtual_ip, target_host)
         instance.host_name = target_host
         self.host(target_host).attach(instance)
+
+    def _compensate_move(
+        self, instance: ServiceInstance, source: ServiceHost
+    ) -> bool:
+        """Undo the first phase of a failed relocation.
+
+        Returns ``True`` when the source instance was restored.  If the
+        source host went down while the instance was in flight, the
+        instance cannot go back: its users reconnect to surviving peers
+        (or are dropped), its registration and IP are released, and it is
+        queued on :attr:`orphans` so the controller can restart it on a
+        healthy host.
+        """
+        if source.up:
+            source.attach(instance)
+            return True
+        service = self.service(instance.service_name)
+        remaining = [i for i in service.running_instances if i is not instance]
+        self.dispatcher.displace_users(instance, remaining)
+        instance.state = InstanceState.STOPPED
+        instance.demand = 0.0
+        self.registry.withdraw_instance(instance)
+        self.fabric.unbind(instance.virtual_ip)
+        self.orphans.append(instance)
+        return False
+
+    def drain_orphans(self) -> List[ServiceInstance]:
+        """Hand over (and clear) the instances lost in half-completed moves."""
+        orphans, self.orphans = self.orphans, []
+        return orphans
 
     def crash_instance(self, instance_id: str) -> ServiceInstance:
         """Simulate a program crash: the instance dies without any
@@ -263,6 +322,34 @@ class Platform:
         self._stop_instance(instance, enforce_min=False)
         return instance
 
+    # -- host-level faults -------------------------------------------------------------
+
+    def crash_host(self, host_name: str) -> List[ServiceInstance]:
+        """Simulate a host crash: every resident instance dies and the
+        host's capacity leaves the landscape until :meth:`recover_host`.
+
+        Users of the dead instances reconnect to surviving peers of
+        their service (or are dropped when none remain).  Returns the
+        victims so failure injection can report them to the controller's
+        self-healing path.
+        """
+        host = self.host(host_name)
+        if not host.up:
+            raise ConstraintViolation(f"host {host_name} is already down")
+        victims = list(host.running_instances)
+        for instance in victims:
+            self._stop_instance(instance, enforce_min=False)
+        host.up = False
+        return victims
+
+    def recover_host(self, host_name: str) -> None:
+        """The host finished rebooting; its capacity rejoins the landscape."""
+        self.host(host_name).up = True
+
+    def hosts_down(self) -> List[str]:
+        """Names of hosts currently out of the landscape."""
+        return sorted(name for name, host in self.hosts.items() if not host.up)
+
     # -- action execution ------------------------------------------------------------------
 
     def execute(
@@ -274,12 +361,16 @@ class Platform:
         applicability: Optional[float] = None,
         enforce_allowed: bool = True,
         note: str = "",
+        attempts: int = 1,
+        duration: float = 0.0,
     ) -> ActionOutcome:
         """Execute one management action (Table 2).
 
         Raises :class:`ActionError` subclasses when the action is not
         permitted or not executable; on success appends an
         :class:`ActionOutcome` to :attr:`audit_log` and returns it.
+        ``attempts``/``duration`` are stamped into the outcome by the
+        failure-hardened executor when the action needed retries.
         """
         service = self.service(service_name)
         if enforce_allowed and not service.spec.constraints.allows(action):
@@ -308,6 +399,8 @@ class Platform:
             target_host=outcome.target_host,
             applicability=applicability,
             note=note or outcome.note,
+            attempts=attempts,
+            duration=duration,
         )
         self.audit_log.append(outcome)
         return outcome

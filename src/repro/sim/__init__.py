@@ -16,16 +16,28 @@ dynamic user redistribution) — Tables 5 and 6.
 from repro.sim.capacity import CapacityResult, capacity_search
 from repro.sim.clock import SimClock, format_minute
 from repro.sim.export import export_all
+from repro.sim.faults import FaultInjector, FaultRecord
 from repro.sim.loadcurves import available_profiles, profile_value
-from repro.sim.results import OverloadEpisode, SimulationResult, SlaPolicy
+from repro.sim.results import (
+    DowntimeEpisode,
+    OverloadEpisode,
+    ServiceAvailability,
+    SimulationResult,
+    SlaPolicy,
+)
 from repro.sim.runner import SimulationRunner
-from repro.sim.scenarios import Scenario, apply_scenario
+from repro.sim.scenarios import ChaosProfile, Scenario, apply_scenario, default_chaos
 from repro.sim.workload import WorkloadModel
 
 __all__ = [
     "CapacityResult",
+    "ChaosProfile",
+    "DowntimeEpisode",
+    "FaultInjector",
+    "FaultRecord",
     "OverloadEpisode",
     "Scenario",
+    "ServiceAvailability",
     "SimClock",
     "SimulationResult",
     "SimulationRunner",
@@ -34,6 +46,7 @@ __all__ = [
     "apply_scenario",
     "available_profiles",
     "capacity_search",
+    "default_chaos",
     "export_all",
     "format_minute",
     "profile_value",

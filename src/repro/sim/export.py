@@ -6,7 +6,9 @@ Three formats cover what the paper's figures need:
   counts) — machine-readable EXPERIMENTS data;
 * a CSV of per-host load series (one row per minute, one column per
   host, plus the system average) — Figures 12-14;
-* a CSV of the controller action log — the annotations of Figures 16/17.
+* a CSV of the controller action log — the annotations of Figures 16/17;
+* a CSV of per-service availability (down-minutes, episode count, MTTR)
+  — the chaos scenario's robustness comparison.
 """
 
 from __future__ import annotations
@@ -23,6 +25,7 @@ __all__ = [
     "export_summary_json",
     "export_host_series_csv",
     "export_actions_csv",
+    "export_availability_csv",
     "export_all",
 ]
 
@@ -48,6 +51,24 @@ def export_summary_json(result: SimulationResult, path: PathLike) -> None:
         "overload_minutes_by_host": result.overload_minutes_by_host,
         "final_instance_counts": result.final_instance_counts,
         "violates_default_sla": result.violates(),
+        "mean_availability": result.mean_availability,
+        "mttr_minutes": result.mttr_minutes,
+        "total_down_minutes": result.total_down_minutes,
+        "availability_by_service": {
+            name: {
+                "availability": record.availability,
+                "down_minutes": record.down_minutes,
+                "episode_count": record.episode_count,
+                "mttr_minutes": record.mttr_minutes,
+            }
+            for name, record in result.availability.items()
+        },
+        "host_down_minutes": result.host_down_minutes,
+        "downtime_episode_count": len(result.downtime_episodes),
+        "injected_fault_count": len(result.fault_records),
+        "retried_action_count": result.retried_action_count,
+        "compensated_action_count": result.compensated_action_count,
+        "failed_action_count": result.failed_action_count,
     }
     Path(path).write_text(json.dumps(payload, indent=2), encoding="utf-8")
 
@@ -89,6 +110,9 @@ def export_actions_csv(result: SimulationResult, path: PathLike) -> None:
                 "source_host",
                 "target_host",
                 "applicability",
+                "status",
+                "attempts",
+                "duration",
                 "note",
             ]
         )
@@ -103,7 +127,38 @@ def export_actions_csv(result: SimulationResult, path: PathLike) -> None:
                     action.source_host or "",
                     action.target_host or "",
                     "" if action.applicability is None else f"{action.applicability:.3f}",
+                    action.status,
+                    action.attempts,
+                    f"{action.duration:.2f}",
                     action.note,
+                ]
+            )
+
+
+def export_availability_csv(result: SimulationResult, path: PathLike) -> None:
+    """Write per-service availability accounting (the chaos metrics)."""
+    with open(path, "w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(
+            [
+                "service",
+                "availability",
+                "observed_minutes",
+                "down_minutes",
+                "episode_count",
+                "mttr_minutes",
+            ]
+        )
+        for name in sorted(result.availability):
+            record = result.availability[name]
+            writer.writerow(
+                [
+                    name,
+                    f"{record.availability:.6f}",
+                    record.observed_minutes,
+                    record.down_minutes,
+                    record.episode_count,
+                    f"{record.mttr_minutes:.2f}",
                 ]
             )
 
@@ -120,6 +175,7 @@ def export_all(result: SimulationResult, directory: PathLike) -> Path:
     base.mkdir(parents=True, exist_ok=True)
     export_summary_json(result, base / "summary.json")
     export_actions_csv(result, base / "actions.csv")
+    export_availability_csv(result, base / "availability.csv")
     if result.host_series:
         export_host_series_csv(result, base / "host_loads.csv")
     return base

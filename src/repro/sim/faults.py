@@ -4,22 +4,35 @@
 a restart" (Section 2) — this module generates those situations so the
 self-healing path can be exercised under realistic churn:
 
-* **crashes**: the instance dies instantly; surviving peers absorb its
-  users, and the controller restarts it via
+* **instance crashes**: the instance dies instantly; surviving peers
+  absorb its users, and the controller restarts it via
   :meth:`~repro.core.autoglobe.AutoGlobeController.report_failure`;
-* **hangs**: the instance keeps holding its resources but stops
+* **instance hangs**: the instance keeps holding its resources but stops
   responding; the heartbeat detector notices after its miss threshold
-  and the controller kills and restarts it.
+  and the controller kills and restarts it;
+* **host crashes**: every resident instance dies and the host's capacity
+  leaves the landscape until it reboots (a sampled number of minutes
+  later) — the controller must restart the victims *elsewhere*;
+* **monitoring outages**: a host keeps serving but its load reports stop
+  arriving for a sampled number of minutes; the controller's staleness
+  and coverage guards must ride out the gap instead of mistaking it for
+  zero load.
 
-Fault times are drawn per instance-minute with a fixed probability
+Fault times are drawn per subject-minute with fixed probabilities
 (a geometric approximation of exponential MTBF), deterministic under a
-seed and independent of the workload model's RNG.
+seed and independent of the workload model's RNG.  Subjects are rolled
+in sorted order (hosts by name, instances by id), so fault sequences do
+not depend on platform iteration order.
+
+With the controller disabled (the chaos baseline) nothing heals: crashed
+instances stay dead, which is exactly the availability gap the chaos
+scenario measures.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Dict, List, Tuple
 
 import numpy as np
 
@@ -30,28 +43,44 @@ __all__ = ["FaultRecord", "FaultInjector"]
 
 @dataclass(frozen=True)
 class FaultRecord:
-    """One injected fault."""
+    """One injected fault (or recovery event).
+
+    ``kind`` is one of ``"crash"``, ``"hang"`` (instance-level;
+    ``instance_id``/``service_name`` identify the victim),
+    ``"host-crash"``, ``"host-recovery"`` and ``"monitor-outage"``
+    (host-level; ``instance_id`` and ``service_name`` are empty).
+    """
 
     time: int
     instance_id: str
     service_name: str
     host_name: str
-    kind: str  # "crash" or "hang"
+    kind: str
 
 
 @dataclass
 class FaultInjector:
-    """Randomly crashes or hangs running service instances.
+    """Randomly injures service instances, hosts and the monitoring plane.
 
     Parameters
     ----------
     controller:
         The controller whose platform is attacked; its failure detector
-        is used for hangs and its self-healing path for crashes.
+        is used for hangs and its self-healing path for crashes.  When
+        the controller is disabled, faults are still injected but
+        nothing heals — the measured baseline of the chaos scenario.
     crash_probability / hang_probability:
         Per instance-minute probabilities.  The defaults correspond to a
         mean time between failures of roughly two weeks per instance —
         rare, as in a real computing center.
+    host_crash_probability:
+        Per host-minute probability of a full host crash; off by
+        default.  A crashed host reboots after a duration drawn
+        uniformly from ``host_reboot_minutes``.
+    monitor_outage_probability:
+        Per host-minute probability that the host's load reports stop
+        arriving for a duration drawn uniformly from
+        ``monitor_outage_minutes``; off by default.
     seed:
         RNG seed; injections are deterministic given a seed.
     """
@@ -59,26 +88,105 @@ class FaultInjector:
     controller: AutoGlobeController
     crash_probability: float = 1.0 / (14 * 24 * 60)
     hang_probability: float = 1.0 / (14 * 24 * 60)
+    host_crash_probability: float = 0.0
+    host_reboot_minutes: Tuple[int, int] = (30, 90)
+    monitor_outage_probability: float = 0.0
+    monitor_outage_minutes: Tuple[int, int] = (3, 15)
     seed: int = 99
     faults: List[FaultRecord] = field(default_factory=list)
 
     def __post_init__(self) -> None:
-        if not 0.0 <= self.crash_probability <= 1.0:
-            raise ValueError("crash probability must be in [0, 1]")
-        if not 0.0 <= self.hang_probability <= 1.0:
-            raise ValueError("hang probability must be in [0, 1]")
+        for name in (
+            "crash_probability",
+            "hang_probability",
+            "host_crash_probability",
+            "monitor_outage_probability",
+        ):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
+        for name in ("host_reboot_minutes", "monitor_outage_minutes"):
+            low, high = getattr(self, name)
+            if low < 1 or high < low:
+                raise ValueError(f"{name} must be a (low, high) range with 1 <= low <= high")
         self._rng = np.random.default_rng(self.seed)
+        #: host name -> minute its reboot completes
+        self._reboot_at: Dict[str, int] = {}
+
+    # -- the per-minute injection pass ---------------------------------------------------
 
     def tick(self, now: int) -> List[FaultRecord]:
-        """Possibly injure instances this minute; returns the new faults.
+        """Possibly injure subjects this minute; returns the new faults.
 
         Crashes are reported to the controller immediately (the platform
         notices a dead process right away); hangs only suppress
-        heartbeats — detection is the heartbeat detector's job.
+        heartbeats — detection is the heartbeat detector's job.  Host
+        recoveries happen before new faults so a rebooted host can be
+        injured again the same minute it returns.
         """
-        platform = self.controller.platform
         injected: List[FaultRecord] = []
-        for instance in list(platform.all_instances()):
+        self._recover_hosts(now, injected)
+        if self.host_crash_probability > 0.0:
+            self._crash_hosts(now, injected)
+        if self.monitor_outage_probability > 0.0:
+            self._degrade_monitoring(now, injected)
+        self._injure_instances(now, injected)
+        return injected
+
+    def _recover_hosts(self, now: int, injected: List[FaultRecord]) -> None:
+        platform = self.controller.platform
+        for host_name in sorted(self._reboot_at):
+            if self._reboot_at[host_name] <= now:
+                del self._reboot_at[host_name]
+                platform.recover_host(host_name)
+                record = FaultRecord(now, "", "", host_name, "host-recovery")
+                self.faults.append(record)
+                injected.append(record)
+
+    def _crash_hosts(self, now: int, injected: List[FaultRecord]) -> None:
+        platform = self.controller.platform
+        for host_name in sorted(platform.hosts):
+            if not platform.hosts[host_name].up:
+                continue
+            if float(self._rng.random()) >= self.host_crash_probability:
+                continue
+            victims = platform.crash_host(host_name)
+            low, high = self.host_reboot_minutes
+            self._reboot_at[host_name] = now + int(
+                self._rng.integers(low, high + 1)
+            )
+            record = FaultRecord(now, "", "", host_name, "host-crash")
+            self.faults.append(record)
+            injected.append(record)
+            for victim in victims:
+                # the heartbeat detector must not later report an
+                # instance the crash already swept away
+                self.controller.failure_detector.forget(victim.instance_id)
+                if self.controller.enabled:
+                    self.controller.report_failure(victim.instance_id, now)
+
+    def _degrade_monitoring(self, now: int, injected: List[FaultRecord]) -> None:
+        platform = self.controller.platform
+        for host_name in sorted(platform.hosts):
+            if not platform.hosts[host_name].up:
+                continue  # a down host has no reports to lose
+            if float(self._rng.random()) >= self.monitor_outage_probability:
+                continue
+            low, high = self.monitor_outage_minutes
+            until = now + int(self._rng.integers(low, high + 1)) - 1
+            self.controller.degrade_monitoring(host_name, until)
+            record = FaultRecord(now, "", "", host_name, "monitor-outage")
+            self.faults.append(record)
+            injected.append(record)
+
+    def _injure_instances(self, now: int, injected: List[FaultRecord]) -> None:
+        platform = self.controller.platform
+        # sorted by instance id: fault sequences are deterministic under a
+        # seed regardless of platform iteration order
+        instances = sorted(
+            platform.all_instances(), key=lambda i: i.instance_id
+        )
+        for instance in instances:
             if instance.instance_id in self.controller.failure_detector.suppressed:
                 continue
             roll = float(self._rng.random())
@@ -89,7 +197,10 @@ class FaultInjector:
                 )
                 self.faults.append(record)
                 injected.append(record)
-                self.controller.report_failure(instance.instance_id, now)
+                if self.controller.enabled:
+                    self.controller.report_failure(instance.instance_id, now)
+                else:
+                    platform.crash_instance(instance.instance_id)
             elif roll < self.crash_probability + self.hang_probability:
                 record = FaultRecord(
                     now, instance.instance_id, instance.service_name,
@@ -98,12 +209,33 @@ class FaultInjector:
                 self.faults.append(record)
                 injected.append(record)
                 self.controller.failure_detector.suppress(instance.instance_id)
-        return injected
+
+    # -- accounting -------------------------------------------------------------------
+
+    def count(self, kind: str) -> int:
+        return sum(1 for fault in self.faults if fault.kind == kind)
 
     @property
     def crash_count(self) -> int:
-        return sum(1 for fault in self.faults if fault.kind == "crash")
+        return self.count("crash")
 
     @property
     def hang_count(self) -> int:
-        return sum(1 for fault in self.faults if fault.kind == "hang")
+        return self.count("hang")
+
+    @property
+    def host_crash_count(self) -> int:
+        return self.count("host-crash")
+
+    @property
+    def monitor_outage_count(self) -> int:
+        return self.count("monitor-outage")
+
+    def summary(self) -> str:
+        parts = [
+            f"crashes: {self.crash_count}",
+            f"hangs: {self.hang_count}",
+            f"host crashes: {self.host_crash_count}",
+            f"monitor outages: {self.monitor_outage_count}",
+        ]
+        return f"injected faults: {len(self.faults)} ({', '.join(parts)})"

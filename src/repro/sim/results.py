@@ -1,4 +1,4 @@
-"""Simulation results, overload accounting and the SLA check.
+"""Simulation results, overload accounting, availability and the SLA check.
 
 The paper calls a system state "overloaded" when servers "have a CPU
 load of more than 80% for a long time, at regular intervals"; then
@@ -8,6 +8,12 @@ requests in a given period".  :class:`SlaPolicy` operationalizes this:
 a run fails when the per-day volume of degraded host-minutes (load above
 80% on hosts that are actually serving instances) exceeds a budget, or
 when any single overload episode lasts too long.
+
+Robustness is measured, not assumed: the collector additionally tracks
+per-service *availability* (fraction of minutes with at least one
+running instance), downtime episodes and their mean duration (MTTR),
+plus host down-minutes — the quantities the chaos scenario compares
+between a controller-enabled and a controller-disabled run.
 """
 
 from __future__ import annotations
@@ -22,7 +28,14 @@ from repro.serviceglobe.actions import ActionOutcome
 from repro.serviceglobe.platform import Platform
 from repro.sim.clock import MINUTES_PER_DAY
 
-__all__ = ["SlaPolicy", "OverloadEpisode", "SimulationResult", "ResultCollector"]
+__all__ = [
+    "SlaPolicy",
+    "OverloadEpisode",
+    "DowntimeEpisode",
+    "ServiceAvailability",
+    "SimulationResult",
+    "ResultCollector",
+]
 
 
 @dataclass(frozen=True)
@@ -53,6 +66,50 @@ class OverloadEpisode:
         return self.end - self.start + 1
 
 
+@dataclass(frozen=True)
+class DowntimeEpisode:
+    """A maximal run of consecutive minutes a service had no running instance."""
+
+    service_name: str
+    start: int
+    end: int  # inclusive
+
+    @property
+    def duration(self) -> int:
+        return self.end - self.start + 1
+
+
+@dataclass(frozen=True)
+class ServiceAvailability:
+    """Availability accounting of one service over a run."""
+
+    service_name: str
+    observed_minutes: int
+    down_minutes: int
+    episode_count: int
+
+    @property
+    def availability(self) -> float:
+        """Fraction of observed minutes with at least one running instance."""
+        if self.observed_minutes == 0:
+            return 1.0
+        return 1.0 - self.down_minutes / self.observed_minutes
+
+    @property
+    def mttr_minutes(self) -> float:
+        """Mean time to repair: average downtime-episode duration."""
+        if self.episode_count == 0:
+            return 0.0
+        return self.down_minutes / self.episode_count
+
+    def __str__(self) -> str:
+        return (
+            f"{self.service_name}: {self.availability:.2%} available "
+            f"({self.down_minutes} down-minutes over {self.episode_count} "
+            f"episodes, MTTR {self.mttr_minutes:.1f} min)"
+        )
+
+
 @dataclass
 class SimulationResult:
     """Everything a benchmark needs to reproduce a paper figure/table."""
@@ -74,6 +131,13 @@ class SimulationResult:
     actions: List[ActionOutcome] = field(default_factory=list)
     escalation_count: int = 0
     final_instance_counts: Dict[str, int] = field(default_factory=dict)
+    #: service name -> availability accounting (always collected)
+    availability: Dict[str, ServiceAvailability] = field(default_factory=dict)
+    downtime_episodes: List[DowntimeEpisode] = field(default_factory=list)
+    #: host name -> minutes the host was out of the landscape (crashed)
+    host_down_minutes: Dict[str, int] = field(default_factory=dict)
+    #: injected fault records when the run used a fault injector
+    fault_records: List = field(default_factory=list)
 
     # -- aggregates ------------------------------------------------------------------
 
@@ -109,6 +173,45 @@ class SimulationResult:
             counts[action.action] = counts.get(action.action, 0) + 1
         return counts
 
+    # -- availability aggregates -------------------------------------------------------
+
+    @property
+    def mean_availability(self) -> float:
+        """Unweighted mean availability across services (1.0 when none)."""
+        if not self.availability:
+            return 1.0
+        values = [a.availability for a in self.availability.values()]
+        return sum(values) / len(values)
+
+    @property
+    def total_down_minutes(self) -> int:
+        return sum(a.down_minutes for a in self.availability.values())
+
+    @property
+    def mttr_minutes(self) -> float:
+        """Mean downtime-episode duration across all services."""
+        episodes = sum(a.episode_count for a in self.availability.values())
+        if episodes == 0:
+            return 0.0
+        return self.total_down_minutes / episodes
+
+    @property
+    def total_host_down_minutes(self) -> int:
+        return sum(self.host_down_minutes.values())
+
+    @property
+    def failed_action_count(self) -> int:
+        return sum(1 for a in self.actions if a.status == "failed")
+
+    @property
+    def compensated_action_count(self) -> int:
+        return sum(1 for a in self.actions if a.status == "compensated")
+
+    @property
+    def retried_action_count(self) -> int:
+        """Actions that eventually succeeded but needed more than one attempt."""
+        return sum(1 for a in self.actions if a.succeeded and a.retried)
+
     # -- the SLA verdict ---------------------------------------------------------------
 
     def violates(self, sla: Optional[SlaPolicy] = None) -> bool:
@@ -125,7 +228,18 @@ class SimulationResult:
             f"(longest episode {self.longest_episode} min)",
             f"  controller actions: {len(self.actions)} "
             f"(escalations: {self.escalation_count})",
+            f"  availability: {self.mean_availability:.2%} mean "
+            f"({self.total_down_minutes} service down-minutes, "
+            f"MTTR {self.mttr_minutes:.1f} min)",
         ]
+        if self.failed_action_count or self.compensated_action_count or (
+            self.retried_action_count
+        ):
+            lines.append(
+                f"  action faults: {self.retried_action_count} retried, "
+                f"{self.compensated_action_count} compensated, "
+                f"{self.failed_action_count} failed"
+            )
         return "\n".join(lines)
 
 
@@ -161,12 +275,21 @@ class ResultCollector:
         self._open_episode_start: Dict[str, Optional[int]] = {
             n: None for n in self._host_names
         }
+        self._service_names = sorted(platform.services)
+        self._down_minutes: Dict[str, int] = {n: 0 for n in self._service_names}
+        self._downtime_episodes: List[DowntimeEpisode] = []
+        self._open_down_since: Dict[str, Optional[int]] = {
+            n: None for n in self._service_names
+        }
+        self._host_down_minutes: Dict[str, int] = {n: 0 for n in self._host_names}
         self._ticks = 0
 
     def observe(self, now: int) -> None:
         self._ticks += 1
         for name in self._host_names:
             host = self._platform.hosts[name]
+            if not host.up:
+                self._host_down_minutes[name] += 1
             load = host.cpu_load
             if self._collect_host_series:
                 self._series[name].append(load)
@@ -181,6 +304,16 @@ class ResultCollector:
                 start = self._open_episode_start[name]
                 self._episodes.append(OverloadEpisode(name, start, now - 1))
                 self._open_episode_start[name] = None
+        for name in self._service_names:
+            down = not self._platform.service(name).running_instances
+            if down:
+                self._down_minutes[name] += 1
+                if self._open_down_since[name] is None:
+                    self._open_down_since[name] = now
+            elif self._open_down_since[name] is not None:
+                start = self._open_down_since[name]
+                self._downtime_episodes.append(DowntimeEpisode(name, start, now - 1))
+                self._open_down_since[name] = None
         for service_name in self._collect_services:
             for instance in self._platform.service(service_name).running_instances:
                 self._service_samples[service_name].append(
@@ -192,10 +325,35 @@ class ResultCollector:
                     )
                 )
 
-    def finalize(self, final_minute: int, escalation_count: int = 0) -> SimulationResult:
+    def finalize(
+        self,
+        final_minute: int,
+        escalation_count: int = 0,
+        fault_records: Optional[List] = None,
+    ) -> SimulationResult:
         for name, start in self._open_episode_start.items():
             if start is not None:
                 self._episodes.append(OverloadEpisode(name, start, final_minute))
+        for name, start in self._open_down_since.items():
+            if start is not None:
+                self._downtime_episodes.append(
+                    DowntimeEpisode(name, start, final_minute)
+                )
+                self._open_down_since[name] = None
+        downtime_episodes = sorted(
+            self._downtime_episodes, key=lambda e: (e.start, e.service_name)
+        )
+        availability = {
+            name: ServiceAvailability(
+                service_name=name,
+                observed_minutes=self._ticks,
+                down_minutes=self._down_minutes[name],
+                episode_count=sum(
+                    1 for e in downtime_episodes if e.service_name == name
+                ),
+            )
+            for name in self._service_names
+        }
         return SimulationResult(
             scenario_name=self._scenario_name,
             user_factor=self._user_factor,
@@ -214,4 +372,8 @@ class ResultCollector:
                 name: len(self._platform.service(name).running_instances)
                 for name in self._platform.services
             },
+            availability=availability,
+            downtime_episodes=downtime_episodes,
+            host_down_minutes=dict(self._host_down_minutes),
+            fault_records=list(fault_records) if fault_records else [],
         )

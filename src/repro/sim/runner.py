@@ -14,10 +14,13 @@ from typing import Callable, Optional, Set
 
 from repro.config.model import ControllerSettings, LandscapeSpec
 from repro.core.autoglobe import AutoGlobeController
+from repro.serviceglobe.executor import ActionExecutor, ExecutionFaults
 from repro.serviceglobe.platform import Platform
 from repro.sim.clock import PAPER_HORIZON_MINUTES
+from repro.sim.faults import FaultInjector
 from repro.sim.results import ResultCollector, SimulationResult, SlaPolicy
 from repro.sim.scenarios import (
+    ChaosProfile,
     Scenario,
     apply_scenario,
     controller_enabled_for,
@@ -70,6 +73,14 @@ class SimulationRunner:
         error-severity findings and keeps warnings in
         :attr:`lint_report`; ``"strict"`` raises on warnings too;
         ``"off"`` skips the analysis entirely.
+    chaos:
+        Optional :class:`~repro.sim.scenarios.ChaosProfile`.  When set,
+        a :class:`~repro.sim.faults.FaultInjector` injures instances,
+        hosts and the monitoring plane every minute, and controller
+        actions run through a fault-injecting
+        :class:`~repro.serviceglobe.executor.ActionExecutor` (flaky
+        actions, latency, compensation).  The run stays deterministic
+        under the profile's seed.
     """
 
     def __init__(
@@ -89,6 +100,7 @@ class SimulationRunner:
         controller_factory: Optional[Callable] = None,
         archive=None,
         lint: str = "warn",
+        chaos: Optional[ChaosProfile] = None,
     ) -> None:
         if lint not in ("off", "warn", "strict"):
             raise ValueError(
@@ -123,13 +135,40 @@ class SimulationRunner:
             if controller_enabled is not None
             else controller_enabled_for(scenario)
         )
+        self.chaos = chaos
+        executor = None
+        if chaos is not None:
+            executor = ActionExecutor(
+                self.platform,
+                faults=ExecutionFaults(
+                    failure_probability=chaos.action_failure_probability,
+                    commit_failure_probability=chaos.commit_failure_probability,
+                    latency_means=dict(chaos.action_latency_means),
+                    latency_jitter=chaos.action_latency_jitter,
+                ),
+                seed=chaos.seed,
+            )
+        self.executor = executor
         if controller_factory is not None:
             self.controller = controller_factory(
                 self.platform, scenario_landscape.controller, enabled
             )
         else:
             self.controller = AutoGlobeController(
-                self.platform, enabled=enabled, archive=archive
+                self.platform, enabled=enabled, archive=archive,
+                executor=executor,
+            )
+        self.injector: Optional[FaultInjector] = None
+        if chaos is not None:
+            self.injector = FaultInjector(
+                self.controller,
+                crash_probability=chaos.crash_probability,
+                hang_probability=chaos.hang_probability,
+                host_crash_probability=chaos.host_crash_probability,
+                host_reboot_minutes=chaos.host_reboot_minutes,
+                monitor_outage_probability=chaos.monitor_outage_probability,
+                monitor_outage_minutes=chaos.monitor_outage_minutes,
+                seed=chaos.seed + 1,
             )
         self.workload = WorkloadModel(self.platform, seed=seed, noise=noise)
         self.sla = sla if sla is not None else SlaPolicy()
@@ -149,9 +188,12 @@ class SimulationRunner:
         end = self.start_minute + self.horizon
         for now in range(self.start_minute, end):
             self.workload.tick(now)
+            if self.injector is not None:
+                self.injector.tick(now)
             self.controller.tick(now)
             self.collector.observe(now)
         return self.collector.finalize(
             final_minute=end - 1,
             escalation_count=len(self.controller.alerts.escalations()),
+            fault_records=self.injector.faults if self.injector else None,
         )

@@ -17,11 +17,19 @@ from __future__ import annotations
 
 import dataclasses
 import enum
+from typing import Mapping, Tuple
 
 from repro.config.model import Action, LandscapeSpec, ServiceKind
 from repro.serviceglobe.dispatcher import UserDistribution
 
-__all__ = ["Scenario", "apply_scenario", "user_distribution_for", "controller_enabled_for"]
+__all__ = [
+    "Scenario",
+    "apply_scenario",
+    "user_distribution_for",
+    "controller_enabled_for",
+    "ChaosProfile",
+    "default_chaos",
+]
 
 
 class Scenario(enum.Enum):
@@ -109,3 +117,56 @@ def user_distribution_for(scenario: Scenario) -> UserDistribution:
 def controller_enabled_for(scenario: Scenario) -> bool:
     """The static scenario runs without the controller."""
     return scenario is not Scenario.STATIC
+
+
+@dataclasses.dataclass(frozen=True)
+class ChaosProfile:
+    """Fault-injection knobs of a chaos run (the ``--chaos`` CLI flag).
+
+    Groups the hostile-environment parameters in one place: instance
+    and host fault rates for the :class:`~repro.sim.faults.FaultInjector`,
+    monitoring-outage rates for the controller's staleness guards, and
+    execution faults for the :class:`~repro.serviceglobe.executor.ActionExecutor`
+    (flaky actions that need retries, commit failures that trigger move
+    compensation).  One ``seed`` derives both the injector's and the
+    executor's RNG streams so a chaos run is fully deterministic.
+    """
+
+    #: per instance-minute probabilities (mean time between failures of
+    #: roughly half a simulated day / a full day — a hostile environment,
+    #: far above the defaults used by plain fault tests)
+    crash_probability: float = 1.0 / (12 * 60)
+    hang_probability: float = 1.0 / (24 * 60)
+    #: per host-minute probability of a full host crash
+    host_crash_probability: float = 1.0 / (24 * 60)
+    host_reboot_minutes: Tuple[int, int] = (30, 90)
+    #: per host-minute probability that load reports stop arriving
+    monitor_outage_probability: float = 1.0 / (8 * 60)
+    monitor_outage_minutes: Tuple[int, int] = (3, 15)
+    #: per-attempt probability that an issued action fails transiently
+    action_failure_probability: float = 0.15
+    #: probability that a relocation fails *after* the source was stopped
+    #: (exercises the executor's compensation path)
+    commit_failure_probability: float = 0.05
+    #: mean action latencies in simulated minutes (empty = instantaneous)
+    action_latency_means: Mapping[Action, float] = dataclasses.field(
+        default_factory=dict
+    )
+    action_latency_jitter: bool = True
+    seed: int = 115
+
+
+def default_chaos(seed: int = 115) -> ChaosProfile:
+    """The stock chaos profile used by ``autoglobe run --chaos`` and CI."""
+    return ChaosProfile(
+        seed=seed,
+        action_latency_means={
+            Action.START: 1.0,
+            Action.STOP: 0.5,
+            Action.SCALE_OUT: 1.5,
+            Action.SCALE_IN: 0.5,
+            Action.SCALE_UP: 2.0,
+            Action.SCALE_DOWN: 2.0,
+            Action.MOVE: 2.0,
+        },
+    )

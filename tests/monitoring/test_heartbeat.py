@@ -61,6 +61,34 @@ class TestDetector:
         with pytest.raises(ValueError):
             HeartbeatDetector(platform, miss_threshold=0)
 
+    def test_suppressed_instance_removed_from_platform_is_forgotten(
+        self, platform
+    ):
+        """A hung instance that dies (host crash, scale-in) before the
+        detector reports it must not leak bookkeeping or be reported as a
+        failure of an instance that no longer exists."""
+        detector = HeartbeatDetector(platform, miss_threshold=3)
+        instance = platform.service("APP").running_instances[0]
+        detector.tick(0)
+        detector.suppress(instance.instance_id)
+        detector.tick(1)
+        platform.crash_instance(instance.instance_id)
+        assert detector.tick(2) == []
+        assert instance.instance_id not in detector.tracked
+        assert instance.instance_id not in detector.suppressed
+        # it never surfaces later either
+        for now in range(3, 10):
+            assert detector.tick(now) == []
+
+    def test_suppressed_before_first_beat_is_forgotten_too(self, platform):
+        detector = HeartbeatDetector(platform, miss_threshold=2)
+        instance = platform.service("APP").running_instances[0]
+        # suppressed before the first tick: no _last_beat entry exists
+        detector.suppress(instance.instance_id)
+        platform.crash_instance(instance.instance_id)
+        assert detector.tick(0) == []
+        assert instance.instance_id not in detector.suppressed
+
 
 class TestSelfHealingLoop:
     def test_hung_instance_restarted_automatically(self, platform):

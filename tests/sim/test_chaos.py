@@ -1,0 +1,106 @@
+"""The chaos scenario: robustness as a measured quantity.
+
+Acceptance: under identical injected faults (host crashes, instance
+crashes and hangs, monitoring outages, flaky actions — one fixed seed),
+the controller-enabled run achieves strictly higher service availability
+than the controller-disabled baseline, and every retried or compensated
+action is visible in the audit log.
+"""
+
+import pytest
+
+from repro.sim.runner import SimulationRunner
+from repro.sim.scenarios import ChaosProfile, Scenario, default_chaos
+
+HORIZON = 12 * 60  # half a simulated day keeps the test fast
+
+
+def _run(enabled: bool, chaos: ChaosProfile):
+    runner = SimulationRunner(
+        Scenario.FULL_MOBILITY,
+        user_factor=1.15,
+        horizon=HORIZON,
+        seed=7,
+        collect_host_series=False,
+        controller_enabled=enabled,
+        chaos=chaos,
+    )
+    return runner.run()
+
+
+@pytest.fixture(scope="module")
+def chaos_runs():
+    chaos = default_chaos(seed=115)
+    return _run(True, chaos), _run(False, chaos)
+
+
+class TestAvailabilityGap:
+    def test_controller_beats_baseline(self, chaos_runs):
+        enabled, disabled = chaos_runs
+        assert enabled.fault_records, "chaos must actually inject faults"
+        assert disabled.fault_records
+        assert enabled.mean_availability > disabled.mean_availability
+        # the gap is structural, not a rounding artifact
+        assert enabled.mean_availability - disabled.mean_availability > 0.05
+
+    def test_healed_services_have_bounded_mttr(self, chaos_runs):
+        enabled, disabled = chaos_runs
+        # with self-healing, every downtime episode ends; without, dead
+        # services stay down to the end of the run
+        if enabled.downtime_episodes:
+            assert enabled.mttr_minutes < disabled.mttr_minutes
+        assert disabled.total_down_minutes > enabled.total_down_minutes
+
+    def test_availability_accounted_per_service(self, chaos_runs):
+        enabled, _ = chaos_runs
+        assert set(enabled.availability) == set(enabled.final_instance_counts)
+        for record in enabled.availability.values():
+            assert record.observed_minutes == HORIZON
+            assert 0.0 <= record.availability <= 1.0
+            assert record.down_minutes == sum(
+                e.duration
+                for e in enabled.downtime_episodes
+                if e.service_name == record.service_name
+            )
+
+
+class TestAuditVisibility:
+    def test_retried_and_compensated_actions_in_audit_log(self):
+        # crank actuation faults so retries and compensations are frequent
+        chaos = ChaosProfile(
+            seed=115,
+            action_failure_probability=0.4,
+            commit_failure_probability=0.5,
+        )
+        result = _run(True, chaos)
+        retried = [a for a in result.actions if a.succeeded and a.retried]
+        assert retried, "retried successes must be visible in the audit log"
+        assert all(a.attempts > 1 for a in retried)
+        compensated = [a for a in result.actions if a.status == "compensated"]
+        assert compensated, "compensations must be visible in the audit log"
+        assert result.retried_action_count == len(retried)
+        assert result.compensated_action_count == len(compensated)
+
+
+class TestDeterminism:
+    def test_same_seed_same_result(self, chaos_runs):
+        enabled, _ = chaos_runs
+        again = _run(True, default_chaos(seed=115))
+
+        def fingerprint(result):
+            return (
+                result.mean_availability,
+                result.mttr_minutes,
+                result.total_down_minutes,
+                result.host_down_minutes,
+                [
+                    (f.time, f.host_name, f.instance_id, f.kind)
+                    for f in result.fault_records
+                ],
+                [
+                    (a.time, a.action, a.service_name, a.status, a.attempts)
+                    for a in result.actions
+                ],
+            )
+
+        assert fingerprint(enabled) == fingerprint(again)

@@ -63,6 +63,30 @@ class TestInjector:
 
         assert run() == run()
 
+    def test_deterministic_with_host_faults(self):
+        def run():
+            platform = Platform(build_landscape())
+            controller = AutoGlobeController(platform)
+            injector = FaultInjector(
+                controller,
+                crash_probability=0.02,
+                hang_probability=0.02,
+                host_crash_probability=0.01,
+                host_reboot_minutes=(3, 10),
+                monitor_outage_probability=0.02,
+                monitor_outage_minutes=(2, 6),
+                seed=42,
+            )
+            for now in range(120):
+                injector.tick(now)
+                controller.tick(now)
+            return [
+                (f.time, f.service_name, f.host_name, f.kind)
+                for f in injector.faults
+            ]
+
+        assert run() == run()
+
     def test_bad_probabilities_rejected(self):
         platform = Platform(build_landscape())
         controller = AutoGlobeController(platform)
@@ -70,6 +94,103 @@ class TestInjector:
             FaultInjector(controller, crash_probability=1.5)
         with pytest.raises(ValueError):
             FaultInjector(controller, hang_probability=-0.1)
+        with pytest.raises(ValueError):
+            FaultInjector(controller, host_crash_probability=2.0)
+        with pytest.raises(ValueError):
+            FaultInjector(controller, host_reboot_minutes=(0, 5))
+        with pytest.raises(ValueError):
+            FaultInjector(controller, monitor_outage_minutes=(10, 5))
+
+    def test_disabled_controller_leaves_crashes_unhealed(self):
+        platform = Platform(build_landscape())
+        controller = AutoGlobeController(platform, enabled=False)
+        injector = FaultInjector(controller, crash_probability=1.0,
+                                 hang_probability=0.0, seed=1)
+        controller.tick(0)
+        injector.tick(0)
+        assert injector.crash_count >= 1
+        for now in range(1, 10):
+            controller.tick(now)
+        # nothing heals: the crashed services stay dead (chaos baseline)
+        for fault in injector.faults:
+            if fault.kind == "crash":
+                assert not platform.service(fault.service_name).running_instances
+
+
+class TestHostFaults:
+    def test_host_crash_takes_capacity_and_instances(self):
+        platform = Platform(build_landscape())
+        controller = AutoGlobeController(platform, enabled=False)
+        injector = FaultInjector(
+            controller, crash_probability=0.0, hang_probability=0.0,
+            host_crash_probability=1.0, host_reboot_minutes=(5, 5), seed=1,
+        )
+        injector.tick(0)
+        assert injector.host_crash_count == len(platform.hosts)
+        assert platform.hosts_down() == sorted(platform.hosts)
+        assert platform.all_instances() == []
+
+    def test_crashed_host_rejoins_after_reboot(self):
+        platform = Platform(build_landscape())
+        controller = AutoGlobeController(platform)
+        injector = FaultInjector(
+            controller, crash_probability=0.0, hang_probability=0.0,
+            host_crash_probability=1.0, host_reboot_minutes=(5, 5), seed=1,
+        )
+        controller.tick(0)
+        injector.tick(0)
+        injector.host_crash_probability = 0.0  # one storm, then calm
+        assert platform.hosts_down() == sorted(platform.hosts)
+        for now in range(1, 10):
+            injector.tick(now)
+            controller.tick(now)
+        assert platform.hosts_down() == []
+        assert injector.count("host-recovery") == injector.host_crash_count
+        # the controller restarted every service once capacity returned
+        for name, definition in platform.services.items():
+            assert definition.running_instances, f"{name} still down"
+
+    def test_victims_not_healed_when_controller_disabled(self):
+        platform = Platform(build_landscape())
+        controller = AutoGlobeController(platform, enabled=False)
+        injector = FaultInjector(
+            controller, crash_probability=0.0, hang_probability=0.0,
+            host_crash_probability=1.0, host_reboot_minutes=(2, 2), seed=1,
+        )
+        controller.tick(0)
+        injector.tick(0)
+        injector.host_crash_probability = 0.0
+        for now in range(1, 8):
+            injector.tick(now)
+            controller.tick(now)
+        assert platform.hosts_down() == []  # hosts reboot on their own
+        assert platform.all_instances() == []  # but nothing restarts them
+
+
+class TestMonitoringOutages:
+    def test_outage_drops_reports_instead_of_sampling_zero(self):
+        platform = Platform(build_landscape())
+        controller = AutoGlobeController(platform)
+        injector = FaultInjector(
+            controller, crash_probability=0.0, hang_probability=0.0,
+            monitor_outage_probability=1.0, monitor_outage_minutes=(4, 4),
+            seed=1,
+        )
+        injector.tick(0)
+        injector.monitor_outage_probability = 0.0
+        assert injector.monitor_outage_count == len(platform.hosts)
+        for now in range(0, 4):
+            controller.tick(now)
+        for name in platform.hosts:
+            monitor = controller._host_cpu_monitors[name]
+            assert monitor.dropped_reports == 4
+            assert monitor.series.count_between(0, 3) == 0
+        # after the outage window reports flow again
+        controller.tick(4)
+        for name in platform.hosts:
+            assert controller._host_cpu_monitors[name].series.count_between(
+                4, 4
+            ) == 1
 
 
 class TestChaosOnSapLandscape:
