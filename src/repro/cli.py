@@ -83,6 +83,20 @@ def build_parser() -> argparse.ArgumentParser:
                      help="fault-injection RNG seed (default 115)")
     run.add_argument("--no-controller", action="store_true",
                      help="disable the controller (chaos baseline)")
+    run.add_argument("--chaos-controller", action="store_true",
+                     help="additionally crash the controller and partition "
+                          "the leader (implies the supervised controller)")
+    run.add_argument("--state-dir", default=None, metavar="PATH",
+                     help="persist journal, snapshots, lease and load "
+                          "archive here; enables crash recovery")
+    run.add_argument("--resume", action="store_true",
+                     help="continue from the last snapshot in --state-dir")
+    run.add_argument("--standby", action="store_true",
+                     help="keep a hot-standby controller (fast failover "
+                          "with fencing instead of a restart wait)")
+    run.add_argument("--kill-at", type=int, default=None, metavar="MINUTE",
+                     help="SIGKILL the process after this absolute minute "
+                          "(crash-recovery testing; requires --state-dir)")
 
     capacity = subparsers.add_parser("capacity", help="Table 7 capacity sweep")
     capacity.add_argument("--scenario", type=_scenario, default=None,
@@ -138,7 +152,11 @@ def _cmd_run(args) -> int:
     from repro.sim.runner import SimulationRunner
 
     chaos = None
-    if args.chaos:
+    if args.chaos_controller:
+        from repro.sim.scenarios import controller_chaos
+
+        chaos = controller_chaos(seed=args.chaos_seed)
+    elif args.chaos:
         from repro.sim.scenarios import default_chaos
 
         chaos = default_chaos(seed=args.chaos_seed)
@@ -150,6 +168,10 @@ def _cmd_run(args) -> int:
         collect_host_series=args.export is not None,
         controller_enabled=False if args.no_controller else None,
         chaos=chaos,
+        state_dir=args.state_dir,
+        resume=args.resume,
+        standby=args.standby,
+        kill_at=args.kill_at,
     )
     result = runner.run()
     print(result.summary())

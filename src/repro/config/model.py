@@ -241,6 +241,10 @@ class ControllerSettings:
     protection_time: int = 30
     min_applicability: float = 0.10
     mode: ControllerMode = ControllerMode.AUTOMATIC
+    #: minutes an unanswered semi-automatic confirmation stays pending
+    #: before it expires (a revived controller must not act on stale
+    #: approvals requested before a crash)
+    approval_ttl: int = 240
 
     def idle_threshold(self, performance_index: float) -> float:
         """Idle threshold of a server: 12.5% divided by its performance index."""

@@ -11,9 +11,15 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Callable, List, Optional
+from typing import Callable, Dict, List, Optional
 
-__all__ = ["AlertSeverity", "Alert", "AlertChannel"]
+__all__ = [
+    "AlertSeverity",
+    "Alert",
+    "ApprovalRequest",
+    "ApprovalQueue",
+    "AlertChannel",
+]
 
 
 class AlertSeverity(enum.Enum):
@@ -38,6 +44,140 @@ class Alert:
 ConfirmationCallback = Callable[[str], bool]
 
 
+@dataclass
+class ApprovalRequest:
+    """One semi-automatic confirmation request and its lifecycle.
+
+    ``status`` is ``"pending"`` (awaiting the administrator),
+    ``"approved"``, ``"declined"`` or ``"expired"`` (the TTL ran out
+    before anyone answered — surfaced so unattended semi-automatic
+    controllers do not silently drop decisions).
+    """
+
+    request_id: str
+    time: int
+    description: str
+    status: str = "pending"
+    answered_at: Optional[int] = None
+
+    @property
+    def pending(self) -> bool:
+        return self.status == "pending"
+
+    def __str__(self) -> str:
+        return f"[{self.request_id} {self.status}] {self.description}"
+
+
+class ApprovalQueue:
+    """Tracks semi-automatic approval requests with a time-to-live.
+
+    Requests are journalled (when a journal is attached) so a recovered
+    controller still knows what was asked and what was never answered;
+    the TTL expires stale questions so a revived controller does not act
+    on confirmations requested before a crash.
+    """
+
+    def __init__(self, ttl: int = 240) -> None:
+        if ttl < 1:
+            raise ValueError("approval ttl must be at least one minute")
+        self.ttl = ttl
+        self._requests: Dict[str, ApprovalRequest] = {}
+        self._sequence = 0
+        #: optional :class:`~repro.core.state.StateJournal`
+        self.journal = None
+
+    def submit(self, now: int, description: str) -> ApprovalRequest:
+        self._sequence += 1
+        request_id = f"apr-{self._sequence:06d}"
+        request = ApprovalRequest(request_id, now, description)
+        self._requests[request_id] = request
+        if self.journal is not None:
+            self.journal.append(
+                "approval-request",
+                request_id=request_id,
+                time=now,
+                description=description,
+            )
+        return request
+
+    def answer(self, request_id: str, approved: bool, now: int) -> bool:
+        """Record the administrator's verdict; False if not answerable."""
+        request = self._requests.get(request_id)
+        if request is None or not request.pending:
+            return False
+        request.status = "approved" if approved else "declined"
+        request.answered_at = now
+        if self.journal is not None:
+            self.journal.append(
+                "approval-answer",
+                request_id=request_id,
+                approved=approved,
+                time=now,
+            )
+        return True
+
+    def expire(self, now: int) -> List[ApprovalRequest]:
+        """Expire pending requests older than the TTL; returns them."""
+        expired: List[ApprovalRequest] = []
+        for request in self._requests.values():
+            if request.pending and now - request.time >= self.ttl:
+                request.status = "expired"
+                request.answered_at = now
+                expired.append(request)
+                if self.journal is not None:
+                    self.journal.append(
+                        "approval-expired",
+                        request_id=request.request_id,
+                        time=now,
+                    )
+        return expired
+
+    def pending(self) -> List[ApprovalRequest]:
+        return [r for r in self._requests.values() if r.pending]
+
+    def expired(self) -> List[ApprovalRequest]:
+        return [r for r in self._requests.values() if r.status == "expired"]
+
+    @property
+    def requests(self) -> List[ApprovalRequest]:
+        return list(self._requests.values())
+
+    # -- durability -------------------------------------------------------------
+
+    def snapshot_state(self) -> Dict[str, object]:
+        return {
+            "approvals": [
+                {
+                    "request_id": r.request_id,
+                    "time": r.time,
+                    "description": r.description,
+                    "status": r.status,
+                    "answered_at": r.answered_at,
+                }
+                for r in self._requests.values()
+            ],
+            "approval_sequence": self._sequence,
+        }
+
+    def restore_state(
+        self, approvals: List[Dict[str, object]], sequence: int
+    ) -> None:
+        """Upsert recovered requests by id (idempotent)."""
+        for raw in approvals:
+            request_id = str(raw["request_id"])
+            existing = self._requests.get(request_id)
+            if existing is not None and not existing.pending:
+                continue  # an answered verdict is never overwritten
+            self._requests[request_id] = ApprovalRequest(
+                request_id=request_id,
+                time=int(raw["time"]),  # type: ignore[arg-type]
+                description=str(raw.get("description", "")),
+                status=str(raw.get("status", "pending")),
+                answered_at=raw.get("answered_at"),  # type: ignore[arg-type]
+            )
+        self._sequence = max(self._sequence, int(sequence))
+
+
 class AlertChannel:
     """Collects administrative messages and brokers confirmations.
 
@@ -50,9 +190,16 @@ class AlertChannel:
         must not act on its own.
     """
 
-    def __init__(self, confirm: Optional[ConfirmationCallback] = None) -> None:
+    def __init__(
+        self,
+        confirm: Optional[ConfirmationCallback] = None,
+        approval_ttl: int = 240,
+    ) -> None:
         self._confirm = confirm
         self.alerts: List[Alert] = []
+        #: every confirmation request is tracked here; unanswered ones
+        #: expire after ``approval_ttl`` simulated minutes
+        self.approvals = ApprovalQueue(approval_ttl)
 
     def info(self, time: int, message: str) -> None:
         self.alerts.append(Alert(time, AlertSeverity.INFO, message))
@@ -66,13 +213,17 @@ class AlertChannel:
 
     def request_confirmation(self, time: int, description: str) -> bool:
         """Ask the administrator to approve an action (semi-automatic mode)."""
+        request = self.approvals.submit(time, description)
         if self._confirm is None:
+            # no administrator attached: the request stays pending until
+            # its TTL expires — the controller must not act on its own
             self.escalate(
                 time,
                 f"confirmation required but no administrator attached: {description}",
             )
             return False
         approved = bool(self._confirm(description))
+        self.approvals.answer(request.request_id, approved, time)
         verdict = "approved" if approved else "declined"
         self.info(time, f"administrator {verdict}: {description}")
         return approved

@@ -15,7 +15,7 @@ minute after the workload model has updated instance demands.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Set, Tuple
 
 from repro.config.model import Action, ControllerSettings
 from repro.core.action_selection import ActionContext, ActionSelector, RankedAction
@@ -55,7 +55,7 @@ class AutoGlobeController:
         self.enabled = enabled
         self.lms = LoadMonitoringSystem()
         self.protection = ProtectionRegistry(self.settings.protection_time)
-        self.alerts = AlertChannel(confirm)
+        self.alerts = AlertChannel(confirm, approval_ttl=self.settings.approval_ttl)
         self.action_selector = ActionSelector()
         #: optional ReservationBook: reserved capacity steers host selection
         self.reservations = reservations
@@ -81,6 +81,17 @@ class AutoGlobeController:
         #: service name -> preferred host for a restart that could not be
         #: executed yet (every eligible host down); retried each tick
         self._pending_restarts: Dict[str, str] = {}
+        #: optional :class:`~repro.core.state.StateJournal` shared by the
+        #: protection registry, LMS, approval queue and executor; set via
+        #: :meth:`attach_journal`
+        self.journal = None
+        #: services ever seen with a running instance: the baseline the
+        #: dead-service reconciliation compares against after a recovery
+        #: (a service that never ran is not "dead", it just never started)
+        self._seen_running: Set[str] = set()
+        #: observation descriptors recovered from a snapshot/journal,
+        #: revived in the next tick once their monitors exist again
+        self._pending_observation_restores: List[Dict[str, Any]] = []
         self._host_cpu_monitors: Dict[str, LoadMonitor] = {}
         self._host_mem_monitors: Dict[str, LoadMonitor] = {}
         self._host_advisors: Dict[str, Advisor] = {}
@@ -286,6 +297,8 @@ class AutoGlobeController:
         self.platform.current_time = now
         self._sync_host_monitors()
         self._sync_instance_monitors()
+        if self._pending_observation_restores:
+            self._restore_observations(now)
         blind = self._blind_hosts(now)
         for name, monitor in self._host_cpu_monitors.items():
             if name in blind:
@@ -322,6 +335,10 @@ class AutoGlobeController:
         situations = self.lms.tick(now)
         if not self.enabled:
             return outcomes
+        for request in self.alerts.approvals.expire(now):
+            self.alerts.warning(
+                now, f"approval expired unanswered: {request.description}"
+            )
         # self-healing first: a hung instance is worse than an overload
         for service_name in sorted(self._pending_restarts):
             outcome = self._retry_restart(service_name, now)
@@ -336,6 +353,7 @@ class AutoGlobeController:
             self.failure_detector.forget(failed_id)
             if outcome is not None:
                 outcomes.append(outcome)
+        outcomes.extend(self._reconcile_dead_services(now))
         # handle service-level situations before server-level ones; the
         # protection entries of the first action suppress echoes
         situations.sort(key=lambda s: (s.kind.is_server, s.subject))
@@ -425,7 +443,7 @@ class AutoGlobeController:
         # nowhere to restart right now (e.g. every eligible host down);
         # remember the service and keep retrying every tick until a host
         # returns — a crashed service must not stay dead forever
-        self._pending_restarts.setdefault(
+        self._register_pending_restart(
             instance.service_name, instance.host_name
         )
         self.alerts.escalate(
@@ -433,13 +451,35 @@ class AutoGlobeController:
         )
         return None
 
+    def _register_pending_restart(
+        self, service_name: str, preferred_host: str
+    ) -> None:
+        if service_name in self._pending_restarts:
+            return
+        self._pending_restarts[service_name] = preferred_host
+        if self.journal is not None:
+            self.journal.append(
+                "restart-pending",
+                service_name=service_name,
+                preferred_host=preferred_host,
+            )
+
+    def _clear_pending_restart(self, service_name: str) -> None:
+        if self._pending_restarts.pop(service_name, None) is not None:
+            if self.journal is not None:
+                self.journal.append("restart-done", service_name=service_name)
+
     def _start_somewhere(
-        self, service_name: str, preferred_host: str, note: str, now: int
+        self,
+        service_name: str,
+        preferred_host: Optional[str],
+        note: str,
+        now: int,
     ) -> Optional[ActionOutcome]:
         """Start one instance on the preferred host or any eligible one."""
         service = self.platform.service(service_name)
         action = Action.START if not service.running_instances else Action.SCALE_OUT
-        host_names = [preferred_host] + [
+        host_names = ([preferred_host] if preferred_host else []) + [
             ranked.host_name
             for ranked in self.server_selector.rank(
                 self.platform,
@@ -469,7 +509,7 @@ class AutoGlobeController:
         preferred = self._pending_restarts[service_name]
         if self.platform.service(service_name).running_instances:
             # someone else brought the service back in the meantime
-            del self._pending_restarts[service_name]
+            self._clear_pending_restart(service_name)
             return None
         outcome = self._start_somewhere(
             service_name,
@@ -478,9 +518,203 @@ class AutoGlobeController:
             now=now,
         )
         if outcome is not None:
-            del self._pending_restarts[service_name]
+            self._clear_pending_restart(service_name)
         return outcome
-        return None
+
+    def _reconcile_dead_services(self, now: int) -> List[ActionOutcome]:
+        """Restart services found dead with no pending failure event.
+
+        After a controller crash the failure events that would normally
+        trigger self-healing may be gone with the dead process: a service
+        whose last instance died during the outage has no orphan record
+        and no heartbeat history in the recovered detector.  This sweep
+        compares the platform against the set of services ever seen
+        running; a service that ran before, runs nothing now, was not
+        deliberately stopped and has no restart pending is restarted.
+        In steady state (no crash) the sweep is a no-op: ordinary
+        failures are healed by the orphan and heartbeat paths in the
+        same tick.
+        """
+        outcomes: List[ActionOutcome] = []
+        for service_name in sorted(self.platform.services):
+            if self.platform.service(service_name).running_instances:
+                self._seen_running.add(service_name)
+                continue
+            if (
+                service_name not in self._seen_running
+                or service_name in self._pending_restarts
+                or service_name in self.platform.stopped_services
+            ):
+                continue
+            outcome = self._start_somewhere(
+                service_name,
+                preferred_host=None,
+                note="restart of service found dead after controller recovery",
+                now=now,
+            )
+            if outcome is not None:
+                outcomes.append(outcome)
+            else:
+                self._register_pending_restart(service_name, "")
+                self.alerts.escalate(
+                    now, f"could not restart dead service {service_name}"
+                )
+        return outcomes
+
+    # -- durability & crash recovery -----------------------------------------------------
+
+    def attach_journal(self, journal) -> None:
+        """Route this controller's soft state through a write-ahead journal.
+
+        Protection grants, watch-time observation progress, approval
+        requests/answers, pending restarts and the executor's two-phase
+        action log are journalled as they happen; a recovered controller
+        folds the journal back via
+        :func:`repro.core.state.replay_journal`.
+        """
+        self.journal = journal
+        self.protection.journal = journal
+        self.lms.journal = journal
+        self.alerts.approvals.journal = journal
+        self.executor.journal = journal
+
+    def snapshot_state(self) -> Dict[str, Any]:
+        """JSON-able controller soft state (one snapshot payload)."""
+        payload: Dict[str, Any] = {
+            "tick": self.platform.current_time,
+            "protection": self.protection.snapshot_state(),
+            "observations": self.lms.snapshot_state(),
+            "pending_restarts": dict(self._pending_restarts),
+            "monitor_outages": dict(self._monitor_outages),
+            "heartbeat": self.failure_detector.snapshot_state(),
+            "seen_running": sorted(self._seen_running),
+        }
+        payload.update(self.alerts.approvals.snapshot_state())
+        return payload
+
+    def restore_state(self, payload: Dict[str, Any]) -> None:
+        """Merge a recovered snapshot payload into this controller.
+
+        Every merge is idempotent (max-merge or upsert-by-key), so
+        restoring the same payload twice — or a payload overlapping what
+        this controller already knows — cannot change the result.
+        Observations are revived lazily on the next tick, once their
+        monitors exist again; their watch windows are backfilled from
+        the load archive.
+        """
+        self.protection.restore_state(payload.get("protection", {}))
+        self.alerts.approvals.restore_state(
+            payload.get("approvals", []),
+            payload.get("approval_sequence", 0),
+        )
+        for service_name, preferred in payload.get(
+            "pending_restarts", {}
+        ).items():
+            self._pending_restarts.setdefault(service_name, preferred)
+        for host_name, until in payload.get("monitor_outages", {}).items():
+            current = self._monitor_outages.get(host_name, -1)
+            self._monitor_outages[host_name] = max(current, int(until))
+        self.failure_detector.restore_state(payload.get("heartbeat", {}))
+        self._seen_running.update(payload.get("seen_running", []))
+        self._pending_observation_restores.extend(
+            payload.get("observations", [])
+        )
+
+    def _backfill_monitor(self, monitor: LoadMonitor, start: int, end: int) -> None:
+        """Refill a fresh monitor's series from the archive's history."""
+        latest = monitor.series.latest_time
+        for time, value in self.archive.history(
+            monitor.subject, monitor.metric, start, end
+        ):
+            if latest is not None and time <= latest:
+                continue
+            monitor.series.record(time, value)
+            latest = time
+
+    def _restore_observations(self, now: int) -> None:
+        """Revive recovered watch-time observations around live monitors."""
+        descriptors = self._pending_observation_restores
+        self._pending_observation_restores = []
+        for descriptor in descriptors:
+            kind = SituationKind(str(descriptor["kind"]))
+            subject = str(descriptor["subject"])
+            if kind.is_server:
+                monitor = self._host_cpu_monitors.get(subject)
+            else:
+                monitor = self._instance_monitors.get(subject)
+            if monitor is None:
+                continue  # the watched host/instance died with the crash
+            self._backfill_monitor(
+                monitor, int(descriptor["started_at"]), now - 1
+            )
+            self.lms.restore_observation(descriptor, monitor)
+
+    def reconcile(
+        self, now: int, intents: Dict[str, Dict[str, Any]]
+    ) -> List[ActionOutcome]:
+        """Resolve action intents a crashed leader left unresolved.
+
+        Each intent was journalled before the platform mutated and has
+        no commit record, so the platform itself is the only witness of
+        whether the action took effect.  Every intent is resolved —
+        completed, aborted or compensated — exactly once: resolving
+        writes the missing ``action-commit`` record, so a second
+        recovery pass finds nothing left to reconcile.
+        """
+        relocations = (Action.MOVE, Action.SCALE_UP, Action.SCALE_DOWN)
+        outcomes: List[ActionOutcome] = []
+        for intent_id in sorted(intents):
+            data = intents[intent_id]
+            action = Action(data["action"])
+            service_name = data["service_name"]
+            instance_id = data.get("instance_id")
+            target_host = data.get("target_host")
+            service = self.platform.service(service_name)
+            instance = (
+                service.find_instance(instance_id) if instance_id else None
+            )
+            running = instance is not None and instance.running
+            if action in relocations and instance_id:
+                if running and instance.host_name == target_host:
+                    status = "ok"  # detached, re-attached, crash after
+                elif running:
+                    status = "aborted"  # never detached from the source
+                else:
+                    # detached from the source, never confirmed on the
+                    # target: the instance is lost — restore it once
+                    outcome = self._start_somewhere(
+                        service_name,
+                        preferred_host=target_host,
+                        note=(
+                            f"completing in-flight {action.value} "
+                            f"({intent_id}) after controller crash"
+                        ),
+                        now=now,
+                    )
+                    if outcome is not None:
+                        outcomes.append(outcome)
+                    else:
+                        self._register_pending_restart(
+                            service_name, target_host or ""
+                        )
+                    status = "compensated"
+            elif action in (Action.STOP, Action.SCALE_IN):
+                status = "aborted" if running else "ok"
+            else:
+                # start-like actions are atomic on the platform: they
+                # either fully happened or not at all
+                on_target = any(
+                    i.host_name == target_host
+                    for i in service.running_instances
+                ) if target_host else bool(service.running_instances)
+                status = "ok" if on_target else "aborted"
+            self.executor._journal_commit(intent_id, status)
+            self.alerts.info(
+                now,
+                f"reconciled in-flight {action.value} {service_name} "
+                f"({intent_id}): {status}",
+            )
+        return outcomes
 
     # -- introspection -------------------------------------------------------------------
 

@@ -21,13 +21,20 @@ class ProtectionRegistry:
             raise ValueError("protection time must be non-negative")
         self.protection_time = protection_time
         self._protected_until: Dict[str, int] = {}
+        #: optional :class:`~repro.core.state.StateJournal`: when set,
+        #: every protection grant is journalled so crash recovery can
+        #: rebuild the registry (replay max-merges expiries)
+        self.journal = None
 
     def protect(self, subjects: Iterable[str], now: int) -> None:
         """Protect services/servers until ``now + protection_time``."""
         until = now + self.protection_time
         for subject in subjects:
             current = self._protected_until.get(subject, -1)
-            self._protected_until[subject] = max(current, until)
+            final = max(current, until)
+            self._protected_until[subject] = final
+            if self.journal is not None:
+                self.journal.append("protect", subject=subject, until=final)
 
     def is_protected(self, subject: str, now: int) -> bool:
         until = self._protected_until.get(subject)
@@ -54,3 +61,15 @@ class ProtectionRegistry:
             for subject, until in self._protected_until.items()
             if now < until
         }
+
+    # -- durability -------------------------------------------------------------
+
+    def snapshot_state(self) -> Dict[str, int]:
+        """The subject -> expiry map (for controller snapshots)."""
+        return dict(self._protected_until)
+
+    def restore_state(self, protection: Dict[str, int]) -> None:
+        """Max-merge a recovered subject -> expiry map (idempotent)."""
+        for subject, until in protection.items():
+            current = self._protected_until.get(subject, -1)
+            self._protected_until[subject] = max(current, int(until))

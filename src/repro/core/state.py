@@ -1,0 +1,481 @@
+"""Durable controller state: write-ahead journal, snapshots, leases.
+
+The paper's controller is the one component AutoGlobe cannot heal: every
+self-organizing decision (the Figure 6 loop, protection mode,
+semi-automatic approvals) lives in the controller process, and losing it
+collapses availability toward the no-controller floor.  This module
+makes the administration layer as fault-tolerant as the landscape it
+administers:
+
+* :class:`StateJournal` — an append-only JSON-lines write-ahead journal
+  of the controller's soft state: protection-registry entries, LMS
+  watch-time observation progress, pending semi-automatic approvals and
+  the executor's two-phase action log (intent before the platform
+  mutates, commit after).  Reads tolerate a torn tail: a record half
+  written when the process died is ignored, everything before it is
+  kept.
+* :class:`SnapshotStore` — periodic full-state snapshots written
+  atomically (temp file + ``os.replace``), so recovery replays only the
+  journal suffix past the snapshot.
+* :class:`LeaseStore` — SQLite-backed leader lease with monotonically
+  increasing *fencing tokens*.  A new leadership grant bumps the token;
+  the platform rejects actions carrying an older token
+  (:class:`~repro.serviceglobe.actions.FencedActionError`), so a deposed
+  or partitioned leader cannot double-apply actions.
+* :func:`replay_journal` — the idempotent fold from (snapshot, journal
+  suffix) back to controller state.  Applying the same suffix twice
+  yields the same state: protection entries max-merge, observations and
+  approvals upsert by id, and action intents are resolved by their
+  commit records — whatever intent remains unresolved was in flight
+  when the controller died and must be reconciled against the platform.
+
+:class:`DurableStateStore` bundles the three behind one directory (or
+fully in memory for hot-standby failover without persistence).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sqlite3
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from repro.config.model import Action
+from repro.serviceglobe.actions import ActionOutcome
+
+__all__ = [
+    "JournalRecord",
+    "StateJournal",
+    "SnapshotStore",
+    "LeaseStore",
+    "DurableStateStore",
+    "replay_journal",
+    "outcome_to_dict",
+    "outcome_from_dict",
+]
+
+
+# -- codecs ---------------------------------------------------------------------------
+
+
+def outcome_to_dict(outcome: ActionOutcome) -> Dict[str, Any]:
+    """JSON-able form of an audit record (the Action enum by value)."""
+    return {
+        "time": outcome.time,
+        "action": outcome.action.value,
+        "service_name": outcome.service_name,
+        "instance_id": outcome.instance_id,
+        "source_host": outcome.source_host,
+        "target_host": outcome.target_host,
+        "applicability": outcome.applicability,
+        "note": outcome.note,
+        "status": outcome.status,
+        "attempts": outcome.attempts,
+        "duration": outcome.duration,
+    }
+
+
+def outcome_from_dict(payload: Dict[str, Any]) -> ActionOutcome:
+    return ActionOutcome(
+        time=int(payload["time"]),
+        action=Action(payload["action"]),
+        service_name=payload["service_name"],
+        instance_id=payload.get("instance_id"),
+        source_host=payload.get("source_host"),
+        target_host=payload.get("target_host"),
+        applicability=payload.get("applicability"),
+        note=payload.get("note", ""),
+        status=payload.get("status", "ok"),
+        attempts=int(payload.get("attempts", 1)),
+        duration=float(payload.get("duration", 0.0)),
+    )
+
+
+# -- journal --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class JournalRecord:
+    """One journal entry: a monotonically increasing sequence number, a
+    record kind and a JSON-able payload."""
+
+    seq: int
+    kind: str
+    data: Dict[str, Any]
+
+
+class StateJournal:
+    """Append-only write-ahead journal, JSON lines on disk.
+
+    Every ``append`` is flushed to the OS before returning, so a killed
+    process (SIGKILL, crash) loses at most the record being written —
+    and :meth:`load` tolerates exactly that torn tail: reading stops at
+    the first line that does not decode, keeping everything before it.
+
+    With ``path=None`` the journal lives in memory only (hot-standby
+    failover inside one process needs replay, not persistence).
+    """
+
+    def __init__(self, path: Optional[Union[str, Path]] = None) -> None:
+        self.path = Path(path) if path is not None else None
+        self.records: List[JournalRecord] = []
+        self._handle = None
+        if self.path is not None:
+            self.records = self.load(self.path)
+            self._handle = open(self.path, "a", encoding="utf-8")
+
+    @property
+    def last_seq(self) -> int:
+        return self.records[-1].seq if self.records else 0
+
+    def append(self, kind: str, /, **data: Any) -> JournalRecord:
+        record = JournalRecord(seq=self.last_seq + 1, kind=kind, data=data)
+        self.records.append(record)
+        if self._handle is not None:
+            self._handle.write(
+                json.dumps(
+                    {"seq": record.seq, "kind": record.kind, "data": record.data}
+                )
+                + "\n"
+            )
+            self._handle.flush()
+        return record
+
+    def since(self, seq: int) -> List[JournalRecord]:
+        """Records with a sequence number strictly greater than ``seq``."""
+        return [record for record in self.records if record.seq > seq]
+
+    def truncate(self, seq: int) -> None:
+        """Drop every record past ``seq`` (and rewrite the file).
+
+        Used when a run resumes from a snapshot older than the journal
+        tail: everything after the snapshot belongs to the abandoned
+        timeline between the snapshot and the kill and must not be
+        replayed into the resumed one.
+        """
+        self.records = [record for record in self.records if record.seq <= seq]
+        if self.path is None:
+            return
+        self.close()
+        with open(self.path, "w", encoding="utf-8") as handle:
+            for record in self.records:
+                handle.write(
+                    json.dumps(
+                        {"seq": record.seq, "kind": record.kind, "data": record.data}
+                    )
+                    + "\n"
+                )
+        self._handle = open(self.path, "a", encoding="utf-8")
+
+    @staticmethod
+    def load(path: Union[str, Path]) -> List[JournalRecord]:
+        """Read a journal file, stopping at the first torn/undecodable line."""
+        records: List[JournalRecord] = []
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                for line in handle:
+                    try:
+                        raw = json.loads(line)
+                        records.append(
+                            JournalRecord(
+                                seq=int(raw["seq"]),
+                                kind=str(raw["kind"]),
+                                data=dict(raw["data"]),
+                            )
+                        )
+                    except (ValueError, KeyError, TypeError):
+                        break  # torn tail: the process died mid-write
+        except FileNotFoundError:
+            pass
+        return records
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+
+# -- snapshots ------------------------------------------------------------------------
+
+
+class SnapshotStore:
+    """Atomic JSON snapshots, one file per snapshot kind.
+
+    ``save`` writes to a temp file and ``os.replace``s it into place, so
+    a crash mid-write leaves the previous snapshot intact.  With
+    ``directory=None`` snapshots are kept in memory only.
+    """
+
+    def __init__(self, directory: Optional[Union[str, Path]] = None) -> None:
+        self.directory = Path(directory) if directory is not None else None
+        self._memory: Dict[str, Dict[str, Any]] = {}
+
+    def _path_for(self, kind: str) -> Path:
+        assert self.directory is not None
+        return self.directory / f"{kind}.snapshot.json"
+
+    def save(
+        self, kind: str, tick: int, journal_seq: int, payload: Dict[str, Any]
+    ) -> None:
+        snapshot = {"kind": kind, "tick": tick, "journal_seq": journal_seq,
+                    "payload": payload}
+        if self.directory is None:
+            self._memory[kind] = snapshot
+            return
+        target = self._path_for(kind)
+        temp = target.with_suffix(".tmp")
+        temp.write_text(json.dumps(snapshot), encoding="utf-8")
+        os.replace(temp, target)
+
+    def load(self, kind: str) -> Optional[Dict[str, Any]]:
+        """The latest snapshot of a kind, or ``None``.
+
+        A corrupt snapshot file (crash while no previous snapshot
+        existed) reads as ``None`` — recovery then replays the whole
+        journal.
+        """
+        if self.directory is None:
+            return self._memory.get(kind)
+        try:
+            return json.loads(self._path_for(kind).read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return None
+
+
+# -- leases ---------------------------------------------------------------------------
+
+
+class LeaseStore:
+    """A single leader lease with monotonic fencing tokens.
+
+    Backed by SQLite (``:memory:`` by default) so that, with a state
+    directory, leadership survives process restarts: a resumed
+    controller re-acquires the lease with a *new, higher* token and the
+    platform's fencing guard rejects anything still carrying the old
+    one.
+
+    ``acquire`` returns the fencing token when the caller holds the
+    lease afterwards (granted fresh, taken over after expiry, or
+    renewed), else ``None`` — somebody else holds an unexpired lease.
+    A change of holder always increments the token; a renewal never
+    does.
+    """
+
+    _SCHEMA = """
+    CREATE TABLE IF NOT EXISTS lease (
+        id         INTEGER PRIMARY KEY CHECK (id = 1),
+        holder     TEXT NOT NULL,
+        token      INTEGER NOT NULL,
+        expires_at INTEGER NOT NULL
+    );
+    """
+
+    def __init__(self, path: Union[str, Path] = ":memory:") -> None:
+        self._connection = sqlite3.connect(str(path))
+        self._connection.executescript(self._SCHEMA)
+        self._connection.commit()
+
+    def close(self) -> None:
+        self._connection.close()
+
+    def current(self) -> Optional[Tuple[str, int, int]]:
+        """(holder, token, expires_at) of the lease row, or ``None``."""
+        row = self._connection.execute(
+            "SELECT holder, token, expires_at FROM lease WHERE id = 1"
+        ).fetchone()
+        if row is None:
+            return None
+        return str(row[0]), int(row[1]), int(row[2])
+
+    def acquire(self, holder: str, now: int, ttl: int) -> Optional[int]:
+        if ttl < 1:
+            raise ValueError("lease ttl must be at least one minute")
+        row = self.current()
+        if row is None:
+            token = 1
+            self._connection.execute(
+                "INSERT INTO lease (id, holder, token, expires_at) "
+                "VALUES (1, ?, ?, ?)",
+                (holder, token, now + ttl),
+            )
+            self._connection.commit()
+            return token
+        current_holder, token, expires_at = row
+        if current_holder == holder:
+            # renewal: same leadership, same token
+            self._connection.execute(
+                "UPDATE lease SET expires_at = ? WHERE id = 1", (now + ttl,)
+            )
+            self._connection.commit()
+            return token
+        if expires_at <= now:
+            token += 1
+            self._connection.execute(
+                "UPDATE lease SET holder = ?, token = ?, expires_at = ? "
+                "WHERE id = 1",
+                (holder, token, now + ttl),
+            )
+            self._connection.commit()
+            return token
+        return None
+
+    def renew(self, holder: str, now: int, ttl: int) -> Optional[int]:
+        """Extend the lease if (and only if) ``holder`` still owns it."""
+        row = self.current()
+        if row is None or row[0] != holder:
+            return None
+        return self.acquire(holder, now, ttl)
+
+    def release(self, holder: str) -> None:
+        """Voluntarily give up the lease (the token stays monotonic)."""
+        row = self.current()
+        if row is not None and row[0] == holder:
+            self._connection.execute(
+                "UPDATE lease SET expires_at = 0 WHERE id = 1"
+            )
+            self._connection.commit()
+
+
+# -- the facade -----------------------------------------------------------------------
+
+
+class DurableStateStore:
+    """Journal + snapshots + lease behind one state directory.
+
+    With a directory, the layout is::
+
+        state_dir/journal.jsonl          append-only WAL
+        state_dir/controller.snapshot.json  per-tick controller state
+        state_dir/run.snapshot.json      periodic full-run state
+        state_dir/lease.db               leader lease + fencing tokens
+
+    With ``directory=None`` everything lives in memory: hot-standby
+    failover inside one process still journals and replays, it just does
+    not survive the process.
+    """
+
+    def __init__(self, directory: Optional[Union[str, Path]] = None) -> None:
+        self.directory = Path(directory) if directory is not None else None
+        if self.directory is not None:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            self.journal = StateJournal(self.directory / "journal.jsonl")
+            self.snapshots = SnapshotStore(self.directory)
+            self.lease = LeaseStore(self.directory / "lease.db")
+        else:
+            self.journal = StateJournal(None)
+            self.snapshots = SnapshotStore(None)
+            self.lease = LeaseStore(":memory:")
+
+    @property
+    def persistent(self) -> bool:
+        return self.directory is not None
+
+    def close(self) -> None:
+        self.journal.close()
+        self.lease.close()
+
+
+# -- replay ---------------------------------------------------------------------------
+
+
+def _blank_state() -> Dict[str, Any]:
+    return {
+        "tick": None,
+        "protection": {},
+        "observations": {},
+        "approvals": {},
+        "approval_sequence": 0,
+        "pending_restarts": {},
+        "intents": {},
+    }
+
+
+def replay_journal(
+    base: Optional[Dict[str, Any]],
+    records: List[JournalRecord],
+) -> Dict[str, Any]:
+    """Fold a journal suffix onto a snapshot payload, idempotently.
+
+    ``base`` is a controller snapshot payload (or ``None`` for recovery
+    without any snapshot).  The fold is a join, not a log of side
+    effects: protection entries merge by maximum expiry, observations
+    and approvals upsert by key, ticks merge by maximum, and action
+    intents are added on ``action-intent`` and removed on
+    ``action-commit``.  Replaying the same records twice — including a
+    suffix that partially overlaps the snapshot — cannot change the
+    result, which is what makes crash recovery safe to re-run.
+
+    Whatever remains in ``state["intents"]`` was started but never
+    committed or aborted: the in-flight actions reconciliation must
+    complete or compensate exactly once.
+    """
+    state = _blank_state()
+    if base is not None:
+        state["tick"] = base.get("tick")
+        state["protection"] = dict(base.get("protection", {}))
+        state["observations"] = {
+            f"{d['subject']}|{d['kind']}": dict(d)
+            for d in base.get("observations", [])
+        }
+        state["approvals"] = {
+            a["request_id"]: dict(a) for a in base.get("approvals", [])
+        }
+        state["approval_sequence"] = int(base.get("approval_sequence", 0))
+        state["pending_restarts"] = dict(base.get("pending_restarts", {}))
+    for record in records:
+        data = record.data
+        if record.kind == "tick":
+            now = int(data["now"])
+            if state["tick"] is None or now > state["tick"]:
+                state["tick"] = now
+        elif record.kind == "protect":
+            subject = data["subject"]
+            until = int(data["until"])
+            current = state["protection"].get(subject, -1)
+            state["protection"][subject] = max(current, until)
+        elif record.kind == "observation-open":
+            key = f"{data['subject']}|{data['kind']}"
+            state["observations"][key] = dict(data)
+        elif record.kind == "observation-close":
+            key = f"{data['subject']}|{data['kind']}"
+            state["observations"].pop(key, None)
+        elif record.kind == "approval-request":
+            request_id = data["request_id"]
+            existing = state["approvals"].get(request_id)
+            if existing is None:
+                state["approvals"][request_id] = {
+                    "request_id": request_id,
+                    "time": int(data["time"]),
+                    "description": data.get("description", ""),
+                    "status": "pending",
+                    "answered_at": None,
+                }
+            sequence = int(request_id.rsplit("-", 1)[-1])
+            if sequence > state["approval_sequence"]:
+                state["approval_sequence"] = sequence
+        elif record.kind == "approval-answer":
+            request = state["approvals"].get(data["request_id"])
+            if request is not None and request["status"] == "pending":
+                request["status"] = (
+                    "approved" if data.get("approved") else "declined"
+                )
+                request["answered_at"] = int(data["time"])
+        elif record.kind == "approval-expired":
+            request = state["approvals"].get(data["request_id"])
+            if request is not None and request["status"] == "pending":
+                request["status"] = "expired"
+                request["answered_at"] = int(data["time"])
+        elif record.kind == "restart-pending":
+            state["pending_restarts"].setdefault(
+                data["service_name"], data.get("preferred_host", "")
+            )
+        elif record.kind == "restart-done":
+            state["pending_restarts"].pop(data["service_name"], None)
+        elif record.kind == "action-intent":
+            state["intents"][data["intent_id"]] = dict(data)
+        elif record.kind == "action-commit":
+            state["intents"].pop(data["intent_id"], None)
+        # unknown kinds are skipped: journals are forward-compatible
+    return state

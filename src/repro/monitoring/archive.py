@@ -15,7 +15,9 @@ Two implementations share one interface:
 
 from __future__ import annotations
 
+import os
 import sqlite3
+import warnings
 from collections import defaultdict
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple, Union
@@ -117,9 +119,23 @@ class InMemoryLoadArchive(LoadArchive):
     def subjects(self) -> List[str]:
         return sorted({subject for subject, __ in self._data})
 
+    def truncate_after(self, time: int) -> None:
+        """Drop samples and events newer than ``time`` (resume support)."""
+        for key, rows in self._data.items():
+            self._data[key] = [(t, v) for t, v in rows if t <= time]
+        self._events = [row for row in self._events if row[0] <= time]
+
 
 class SqliteLoadArchive(LoadArchive):
     """SQLite-backed persistent archive.
+
+    File-backed archives are opened in WAL mode with a busy timeout, so
+    a controller replica and an inspection tool can read concurrently
+    while the leader writes.  A corrupt database file — a crash tore it,
+    a disk flipped bits — does not abort the controller: the damaged
+    file is moved aside to ``<path>.corrupt`` with a warning and an
+    empty archive is rebuilt in its place (historic load data degrades
+    forecasting, losing it must not take down administration).
 
     Parameters
     ----------
@@ -149,9 +165,47 @@ class SqliteLoadArchive(LoadArchive):
     """
 
     def __init__(self, path: Union[str, Path] = ":memory:") -> None:
-        self._connection = sqlite3.connect(str(path))
-        self._connection.executescript(self._SCHEMA)
-        self._connection.commit()
+        self._path = str(path)
+        self._connection = self._open(self._path)
+
+    def _open(self, path: str) -> sqlite3.Connection:
+        try:
+            return self._connect(path)
+        except sqlite3.DatabaseError as error:
+            if path == ":memory:":
+                raise
+            corrupt = path + ".corrupt"
+            os.replace(path, corrupt)
+            warnings.warn(
+                f"load archive {path!r} is corrupt ({error}); moved it to "
+                f"{corrupt!r} and rebuilt an empty archive — historic load "
+                "data before this point is lost",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            return self._connect(path)
+
+    def _connect(self, path: str) -> sqlite3.Connection:
+        connection = sqlite3.connect(path)
+        try:
+            if path != ":memory:":
+                connection.execute("PRAGMA journal_mode=WAL")
+                connection.execute("PRAGMA synchronous=NORMAL")
+                connection.execute("PRAGMA busy_timeout=5000")
+                # surface torn pages now, not on some later query
+                status = connection.execute(
+                    "PRAGMA quick_check"
+                ).fetchone()
+                if status is None or status[0] != "ok":
+                    raise sqlite3.DatabaseError(
+                        f"integrity check failed: {status}"
+                    )
+            connection.executescript(self._SCHEMA)
+            connection.commit()
+        except sqlite3.DatabaseError:
+            connection.close()
+            raise
+        return connection
 
     def close(self) -> None:
         self._connection.close()
@@ -169,16 +223,41 @@ class SqliteLoadArchive(LoadArchive):
             (subject, metric, time, float(value)),
         )
 
+    def record_reports(
+        self, rows: List[Tuple[str, str, int, float]]
+    ) -> None:
+        """Store one tick's load reports in a single transaction.
+
+        All-or-nothing: a crash mid-batch leaves the archive at the
+        previous tick's state instead of a half-written minute.
+        """
+        with self._connection:
+            self._connection.executemany(
+                "INSERT OR REPLACE INTO load_samples "
+                "(subject, metric, time, value) VALUES (?, ?, ?, ?)",
+                rows,
+            )
+
     def store_many(
         self, rows: List[Tuple[str, str, int, float]]
     ) -> None:
         """Bulk insert of (subject, metric, time, value) rows."""
-        self._connection.executemany(
-            "INSERT OR REPLACE INTO load_samples (subject, metric, time, value) "
-            "VALUES (?, ?, ?, ?)",
-            rows,
-        )
-        self._connection.commit()
+        self.record_reports(rows)
+
+    def truncate_after(self, time: int) -> None:
+        """Drop samples and events newer than ``time``.
+
+        A resumed run rewinds to its last snapshot; whatever the
+        abandoned timeline recorded past that point must not leak into
+        the replayed one.
+        """
+        with self._connection:
+            self._connection.execute(
+                "DELETE FROM load_samples WHERE time > ?", (time,)
+            )
+            self._connection.execute(
+                "DELETE FROM admin_events WHERE time > ?", (time,)
+            )
 
     def commit(self) -> None:
         self._connection.commit()

@@ -89,3 +89,19 @@ class HeartbeatDetector:
     @property
     def suppressed(self) -> Set[str]:
         return set(self._suppressed)
+
+    # -- durability -------------------------------------------------------------
+
+    def snapshot_state(self) -> Dict[str, object]:
+        return {
+            "last_beat": dict(self._last_beat),
+            "suppressed": sorted(self._suppressed),
+            "reported": sorted(self._reported),
+        }
+
+    def restore_state(self, payload: Dict[str, object]) -> None:
+        for instance_id, beat in payload.get("last_beat", {}).items():  # type: ignore[union-attr]
+            current = self._last_beat.get(instance_id, -1)
+            self._last_beat[instance_id] = max(current, int(beat))
+        self._suppressed.update(payload.get("suppressed", []))  # type: ignore[arg-type]
+        self._reported.update(payload.get("reported", []))  # type: ignore[arg-type]

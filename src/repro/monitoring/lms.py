@@ -114,6 +114,16 @@ class LoadMonitoringSystem:
     def __init__(self) -> None:
         self._observations: Dict[Tuple[str, SituationKind], Observation] = {}
         self.confirmed: List[Situation] = []
+        #: optional :class:`~repro.core.state.StateJournal`: watch-time
+        #: progress is journalled (open/close) so a recovered controller
+        #: resumes observations instead of restarting their watch windows
+        self.journal = None
+
+    def _journal_close(self, key: Tuple[str, SituationKind]) -> None:
+        if self.journal is not None:
+            self.journal.append(
+                "observation-close", subject=key[0], kind=key[1].value
+            )
 
     def observing(self, subject: str, kind: SituationKind) -> bool:
         return (subject, kind) in self._observations
@@ -131,7 +141,7 @@ class LoadMonitoringSystem:
         key = (monitor.subject, kind)
         if key in self._observations:
             return False
-        self._observations[key] = Observation(
+        observation = Observation(
             kind=kind,
             monitor=monitor,
             service_name=service_name,
@@ -139,10 +149,16 @@ class LoadMonitoringSystem:
             started_at=now,
             watch_time=watch_time,
         )
+        self._observations[key] = observation
+        if self.journal is not None:
+            self.journal.append(
+                "observation-open", **self._describe(observation)
+            )
         return True
 
     def cancel(self, subject: str, kind: SituationKind) -> None:
-        self._observations.pop((subject, kind), None)
+        if self._observations.pop((subject, kind), None) is not None:
+            self._journal_close((subject, kind))
 
     def cancel_subject(self, subject: str) -> int:
         """Drop every observation of one subject (e.g. its host crashed).
@@ -152,6 +168,7 @@ class LoadMonitoringSystem:
         keys = [key for key in self._observations if key[0] == subject]
         for key in keys:
             del self._observations[key]
+            self._journal_close(key)
         return len(keys)
 
     def tick(self, now: int) -> List[Situation]:
@@ -162,6 +179,7 @@ class LoadMonitoringSystem:
             if not observation.due(now):
                 continue
             del self._observations[key]
+            self._journal_close(key)
             mean = observation.confirmed(now)
             if mean is None:
                 continue  # a short peak, not a real situation
@@ -179,3 +197,47 @@ class LoadMonitoringSystem:
     @property
     def active_observations(self) -> List[Observation]:
         return list(self._observations.values())
+
+    # -- durability -------------------------------------------------------------
+
+    @staticmethod
+    def _describe(observation: Observation) -> Dict[str, object]:
+        """JSON-able descriptor of one in-progress observation."""
+        return {
+            "subject": observation.subject,
+            "kind": observation.kind.value,
+            "service_name": observation.service_name,
+            "threshold": observation.threshold,
+            "started_at": observation.started_at,
+            "watch_time": observation.watch_time,
+            "min_coverage": observation.min_coverage,
+        }
+
+    def snapshot_state(self) -> List[Dict[str, object]]:
+        """Descriptors of every in-progress observation."""
+        return [self._describe(o) for o in self._observations.values()]
+
+    def restore_observation(
+        self, descriptor: Dict[str, object], monitor: LoadMonitor
+    ) -> bool:
+        """Revive one observation around a freshly built monitor.
+
+        The monitor's archive-backed series supplies the watch window
+        samples recorded before the crash, so the observation resumes
+        mid-watch instead of starting over.  Idempotent: an observation
+        already watched (same subject and kind) is left untouched.
+        """
+        kind = SituationKind(str(descriptor["kind"]))
+        key = (monitor.subject, kind)
+        if key in self._observations:
+            return False
+        self._observations[key] = Observation(
+            kind=kind,
+            monitor=monitor,
+            service_name=descriptor.get("service_name"),  # type: ignore[arg-type]
+            threshold=float(descriptor["threshold"]),  # type: ignore[arg-type]
+            started_at=int(descriptor["started_at"]),  # type: ignore[arg-type]
+            watch_time=int(descriptor["watch_time"]),  # type: ignore[arg-type]
+            min_coverage=float(descriptor.get("min_coverage", 0.5)),  # type: ignore[arg-type]
+        )
+        return True

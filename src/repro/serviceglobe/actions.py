@@ -20,6 +20,8 @@ __all__ = [
     "ConstraintViolation",
     "NoSuchTarget",
     "TransientActionFailure",
+    "FencedActionError",
+    "FencingGuard",
     "ActionOutcome",
 ]
 
@@ -80,14 +82,61 @@ class TransientActionFailure(ActionError):
         self.instance_lost = False
 
 
+class FencedActionError(ActionError):
+    """The action carried a stale fencing token and was rejected.
+
+    Leadership of the controller is granted through a lease with a
+    monotonically increasing *fencing token*; the platform remembers the
+    highest token it has seen and refuses anything older.  A deposed or
+    network-partitioned controller that keeps issuing actions is thereby
+    rejected instead of double-applying remedies the current leader has
+    already taken care of.
+    """
+
+    def __init__(self, message: str, token: Optional[int] = None) -> None:
+        super().__init__(message)
+        self.token = token
+
+
+class FencingGuard:
+    """The platform-side half of lease fencing.
+
+    Tracks the highest fencing token observed; :meth:`validate` rejects
+    stale tokens with :class:`FencedActionError`.  Callers without a
+    token (``None`` — the administrator console, direct platform use,
+    non-durable runs) are never fenced: fencing protects against *stale
+    leaders*, not against operators.
+    """
+
+    def __init__(self) -> None:
+        self.token = 0
+
+    def validate(self, token: Optional[int]) -> None:
+        if token is None:
+            return
+        if token < self.token:
+            raise FencedActionError(
+                f"fencing token {token} is stale (current leader holds "
+                f"{self.token})",
+                token=token,
+            )
+        self.token = token
+
+    def advance(self, token: int) -> None:
+        """Raise the watermark (a new leader announcing its token)."""
+        self.token = max(self.token, token)
+
+
 @dataclass(frozen=True)
 class ActionOutcome:
     """Audit record of one executed action (Section 4.3: actions are logged).
 
     ``status`` distinguishes the record kinds the failure-hardened
     executor writes: ``"ok"`` (the action took effect), ``"failed"``
-    (the retry budget was exhausted) and ``"compensated"`` (a relocation
-    failed mid-flight and the source instance was rolled back).
+    (the retry budget was exhausted), ``"compensated"`` (a relocation
+    failed mid-flight and the source instance was rolled back) and
+    ``"fenced"`` (a deposed leader's action was rejected by the
+    platform's fencing guard and had no effect).
     ``attempts`` counts execution attempts including the successful one;
     ``duration`` is the simulated minutes the action took end to end,
     including retry backoff.

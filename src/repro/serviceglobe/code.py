@@ -123,6 +123,49 @@ class CodeRepository:
         else:
             cache.pop(service_name, None)
 
+    # -- durability ----------------------------------------------------------------------------
+
+    def snapshot_state(self) -> Dict[str, object]:
+        """JSON-able cache + deployment state (for crash recovery)."""
+        return {
+            "caches": {
+                host: {name: bundle.version for name, bundle in cache.items()}
+                for host, cache in self._caches.items()
+            },
+            "deployments": [
+                {
+                    "service_name": d.bundle.service_name,
+                    "version": d.bundle.version,
+                    "host_name": d.host_name,
+                    "fetched_at": d.fetched_at,
+                }
+                for d in self.deployments
+            ],
+        }
+
+    def restore_state(self, payload: Dict[str, object]) -> None:
+        """Restore caches/deployments; published bundles stay as they are.
+
+        Cache entries whose version no longer matches a published bundle
+        are dropped (equivalent to the invalidation a publish performs).
+        """
+        self._caches = {}
+        for host, cache in payload.get("caches", {}).items():  # type: ignore[union-attr]
+            restored: Dict[str, CodeBundle] = {}
+            for name, version in cache.items():
+                bundle = self._bundles.get(name)
+                if bundle is not None and bundle.version == version:
+                    restored[name] = bundle
+            self._caches[host] = restored
+        self.deployments = []
+        for raw in payload.get("deployments", []):  # type: ignore[union-attr]
+            bundle = self._bundles.get(raw["service_name"])
+            if bundle is None or bundle.version != raw["version"]:
+                bundle = CodeBundle(raw["service_name"], version=raw["version"])
+            self.deployments.append(
+                Deployment(bundle, raw["host_name"], raw["fetched_at"])
+            )
+
     # -- statistics ----------------------------------------------------------------------------
 
     def transfer_volume_mb(self) -> float:

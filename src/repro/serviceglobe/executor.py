@@ -44,6 +44,7 @@ from repro.config.model import Action
 from repro.serviceglobe.actions import (
     ActionError,
     ActionOutcome,
+    FencedActionError,
     TransientActionFailure,
 )
 from repro.serviceglobe.platform import Platform
@@ -146,17 +147,88 @@ class ActionExecutor:
         policy: Optional[RetryPolicy] = None,
         faults: Optional[ExecutionFaults] = None,
         seed: int = 0,
+        name: str = "exec",
     ) -> None:
         self.platform = platform
         self.policy = policy if policy is not None else RetryPolicy()
         self.faults = faults if faults is not None else ExecutionFaults()
         self._rng = np.random.default_rng(seed)
+        #: distinguishes executors sharing one journal (controller replicas)
+        self.name = name
         #: every outcome this executor produced, including failures and
         #: compensations (successes also land in the platform audit log)
         self.log: List[ActionOutcome] = []
         self.retry_count = 0
         self.failure_count = 0
         self.compensation_count = 0
+        self.fenced_count = 0
+        #: the leadership epoch this executor acts under; threaded into
+        #: every platform call so a deposed leader's actions are rejected
+        #: (``None`` = unfenced: plain runs without leases)
+        self.fencing_token: Optional[int] = None
+        #: optional :class:`~repro.core.state.StateJournal`: when set,
+        #: every execution writes an intent record before the platform
+        #: mutates and a commit record after — the two-phase action log
+        #: crash recovery reconciles in-flight actions from
+        self.journal = None
+        self._intent_sequence = 0
+
+    # -- two-phase journal ------------------------------------------------------------
+
+    def _journal_intent(
+        self,
+        action: Action,
+        service_name: str,
+        instance_id: Optional[str],
+        target_host: Optional[str],
+        note: str,
+    ) -> Optional[str]:
+        if self.journal is None:
+            return None
+        self._intent_sequence += 1
+        intent_id = f"{self.name}:{self._intent_sequence:06d}"
+        self.journal.append(
+            "action-intent",
+            intent_id=intent_id,
+            time=self.platform.current_time,
+            action=action.value,
+            service_name=service_name,
+            instance_id=instance_id,
+            target_host=target_host,
+            note=note,
+        )
+        return intent_id
+
+    def _journal_commit(self, intent_id: Optional[str], status: str) -> None:
+        if self.journal is not None and intent_id is not None:
+            self.journal.append(
+                "action-commit", intent_id=intent_id, status=status
+            )
+
+    # -- durability (kill -9 and resume) ------------------------------------------------
+
+    def snapshot_state(self) -> dict:
+        """JSON-able executor state: RNG position, intent counter, tallies.
+
+        Restoring it makes a resumed run draw the same fault rolls and
+        continue the intent-id sequence instead of reusing ids.
+        """
+        return {
+            "rng": self._rng.bit_generator.state,
+            "intent_sequence": self._intent_sequence,
+            "retry_count": self.retry_count,
+            "failure_count": self.failure_count,
+            "compensation_count": self.compensation_count,
+            "fenced_count": self.fenced_count,
+        }
+
+    def restore_state(self, payload: dict) -> None:
+        self._rng.bit_generator.state = payload["rng"]
+        self._intent_sequence = int(payload.get("intent_sequence", 0))
+        self.retry_count = int(payload.get("retry_count", 0))
+        self.failure_count = int(payload.get("failure_count", 0))
+        self.compensation_count = int(payload.get("compensation_count", 0))
+        self.fenced_count = int(payload.get("fenced_count", 0))
 
     # -- fault sampling ---------------------------------------------------------------
 
@@ -249,30 +321,65 @@ class ActionExecutor:
         audit log).  Permanent :class:`ActionError` subclasses propagate
         unchanged; exhausting the retry budget raises
         :class:`TransientActionFailure` after writing a ``"failed"``
-        audit record.
+        audit record.  A stale fencing token is rejected by the platform
+        before anything happens; the executor audits the rejection with
+        a ``"fenced"`` record and re-raises.
+
+        With a journal attached, an ``action-intent`` record precedes
+        the platform mutation and an ``action-commit`` record follows
+        it (status ``"ok"``, ``"aborted"`` or ``"fenced"``) — crash
+        recovery completes or compensates whatever intent has no commit.
         """
-        if self.faults.pristine:
-            # fast path: behave exactly like the bare platform
-            outcome = self.platform.execute(
+        intent_id = self._journal_intent(
+            action, service_name, instance_id, target_host, note
+        )
+        try:
+            if self.faults.pristine:
+                # fast path: behave exactly like the bare platform
+                outcome = self.platform.execute(
+                    action,
+                    service_name,
+                    instance_id=instance_id,
+                    target_host=target_host,
+                    applicability=applicability,
+                    enforce_allowed=enforce_allowed,
+                    note=note,
+                    fencing_token=self.fencing_token,
+                )
+                self.log.append(outcome)
+            else:
+                outcome = self._execute_with_faults(
+                    action,
+                    service_name,
+                    instance_id,
+                    target_host,
+                    applicability,
+                    enforce_allowed,
+                    note,
+                )
+        except FencedActionError as fenced:
+            self.fenced_count += 1
+            self._record(
+                "fenced",
                 action,
                 service_name,
-                instance_id=instance_id,
-                target_host=target_host,
-                applicability=applicability,
-                enforce_allowed=enforce_allowed,
-                note=note,
+                instance_id,
+                None,
+                target_host,
+                applicability,
+                1,
+                0.0,
+                f"rejected by fencing guard: {fenced}",
             )
-            self.log.append(outcome)
-            return outcome
-        return self._execute_with_faults(
-            action,
-            service_name,
-            instance_id,
-            target_host,
-            applicability,
-            enforce_allowed,
-            note,
-        )
+            self._journal_commit(intent_id, "fenced")
+            raise
+        except ActionError:
+            # nothing took effect (or a half-completed relocation was
+            # already compensated): the intent resolves as aborted
+            self._journal_commit(intent_id, "aborted")
+            raise
+        self._journal_commit(intent_id, "ok")
+        return outcome
 
     def _execute_with_faults(
         self,
@@ -314,6 +421,7 @@ class ActionExecutor:
                             note=note,
                             attempts=attempts,
                             duration=elapsed,
+                            fencing_token=self.fencing_token,
                         )
                 except TransientActionFailure as fault:
                     # the platform already compensated the half-completed

@@ -73,6 +73,16 @@ class NetworkFabric:
         self.bind(ip, target_host)
         return old_host, target_host
 
+    @property
+    def next_suffix(self) -> int:
+        """The suffix the next :meth:`allocate` will use (for snapshots)."""
+        return self._next_suffix
+
+    def reserve_through(self, suffix: int) -> None:
+        """Fast-forward allocation past suffixes used before a crash, so
+        restored and freshly allocated IPs can never collide."""
+        self._next_suffix = max(self._next_suffix, suffix)
+
     def host_of(self, ip: VirtualIP) -> Optional[str]:
         return self._bindings.get(ip)
 

@@ -13,7 +13,7 @@ watch times, applicability thresholds) belong to the controller.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Set
 
 from repro.config.model import Action, LandscapeSpec, ServiceSpec
 from repro.config.validation import validate_landscape
@@ -22,6 +22,7 @@ from repro.serviceglobe.actions import (
     ActionNotAllowed,
     ActionOutcome,
     ConstraintViolation,
+    FencingGuard,
     NoSuchTarget,
     TransientActionFailure,
 )
@@ -99,6 +100,15 @@ class Platform:
         #: the target takes over; raising :class:`TransientActionFailure`
         #: there models a failed target start and triggers compensation.
         self.move_fault_hook: Optional[Callable[[ServiceInstance, str], None]] = None
+        #: Lease fencing: remembers the highest fencing token seen and
+        #: rejects actions from deposed leaders (see
+        #: :class:`~repro.serviceglobe.actions.FencingGuard`).
+        self.fence = FencingGuard()
+        #: Services stopped deliberately (the ``stop`` action).  The
+        #: recovering controller's dead-service reconciliation must not
+        #: "heal" a service an administrator or the controller itself
+        #: shut down on purpose.
+        self.stopped_services: Set[str] = set()
         # per-platform instance numbering keeps runs deterministic: ids
         # (and their tie-breaking order) never depend on other platforms
         self._instance_sequence = 0
@@ -363,6 +373,7 @@ class Platform:
         note: str = "",
         attempts: int = 1,
         duration: float = 0.0,
+        fencing_token: Optional[int] = None,
     ) -> ActionOutcome:
         """Execute one management action (Table 2).
 
@@ -371,7 +382,11 @@ class Platform:
         :class:`ActionOutcome` to :attr:`audit_log` and returns it.
         ``attempts``/``duration`` are stamped into the outcome by the
         failure-hardened executor when the action needed retries.
+        ``fencing_token`` identifies the leadership epoch of the issuing
+        controller; a stale token is rejected with
+        :class:`FencedActionError` before anything happens.
         """
+        self.fence.validate(fencing_token)
         service = self.service(service_name)
         if enforce_allowed and not service.spec.constraints.allows(action):
             raise ActionNotAllowed(
@@ -443,6 +458,7 @@ class Platform:
                 f"{service.name} is already running; use scaleOut to add instances"
             )
         instance = self._start_instance(service.name, target)
+        self.stopped_services.discard(service.name)
         return ActionOutcome(
             self._clock(), Action.START, service.name, instance.instance_id,
             target_host=target,
@@ -456,6 +472,7 @@ class Platform:
             )
         for instance in list(service.running_instances):
             self._stop_instance(instance, enforce_min=False)
+        self.stopped_services.add(service.name)
         return ActionOutcome(self._clock(), Action.STOP, service.name)
 
     def _execute_scale_out(self, service, instance_id, target_host) -> ActionOutcome:
@@ -535,6 +552,106 @@ class Platform:
             self._clock(), Action.REDUCE_PRIORITY, service.name,
             note=f"priority now {service.priority}",
         )
+
+    # -- durability ----------------------------------------------------------------------
+
+    def _instance_to_dict(self, instance: ServiceInstance) -> Dict[str, Any]:
+        return {
+            "service_name": instance.service_name,
+            "host_name": instance.host_name,
+            "virtual_ip": instance.virtual_ip.address,
+            "instance_id": instance.instance_id,
+            "state": instance.state.value,
+            "users": instance.users,
+            "demand": instance.demand,
+            "started_at": instance.started_at,
+        }
+
+    @staticmethod
+    def _instance_from_dict(raw: Dict[str, Any]) -> ServiceInstance:
+        from repro.serviceglobe.network import VirtualIP
+
+        return ServiceInstance(
+            service_name=raw["service_name"],
+            host_name=raw["host_name"],
+            virtual_ip=VirtualIP(raw["virtual_ip"]),
+            instance_id=raw["instance_id"],
+            state=InstanceState(raw["state"]),
+            users=int(raw["users"]),
+            demand=float(raw["demand"]),
+            started_at=int(raw["started_at"]),
+        )
+
+    def snapshot_state(self) -> Dict[str, Any]:
+        """JSON-able snapshot of the full runtime state.
+
+        Together with :meth:`restore_state` this backs kill-and-resume
+        recovery: a resumed run continues from the snapshot minute with
+        identical instances, sessions, demands, host health, priorities,
+        orphans and audit history.
+        """
+        from repro.core.state import outcome_to_dict
+
+        return {
+            "current_time": self.current_time,
+            "instance_sequence": self._instance_sequence,
+            "fabric_next_suffix": self.fabric.next_suffix,
+            "fence_token": self.fence.token,
+            "hosts": {name: host.up for name, host in self.hosts.items()},
+            "priorities": {
+                name: definition.priority
+                for name, definition in self.services.items()
+            },
+            "stopped_services": sorted(self.stopped_services),
+            "instances": [
+                self._instance_to_dict(instance)
+                for definition in self.services.values()
+                for instance in definition.instances
+            ],
+            "orphans": [self._instance_to_dict(i) for i in self.orphans],
+            "audit_log": [outcome_to_dict(o) for o in self.audit_log],
+            "code": self.code_repository.snapshot_state(),
+        }
+
+    def restore_state(self, payload: Dict[str, Any]) -> None:
+        """Rebuild the runtime state from a :meth:`snapshot_state` payload.
+
+        The landscape (specs, constraints, published code bundles) is
+        construction-time state and stays as built; everything mutable —
+        instances, bindings, registrations, host health, priorities,
+        orphans, audit log, fencing watermark — is replaced wholesale.
+        """
+        from repro.core.state import outcome_from_dict
+
+        self.current_time = int(payload["current_time"])
+        self._instance_sequence = int(payload["instance_sequence"])
+        self.fence.token = int(payload.get("fence_token", 0))
+        self.stopped_services = set(payload.get("stopped_services", []))
+        for name, up in payload["hosts"].items():
+            host = self.host(name)
+            host.up = bool(up)
+            host.instances = []
+        self.fabric = NetworkFabric()
+        self.fabric.reserve_through(int(payload["fabric_next_suffix"]))
+        self.registry = ServiceRegistry()
+        for name, definition in self.services.items():
+            definition.instances = []
+            definition.priority = int(payload["priorities"][name])
+            self.registry.register(definition)
+        for raw in payload["instances"]:
+            instance = self._instance_from_dict(raw)
+            self.services[instance.service_name].instances.append(instance)
+            if instance.running:
+                self.fabric.bind(instance.virtual_ip, instance.host_name)
+                self.host(instance.host_name).attach(instance)
+                self.registry.publish_instance(instance)
+        self.orphans = [
+            self._instance_from_dict(raw) for raw in payload.get("orphans", [])
+        ]
+        self.audit_log = [
+            outcome_from_dict(raw) for raw in payload.get("audit_log", [])
+        ]
+        self.code_repository.restore_state(payload.get("code", {}))
 
     # -- measurements (read by the monitoring framework) ---------------------------------
 

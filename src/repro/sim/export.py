@@ -69,6 +69,12 @@ def export_summary_json(result: SimulationResult, path: PathLike) -> None:
         "retried_action_count": result.retried_action_count,
         "compensated_action_count": result.compensated_action_count,
         "failed_action_count": result.failed_action_count,
+        "fenced_action_count": result.fenced_action_count,
+        "controller_down_minutes": result.controller_down_minutes,
+        "controller_crash_count": result.controller_fault_count("controller-crash"),
+        "leader_partition_count": result.controller_fault_count("leader-partition"),
+        "expired_approval_count": result.expired_approval_count,
+        "pending_approval_count": result.pending_approval_count,
     }
     Path(path).write_text(json.dumps(payload, indent=2), encoding="utf-8")
 

@@ -48,7 +48,9 @@ class FaultRecord:
     ``kind`` is one of ``"crash"``, ``"hang"`` (instance-level;
     ``instance_id``/``service_name`` identify the victim),
     ``"host-crash"``, ``"host-recovery"`` and ``"monitor-outage"``
-    (host-level; ``instance_id`` and ``service_name`` are empty).
+    (host-level; ``instance_id`` and ``service_name`` are empty), or a
+    controller-level fault: ``"controller-crash"`` and
+    ``"leader-partition"`` (every field but ``time``/``kind`` empty).
     """
 
     time: int
@@ -92,6 +94,15 @@ class FaultInjector:
     host_reboot_minutes: Tuple[int, int] = (30, 90)
     monitor_outage_probability: float = 0.0
     monitor_outage_minutes: Tuple[int, int] = (3, 15)
+    #: per-minute probability the controller process dies (restarting
+    #: after a duration drawn from ``controller_restart_minutes``) or its
+    #: leader gets partitioned from the lease store for a duration drawn
+    #: from ``leader_partition_minutes``; both require the controller to
+    #: be a :class:`~repro.core.failover.ControllerSupervisor`
+    controller_crash_probability: float = 0.0
+    controller_restart_minutes: Tuple[int, int] = (5, 15)
+    leader_partition_probability: float = 0.0
+    leader_partition_minutes: Tuple[int, int] = (10, 20)
     seed: int = 99
     faults: List[FaultRecord] = field(default_factory=list)
 
@@ -101,14 +112,29 @@ class FaultInjector:
             "hang_probability",
             "host_crash_probability",
             "monitor_outage_probability",
+            "controller_crash_probability",
+            "leader_partition_probability",
         ):
             value = getattr(self, name)
             if not 0.0 <= value <= 1.0:
                 raise ValueError(f"{name} must be in [0, 1], got {value}")
-        for name in ("host_reboot_minutes", "monitor_outage_minutes"):
+        for name in (
+            "host_reboot_minutes",
+            "monitor_outage_minutes",
+            "controller_restart_minutes",
+            "leader_partition_minutes",
+        ):
             low, high = getattr(self, name)
             if low < 1 or high < low:
                 raise ValueError(f"{name} must be a (low, high) range with 1 <= low <= high")
+        if (
+            self.controller_crash_probability > 0.0
+            or self.leader_partition_probability > 0.0
+        ) and not hasattr(self.controller, "crash_active"):
+            raise ValueError(
+                "controller faults require a ControllerSupervisor "
+                "(plain controllers cannot crash and recover)"
+            )
         self._rng = np.random.default_rng(self.seed)
         #: host name -> minute its reboot completes
         self._reboot_at: Dict[str, int] = {}
@@ -125,6 +151,13 @@ class FaultInjector:
         injured again the same minute it returns.
         """
         injected: List[FaultRecord] = []
+        if (
+            self.controller_crash_probability > 0.0
+            or self.leader_partition_probability > 0.0
+        ):
+            # rolled first: whether the controller is alive this minute
+            # shapes how every other fault below plays out
+            self._injure_controller(now, injected)
         self._recover_hosts(now, injected)
         if self.host_crash_probability > 0.0:
             self._crash_hosts(now, injected)
@@ -132,6 +165,30 @@ class FaultInjector:
             self._degrade_monitoring(now, injected)
         self._injure_instances(now, injected)
         return injected
+
+    def _injure_controller(self, now: int, injected: List[FaultRecord]) -> None:
+        supervisor = self.controller
+        if supervisor.fault_in_progress(now):
+            return  # one controller fault at a time
+        if self.controller_crash_probability > 0.0 and (
+            float(self._rng.random()) < self.controller_crash_probability
+        ):
+            low, high = self.controller_restart_minutes
+            minutes = int(self._rng.integers(low, high + 1))
+            supervisor.crash_active(now, minutes)
+            record = FaultRecord(now, "", "", "", "controller-crash")
+            self.faults.append(record)
+            injected.append(record)
+            return
+        if self.leader_partition_probability > 0.0 and (
+            float(self._rng.random()) < self.leader_partition_probability
+        ):
+            low, high = self.leader_partition_minutes
+            minutes = int(self._rng.integers(low, high + 1))
+            supervisor.partition_active(now, minutes)
+            record = FaultRecord(now, "", "", "", "leader-partition")
+            self.faults.append(record)
+            injected.append(record)
 
     def _recover_hosts(self, now: int, injected: List[FaultRecord]) -> None:
         platform = self.controller.platform
@@ -231,6 +288,14 @@ class FaultInjector:
     def monitor_outage_count(self) -> int:
         return self.count("monitor-outage")
 
+    @property
+    def controller_crash_count(self) -> int:
+        return self.count("controller-crash")
+
+    @property
+    def leader_partition_count(self) -> int:
+        return self.count("leader-partition")
+
     def summary(self) -> str:
         parts = [
             f"crashes: {self.crash_count}",
@@ -238,4 +303,31 @@ class FaultInjector:
             f"host crashes: {self.host_crash_count}",
             f"monitor outages: {self.monitor_outage_count}",
         ]
+        if self.controller_crash_count or self.leader_partition_count:
+            parts.append(f"controller crashes: {self.controller_crash_count}")
+            parts.append(f"leader partitions: {self.leader_partition_count}")
         return f"injected faults: {len(self.faults)} ({', '.join(parts)})"
+
+    # -- durability (kill -9 and resume) -----------------------------------------------
+
+    def snapshot_state(self) -> Dict[str, object]:
+        """JSON-able injector state so a resumed run draws the same faults."""
+        return {
+            "rng": self._rng.bit_generator.state,
+            "reboot_at": dict(self._reboot_at),
+            "faults": [
+                [f.time, f.instance_id, f.service_name, f.host_name, f.kind]
+                for f in self.faults
+            ],
+        }
+
+    def restore_state(self, payload: Dict[str, object]) -> None:
+        self._rng.bit_generator.state = payload["rng"]
+        self._reboot_at = {
+            host: int(minute)
+            for host, minute in payload.get("reboot_at", {}).items()  # type: ignore[union-attr]
+        }
+        self.faults = [
+            FaultRecord(int(t), str(i), str(s), str(h), str(k))
+            for t, i, s, h, k in payload.get("faults", [])  # type: ignore[union-attr]
+        ]

@@ -138,6 +138,11 @@ class SimulationResult:
     host_down_minutes: Dict[str, int] = field(default_factory=dict)
     #: injected fault records when the run used a fault injector
     fault_records: List = field(default_factory=list)
+    #: minutes the run spent with no live controller (crash recovery)
+    controller_down_minutes: int = 0
+    #: semi-automatic approvals that expired unanswered / are still open
+    expired_approval_count: int = 0
+    pending_approval_count: int = 0
 
     # -- aggregates ------------------------------------------------------------------
 
@@ -212,6 +217,15 @@ class SimulationResult:
         """Actions that eventually succeeded but needed more than one attempt."""
         return sum(1 for a in self.actions if a.succeeded and a.retried)
 
+    @property
+    def fenced_action_count(self) -> int:
+        """Actions a deposed leader issued that the platform rejected."""
+        return sum(1 for a in self.actions if a.status == "fenced")
+
+    def controller_fault_count(self, kind: str) -> int:
+        """Fault records of one controller-fault kind (e.g. ``"controller-crash"``)."""
+        return sum(1 for f in self.fault_records if f.kind == kind)
+
     # -- the SLA verdict ---------------------------------------------------------------
 
     def violates(self, sla: Optional[SlaPolicy] = None) -> bool:
@@ -239,6 +253,16 @@ class SimulationResult:
                 f"  action faults: {self.retried_action_count} retried, "
                 f"{self.compensated_action_count} compensated, "
                 f"{self.failed_action_count} failed"
+            )
+        if self.controller_down_minutes or self.fenced_action_count:
+            lines.append(
+                f"  controller faults: {self.controller_down_minutes} "
+                f"down-minutes, {self.fenced_action_count} fenced actions"
+            )
+        if self.pending_approval_count or self.expired_approval_count:
+            lines.append(
+                f"  approvals: {self.pending_approval_count} pending, "
+                f"{self.expired_approval_count} expired unanswered"
             )
         return "\n".join(lines)
 
@@ -330,6 +354,9 @@ class ResultCollector:
         final_minute: int,
         escalation_count: int = 0,
         fault_records: Optional[List] = None,
+        controller_down_minutes: int = 0,
+        expired_approval_count: int = 0,
+        pending_approval_count: int = 0,
     ) -> SimulationResult:
         for name, start in self._open_episode_start.items():
             if start is not None:
@@ -376,4 +403,81 @@ class ResultCollector:
             downtime_episodes=downtime_episodes,
             host_down_minutes=dict(self._host_down_minutes),
             fault_records=list(fault_records) if fault_records else [],
+            controller_down_minutes=controller_down_minutes,
+            expired_approval_count=expired_approval_count,
+            pending_approval_count=pending_approval_count,
         )
+
+    # -- durability (kill -9 and resume) -----------------------------------------------
+
+    def snapshot_state(self) -> Dict[str, object]:
+        """JSON-able collector state for a full-run snapshot."""
+        return {
+            "series": {name: list(values) for name, values in self._series.items()},
+            "service_samples": {
+                name: [list(sample) for sample in samples]
+                for name, samples in self._service_samples.items()
+            },
+            "overload_minutes": dict(self._overload_minutes),
+            "episodes": [[e.host_name, e.start, e.end] for e in self._episodes],
+            "open_episode_start": dict(self._open_episode_start),
+            "down_minutes": dict(self._down_minutes),
+            "downtime_episodes": [
+                [e.service_name, e.start, e.end] for e in self._downtime_episodes
+            ],
+            "open_down_since": dict(self._open_down_since),
+            "host_down_minutes": dict(self._host_down_minutes),
+            "ticks": self._ticks,
+        }
+
+    def restore_state(self, payload: Dict[str, object]) -> None:
+        series = payload.get("series", {})
+        if self._collect_host_series and not series:
+            raise ValueError(
+                "cannot resume with host-series collection: the killed run "
+                "did not collect host series (it was started without "
+                "--export); rerun both with the same collection settings"
+            )
+        self._series = {
+            name: [float(v) for v in values]
+            for name, values in series.items()  # type: ignore[union-attr]
+        }
+        if not self._collect_host_series:
+            # the killed run collected, this one does not: drop the series
+            self._series = {}
+        self._service_samples = {
+            name: [
+                (int(t), str(i), str(h), float(load))
+                for t, i, h, load in samples
+            ]
+            for name, samples in payload.get("service_samples", {}).items()  # type: ignore[union-attr]
+        }
+        self._overload_minutes = {
+            name: int(v)
+            for name, v in payload.get("overload_minutes", {}).items()  # type: ignore[union-attr]
+        }
+        self._episodes = [
+            OverloadEpisode(str(h), int(s), int(e))
+            for h, s, e in payload.get("episodes", [])  # type: ignore[union-attr]
+        ]
+        self._open_episode_start = {
+            name: (None if start is None else int(start))
+            for name, start in payload.get("open_episode_start", {}).items()  # type: ignore[union-attr]
+        }
+        self._down_minutes = {
+            name: int(v)
+            for name, v in payload.get("down_minutes", {}).items()  # type: ignore[union-attr]
+        }
+        self._downtime_episodes = [
+            DowntimeEpisode(str(n), int(s), int(e))
+            for n, s, e in payload.get("downtime_episodes", [])  # type: ignore[union-attr]
+        ]
+        self._open_down_since = {
+            name: (None if start is None else int(start))
+            for name, start in payload.get("open_down_since", {}).items()  # type: ignore[union-attr]
+        }
+        self._host_down_minutes = {
+            name: int(v)
+            for name, v in payload.get("host_down_minutes", {}).items()  # type: ignore[union-attr]
+        }
+        self._ticks = int(payload.get("ticks", 0))  # type: ignore[arg-type]

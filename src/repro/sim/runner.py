@@ -10,14 +10,17 @@ index, 20 minute idle watch).
 from __future__ import annotations
 
 import dataclasses
-from typing import Callable, Optional, Set
+import os
+import signal
+from pathlib import Path
+from typing import Callable, Optional, Set, Union
 
 from repro.config.model import ControllerSettings, LandscapeSpec
 from repro.core.autoglobe import AutoGlobeController
 from repro.serviceglobe.executor import ActionExecutor, ExecutionFaults
 from repro.serviceglobe.platform import Platform
 from repro.sim.clock import PAPER_HORIZON_MINUTES
-from repro.sim.faults import FaultInjector
+from repro.sim.faults import FaultInjector, FaultRecord
 from repro.sim.results import ResultCollector, SimulationResult, SlaPolicy
 from repro.sim.scenarios import (
     ChaosProfile,
@@ -29,6 +32,12 @@ from repro.sim.scenarios import (
 from repro.sim.workload import NoiseParameters, WorkloadModel
 
 __all__ = ["SimulationRunner"]
+
+#: supervisor events merged into the run's fault records (crash and
+#: partition records come from the injector itself)
+_SUPERVISOR_EVENT_KINDS = frozenset(
+    {"controller-recovery", "leader-failover", "partition-healed"}
+)
 
 
 class SimulationRunner:
@@ -80,7 +89,33 @@ class SimulationRunner:
         actions run through a fault-injecting
         :class:`~repro.serviceglobe.executor.ActionExecutor` (flaky
         actions, latency, compensation).  The run stays deterministic
-        under the profile's seed.
+        under the profile's seed.  A profile with controller faults
+        additionally requires the supervised controller (see below).
+    state_dir:
+        Directory for durable run state.  Enables the supervised
+        controller with an on-disk
+        :class:`~repro.core.state.DurableStateStore` (journal, snapshots,
+        lease) and, unless an archive was passed explicitly, a
+        :class:`~repro.monitoring.archive.SqliteLoadArchive` at
+        ``state_dir/archive.db``.  Periodic full-run snapshots are
+        written every ``snapshot_interval`` minutes so a killed run can
+        be resumed.
+    resume:
+        Continue a previous run from the last full-run snapshot in
+        ``state_dir`` instead of starting fresh.  The re-simulation is
+        deterministic: platform, workload RNG, fault injector, collector
+        and controller all restore their exact state.
+    standby:
+        Keep a hot-standby controller: crashes and leader partitions
+        fail over at lease expiry instead of waiting out a restart.
+        Implies the supervised controller (in-memory state store unless
+        ``state_dir`` is also given).
+    snapshot_interval:
+        Minutes between full-run snapshots when ``state_dir`` is set.
+    kill_at:
+        Absolute minute at which the process kills itself with SIGKILL
+        right after the tick completes — the crash-recovery smoke test's
+        hook.  Requires ``state_dir``.
     """
 
     def __init__(
@@ -101,11 +136,22 @@ class SimulationRunner:
         archive=None,
         lint: str = "warn",
         chaos: Optional[ChaosProfile] = None,
+        state_dir: Optional[Union[str, Path]] = None,
+        resume: bool = False,
+        standby: bool = False,
+        snapshot_interval: int = 10,
+        kill_at: Optional[int] = None,
     ) -> None:
         if lint not in ("off", "warn", "strict"):
             raise ValueError(
                 f"lint must be 'off', 'warn' or 'strict', got {lint!r}"
             )
+        if snapshot_interval < 1:
+            raise ValueError("snapshot interval must be at least one minute")
+        if resume and state_dir is None:
+            raise ValueError("resume requires a state directory")
+        if kill_at is not None and state_dir is None:
+            raise ValueError("kill_at without a state directory loses the run")
         if landscape is None:
             from repro.config.builtin import paper_landscape
 
@@ -136,28 +182,59 @@ class SimulationRunner:
             else controller_enabled_for(scenario)
         )
         self.chaos = chaos
-        executor = None
-        if chaos is not None:
-            executor = ActionExecutor(
-                self.platform,
-                faults=ExecutionFaults(
-                    failure_probability=chaos.action_failure_probability,
-                    commit_failure_probability=chaos.commit_failure_probability,
-                    latency_means=dict(chaos.action_latency_means),
-                    latency_jitter=chaos.action_latency_jitter,
-                ),
-                seed=chaos.seed,
+        self.state_dir = Path(state_dir) if state_dir is not None else None
+        self.resume = resume
+        self.snapshot_interval = snapshot_interval
+        self.kill_at = kill_at
+        supervised = (
+            self.state_dir is not None
+            or standby
+            or (chaos is not None and chaos.has_controller_faults)
+        )
+        if supervised and controller_factory is not None:
+            raise ValueError(
+                "a custom controller_factory cannot be combined with "
+                "state_dir/standby/controller-fault chaos (those require "
+                "the supervised AutoGlobe controller)"
             )
-        self.executor = executor
-        if controller_factory is not None:
+        if self.state_dir is not None and archive is None:
+            from repro.monitoring.archive import SqliteLoadArchive
+
+            self.state_dir.mkdir(parents=True, exist_ok=True)
+            archive = SqliteLoadArchive(self.state_dir / "archive.db")
+        self.archive = archive
+        self._store = None
+        executor = None
+        if supervised:
+            from repro.core.failover import ControllerSupervisor
+            from repro.core.state import DurableStateStore
+
+            self._store = DurableStateStore(self.state_dir)
+            self.controller = ControllerSupervisor(
+                self.platform,
+                settings=scenario_landscape.controller,
+                archive=archive,
+                enabled=enabled,
+                store=self._store,
+                standby=standby,
+                executor_factory=self._make_executor_factory(chaos),
+            )
+        elif controller_factory is not None:
             self.controller = controller_factory(
                 self.platform, scenario_landscape.controller, enabled
             )
         else:
+            if chaos is not None:
+                executor = ActionExecutor(
+                    self.platform,
+                    faults=self._execution_faults(chaos),
+                    seed=chaos.seed,
+                )
             self.controller = AutoGlobeController(
                 self.platform, enabled=enabled, archive=archive,
                 executor=executor,
             )
+        self.executor = executor
         self.injector: Optional[FaultInjector] = None
         if chaos is not None:
             self.injector = FaultInjector(
@@ -168,6 +245,10 @@ class SimulationRunner:
                 host_reboot_minutes=chaos.host_reboot_minutes,
                 monitor_outage_probability=chaos.monitor_outage_probability,
                 monitor_outage_minutes=chaos.monitor_outage_minutes,
+                controller_crash_probability=chaos.controller_crash_probability,
+                controller_restart_minutes=chaos.controller_restart_minutes,
+                leader_partition_probability=chaos.leader_partition_probability,
+                leader_partition_minutes=chaos.leader_partition_minutes,
                 seed=chaos.seed + 1,
             )
         self.workload = WorkloadModel(self.platform, seed=seed, noise=noise)
@@ -182,18 +263,128 @@ class SimulationRunner:
             start_minute=start_minute,
         )
 
+    @staticmethod
+    def _execution_faults(chaos: ChaosProfile) -> ExecutionFaults:
+        return ExecutionFaults(
+            failure_probability=chaos.action_failure_probability,
+            commit_failure_probability=chaos.commit_failure_probability,
+            latency_means=dict(chaos.action_latency_means),
+            latency_jitter=chaos.action_latency_jitter,
+        )
+
+    def _make_executor_factory(self, chaos: Optional[ChaosProfile]):
+        """Per-replica executor builder for the supervised controller.
+
+        Each controller replica gets its own executor — a shared one
+        would carry the new leader's fencing token on behalf of a
+        deposed leader, defeating fencing — with a seed derived from the
+        replica number so fault draws stay deterministic across
+        failovers.
+        """
+        platform = self.platform
+
+        def build(name: str, replica_number: int) -> ActionExecutor:
+            if chaos is None:
+                return ActionExecutor(platform, name=name)
+            return ActionExecutor(
+                platform,
+                faults=self._execution_faults(chaos),
+                seed=chaos.seed + 1000 + replica_number,
+                name=name,
+            )
+
+        return build
+
+    # -- durability -------------------------------------------------------------------
+
+    def _save_run_snapshot(self, now: int) -> None:
+        assert self._store is not None
+        if self.archive is not None and hasattr(self.archive, "commit"):
+            self.archive.commit()
+        payload = {
+            "platform": self.platform.snapshot_state(),
+            "workload": self.workload.snapshot_state(),
+            "collector": self.collector.snapshot_state(),
+            "supervisor": self.controller.snapshot_state(),
+        }
+        if self.injector is not None:
+            payload["injector"] = self.injector.snapshot_state()
+        self._store.snapshots.save(
+            "run", now, self._store.journal.last_seq, payload
+        )
+
+    def _resume_from_snapshot(self) -> int:
+        """Restore every component from the last run snapshot.
+
+        Returns the snapshot's tick; the loop continues at tick + 1.
+        """
+        assert self._store is not None
+        snapshot = self._store.snapshots.load("run")
+        if snapshot is None:
+            raise ValueError(
+                f"cannot resume: no run snapshot in {self.state_dir}"
+            )
+        tick = int(snapshot["tick"])
+        payload = snapshot["payload"]
+        self.platform.restore_state(payload["platform"])
+        if self.archive is not None and hasattr(self.archive, "truncate_after"):
+            # whatever the abandoned timeline recorded past the snapshot
+            # must not leak into the replayed one
+            self.archive.truncate_after(tick)
+        self.workload.restore_state(payload["workload"])
+        self.collector.restore_state(payload["collector"])
+        if self.injector is not None and "injector" in payload:
+            self.injector.restore_state(payload["injector"])
+        self.controller.restore_state(payload["supervisor"], tick)
+        return tick
+
     def run(self) -> SimulationResult:
         """Execute the full horizon and return the collected result."""
-        self.workload.initialize()
+        start = self.start_minute
+        if self.resume:
+            start = self._resume_from_snapshot() + 1
+        else:
+            self.workload.initialize()
         end = self.start_minute + self.horizon
-        for now in range(self.start_minute, end):
+        persistent = self._store is not None and self._store.persistent
+        for now in range(start, end):
             self.workload.tick(now)
             if self.injector is not None:
                 self.injector.tick(now)
             self.controller.tick(now)
             self.collector.observe(now)
+            if persistent and (
+                (now - self.start_minute + 1) % self.snapshot_interval == 0
+                or now == end - 1
+            ):
+                self._save_run_snapshot(now)
+            if self.kill_at is not None and now == self.kill_at:
+                os.kill(os.getpid(), signal.SIGKILL)
         return self.collector.finalize(
             final_minute=end - 1,
             escalation_count=len(self.controller.alerts.escalations()),
-            fault_records=self.injector.faults if self.injector else None,
+            fault_records=self._merged_fault_records(),
+            controller_down_minutes=getattr(
+                self.controller, "downtime_minutes", 0
+            ),
+            **self._approval_counts(),
         )
+
+    def _merged_fault_records(self):
+        records = list(self.injector.faults) if self.injector is not None else []
+        events = getattr(self.controller, "events", None)
+        if events:
+            for time, kind, _detail in events:
+                if kind in _SUPERVISOR_EVENT_KINDS:
+                    records.append(FaultRecord(time, "", "", "", kind))
+            records.sort(key=lambda record: record.time)
+        return records or None
+
+    def _approval_counts(self):
+        queue = getattr(self.controller.alerts, "approvals", None)
+        if queue is None:
+            return {"expired_approval_count": 0, "pending_approval_count": 0}
+        return {
+            "expired_approval_count": len(queue.expired()),
+            "pending_approval_count": len(queue.pending()),
+        }

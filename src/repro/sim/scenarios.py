@@ -29,6 +29,7 @@ __all__ = [
     "controller_enabled_for",
     "ChaosProfile",
     "default_chaos",
+    "controller_chaos",
 ]
 
 
@@ -153,20 +154,54 @@ class ChaosProfile:
         default_factory=dict
     )
     action_latency_jitter: bool = True
+    #: per-minute probability the controller process itself dies (off by
+    #: default; turning it on makes the runner manage the controller
+    #: through a :class:`~repro.core.failover.ControllerSupervisor`)
+    controller_crash_probability: float = 0.0
+    controller_restart_minutes: Tuple[int, int] = (5, 15)
+    #: per-minute probability the leader is partitioned from the lease
+    #: store (with a hot standby this forces a fenced failover)
+    leader_partition_probability: float = 0.0
+    leader_partition_minutes: Tuple[int, int] = (10, 20)
     seed: int = 115
+
+    @property
+    def has_controller_faults(self) -> bool:
+        return (
+            self.controller_crash_probability > 0.0
+            or self.leader_partition_probability > 0.0
+        )
+
+
+_DEFAULT_LATENCIES = {
+    Action.START: 1.0,
+    Action.STOP: 0.5,
+    Action.SCALE_OUT: 1.5,
+    Action.SCALE_IN: 0.5,
+    Action.SCALE_UP: 2.0,
+    Action.SCALE_DOWN: 2.0,
+    Action.MOVE: 2.0,
+}
 
 
 def default_chaos(seed: int = 115) -> ChaosProfile:
     """The stock chaos profile used by ``autoglobe run --chaos`` and CI."""
+    return ChaosProfile(seed=seed, action_latency_means=dict(_DEFAULT_LATENCIES))
+
+
+def controller_chaos(seed: int = 115) -> ChaosProfile:
+    """The stock profile plus controller crashes and leader partitions.
+
+    A controller fault roughly every four hours (crash) / six hours
+    (partition) — frequent enough that a half-day run exercises several
+    recoveries and at least one fenced failover, rare enough that the
+    landscape sees a normal fault mix in between.
+    """
     return ChaosProfile(
         seed=seed,
-        action_latency_means={
-            Action.START: 1.0,
-            Action.STOP: 0.5,
-            Action.SCALE_OUT: 1.5,
-            Action.SCALE_IN: 0.5,
-            Action.SCALE_UP: 2.0,
-            Action.SCALE_DOWN: 2.0,
-            Action.MOVE: 2.0,
-        },
+        action_latency_means=dict(_DEFAULT_LATENCIES),
+        controller_crash_probability=1.0 / (4 * 60),
+        controller_restart_minutes=(5, 15),
+        leader_partition_probability=1.0 / (6 * 60),
+        leader_partition_minutes=(10, 20),
     )

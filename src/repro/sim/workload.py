@@ -154,6 +154,34 @@ class WorkloadModel:
                     spec.workload.basic_load + share * self._derived_noise()
                 )
 
+    # -- durability (kill -9 and resume) -----------------------------------------------
+
+    def snapshot_state(self) -> Dict[str, object]:
+        """JSON-able model state: the RNG stream position and open bursts.
+
+        Everything else the model reads lives on the platform (users,
+        instances), which snapshots itself; restoring both makes a
+        resumed run draw byte-identical demands.
+        """
+        return {
+            "rng": self._rng.bit_generator.state,
+            "bursts": {
+                instance_id: [state.remaining, state.amplitude]
+                for instance_id, state in self._bursts.items()
+            },
+        }
+
+    def restore_state(self, payload: Dict[str, object]) -> None:
+        self._rng.bit_generator.state = payload["rng"]
+        self._bursts = {}
+        for instance_id, (remaining, amplitude) in payload.get(
+            "bursts", {}
+        ).items():  # type: ignore[union-attr]
+            state = _BurstState()
+            state.remaining = int(remaining)
+            state.amplitude = float(amplitude)
+            self._bursts[instance_id] = state
+
     # -- introspection ----------------------------------------------------------------------
 
     @property

@@ -1,0 +1,278 @@
+"""The durable-state layer: journal, snapshots, leases, replay.
+
+Acceptance: the journal survives torn tails, snapshots are atomic,
+fencing tokens are monotonic across leadership changes, and replaying
+the same journal suffix twice yields the same state (idempotency — the
+property that makes crash recovery safe to re-run).
+"""
+
+import json
+
+import pytest
+
+from repro.core.state import (
+    DurableStateStore,
+    JournalRecord,
+    LeaseStore,
+    SnapshotStore,
+    StateJournal,
+    replay_journal,
+)
+
+
+class TestStateJournal:
+    def test_append_assigns_monotonic_sequence_numbers(self, tmp_path):
+        journal = StateJournal(tmp_path / "j.jsonl")
+        first = journal.append("tick", now=1)
+        second = journal.append("protect", subject="host:Blade1", until=31)
+        assert (first.seq, second.seq) == (1, 2)
+        assert journal.last_seq == 2
+
+    def test_reload_sees_every_flushed_record(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        journal = StateJournal(path)
+        journal.append("tick", now=1)
+        journal.append("tick", now=2)
+        # no close(): a SIGKILL never closes handles, flush must suffice
+        assert [r.data["now"] for r in StateJournal.load(path)] == [1, 2]
+
+    def test_torn_tail_is_dropped_not_fatal(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        journal = StateJournal(path)
+        journal.append("tick", now=1)
+        journal.append("tick", now=2)
+        journal.close()
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"seq": 3, "kind": "tick", "da')  # died mid-write
+        records = StateJournal.load(path)
+        assert [r.seq for r in records] == [1, 2]
+        # reopening appends after the surviving prefix
+        reopened = StateJournal(path)
+        assert reopened.append("tick", now=3).seq == 3
+
+    def test_a_record_may_carry_a_kind_data_key(self, tmp_path):
+        # LMS observation descriptors have a "kind" field of their own;
+        # it must not collide with the journal's record kind
+        journal = StateJournal(tmp_path / "j.jsonl")
+        record = journal.append(
+            "observation-open", subject="FI#1", kind="serverOverloaded"
+        )
+        assert record.kind == "observation-open"
+        assert record.data["kind"] == "serverOverloaded"
+
+    def test_truncate_drops_the_abandoned_timeline(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        journal = StateJournal(path)
+        for now in range(1, 6):
+            journal.append("tick", now=now)
+        journal.truncate(3)
+        assert journal.last_seq == 3
+        assert [r.seq for r in StateJournal.load(path)] == [1, 2, 3]
+        # appends continue from the truncation point, on disk too
+        journal.append("tick", now=99)
+        assert [r.seq for r in StateJournal.load(path)] == [1, 2, 3, 4]
+
+    def test_in_memory_journal_never_touches_disk(self):
+        journal = StateJournal(None)
+        journal.append("tick", now=1)
+        assert journal.path is None
+        assert journal.last_seq == 1
+
+    def test_since_returns_strict_suffix(self):
+        journal = StateJournal(None)
+        for now in range(1, 5):
+            journal.append("tick", now=now)
+        assert [r.seq for r in journal.since(2)] == [3, 4]
+        assert journal.since(4) == []
+
+
+class TestSnapshotStore:
+    def test_save_then_load_round_trips(self, tmp_path):
+        store = SnapshotStore(tmp_path)
+        store.save("controller", 720, 17, {"tick": 720})
+        snapshot = store.load("controller")
+        assert snapshot["tick"] == 720
+        assert snapshot["journal_seq"] == 17
+        assert snapshot["payload"] == {"tick": 720}
+
+    def test_save_replaces_atomically(self, tmp_path):
+        store = SnapshotStore(tmp_path)
+        store.save("run", 1, 1, {"v": 1})
+        store.save("run", 2, 2, {"v": 2})
+        assert store.load("run")["payload"] == {"v": 2}
+        assert not list(tmp_path.glob("*.tmp"))
+
+    def test_corrupt_snapshot_reads_as_none(self, tmp_path):
+        store = SnapshotStore(tmp_path)
+        (tmp_path / "run.snapshot.json").write_text('{"kind": "ru')
+        assert store.load("run") is None
+
+    def test_missing_snapshot_reads_as_none(self, tmp_path):
+        assert SnapshotStore(tmp_path).load("controller") is None
+        assert SnapshotStore(None).load("controller") is None
+
+
+class TestLeaseStore:
+    def test_fresh_acquire_grants_token_one(self):
+        lease = LeaseStore()
+        assert lease.acquire("controller-1", now=0, ttl=5) == 1
+        assert lease.current() == ("controller-1", 1, 5)
+
+    def test_renewal_keeps_the_token(self):
+        lease = LeaseStore()
+        lease.acquire("controller-1", now=0, ttl=5)
+        assert lease.acquire("controller-1", now=3, ttl=5) == 1
+        assert lease.current() == ("controller-1", 1, 8)
+
+    def test_unexpired_lease_blocks_other_holders(self):
+        lease = LeaseStore()
+        lease.acquire("controller-1", now=0, ttl=5)
+        assert lease.acquire("controller-2", now=4, ttl=5) is None
+        assert lease.current()[0] == "controller-1"
+
+    def test_takeover_after_expiry_bumps_the_token(self):
+        lease = LeaseStore()
+        lease.acquire("controller-1", now=0, ttl=5)
+        assert lease.acquire("controller-2", now=5, ttl=5) == 2
+        # the old holder coming back is itself a new leadership epoch
+        assert lease.acquire("controller-1", now=10, ttl=5) == 3
+
+    def test_tokens_survive_process_restarts(self, tmp_path):
+        path = tmp_path / "lease.db"
+        first = LeaseStore(path)
+        first.acquire("controller-1", now=0, ttl=5)
+        first.close()
+        second = LeaseStore(path)
+        assert second.acquire("controller-2", now=9, ttl=5) == 2
+
+    def test_renew_refuses_a_non_holder(self):
+        lease = LeaseStore()
+        lease.acquire("controller-1", now=0, ttl=5)
+        assert lease.renew("controller-2", now=1, ttl=5) is None
+
+    def test_release_lets_the_next_holder_in_immediately(self):
+        lease = LeaseStore()
+        lease.acquire("controller-1", now=0, ttl=5)
+        lease.release("controller-1")
+        assert lease.acquire("controller-2", now=1, ttl=5) == 2
+
+    def test_rejects_nonpositive_ttl(self):
+        with pytest.raises(ValueError):
+            LeaseStore().acquire("x", now=0, ttl=0)
+
+
+class TestDurableStateStore:
+    def test_directory_layout(self, tmp_path):
+        store = DurableStateStore(tmp_path / "state")
+        store.journal.append("tick", now=1)
+        store.snapshots.save("controller", 1, 1, {})
+        store.lease.acquire("controller-1", now=1, ttl=5)
+        names = {p.name for p in (tmp_path / "state").iterdir()}
+        assert {"journal.jsonl", "controller.snapshot.json", "lease.db"} <= names
+        assert store.persistent
+
+    def test_memory_store_works_without_a_directory(self):
+        store = DurableStateStore(None)
+        store.journal.append("tick", now=1)
+        store.snapshots.save("controller", 1, 1, {"tick": 1})
+        assert not store.persistent
+        assert store.snapshots.load("controller")["payload"] == {"tick": 1}
+
+
+def _records(*entries):
+    return [
+        JournalRecord(seq=i + 1, kind=kind, data=data)
+        for i, (kind, data) in enumerate(entries)
+    ]
+
+
+class TestReplayJournal:
+    def test_replay_folds_every_record_kind(self):
+        records = _records(
+            ("tick", {"now": 720}),
+            ("protect", {"subject": "host:Blade1", "until": 750}),
+            ("observation-open", {"subject": "FI#1", "kind": "instanceOverloaded"}),
+            ("approval-request", {"request_id": "apr-000001", "time": 720}),
+            ("restart-pending", {"service_name": "FI", "preferred_host": "Blade2"}),
+            ("action-intent", {"intent_id": "controller-1:000001", "action": "move"}),
+        )
+        state = replay_journal(None, records)
+        assert state["tick"] == 720
+        assert state["protection"] == {"host:Blade1": 750}
+        assert "FI#1|instanceOverloaded" in state["observations"]
+        assert state["approvals"]["apr-000001"]["status"] == "pending"
+        assert state["approval_sequence"] == 1
+        assert state["pending_restarts"] == {"FI": "Blade2"}
+        assert "controller-1:000001" in state["intents"]
+
+    def test_commit_resolves_its_intent(self):
+        records = _records(
+            ("action-intent", {"intent_id": "c:000001", "action": "move"}),
+            ("action-commit", {"intent_id": "c:000001", "status": "ok"}),
+            ("action-intent", {"intent_id": "c:000002", "action": "stop"}),
+        )
+        state = replay_journal(None, records)
+        # only the uncommitted intent survives: it was in flight at the
+        # crash and is what reconciliation must resolve
+        assert set(state["intents"]) == {"c:000002"}
+
+    def test_protection_max_merges(self):
+        records = _records(
+            ("protect", {"subject": "host:Blade1", "until": 800}),
+            ("protect", {"subject": "host:Blade1", "until": 750}),
+        )
+        assert replay_journal(None, records)["protection"] == {"host:Blade1": 800}
+
+    def test_answer_and_expiry_are_first_writer_wins(self):
+        records = _records(
+            ("approval-request", {"request_id": "apr-000003", "time": 700}),
+            ("approval-answer",
+             {"request_id": "apr-000003", "approved": True, "time": 710}),
+            ("approval-expired", {"request_id": "apr-000003", "time": 940}),
+        )
+        request = replay_journal(None, records)["approvals"]["apr-000003"]
+        assert request["status"] == "approved"
+        assert request["answered_at"] == 710
+
+    def test_replay_is_idempotent(self):
+        """The acceptance property: double replay == single replay."""
+        records = _records(
+            ("tick", {"now": 720}),
+            ("protect", {"subject": "host:Blade1", "until": 750}),
+            ("observation-open", {"subject": "FI#1", "kind": "instanceOverloaded"}),
+            ("observation-close", {"subject": "FI#1", "kind": "instanceOverloaded"}),
+            ("approval-request", {"request_id": "apr-000001", "time": 720}),
+            ("approval-expired", {"request_id": "apr-000001", "time": 960}),
+            ("restart-pending", {"service_name": "FI", "preferred_host": ""}),
+            ("action-intent", {"intent_id": "c:000001", "action": "move"}),
+            ("action-commit", {"intent_id": "c:000001", "status": "ok"}),
+        )
+        once = replay_journal(None, records)
+        twice = replay_journal(None, records + records)
+        assert json.dumps(once, sort_keys=True) == json.dumps(
+            twice, sort_keys=True
+        )
+
+    def test_replaying_onto_an_overlapping_snapshot_is_stable(self):
+        """A suffix that partially overlaps the snapshot cannot corrupt it."""
+        records = _records(
+            ("protect", {"subject": "host:Blade1", "until": 750}),
+            ("approval-request", {"request_id": "apr-000002", "time": 720}),
+        )
+        base = replay_journal(None, records)
+        base_payload = {
+            "tick": base["tick"],
+            "protection": base["protection"],
+            "observations": list(base["observations"].values()),
+            "approvals": list(base["approvals"].values()),
+            "approval_sequence": base["approval_sequence"],
+            "pending_restarts": base["pending_restarts"],
+        }
+        merged = replay_journal(base_payload, records)
+        assert merged["protection"] == base["protection"]
+        assert merged["approvals"] == base["approvals"]
+        assert merged["approval_sequence"] == base["approval_sequence"]
+
+    def test_unknown_kinds_are_skipped(self):
+        records = _records(("from-the-future", {"x": 1}), ("tick", {"now": 5}))
+        assert replay_journal(None, records)["tick"] == 5

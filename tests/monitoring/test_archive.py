@@ -123,3 +123,75 @@ class TestSqliteSpecifics:
         with SqliteLoadArchive() as archive:
             with pytest.raises(ValueError):
                 archive.aggregate("Blade1", "cpu", bucket_minutes=0)
+
+
+class TestHardening:
+    """Crash-safety of the SQLite archive (the durable-controller PR)."""
+
+    def test_file_backed_archive_runs_in_wal_mode(self, tmp_path):
+        with SqliteLoadArchive(tmp_path / "wal.db") as archive:
+            mode = archive._connection.execute(
+                "PRAGMA journal_mode"
+            ).fetchone()[0]
+            assert mode == "wal"
+            timeout = archive._connection.execute(
+                "PRAGMA busy_timeout"
+            ).fetchone()[0]
+            assert timeout == 5000
+
+    def test_corrupt_file_is_moved_aside_and_rebuilt(self, tmp_path):
+        path = tmp_path / "loads.db"
+        path.write_bytes(b"this was never a SQLite database" * 100)
+        with pytest.warns(RuntimeWarning, match="corrupt"):
+            archive = SqliteLoadArchive(path)
+        with archive:
+            archive.store("Blade1", "cpu", 0, 0.5)
+            assert archive.history("Blade1", "cpu") == [(0, 0.5)]
+        assert (tmp_path / "loads.db.corrupt").exists()
+
+    def test_rebuild_keeps_working_after_corruption(self, tmp_path):
+        path = tmp_path / "loads.db"
+        path.write_bytes(b"garbage")
+        with pytest.warns(RuntimeWarning):
+            archive = SqliteLoadArchive(path)
+        with archive:
+            # the rebuilt archive is fully functional, events included
+            archive.store_event(1, "action", "FI", "restart FI on Blade2")
+            archive.commit()
+        with SqliteLoadArchive(path) as reopened:
+            assert len(reopened.events()) == 1
+
+    def test_record_reports_is_transactional(self, tmp_path):
+        path = tmp_path / "tx.db"
+        with SqliteLoadArchive(path) as archive:
+            archive.record_reports(
+                [("Blade1", "cpu", t, 0.5) for t in range(10)]
+            )
+        # the batch is durable without an explicit commit(): the context
+        # manager inside record_reports committed it
+        with SqliteLoadArchive(path) as archive:
+            assert len(archive.history("Blade1", "cpu")) == 10
+
+    def test_truncate_after_drops_the_abandoned_timeline(self, tmp_path):
+        with SqliteLoadArchive(tmp_path / "resume.db") as archive:
+            archive.store_many(
+                [("Blade1", "cpu", t, t / 100) for t in range(20)]
+            )
+            archive.store_event(5, "action", "FI", "before the snapshot")
+            archive.store_event(15, "action", "FI", "after the snapshot")
+            archive.truncate_after(9)
+            assert [t for t, _ in archive.history("Blade1", "cpu")] == list(
+                range(10)
+            )
+            assert [row[0] for row in archive.events()] == [5]
+
+    def test_in_memory_archive_truncates_too(self):
+        archive = InMemoryLoadArchive()
+        for t in range(20):
+            archive.store("Blade1", "cpu", t, t / 100)
+        archive.store_event(15, "action", "FI", "late")
+        archive.truncate_after(9)
+        assert [t for t, _ in archive.history("Blade1", "cpu")] == list(
+            range(10)
+        )
+        assert archive.events() == []

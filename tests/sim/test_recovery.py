@@ -1,0 +1,204 @@
+"""Controller crash recovery as a measured quantity.
+
+Acceptance (the durable-controller PR):
+
+* under the ``controller_chaos`` profile with a hot standby, recovery
+  keeps mean service availability within two points of a run whose
+  controller never crashes;
+* the deposed leader's fenced actions are observable as ``"fenced"``
+  audit records, never double-applied;
+* a run killed with SIGKILL mid-flight and resumed from its state
+  directory produces byte-identical summary metrics to an uninterrupted
+  run of the same configuration.
+"""
+
+import dataclasses
+import json
+import os
+import signal
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.sim.export import export_summary_json
+from repro.sim.runner import SimulationRunner
+from repro.sim.scenarios import Scenario, controller_chaos, default_chaos
+
+HORIZON = 12 * 60  # half a simulated day keeps the suite fast
+
+
+def _run(chaos, **kwargs):
+    runner = SimulationRunner(
+        Scenario.FULL_MOBILITY,
+        user_factor=1.15,
+        horizon=HORIZON,
+        seed=7,
+        collect_host_series=False,
+        chaos=chaos,
+        **kwargs,
+    )
+    return runner, runner.run()
+
+
+@pytest.fixture(scope="module")
+def recovery_runs():
+    baseline = _run(default_chaos(seed=115))
+    recovered = _run(controller_chaos(seed=115), standby=True)
+    return baseline, recovered
+
+
+class TestChaosAcceptance:
+    def test_controller_faults_were_injected(self, recovery_runs):
+        __, (runner, result) = recovery_runs
+        assert runner.injector.controller_crash_count > 0
+        assert runner.injector.leader_partition_count > 0
+        assert result.controller_down_minutes > 0
+        assert "controller crashes" in runner.injector.summary()
+
+    def test_availability_within_two_points_of_crash_free(self, recovery_runs):
+        (__, baseline), (__, recovered) = recovery_runs
+        assert baseline.fault_records and recovered.fault_records
+        delta = abs(baseline.mean_availability - recovered.mean_availability)
+        assert delta <= 0.02, (
+            f"recovery cost {delta:.3f} availability "
+            f"(baseline {baseline.mean_availability:.3f}, "
+            f"recovered {recovered.mean_availability:.3f})"
+        )
+
+    def test_fenced_actions_are_observable_not_applied(self, recovery_runs):
+        __, (__, result) = recovery_runs
+        fenced = [a for a in result.actions if a.status == "fenced"]
+        assert fenced, "the deposed leader never hit the fencing guard"
+        assert result.fenced_action_count == len(fenced)
+        assert all("fencing guard" in a.note for a in fenced)
+
+    def test_supervision_events_merge_into_fault_records(self, recovery_runs):
+        __, (__, result) = recovery_runs
+        kinds = {record.kind for record in result.fault_records}
+        assert {"controller-crash", "leader-partition", "leader-failover"} <= kinds
+        assert result.controller_fault_count("controller-crash") > 0
+        times = [record.time for record in result.fault_records]
+        assert times == sorted(times)
+
+    def test_summary_and_export_surface_recovery_metrics(
+        self, recovery_runs, tmp_path
+    ):
+        __, (__, result) = recovery_runs
+        summary = result.summary()
+        assert "controller faults:" in summary
+        assert f"{result.fenced_action_count} fenced actions" in summary
+        export_summary_json(result, tmp_path / "summary.json")
+        payload = json.loads((tmp_path / "summary.json").read_text())
+        assert payload["fenced_action_count"] == result.fenced_action_count
+        assert payload["controller_down_minutes"] == result.controller_down_minutes
+        assert payload["controller_crash_count"] == result.controller_fault_count(
+            "controller-crash"
+        )
+        assert payload["leader_partition_count"] > 0
+
+    def test_unanswered_approvals_surface_in_the_summary(self, recovery_runs):
+        __, (__, result) = recovery_runs
+        surfaced = dataclasses.replace(
+            result, pending_approval_count=1, expired_approval_count=2
+        )
+        assert "approvals: 1 pending, 2 expired unanswered" in surfaced.summary()
+        assert "approvals:" not in dataclasses.replace(
+            result, pending_approval_count=0, expired_approval_count=0
+        ).summary()
+
+
+_HARNESS = """\
+import sys
+from repro.sim.runner import SimulationRunner
+from repro.sim.scenarios import Scenario, default_chaos
+
+state_dir, mode = sys.argv[1], sys.argv[2]
+kwargs = {"state_dir": state_dir}
+if mode == "kill":
+    kwargs["kill_at"] = 720 + 95  # mid-run, past several snapshots
+if mode == "resume":
+    kwargs["resume"] = True
+runner = SimulationRunner(
+    Scenario.FULL_MOBILITY, user_factor=1.15, horizon=180, seed=7,
+    collect_host_series=False, chaos=default_chaos(115), **kwargs,
+)
+result = runner.run()
+print(result.summary())
+print([
+    (a.time, a.action.value, a.service_name, a.status, a.attempts)
+    for a in result.actions
+])
+"""
+
+
+class TestKillAndResume:
+    def _harness(self, tmp_path):
+        script = tmp_path / "harness.py"
+        script.write_text(_HARNESS)
+        env = dict(os.environ)
+        src = str(Path(__file__).resolve().parents[2] / "src")
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+
+        def run(*args):
+            return subprocess.run(
+                [sys.executable, str(script), *args],
+                capture_output=True,
+                text=True,
+                env=env,
+                timeout=300,
+            )
+
+        return run
+
+    def test_sigkill_then_resume_is_byte_identical(self, tmp_path):
+        run = self._harness(tmp_path)
+        uninterrupted = run(str(tmp_path / "full"), "full")
+        assert uninterrupted.returncode == 0, uninterrupted.stderr
+
+        killed = run(str(tmp_path / "state"), "kill")
+        assert killed.returncode == -signal.SIGKILL
+
+        state = tmp_path / "state"
+        names = {path.name for path in state.iterdir()}
+        assert {
+            "journal.jsonl",
+            "run.snapshot.json",
+            "controller.snapshot.json",
+            "lease.db",
+            "archive.db",
+        } <= names
+
+        resumed = run(str(state), "resume")
+        assert resumed.returncode == 0, resumed.stderr
+        assert resumed.stdout == uninterrupted.stdout
+
+
+class TestRunnerValidation:
+    def test_resume_requires_a_state_directory(self):
+        with pytest.raises(ValueError, match="resume"):
+            SimulationRunner(Scenario.FULL_MOBILITY, resume=True)
+
+    def test_kill_at_requires_a_state_directory(self):
+        with pytest.raises(ValueError, match="kill_at"):
+            SimulationRunner(Scenario.FULL_MOBILITY, kill_at=900)
+
+    def test_resume_from_an_empty_directory_fails_loudly(self, tmp_path):
+        runner = SimulationRunner(
+            Scenario.FULL_MOBILITY,
+            horizon=30,
+            state_dir=tmp_path / "empty",
+            resume=True,
+        )
+        with pytest.raises(ValueError, match="cannot resume"):
+            runner.run()
+
+    def test_controller_fault_chaos_rejects_custom_factories(self):
+        # the check fires during construction, before the factory runs
+        with pytest.raises(ValueError, match="supervised"):
+            SimulationRunner(
+                Scenario.FULL_MOBILITY,
+                chaos=controller_chaos(115),
+                controller_factory=lambda platform, settings, enabled: None,
+            )
