@@ -1,0 +1,192 @@
+#!/usr/bin/env python
+"""Performance harness for the simulation runner and monitoring hot path.
+
+Times the end-to-end seeded chaos runs (the acceptance workload) plus the
+monitoring/decision microbenchmarks that the telemetry-spine refactor
+targets, and writes ``BENCH_runner.json``.  The file embeds the
+pre-refactor baseline (measured on commit 12d8c5c, before the event bus,
+O(1) rolling windows, vectorized fuzzy evaluation and defuzzifier
+memoization landed) so every run reports its speedup against the same
+fixed reference.
+
+Usage::
+
+    PYTHONPATH=src python bench/run_bench.py [--quick] [--out FILE]
+
+``--quick`` skips the 80-hour run and the long tick microbenchmark; CI
+uses it as a smoke test, while the committed ``BENCH_runner.json`` at the
+repository root comes from a full run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform as platform_mod
+import sys
+import time
+from pathlib import Path
+
+#: Wall-clock numbers measured immediately before this refactor
+#: (commit 12d8c5c) on the same workloads this harness runs.
+PRE_REFACTOR_BASELINE = {
+    "commit": "12d8c5c",
+    "runner_chaos_12h_seconds": 6.25,
+    "runner_chaos_12h_ticks_per_second": 115.2,
+    "runner_chaos_80h_seconds": 29.99,
+    "runner_chaos_80h_ticks_per_second": 160.1,
+    "archive_average_trailing10_us": 101.0,
+    "series_mean_between_trailing10_us": 1.30,
+    "series_views_4800_samples_us": 375.4,
+    "controller_tick_ms": 2.406,
+}
+
+
+def _chaos_run(horizon: int) -> dict:
+    from repro.sim.runner import SimulationRunner
+    from repro.sim.scenarios import Scenario, default_chaos
+
+    started = time.perf_counter()
+    runner = SimulationRunner(
+        Scenario.FULL_MOBILITY,
+        user_factor=1.15,
+        horizon=horizon,
+        seed=7,
+        collect_host_series=False,
+        chaos=default_chaos(seed=115),
+    )
+    runner.run()
+    elapsed = time.perf_counter() - started
+    return {
+        "horizon_minutes": horizon,
+        "seconds": round(elapsed, 3),
+        "ticks_per_second": round(horizon / elapsed, 1),
+        "telemetry_records": runner.platform.bus.last_seq,
+    }
+
+
+def _time_us(fn, iterations: int) -> float:
+    """Mean microseconds per call over ``iterations`` calls."""
+    started = time.perf_counter()
+    for _ in range(iterations):
+        fn()
+    return (time.perf_counter() - started) / iterations * 1e6
+
+
+def _microbench_archive() -> float:
+    from repro.monitoring.archive import InMemoryLoadArchive
+
+    archive = InMemoryLoadArchive()
+    for minute in range(4800):
+        archive.store("host01", "cpu", minute, 0.25 + (minute % 97) / 200.0)
+    end = 4799
+    return round(
+        _time_us(lambda: archive.average("host01", "cpu", end - 9, end), 20000), 3
+    )
+
+
+def _microbench_series() -> dict:
+    from repro.monitoring.timeseries import LoadSeries
+
+    series = LoadSeries()
+    for minute in range(4800):
+        series.record(minute, 0.25 + (minute % 97) / 200.0)
+    end = 4799
+
+    def views() -> None:
+        series.values()
+        series.times()
+        series.items()
+
+    return {
+        "series_mean_between_trailing10_us": round(
+            _time_us(lambda: series.mean_between(end - 9, end), 50000), 3
+        ),
+        "series_mean_over_last_window10_us": round(
+            _time_us(lambda: series.mean_over_last(10), 50000), 3
+        ),
+        "series_views_4800_samples_us": round(_time_us(views, 50000), 3),
+    }
+
+
+def _microbench_controller_tick(horizon: int) -> float:
+    """Mean controller tick cost at the end of a warmed-up plain run."""
+    from repro.sim.runner import SimulationRunner
+    from repro.sim.scenarios import Scenario
+
+    runner = SimulationRunner(
+        Scenario.FULL_MOBILITY,
+        user_factor=1.15,
+        horizon=horizon,
+        seed=7,
+        collect_host_series=False,
+    )
+    runner.run()
+    controller = runner.controller
+    end = runner.start_minute + runner.horizon
+    ticks = 240
+    started = time.perf_counter()
+    for offset in range(ticks):
+        controller.tick(end + offset)
+    return round((time.perf_counter() - started) / ticks * 1e3, 4)
+
+
+def run(quick: bool) -> dict:
+    results: dict = {}
+    print("chaos run, 12 hours ...", flush=True)
+    twelve = _chaos_run(720)
+    results["runner_chaos_12h_seconds"] = twelve["seconds"]
+    results["runner_chaos_12h_ticks_per_second"] = twelve["ticks_per_second"]
+    results["runner_chaos_12h_telemetry_records"] = twelve["telemetry_records"]
+    if not quick:
+        print("chaos run, 80 hours ...", flush=True)
+        eighty = _chaos_run(4800)
+        results["runner_chaos_80h_seconds"] = eighty["seconds"]
+        results["runner_chaos_80h_ticks_per_second"] = eighty["ticks_per_second"]
+        results["runner_chaos_80h_telemetry_records"] = eighty["telemetry_records"]
+    print("monitoring microbenchmarks ...", flush=True)
+    results["archive_average_trailing10_us"] = _microbench_archive()
+    results.update(_microbench_series())
+    print("controller tick microbenchmark ...", flush=True)
+    results["controller_tick_ms"] = _microbench_controller_tick(
+        720 if quick else 4800
+    )
+
+    speedup = {}
+    for key, before in PRE_REFACTOR_BASELINE.items():
+        after = results.get(key)
+        if key == "commit" or after is None or not after:
+            continue
+        # Throughput metrics improve upward, timings downward.
+        factor = after / before if key.endswith("per_second") else before / after
+        speedup[key] = round(factor, 2)
+    return {
+        "schema": 1,
+        "mode": "quick" if quick else "full",
+        "python": platform_mod.python_version(),
+        "baseline_pre_refactor": PRE_REFACTOR_BASELINE,
+        "results": results,
+        "speedup_vs_baseline": speedup,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="12-hour run only (CI smoke mode)")
+    parser.add_argument("--out", default="BENCH_runner.json", metavar="FILE",
+                        help="output path (default: BENCH_runner.json)")
+    args = parser.parse_args(argv)
+    payload = run(quick=args.quick)
+    out = Path(args.out)
+    if out.parent != Path("."):
+        out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    print(f"wrote {out}")
+    for key, factor in payload["speedup_vs_baseline"].items():
+        print(f"  {key}: {factor:g}x vs pre-refactor")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,62 @@
+"""Perf smoke test: guard the runner's throughput against regressions.
+
+Not part of tier-1 (``testpaths`` excludes ``benchmarks/``); CI's
+perf-smoke job runs it explicitly.  Two guards:
+
+* the committed ``BENCH_runner.json`` must document the refactor's
+  speedup on the monitoring/decision hot path (>= 2x vs the embedded
+  pre-refactor baseline);
+* a fresh quick chaos run must not fall more than 25% below the
+  committed runner throughput.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BENCH_FILE = REPO_ROOT / "BENCH_runner.json"
+
+#: Allowed throughput regression before the smoke test fails.
+REGRESSION_TOLERANCE = 0.25
+
+
+def _committed() -> dict:
+    return json.loads(BENCH_FILE.read_text(encoding="utf-8"))
+
+
+def test_committed_bench_documents_hot_path_speedup():
+    payload = _committed()
+    speedup = payload["speedup_vs_baseline"]
+    assert speedup["archive_average_trailing10_us"] >= 2.0
+    assert speedup["controller_tick_ms"] >= 2.0
+    assert speedup["runner_chaos_80h_seconds"] >= 2.0
+    # The committed file must come from the full (80-hour) workload.
+    assert payload["mode"] == "full"
+    assert payload["results"]["runner_chaos_80h_seconds"] > 0
+
+
+def test_runner_throughput_no_regression():
+    from repro.sim.runner import SimulationRunner
+    from repro.sim.scenarios import Scenario, default_chaos
+
+    committed = _committed()["results"]["runner_chaos_12h_ticks_per_second"]
+    horizon = 720
+    started = time.perf_counter()
+    runner = SimulationRunner(
+        Scenario.FULL_MOBILITY,
+        user_factor=1.15,
+        horizon=horizon,
+        seed=7,
+        collect_host_series=False,
+        chaos=default_chaos(seed=115),
+    )
+    runner.run()
+    ticks_per_second = horizon / (time.perf_counter() - started)
+    floor = committed * (1.0 - REGRESSION_TOLERANCE)
+    assert ticks_per_second >= floor, (
+        f"runner throughput regressed: {ticks_per_second:.1f} ticks/s "
+        f"< {floor:.1f} (committed {committed:.1f} - {REGRESSION_TOLERANCE:.0%})"
+    )

@@ -196,10 +196,13 @@ def _cmd_run(args) -> int:
         for action in result.actions:
             print(f"  {format_minute(action.time)}  {action}")
     if args.export:
-        from repro.sim.export import export_all
+        from repro.sim.export import export_all, export_telemetry_jsonl
 
         target = export_all(result, args.export)
-        print(f"  exported to {target}")
+        exported = export_telemetry_jsonl(
+            runner.platform.bus, target / "telemetry.jsonl"
+        )
+        print(f"  exported to {target} ({exported} telemetry records)")
     if args.explain:
         from repro.core.explain import explain_last_decisions
 

@@ -13,6 +13,8 @@ import enum
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
+from repro.telemetry.records import AlertEvent
+
 __all__ = [
     "AlertSeverity",
     "Alert",
@@ -194,22 +196,33 @@ class AlertChannel:
         self,
         confirm: Optional[ConfirmationCallback] = None,
         approval_ttl: int = 240,
+        bus=None,
     ) -> None:
         self._confirm = confirm
         self.alerts: List[Alert] = []
+        #: optional :class:`~repro.telemetry.bus.EventBus`: every alert
+        #: also publishes on the ``alerts`` topic when set
+        self.bus = bus
         #: every confirmation request is tracked here; unanswered ones
         #: expire after ``approval_ttl`` simulated minutes
         self.approvals = ApprovalQueue(approval_ttl)
 
+    def _record(self, alert: Alert) -> None:
+        self.alerts.append(alert)
+        if self.bus is not None:
+            self.bus.publish(
+                AlertEvent(alert.time, alert.severity.value, alert.message)
+            )
+
     def info(self, time: int, message: str) -> None:
-        self.alerts.append(Alert(time, AlertSeverity.INFO, message))
+        self._record(Alert(time, AlertSeverity.INFO, message))
 
     def warning(self, time: int, message: str) -> None:
-        self.alerts.append(Alert(time, AlertSeverity.WARNING, message))
+        self._record(Alert(time, AlertSeverity.WARNING, message))
 
     def escalate(self, time: int, message: str) -> None:
         """Request human interaction (no applicable action/host found)."""
-        self.alerts.append(Alert(time, AlertSeverity.ESCALATION, message))
+        self._record(Alert(time, AlertSeverity.ESCALATION, message))
 
     def request_confirmation(self, time: int, description: str) -> bool:
         """Ask the administrator to approve an action (semi-automatic mode)."""

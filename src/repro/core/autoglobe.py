@@ -24,7 +24,7 @@ from repro.core.decision import DecisionLoop
 from repro.core.protection import ProtectionRegistry
 from repro.core.server_selection import ServerSelector
 from repro.monitoring.advisor import Advisor, SubjectKind
-from repro.monitoring.archive import InMemoryLoadArchive, LoadArchive
+from repro.monitoring.archive import ArchiveFlusher, InMemoryLoadArchive, LoadArchive
 from repro.monitoring.heartbeat import HeartbeatDetector
 from repro.monitoring.lms import LoadMonitoringSystem, Situation, SituationKind
 from repro.monitoring.monitor import LoadMonitor
@@ -32,6 +32,7 @@ from repro.serviceglobe.actions import ActionError, ActionOutcome, NoSuchTarget
 from repro.serviceglobe.executor import ActionExecutor
 from repro.serviceglobe.platform import Platform
 from repro.serviceglobe.service import ServiceInstance
+from repro.telemetry.records import LoadReportBatch
 
 __all__ = ["AutoGlobeController"]
 
@@ -54,8 +55,11 @@ class AutoGlobeController:
         self.archive = archive if archive is not None else InMemoryLoadArchive()
         self.enabled = enabled
         self.lms = LoadMonitoringSystem()
+        self.lms.bus = platform.bus
         self.protection = ProtectionRegistry(self.settings.protection_time)
-        self.alerts = AlertChannel(confirm, approval_ttl=self.settings.approval_ttl)
+        self.alerts = AlertChannel(
+            confirm, approval_ttl=self.settings.approval_ttl, bus=platform.bus
+        )
         self.action_selector = ActionSelector()
         #: optional ReservationBook: reserved capacity steers host selection
         self.reservations = reservations
@@ -92,6 +96,12 @@ class AutoGlobeController:
         #: observation descriptors recovered from a snapshot/journal,
         #: revived in the next tick once their monitors exist again
         self._pending_observation_restores: List[Dict[str, Any]] = []
+        #: one tick's load reports, flushed to the bus (and from there to
+        #: the archive) in one batch after the sampling pass
+        self._report_buffer: List[Tuple[str, str, int, float]] = []
+        #: the bus->archive bridge; shared across replicas of the same
+        #: archive so a standby taking over does not double-store batches
+        self.archive_flusher = self._ensure_archive_flusher()
         self._host_cpu_monitors: Dict[str, LoadMonitor] = {}
         self._host_mem_monitors: Dict[str, LoadMonitor] = {}
         self._host_advisors: Dict[str, Advisor] = {}
@@ -105,6 +115,23 @@ class AutoGlobeController:
         self._sync_host_monitors()
 
     # -- setup ---------------------------------------------------------------------
+
+    def _ensure_archive_flusher(self) -> ArchiveFlusher:
+        """One flusher per (archive, bus) pair.
+
+        Controller replicas (hot standby, post-crash recovery) share one
+        archive and one platform bus; a second flusher on the same pair
+        would store every published batch twice.
+        """
+        flusher = getattr(self.archive, "bus_flusher", None)
+        if (
+            flusher is None
+            or flusher.bus is not self.platform.bus
+            or flusher.archive is not self.archive
+        ):
+            flusher = ArchiveFlusher(self.archive, self.platform.bus)
+            self.archive.bus_flusher = flusher
+        return flusher
 
     def _install_service_rule_overrides(self) -> None:
         for service in self.platform.landscape.services:
@@ -123,11 +150,13 @@ class AutoGlobeController:
                 probe=lambda h=host: h.cpu_load,
                 archive=self.archive,
             )
+            cpu_monitor.report_sink = self._report_buffer
             mem_monitor = LoadMonitor(
                 host.name, "mem",
                 probe=lambda h=host: h.mem_load(self.platform.memory_of),
                 archive=self.archive,
             )
+            mem_monitor.report_sink = self._report_buffer
             self._host_cpu_monitors[host.name] = cpu_monitor
             self._host_mem_monitors[host.name] = mem_monitor
             self._host_advisors[host.name] = Advisor(
@@ -144,12 +173,14 @@ class AutoGlobeController:
                 continue
             # total demand, not average load: invariant under the
             # controller's own scale-outs, so daily patterns stay clean
-            self._service_monitors[service_name] = LoadMonitor(
+            monitor = LoadMonitor(
                 f"service:{service_name}",
                 "demand",
                 probe=lambda n=service_name: self.platform.service_demand(n),
                 archive=self.archive,
             )
+            monitor.report_sink = self._report_buffer
+            self._service_monitors[service_name] = monitor
 
     def _sync_instance_monitors(self) -> None:
         """Create advisors for new instances, retire stale ones.
@@ -167,7 +198,7 @@ class AutoGlobeController:
             instance_id, host_name = key
             instance = running.get(instance_id)
             if instance is None or instance.host_name != host_name:
-                del self._instance_advisors[key]
+                self._instance_advisors.pop(key).detach()
                 if instance is None:
                     self._instance_monitors.pop(instance_id, None)
         for instance in running.values():
@@ -182,6 +213,7 @@ class AutoGlobeController:
                     probe=lambda i=instance: self.platform.host(i.host_name).cpu_load,
                     archive=self.archive,
                 )
+                monitor.report_sink = self._report_buffer
                 self._instance_monitors[instance.instance_id] = monitor
             host = self.platform.host(instance.host_name)
             self._instance_advisors[key] = Advisor(
@@ -319,6 +351,13 @@ class AutoGlobeController:
                 advisor.monitor.mark_dropped(now)
             else:
                 advisor.monitor.sample(now)
+        # one batched flush per tick: the archive consumes this minute's
+        # reports off the bus before any decision queries watch-time means
+        if self._report_buffer:
+            self.platform.bus.publish(
+                LoadReportBatch(now, tuple(self._report_buffer))
+            )
+            self._report_buffer.clear()
         for name, advisor in self._host_advisors.items():
             if name not in blind:
                 advisor.inspect(now)
@@ -330,7 +369,7 @@ class AutoGlobeController:
         # that no longer exists in the landscape
         for name, host in self.platform.hosts.items():
             if not host.up:
-                self.lms.cancel_subject(name)
+                self.lms.cancel_subject(name, now)
         outcomes: List[ActionOutcome] = []
         situations = self.lms.tick(now)
         if not self.enabled:

@@ -116,15 +116,43 @@ class ControllerConsole:
 
         return explain_last_decisions(self.controller.decision_records, limit)
 
+    def telemetry_view(self, limit: int = 20, topic: Optional[str] = None) -> str:
+        """Tail of the platform's telemetry bus, newest last.
+
+        Merges every topic by global sequence number (or tails one topic
+        when named): the console's live window into actions, faults,
+        supervision events, situation transitions and alerts.
+        """
+        from repro.telemetry.records import record_to_dict
+
+        bus = self.controller.platform.bus
+        envelopes = bus.tail(topic=topic, limit=limit)
+        if not envelopes:
+            return "(no telemetry)"
+        lines = []
+        for envelope in envelopes:
+            payload = record_to_dict(envelope.record)
+            kind = payload.pop("type")
+            if kind == "LoadReportBatch":
+                payload["rows"] = f"{len(payload['rows'])} samples"
+            fields = " ".join(
+                f"{key}={value}"
+                for key, value in payload.items()
+                if value not in (None, "", ())
+            )
+            lines.append(f"#{envelope.seq:<6} [{envelope.topic}] {kind} {fields}")
+        return "\n".join(lines)
+
     def render(self, now: Optional[int] = None) -> str:
-        """All three views, separated by headings."""
-        return "\n\n".join(
-            [
-                "== Servers ==\n" + self.server_view(now),
-                "== Services ==\n" + self.service_view(),
-                "== Messages ==\n" + self.message_view(),
-            ]
-        )
+        """All views, separated by headings."""
+        sections = [
+            "== Servers ==\n" + self.server_view(now),
+            "== Services ==\n" + self.service_view(),
+            "== Messages ==\n" + self.message_view(),
+        ]
+        if self.controller.platform.bus.last_seq > 0:
+            sections.append("== Telemetry ==\n" + self.telemetry_view())
+        return "\n\n".join(sections)
 
     # -- manual execution ----------------------------------------------------------------
 

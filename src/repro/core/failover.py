@@ -41,6 +41,7 @@ from repro.monitoring.archive import InMemoryLoadArchive, LoadArchive
 from repro.serviceglobe.actions import ActionOutcome
 from repro.serviceglobe.executor import ActionExecutor
 from repro.serviceglobe.platform import Platform
+from repro.telemetry.records import SupervisionEvent, SupervisionEventKind
 
 __all__ = ["ControllerSupervisor"]
 
@@ -158,6 +159,17 @@ class ControllerSupervisor:
         self._pending_intents: Dict[str, Dict[str, Any]] = {}
         self.active: Optional[AutoGlobeController] = self._recover_from_store()
 
+    def _record_event(self, now: int, kind: str, detail: str) -> None:
+        """Record one supervision event and publish it on the bus.
+
+        ``kind`` must name a :class:`SupervisionEventKind` member —
+        a typo or a new unregistered kind raises ``ValueError`` here, at
+        the producer, instead of being silently dropped downstream.
+        """
+        event_kind = SupervisionEventKind(kind)
+        self.events.append((now, kind, detail))
+        self.platform.bus.publish(SupervisionEvent(now, event_kind, detail))
+
     # -- replica construction -------------------------------------------------------
 
     def _new_controller(self) -> AutoGlobeController:
@@ -248,7 +260,7 @@ class ControllerSupervisor:
         """
         if self.active is None:
             return
-        self.events.append((now, "controller-crash", self.active.executor.name))
+        self._record_event(now, "controller-crash", self.active.executor.name)
         self.active = None
         self._restart_at = now + down_minutes
         # the crashed process takes its partition state with it
@@ -265,7 +277,7 @@ class ControllerSupervisor:
         if self.active is None:
             return
         self._partitioned_until = now + minutes
-        self.events.append((now, "leader-partition", self.active.executor.name))
+        self._record_event(now, "leader-partition", self.active.executor.name)
 
     # -- leadership -------------------------------------------------------------------
 
@@ -283,7 +295,7 @@ class ControllerSupervisor:
             return
         self.active = self._recover_from_store()
         self._restart_at = None
-        self.events.append((now, kind, self.active.executor.name))
+        self._record_event(now, kind, self.active.executor.name)
 
     def _maybe_promote(self, now: int) -> None:
         """Promote the standby over a partitioned leader at lease expiry."""
@@ -304,12 +316,10 @@ class ControllerSupervisor:
         self._stale = (deposed, self._partitioned_until)
         self._partitioned_until = None
         self.active = self._recover_from_store()
-        self.events.append(
-            (
-                now,
-                "leader-failover",
-                f"{deposed.executor.name}->{self.active.executor.name}",
-            )
+        self._record_event(
+            now,
+            "leader-failover",
+            f"{deposed.executor.name}->{self.active.executor.name}",
         )
 
     def _acquire_lease(self, now: int) -> None:
@@ -353,9 +363,7 @@ class ControllerSupervisor:
         if self._stale is not None:
             stale, heal_at = self._stale
             if now >= heal_at:
-                self.events.append(
-                    (now, "partition-healed", stale.executor.name)
-                )
+                self._record_event(now, "partition-healed", stale.executor.name)
                 self._stale = None
             else:
                 # the deposed leader keeps ticking; its actions carry the

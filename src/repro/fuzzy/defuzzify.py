@@ -26,8 +26,19 @@ __all__ = ["Defuzzifier", "LeftmostMax", "RightmostMax", "MeanOfMax", "Centroid"
 _GRADE_TOLERANCE = 1e-9
 
 
+#: Bound on the per-defuzzifier memo table; cleared wholesale when full.
+_CACHE_LIMIT = 4096
+
+
 class Defuzzifier:
-    """Base class for defuzzification strategies."""
+    """Base class for defuzzification strategies.
+
+    Results are memoized per ``(fuzzy_set, domain)``: the controller
+    defuzzifies the same clipped output sets every tick (rule strengths
+    are drawn from a small set of repeated load readings), so the grid
+    evaluation — the tick loop's dominant cost — is skipped on repeats.
+    Unhashable sets silently bypass the cache.
+    """
 
     #: Number of sample points on the output domain grid.
     resolution: int = 1001
@@ -36,6 +47,7 @@ class Defuzzifier:
         if resolution < 2:
             raise ValueError(f"resolution must be >= 2, got {resolution}")
         self.resolution = resolution
+        self._cache: dict = {}
 
     def _grid(
         self, fuzzy_set: MembershipFunction, domain: Tuple[float, float]
@@ -48,6 +60,22 @@ class Defuzzifier:
         return xs, mus
 
     def __call__(
+        self, fuzzy_set: MembershipFunction, domain: Tuple[float, float]
+    ) -> float:
+        try:
+            key = (fuzzy_set, domain)
+            cached = self._cache.get(key)
+        except TypeError:
+            return self._compute(fuzzy_set, domain)
+        if cached is not None:
+            return cached
+        value = self._compute(fuzzy_set, domain)
+        if len(self._cache) >= _CACHE_LIMIT:
+            self._cache.clear()
+        self._cache[key] = value
+        return value
+
+    def _compute(
         self, fuzzy_set: MembershipFunction, domain: Tuple[float, float]
     ) -> float:
         raise NotImplementedError
@@ -67,7 +95,7 @@ class _MaxBased(Defuzzifier):
 class LeftmostMax(_MaxBased):
     """The paper's method: leftmost value attaining the maximum grade."""
 
-    def __call__(
+    def _compute(
         self, fuzzy_set: MembershipFunction, domain: Tuple[float, float]
     ) -> float:
         return float(self._max_region(fuzzy_set, domain)[0])
@@ -76,7 +104,7 @@ class LeftmostMax(_MaxBased):
 class RightmostMax(_MaxBased):
     """Rightmost value attaining the maximum grade."""
 
-    def __call__(
+    def _compute(
         self, fuzzy_set: MembershipFunction, domain: Tuple[float, float]
     ) -> float:
         return float(self._max_region(fuzzy_set, domain)[-1])
@@ -85,7 +113,7 @@ class RightmostMax(_MaxBased):
 class MeanOfMax(_MaxBased):
     """Mean of all values attaining the maximum grade."""
 
-    def __call__(
+    def _compute(
         self, fuzzy_set: MembershipFunction, domain: Tuple[float, float]
     ) -> float:
         return float(self._max_region(fuzzy_set, domain).mean())
@@ -98,7 +126,7 @@ class Centroid(Defuzzifier):
     rules fired with strength 0).
     """
 
-    def __call__(
+    def _compute(
         self, fuzzy_set: MembershipFunction, domain: Tuple[float, float]
     ) -> float:
         xs, mus = self._grid(fuzzy_set, domain)

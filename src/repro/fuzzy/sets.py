@@ -123,6 +123,23 @@ class Trapezoid(MembershipFunction):
             return 1.0
         return (self.d - x) / (self.d - self.c)
 
+    def evaluate(self, xs: np.ndarray) -> np.ndarray:
+        # elementwise float64 arithmetic matches __call__ bit for bit;
+        # the suppressed divisions only occur where another branch wins
+        xs = np.asarray(xs, dtype=float).ravel()
+        with np.errstate(divide="ignore", invalid="ignore"):
+            rising = (xs - self.a) / (self.b - self.a)
+            falling = (self.d - xs) / (self.d - self.c)
+        return np.select(
+            [
+                (xs < self.a) | (xs > self.d),
+                xs < self.b,
+                (xs <= self.c) | (self.c == self.d),
+            ],
+            [0.0, rising, 1.0],
+            default=falling,
+        )
+
 
 def Triangle(a: float, b: float, c: float) -> Trapezoid:
     """Triangular membership function: grade 1 only at the apex ``b``."""
@@ -154,6 +171,14 @@ class RampUp(MembershipFunction):
             return 1.0
         return (x - self.a) / (self.b - self.a)
 
+    def evaluate(self, xs: np.ndarray) -> np.ndarray:
+        xs = np.asarray(xs, dtype=float).ravel()
+        return np.select(
+            [xs <= self.a, xs >= self.b],
+            [0.0, 1.0],
+            default=(xs - self.a) / (self.b - self.a),
+        )
+
 
 @dataclass(frozen=True)
 class RampDown(MembershipFunction):
@@ -174,6 +199,14 @@ class RampDown(MembershipFunction):
             return 0.0
         return (self.b - x) / (self.b - self.a)
 
+    def evaluate(self, xs: np.ndarray) -> np.ndarray:
+        xs = np.asarray(xs, dtype=float).ravel()
+        return np.select(
+            [xs <= self.a, xs >= self.b],
+            [1.0, 0.0],
+            default=(self.b - xs) / (self.b - self.a),
+        )
+
 
 @dataclass(frozen=True)
 class Rectangle(MembershipFunction):
@@ -189,6 +222,10 @@ class Rectangle(MembershipFunction):
 
     def __call__(self, x: float) -> float:
         return 1.0 if self.a <= x <= self.b else 0.0
+
+    def evaluate(self, xs: np.ndarray) -> np.ndarray:
+        xs = np.asarray(xs, dtype=float).ravel()
+        return np.where((xs >= self.a) & (xs <= self.b), 1.0, 0.0)
 
 
 @dataclass(frozen=True)
@@ -218,6 +255,9 @@ class Constant(MembershipFunction):
 
     def __call__(self, x: float) -> float:
         return self.height
+
+    def evaluate(self, xs: np.ndarray) -> np.ndarray:
+        return np.full(np.asarray(xs).size, self.height)
 
 
 @dataclass(frozen=True)
@@ -292,6 +332,9 @@ class ClippedSet(MembershipFunction):
     def __call__(self, x: float) -> float:
         return min(self.base(x), self.height)
 
+    def evaluate(self, xs: np.ndarray) -> np.ndarray:
+        return np.minimum(self.base.evaluate(xs), self.height)
+
 
 class _CombinedSet(MembershipFunction):
     """Shared plumbing for union / intersection of several sets."""
@@ -326,12 +369,18 @@ class UnionSet(_CombinedSet):
     def __call__(self, x: float) -> float:
         return max(m(x) for m in self.members)
 
+    def evaluate(self, xs: np.ndarray) -> np.ndarray:
+        return np.maximum.reduce([m.evaluate(xs) for m in self.members])
+
 
 class IntersectionSet(_CombinedSet):
     """Fuzzy intersection: ``mu(x) = min_i mu_i(x)``."""
 
     def __call__(self, x: float) -> float:
         return min(m(x) for m in self.members)
+
+    def evaluate(self, xs: np.ndarray) -> np.ndarray:
+        return np.minimum.reduce([m.evaluate(xs) for m in self.members])
 
 
 @dataclass(frozen=True)
@@ -345,3 +394,6 @@ class ComplementSet(MembershipFunction):
 
     def __call__(self, x: float) -> float:
         return 1.0 - self.base(x)
+
+    def evaluate(self, xs: np.ndarray) -> np.ndarray:
+        return 1.0 - self.base.evaluate(xs)

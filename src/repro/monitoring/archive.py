@@ -18,11 +18,20 @@ from __future__ import annotations
 import os
 import sqlite3
 import warnings
-from collections import defaultdict
+from bisect import bisect_right
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple, Union
 
-__all__ = ["LoadArchive", "InMemoryLoadArchive", "SqliteLoadArchive"]
+from repro.telemetry.bus import EventBus
+from repro.telemetry.records import TOPIC_REPORTS, LoadReportBatch
+from repro.telemetry.windows import sum_forward, window_bounds
+
+__all__ = [
+    "LoadArchive",
+    "InMemoryLoadArchive",
+    "SqliteLoadArchive",
+    "ArchiveFlusher",
+]
 
 
 class LoadArchive:
@@ -67,10 +76,17 @@ class LoadArchive:
 
 
 class InMemoryLoadArchive(LoadArchive):
-    """Dict-backed archive; O(1) appends, linear window queries."""
+    """Dict-backed archive; O(1) appends, bisected window queries.
+
+    Samples are kept as parallel sorted time/value lists per
+    ``(subject, metric)``, so window queries bisect for the bounds and
+    sum the slice oldest-first — the exact summation order of the
+    historic linear scan, keeping ``average`` bit-identical.
+    """
 
     def __init__(self) -> None:
-        self._data: Dict[Tuple[str, str], List[Tuple[int, float]]] = defaultdict(list)
+        self._times: Dict[Tuple[str, str], List[int]] = {}
+        self._values: Dict[Tuple[str, str], List[float]] = {}
         self._events: List[Tuple[int, str, str, str]] = []
 
     def store_event(
@@ -93,36 +109,59 @@ class InMemoryLoadArchive(LoadArchive):
         ]
 
     def store(self, subject: str, metric: str, time: int, value: float) -> None:
-        self._data[(subject, metric)].append((time, float(value)))
+        key = (subject, metric)
+        times = self._times.get(key)
+        if times is None:
+            times = self._times[key] = []
+            self._values[key] = []
+        values = self._values[key]
+        if times and time < times[-1]:
+            # out-of-order backfill (rare): keep the lists sorted
+            index = bisect_right(times, time)
+            times.insert(index, time)
+            values.insert(index, float(value))
+            return
+        times.append(time)
+        values.append(float(value))
 
-    def _window(
-        self, subject: str, metric: str, start: int, end: Optional[int]
-    ) -> List[Tuple[int, float]]:
-        rows = self._data.get((subject, metric), [])
-        return [
-            (t, v) for t, v in rows if t >= start and (end is None or t <= end)
-        ]
+    def record_reports(
+        self, rows: List[Tuple[str, str, int, float]]
+    ) -> None:
+        """Store one tick's load reports (one bus flush)."""
+        for subject, metric, time, value in rows:
+            self.store(subject, metric, time, value)
 
     def average(
         self, subject: str, metric: str, start: int, end: int
     ) -> Optional[float]:
-        window = self._window(subject, metric, start, end)
-        if not window:
+        key = (subject, metric)
+        times = self._times.get(key)
+        if times is None:
             return None
-        return sum(v for __, v in window) / len(window)
+        lo, hi = window_bounds(times, start, end)
+        if lo >= hi:
+            return None
+        return sum_forward(self._values[key], lo, hi) / (hi - lo)
 
     def history(
         self, subject: str, metric: str, start: int = 0, end: Optional[int] = None
     ) -> List[Tuple[int, float]]:
-        return self._window(subject, metric, start, end)
+        key = (subject, metric)
+        times = self._times.get(key)
+        if times is None:
+            return []
+        lo, hi = window_bounds(times, start, end)
+        return list(zip(times[lo:hi], self._values[key][lo:hi]))
 
     def subjects(self) -> List[str]:
-        return sorted({subject for subject, __ in self._data})
+        return sorted({subject for subject, __ in self._times})
 
     def truncate_after(self, time: int) -> None:
         """Drop samples and events newer than ``time`` (resume support)."""
-        for key, rows in self._data.items():
-            self._data[key] = [(t, v) for t, v in rows if t <= time]
+        for key, times in self._times.items():
+            lo, hi = window_bounds(times, 0, time)
+            del times[hi:]
+            del self._values[key][hi:]
         self._events = [row for row in self._events if row[0] <= time]
 
 
@@ -345,3 +384,32 @@ class SqliteLoadArchive(LoadArchive):
             (bucket_minutes, bucket_minutes, subject, metric, bucket_minutes),
         )
         return [(int(t), float(v)) for t, v in cursor.fetchall()]
+
+
+class ArchiveFlusher:
+    """Bridges the telemetry bus's ``reports`` topic into an archive.
+
+    Monitors no longer write to the archive sample by sample; the
+    controller flushes each tick's reports as one
+    :class:`~repro.telemetry.records.LoadReportBatch`, and this consumer
+    stores the whole batch at once (a single transaction on the SQLite
+    archive).
+    """
+
+    def __init__(self, archive: LoadArchive, bus: EventBus) -> None:
+        self.archive = archive
+        self.bus = bus
+        self.batches_flushed = 0
+        self.rows_flushed = 0
+        bus.subscribe(TOPIC_REPORTS, self._on_batch)
+
+    def _on_batch(self, envelope) -> None:
+        batch: LoadReportBatch = envelope.record
+        if not batch.rows:
+            return
+        self.archive.record_reports(list(batch.rows))
+        self.batches_flushed += 1
+        self.rows_flushed += len(batch.rows)
+
+    def detach(self) -> None:
+        self.bus.unsubscribe(TOPIC_REPORTS, self._on_batch)

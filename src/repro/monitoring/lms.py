@@ -15,33 +15,18 @@ threshold for the idle watch time confirms the situation).
 
 from __future__ import annotations
 
-import enum
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
 
 from repro.monitoring.monitor import LoadMonitor
+from repro.telemetry.records import (
+    SituationEvent,
+    SituationKind,
+    SituationPhase,
+)
+from repro.telemetry.windows import coverage_fraction
 
 __all__ = ["SituationKind", "Situation", "Observation", "LoadMonitoringSystem"]
-
-
-class SituationKind(enum.Enum):
-    """The controller's four trigger types (Section 4.1)."""
-
-    SERVICE_OVERLOADED = "serviceOverloaded"
-    SERVICE_IDLE = "serviceIdle"
-    SERVER_OVERLOADED = "serverOverloaded"
-    SERVER_IDLE = "serverIdle"
-    #: A crashed service instance (self-healing path); reported directly
-    #: by failure detectors, never via watch-time observations.
-    SERVICE_FAILED = "serviceFailed"
-
-    @property
-    def is_overload(self) -> bool:
-        return self in (self.SERVICE_OVERLOADED, self.SERVER_OVERLOADED)
-
-    @property
-    def is_server(self) -> bool:
-        return self in (self.SERVER_OVERLOADED, self.SERVER_IDLE)
 
 
 @dataclass(frozen=True)
@@ -93,8 +78,9 @@ class Observation:
 
     def coverage(self, now: int) -> float:
         """Fraction of the watch window backed by real samples."""
-        window = max(now - self.started_at + 1, 1)
-        return self.monitor.series.count_between(self.started_at, now) / window
+        return coverage_fraction(
+            self.monitor.series.times(), self.started_at, now
+        )
 
     def confirmed(self, now: int) -> Optional[float]:
         """The observed mean if the situation is real, else ``None``."""
@@ -118,12 +104,36 @@ class LoadMonitoringSystem:
         #: progress is journalled (open/close) so a recovered controller
         #: resumes observations instead of restarting their watch windows
         self.journal = None
+        #: optional :class:`~repro.telemetry.bus.EventBus`: situation
+        #: open/confirm/cancel transitions publish on the ``situations``
+        #: topic when set
+        self.bus = None
 
     def _journal_close(self, key: Tuple[str, SituationKind]) -> None:
         if self.journal is not None:
             self.journal.append(
                 "observation-close", subject=key[0], kind=key[1].value
             )
+
+    def _publish(
+        self,
+        time: Optional[int],
+        phase: SituationPhase,
+        observation: Observation,
+        observed_mean: Optional[float] = None,
+    ) -> None:
+        if self.bus is None:
+            return
+        self.bus.publish(
+            SituationEvent(
+                time=observation.started_at if time is None else time,
+                phase=phase,
+                kind=observation.kind,
+                subject=observation.subject,
+                service_name=observation.service_name,
+                observed_mean=observed_mean,
+            )
+        )
 
     def observing(self, subject: str, kind: SituationKind) -> bool:
         return (subject, kind) in self._observations
@@ -154,21 +164,27 @@ class LoadMonitoringSystem:
             self.journal.append(
                 "observation-open", **self._describe(observation)
             )
+        self._publish(now, SituationPhase.OPENED, observation)
         return True
 
-    def cancel(self, subject: str, kind: SituationKind) -> None:
-        if self._observations.pop((subject, kind), None) is not None:
+    def cancel(
+        self, subject: str, kind: SituationKind, now: Optional[int] = None
+    ) -> None:
+        observation = self._observations.pop((subject, kind), None)
+        if observation is not None:
             self._journal_close((subject, kind))
+            self._publish(now, SituationPhase.CANCELLED, observation)
 
-    def cancel_subject(self, subject: str) -> int:
+    def cancel_subject(self, subject: str, now: Optional[int] = None) -> int:
         """Drop every observation of one subject (e.g. its host crashed).
 
         Returns the number of cancelled observations.
         """
         keys = [key for key in self._observations if key[0] == subject]
         for key in keys:
-            del self._observations[key]
+            observation = self._observations.pop(key)
             self._journal_close(key)
+            self._publish(now, SituationPhase.CANCELLED, observation)
         return len(keys)
 
     def tick(self, now: int) -> List[Situation]:
@@ -182,7 +198,10 @@ class LoadMonitoringSystem:
             self._journal_close(key)
             mean = observation.confirmed(now)
             if mean is None:
-                continue  # a short peak, not a real situation
+                # a short peak, not a real situation
+                self._publish(now, SituationPhase.CANCELLED, observation)
+                continue
+            self._publish(now, SituationPhase.CONFIRMED, observation, mean)
             situation = Situation(
                 kind=observation.kind,
                 subject=observation.subject,

@@ -5,12 +5,15 @@ which is a specialized service for resource monitoring of service hosts
 and of resource usage of services, respectively."  (Section 2)
 
 A :class:`LoadMonitor` samples a probe once per tick, keeps the local
-time series and forwards the aggregated measurement to the load archive.
+time series and *pushes* each measurement to its subscribers (the
+advisors) and to the controller's per-tick report buffer, which is
+flushed to the load archive in one batch.  Monitors constructed without
+a report sink fall back to storing each sample in the archive directly.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from typing import Callable, List, Optional, Tuple
 
 from repro.monitoring.archive import LoadArchive
 from repro.monitoring.timeseries import LoadSeries
@@ -19,6 +22,9 @@ __all__ = ["LoadMonitor"]
 
 #: A probe returns the current measurement for its subject in [0, 1].
 Probe = Callable[[], float]
+
+#: An observer receives each new sample as ``(time, value)``.
+ReportObserver = Callable[[int, float], None]
 
 
 class LoadMonitor:
@@ -51,13 +57,33 @@ class LoadMonitor:
         self.series = LoadSeries(name=f"{subject}/{metric}")
         #: minutes whose report never arrived (monitoring degradation)
         self.dropped_reports = 0
+        #: when set, samples are appended here as
+        #: ``(subject, metric, time, value)`` instead of being stored in
+        #: the archive one by one; the controller flushes the buffer to
+        #: the archive in one batch per tick.
+        self.report_sink: Optional[List[Tuple[str, str, int, float]]] = None
+        self._observers: List[ReportObserver] = []
+
+    def subscribe(self, observer: ReportObserver) -> None:
+        """Push each new sample to ``observer(time, value)``."""
+        self._observers.append(observer)
+
+    def unsubscribe(self, observer: ReportObserver) -> bool:
+        if observer in self._observers:
+            self._observers.remove(observer)
+            return True
+        return False
 
     def sample(self, time: int) -> float:
-        """Take one measurement, record it and report it to the archive."""
+        """Take one measurement, record it and report it."""
         value = float(self._probe())
         self.series.record(time, value)
-        if self._archive is not None:
+        if self.report_sink is not None:
+            self.report_sink.append((self.subject, self.metric, time, value))
+        elif self._archive is not None:
             self._archive.store(self.subject, self.metric, time, value)
+        for observer in tuple(self._observers):
+            observer(time, value)
         return value
 
     def mark_dropped(self, time: int) -> None:

@@ -5,13 +5,96 @@ append-only series supporting the windowed means the load monitoring
 system and the fuzzy controller need ("all variables [...] regarding CPU
 or memory load are set to the arithmetic means of the load values during
 the service specific watchTime").
+
+Window queries bisect for the window bounds instead of scanning, and
+repeated trailing-window queries (``mean_over_last`` with the same
+duration) are O(1) via :class:`~repro.telemetry.windows.RollingWindow`.
+The accessors ``items()``/``values()``/``times()`` return live, cheap
+views instead of copying the whole series on every call.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
-__all__ = ["LoadSeries"]
+from repro.telemetry.windows import (
+    RollingWindow,
+    sum_reversed,
+    window_bounds,
+)
+
+__all__ = ["LoadSeries", "SeriesView", "SeriesItemsView"]
+
+
+class SeriesView(Sequence):
+    """Read-only live view of one backing list (no copy on access).
+
+    Compares equal to any sequence with the same elements, so existing
+    ``series.values() == [0.1, 0.2]`` assertions keep working.
+    """
+
+    __slots__ = ("_data",)
+
+    def __init__(self, data: Sequence) -> None:
+        self._data = data
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __getitem__(self, index: Union[int, slice]):
+        return self._data[index]
+
+    def __iter__(self):
+        return iter(self._data)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, SeriesView):
+            other = other._data
+        if not isinstance(other, (list, tuple, Sequence)) or isinstance(
+            other, (str, bytes)
+        ):
+            return NotImplemented
+        return len(self) == len(other) and all(
+            a == b for a, b in zip(self._data, other)
+        )
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({list(self._data)!r})"
+
+
+class SeriesItemsView(Sequence):
+    """Read-only live ``(time, value)`` view over two parallel lists."""
+
+    __slots__ = ("_times", "_values")
+
+    def __init__(self, times: Sequence[int], values: Sequence[float]) -> None:
+        self._times = times
+        self._values = values
+
+    def __len__(self) -> int:
+        return len(self._times)
+
+    def __getitem__(self, index: Union[int, slice]):
+        if isinstance(index, slice):
+            return list(zip(self._times[index], self._values[index]))
+        return (self._times[index], self._values[index])
+
+    def __iter__(self):
+        return iter(zip(self._times, self._values))
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, SeriesItemsView):
+            other = list(other)
+        if not isinstance(other, (list, tuple, Sequence)) or isinstance(
+            other, (str, bytes)
+        ):
+            return NotImplemented
+        return len(self) == len(other) and all(
+            a == b for a, b in zip(self, other)
+        )
+
+    def __repr__(self) -> str:
+        return f"SeriesItemsView({list(self)!r})"
 
 
 class LoadSeries:
@@ -21,15 +104,46 @@ class LoadSeries:
         self.name = name
         self._times: List[int] = []
         self._values: List[float] = []
+        #: minutes whose measurement was explicitly dropped (monitoring
+        #: outage, lost load report) — a gap, never an invented value
+        self._dropped: List[int] = []
+        #: trailing-window duration -> incrementally maintained window;
+        #: created lazily on the first ``mean_over_last`` per duration
+        self._rolling: Dict[int, RollingWindow] = {}
+
+    def _check_monotone(self, time: int) -> None:
+        last = max(
+            self._times[-1] if self._times else -1,
+            self._dropped[-1] if self._dropped else -1,
+        )
+        if last >= 0 and time <= last:
+            raise ValueError(
+                f"series {self.name!r}: time {time} not after {last}"
+            )
 
     def record(self, time: int, value: float) -> None:
         """Append one measurement; timestamps must strictly increase."""
-        if self._times and time <= self._times[-1]:
-            raise ValueError(
-                f"series {self.name!r}: time {time} not after {self._times[-1]}"
-            )
+        self._check_monotone(time)
+        value = float(value)
         self._times.append(time)
-        self._values.append(float(value))
+        self._values.append(value)
+        for window in self._rolling.values():
+            window.push(time, value)
+
+    def mark_dropped(self, time: int) -> None:
+        """Note that ``time``'s measurement was dropped (not measured).
+
+        Advances the monotone-timestamp floor without inventing a value:
+        windowed means simply see a gap, while ``dropped_between``
+        exposes the lost coverage to consumers that need it.
+        """
+        self._check_monotone(time)
+        self._dropped.append(time)
+
+    def dropped_between(self, start: int, end: int) -> int:
+        """Number of explicitly dropped minutes with ``start <= t <= end``."""
+        lo, hi = window_bounds(self._dropped, start, end)
+        return hi - lo
 
     def __len__(self) -> int:
         return len(self._values)
@@ -47,33 +161,29 @@ class LoadSeries:
         return self._times[-1] if self._times else None
 
     def items(self) -> Sequence[Tuple[int, float]]:
-        return list(zip(self._times, self._values))
+        return SeriesItemsView(self._times, self._values)
 
     def values(self) -> Sequence[float]:
-        return list(self._values)
+        return SeriesView(self._values)
 
     def times(self) -> Sequence[int]:
-        return list(self._times)
+        return SeriesView(self._times)
 
     # -- windowed statistics -----------------------------------------------------
 
-    def _window(self, start: int, end: int) -> List[float]:
-        # linear scan from the right: windows are short and recent
-        window: List[float] = []
-        for time, value in zip(reversed(self._times), reversed(self._values)):
-            if time > end:
-                continue
-            if time < start:
-                break
-            window.append(value)
-        return window
+    def _bounds(self, start: int, end: int) -> Tuple[int, int]:
+        return window_bounds(self._times, start, end)
 
     def mean_between(self, start: int, end: int) -> Optional[float]:
-        """Arithmetic mean of values with ``start <= time <= end``."""
-        window = self._window(start, end)
-        if not window:
+        """Arithmetic mean of values with ``start <= time <= end``.
+
+        Summed newest-first (the order the original linear scan used),
+        keeping results bit-identical across the refactor.
+        """
+        lo, hi = self._bounds(start, end)
+        if lo >= hi:
             return None
-        return sum(window) / len(window)
+        return sum_reversed(self._values, lo, hi) / (hi - lo)
 
     def count_between(self, start: int, end: int) -> int:
         """Number of recorded samples with ``start <= time <= end``.
@@ -84,18 +194,30 @@ class LoadSeries:
         situation — compare this count against the window length instead
         of silently treating gaps as zero load.
         """
-        return len(self._window(start, end))
+        lo, hi = self._bounds(start, end)
+        return hi - lo
 
     def mean_over_last(self, duration: int) -> Optional[float]:
-        """Mean of the trailing ``duration`` minutes (inclusive window)."""
+        """Mean of the trailing ``duration`` minutes (inclusive window).
+
+        O(1) after the first call per duration: the series maintains a
+        :class:`~repro.telemetry.windows.RollingWindow` per queried
+        duration and pushes every new sample into it.
+        """
         if not self._times:
             return None
-        end = self._times[-1]
-        return self.mean_between(end - duration + 1, end)
+        window = self._rolling.get(duration)
+        if window is None:
+            window = RollingWindow(duration)
+            window.seed(self._times, self._values)
+            self._rolling[duration] = window
+        return window.mean()
 
     def max_between(self, start: int, end: int) -> Optional[float]:
-        window = self._window(start, end)
-        return max(window) if window else None
+        lo, hi = self._bounds(start, end)
+        if lo >= hi:
+            return None
+        return max(self._values[lo:hi])
 
     def time_above(self, threshold: float) -> int:
         """Number of recorded minutes with value strictly above ``threshold``."""

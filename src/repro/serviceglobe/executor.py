@@ -300,7 +300,7 @@ class ActionExecutor:
             duration=duration,
         )
         self.log.append(outcome)
-        self.platform.audit_log.append(outcome)
+        self.platform.record_outcome(outcome)
         return outcome
 
     # -- execution --------------------------------------------------------------------

@@ -36,6 +36,8 @@ from repro.serviceglobe.service import (
     ServiceDefinition,
     ServiceInstance,
 )
+from repro.telemetry.bus import EventBus
+from repro.telemetry.records import ActionEvent
 
 __all__ = ["Platform"]
 
@@ -64,10 +66,16 @@ class Platform:
         landscape: LandscapeSpec,
         user_distribution: UserDistribution = UserDistribution.STICKY,
         clock: Optional[Callable[[], int]] = None,
+        bus: Optional[EventBus] = None,
     ) -> None:
         validate_landscape(landscape)
         self.landscape = landscape
         self.user_distribution = user_distribution
+        #: the platform's telemetry bus: every executed action outcome is
+        #: published on the ``actions`` topic, and the controller stack
+        #: (faults, supervision, situations, alerts, report batches)
+        #: publishes its records through the same bus
+        self.bus = bus if bus is not None else EventBus()
         #: Current simulated minute; advanced by whoever drives the platform.
         self.current_time = 0
         self._clock = clock if clock is not None else (lambda: self.current_time)
@@ -417,8 +425,19 @@ class Platform:
             attempts=attempts,
             duration=duration,
         )
-        self.audit_log.append(outcome)
+        self.record_outcome(outcome)
         return outcome
+
+    def record_outcome(self, outcome: ActionOutcome) -> None:
+        """Append one outcome to the audit log and publish it on the bus.
+
+        The single entry point for recording executed actions: the audit
+        log stays the durable source of truth (it rides in snapshots)
+        while bus subscribers — the result collector, the console tail —
+        observe the same record live.
+        """
+        self.audit_log.append(outcome)
+        self.bus.publish(ActionEvent(outcome.time, outcome))
 
     # Individual handlers.  Each returns a provisional ActionOutcome; the
     # applicability/note stamping happens in execute().

@@ -127,4 +127,8 @@ class PlatformTransaction:
         # 4. priorities and audit log
         for name, priority in self._priorities.items():
             self.platform.services[name].priority = priority
+        # Truncating the audit log cannot retract records already pushed
+        # to telemetry-bus subscribers; transactions only run in offline
+        # tooling (rebalance planning), never inside a controller tick,
+        # so live consumers never observe rolled-back outcomes.
         del platform.audit_log[self._audit_length:]

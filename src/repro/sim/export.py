@@ -8,7 +8,9 @@ Three formats cover what the paper's figures need:
   host, plus the system average) — Figures 12-14;
 * a CSV of the controller action log — the annotations of Figures 16/17;
 * a CSV of per-service availability (down-minutes, episode count, MTTR)
-  — the chaos scenario's robustness comparison.
+  — the chaos scenario's robustness comparison;
+* a JSONL dump of the telemetry bus's retained history (one envelope per
+  line) — the run's observable event stream, greppable and ``jq``-able.
 """
 
 from __future__ import annotations
@@ -20,12 +22,15 @@ from typing import Union
 
 from repro.sim.clock import format_minute
 from repro.sim.results import SimulationResult
+from repro.telemetry.bus import EventBus
+from repro.telemetry.records import record_to_dict
 
 __all__ = [
     "export_summary_json",
     "export_host_series_csv",
     "export_actions_csv",
     "export_availability_csv",
+    "export_telemetry_jsonl",
     "export_all",
 ]
 
@@ -167,6 +172,31 @@ def export_availability_csv(result: SimulationResult, path: PathLike) -> None:
                     f"{record.mttr_minutes:.2f}",
                 ]
             )
+
+
+def export_telemetry_jsonl(bus: EventBus, path: PathLike, limit: int = 0) -> int:
+    """Dump the bus's retained envelopes as JSON lines; returns the count.
+
+    Each line is ``{"seq": ..., "topic": ..., "record": {...}}`` in
+    global sequence order.  Only what the bounded per-topic rings still
+    hold is exported (the full action history additionally lives in the
+    audit log / actions CSV).  ``limit`` caps the number of newest
+    envelopes; 0 means everything retained.
+    """
+    envelopes = bus.tail(limit=limit if limit > 0 else bus.last_seq or 1)
+    with open(path, "w", encoding="utf-8") as handle:
+        for envelope in envelopes:
+            handle.write(
+                json.dumps(
+                    {
+                        "seq": envelope.seq,
+                        "topic": envelope.topic,
+                        "record": record_to_dict(envelope.record),
+                    }
+                )
+            )
+            handle.write("\n")
+    return len(envelopes)
 
 
 def export_all(result: SimulationResult, directory: PathLike) -> Path:

@@ -38,26 +38,12 @@ import numpy as np
 
 from repro.core.autoglobe import AutoGlobeController
 
+# FaultRecord now lives with the other telemetry records; re-exported
+# here so historic importers (`from repro.sim.faults import FaultRecord`)
+# keep working.
+from repro.telemetry.records import FaultRecord
+
 __all__ = ["FaultRecord", "FaultInjector"]
-
-
-@dataclass(frozen=True)
-class FaultRecord:
-    """One injected fault (or recovery event).
-
-    ``kind`` is one of ``"crash"``, ``"hang"`` (instance-level;
-    ``instance_id``/``service_name`` identify the victim),
-    ``"host-crash"``, ``"host-recovery"`` and ``"monitor-outage"``
-    (host-level; ``instance_id`` and ``service_name`` are empty), or a
-    controller-level fault: ``"controller-crash"`` and
-    ``"leader-partition"`` (every field but ``time``/``kind`` empty).
-    """
-
-    time: int
-    instance_id: str
-    service_name: str
-    host_name: str
-    kind: str
 
 
 @dataclass
@@ -139,6 +125,14 @@ class FaultInjector:
         #: host name -> minute its reboot completes
         self._reboot_at: Dict[str, int] = {}
 
+    def _record_fault(
+        self, record: FaultRecord, injected: List[FaultRecord]
+    ) -> None:
+        """Book one fault and publish it on the ``faults`` topic."""
+        self.faults.append(record)
+        injected.append(record)
+        self.controller.platform.bus.publish(record)
+
     # -- the per-minute injection pass ---------------------------------------------------
 
     def tick(self, now: int) -> List[FaultRecord]:
@@ -176,9 +170,9 @@ class FaultInjector:
             low, high = self.controller_restart_minutes
             minutes = int(self._rng.integers(low, high + 1))
             supervisor.crash_active(now, minutes)
-            record = FaultRecord(now, "", "", "", "controller-crash")
-            self.faults.append(record)
-            injected.append(record)
+            self._record_fault(
+                FaultRecord(now, "", "", "", "controller-crash"), injected
+            )
             return
         if self.leader_partition_probability > 0.0 and (
             float(self._rng.random()) < self.leader_partition_probability
@@ -186,9 +180,9 @@ class FaultInjector:
             low, high = self.leader_partition_minutes
             minutes = int(self._rng.integers(low, high + 1))
             supervisor.partition_active(now, minutes)
-            record = FaultRecord(now, "", "", "", "leader-partition")
-            self.faults.append(record)
-            injected.append(record)
+            self._record_fault(
+                FaultRecord(now, "", "", "", "leader-partition"), injected
+            )
 
     def _recover_hosts(self, now: int, injected: List[FaultRecord]) -> None:
         platform = self.controller.platform
@@ -196,9 +190,10 @@ class FaultInjector:
             if self._reboot_at[host_name] <= now:
                 del self._reboot_at[host_name]
                 platform.recover_host(host_name)
-                record = FaultRecord(now, "", "", host_name, "host-recovery")
-                self.faults.append(record)
-                injected.append(record)
+                self._record_fault(
+                    FaultRecord(now, "", "", host_name, "host-recovery"),
+                    injected,
+                )
 
     def _crash_hosts(self, now: int, injected: List[FaultRecord]) -> None:
         platform = self.controller.platform
@@ -212,9 +207,9 @@ class FaultInjector:
             self._reboot_at[host_name] = now + int(
                 self._rng.integers(low, high + 1)
             )
-            record = FaultRecord(now, "", "", host_name, "host-crash")
-            self.faults.append(record)
-            injected.append(record)
+            self._record_fault(
+                FaultRecord(now, "", "", host_name, "host-crash"), injected
+            )
             for victim in victims:
                 # the heartbeat detector must not later report an
                 # instance the crash already swept away
@@ -232,9 +227,10 @@ class FaultInjector:
             low, high = self.monitor_outage_minutes
             until = now + int(self._rng.integers(low, high + 1)) - 1
             self.controller.degrade_monitoring(host_name, until)
-            record = FaultRecord(now, "", "", host_name, "monitor-outage")
-            self.faults.append(record)
-            injected.append(record)
+            self._record_fault(
+                FaultRecord(now, "", "", host_name, "monitor-outage"),
+                injected,
+            )
 
     def _injure_instances(self, now: int, injected: List[FaultRecord]) -> None:
         platform = self.controller.platform
@@ -248,23 +244,25 @@ class FaultInjector:
                 continue
             roll = float(self._rng.random())
             if roll < self.crash_probability:
-                record = FaultRecord(
-                    now, instance.instance_id, instance.service_name,
-                    instance.host_name, "crash",
+                self._record_fault(
+                    FaultRecord(
+                        now, instance.instance_id, instance.service_name,
+                        instance.host_name, "crash",
+                    ),
+                    injected,
                 )
-                self.faults.append(record)
-                injected.append(record)
                 if self.controller.enabled:
                     self.controller.report_failure(instance.instance_id, now)
                 else:
                     platform.crash_instance(instance.instance_id)
             elif roll < self.crash_probability + self.hang_probability:
-                record = FaultRecord(
-                    now, instance.instance_id, instance.service_name,
-                    instance.host_name, "hang",
+                self._record_fault(
+                    FaultRecord(
+                        now, instance.instance_id, instance.service_name,
+                        instance.host_name, "hang",
+                    ),
+                    injected,
                 )
-                self.faults.append(record)
-                injected.append(record)
                 self.controller.failure_detector.suppress(instance.instance_id)
 
     # -- accounting -------------------------------------------------------------------

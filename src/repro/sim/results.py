@@ -27,6 +27,7 @@ from repro.config.model import Action
 from repro.serviceglobe.actions import ActionOutcome
 from repro.serviceglobe.platform import Platform
 from repro.sim.clock import MINUTES_PER_DAY
+from repro.telemetry.records import TOPIC_ACTIONS
 
 __all__ = [
     "SlaPolicy",
@@ -307,6 +308,15 @@ class ResultCollector:
         }
         self._host_down_minutes: Dict[str, int] = {n: 0 for n in self._host_names}
         self._ticks = 0
+        #: executed actions, fed live by the platform bus's ``actions``
+        #: topic instead of re-reading the audit log at finalize.  Seeded
+        #: from the audit log so a collector attached mid-run (or after a
+        #: resume) starts complete.
+        self._actions: List[ActionOutcome] = list(platform.audit_log)
+        platform.bus.subscribe(TOPIC_ACTIONS, self._on_action)
+
+    def _on_action(self, envelope) -> None:
+        self._actions.append(envelope.record.outcome)
 
     def observe(self, now: int) -> None:
         self._ticks += 1
@@ -393,7 +403,7 @@ class ResultCollector:
             service_samples=self._service_samples,
             overload_minutes_by_host=dict(self._overload_minutes),
             episodes=sorted(self._episodes, key=lambda e: (e.start, e.host_name)),
-            actions=list(self._platform.audit_log),
+            actions=list(self._actions),
             escalation_count=escalation_count,
             final_instance_counts={
                 name: len(self._platform.service(name).running_instances)
@@ -481,3 +491,6 @@ class ResultCollector:
             for name, v in payload.get("host_down_minutes", {}).items()  # type: ignore[union-attr]
         }
         self._ticks = int(payload.get("ticks", 0))  # type: ignore[arg-type]
+        # actions ride in the platform snapshot (the durable source of
+        # truth); the bus subscription resumes from there
+        self._actions = list(self._platform.audit_log)

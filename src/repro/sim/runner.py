@@ -30,14 +30,13 @@ from repro.sim.scenarios import (
     user_distribution_for,
 )
 from repro.sim.workload import NoiseParameters, WorkloadModel
+from repro.telemetry.records import (
+    TOPIC_SUPERVISION,
+    SupervisionEvent,
+    SupervisionEventKind,
+)
 
 __all__ = ["SimulationRunner"]
-
-#: supervisor events merged into the run's fault records (crash and
-#: partition records come from the injector itself)
-_SUPERVISOR_EVENT_KINDS = frozenset(
-    {"controller-recovery", "leader-failover", "partition-healed"}
-)
 
 
 class SimulationRunner:
@@ -175,6 +174,16 @@ class SimulationRunner:
             self.lint_report.raise_for_findings(strict=(lint == "strict"))
         self.platform = Platform(
             scenario_landscape, user_distribution=user_distribution_for(scenario)
+        )
+        #: typed supervision events (crashes, recoveries, failovers)
+        #: observed on the telemetry bus; merged into the run's fault
+        #: records at finalize.  The subscription is typed end to end: an
+        #: unknown event kind fails at the producer (ValueError in
+        #: :class:`SupervisionEventKind`), never silently dropped here.
+        self._supervision_events: list = []
+        self.platform.bus.subscribe(
+            TOPIC_SUPERVISION,
+            lambda envelope: self._supervision_events.append(envelope.record),
         )
         enabled = (
             controller_enabled
@@ -336,6 +345,15 @@ class SimulationRunner:
         if self.injector is not None and "injector" in payload:
             self.injector.restore_state(payload["injector"])
         self.controller.restore_state(payload["supervisor"], tick)
+        # bus subscriptions only observe live publishes: reseed the typed
+        # event list from the supervisor's restored history, then let the
+        # subscription pick up everything after the resume point
+        events = getattr(self.controller, "events", None)
+        if events is not None:
+            self._supervision_events = [
+                SupervisionEvent(time, SupervisionEventKind(kind), detail)
+                for time, kind, detail in events
+            ]
         return tick
 
     def run(self) -> SimulationResult:
@@ -372,11 +390,14 @@ class SimulationRunner:
 
     def _merged_fault_records(self):
         records = list(self.injector.faults) if self.injector is not None else []
-        events = getattr(self.controller, "events", None)
-        if events:
-            for time, kind, _detail in events:
-                if kind in _SUPERVISOR_EVENT_KINDS:
-                    records.append(FaultRecord(time, "", "", "", kind))
+        if self._supervision_events:
+            for event in self._supervision_events:
+                # crash/partition records come from the injector itself;
+                # the kind's own verdict decides what the merge adds
+                if event.kind.creates_fault_record:
+                    records.append(
+                        FaultRecord(event.time, "", "", "", event.kind.value)
+                    )
             records.sort(key=lambda record: record.time)
         return records or None
 

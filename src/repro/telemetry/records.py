@@ -1,0 +1,261 @@
+"""Typed telemetry records and their topics.
+
+One union (:data:`TelemetryRecord`) covers everything the run's history
+used to be fragmented across: action outcomes from the platform audit
+log, injected :class:`FaultRecord` entries, controller supervision
+events, the LMS's situation open/confirm/cancel transitions, alerts and
+the per-tick load-report batches the archive consumes.
+
+This module is the *home* of two types that used to live deeper in the
+stack and are re-exported from their old locations for compatibility:
+
+* :class:`SituationKind` (formerly :mod:`repro.monitoring.lms`),
+* :class:`FaultRecord` (formerly :mod:`repro.sim.faults`).
+
+It imports nothing from the rest of :mod:`repro` at runtime, so every
+layer can depend on it without cycles; the action outcome carried by
+:class:`ActionEvent` is therefore typed loosely (it is a
+:class:`repro.serviceglobe.actions.ActionOutcome` in practice).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple, Union
+
+__all__ = [
+    "SituationKind",
+    "FaultRecord",
+    "SupervisionEventKind",
+    "SupervisionEvent",
+    "ActionEvent",
+    "SituationPhase",
+    "SituationEvent",
+    "AlertEvent",
+    "LoadReportBatch",
+    "TelemetryRecord",
+    "TOPIC_ACTIONS",
+    "TOPIC_FAULTS",
+    "TOPIC_SUPERVISION",
+    "TOPIC_SITUATIONS",
+    "TOPIC_ALERTS",
+    "TOPIC_REPORTS",
+    "TOPICS",
+    "topic_of",
+    "record_to_dict",
+]
+
+
+class SituationKind(enum.Enum):
+    """The controller's four trigger types (Section 4.1)."""
+
+    SERVICE_OVERLOADED = "serviceOverloaded"
+    SERVICE_IDLE = "serviceIdle"
+    SERVER_OVERLOADED = "serverOverloaded"
+    SERVER_IDLE = "serverIdle"
+    #: A crashed service instance (self-healing path); reported directly
+    #: by failure detectors, never via watch-time observations.
+    SERVICE_FAILED = "serviceFailed"
+
+    @property
+    def is_overload(self) -> bool:
+        return self in (self.SERVICE_OVERLOADED, self.SERVER_OVERLOADED)
+
+    @property
+    def is_server(self) -> bool:
+        return self in (self.SERVER_OVERLOADED, self.SERVER_IDLE)
+
+
+@dataclass(frozen=True)
+class FaultRecord:
+    """One injected fault (or recovery event).
+
+    ``kind`` is one of ``"crash"``, ``"hang"`` (instance-level;
+    ``instance_id``/``service_name`` identify the victim),
+    ``"host-crash"``, ``"host-recovery"`` and ``"monitor-outage"``
+    (host-level; ``instance_id`` and ``service_name`` are empty), or a
+    controller-level fault: ``"controller-crash"`` and
+    ``"leader-partition"`` (every field but ``time``/``kind`` empty).
+    """
+
+    time: int
+    instance_id: str
+    service_name: str
+    host_name: str
+    kind: str
+
+
+class SupervisionEventKind(enum.Enum):
+    """Every event kind the controller supervisor can emit.
+
+    Constructing the enum from an unknown string raises ``ValueError``,
+    so a new supervisor event kind can never be silently dropped by
+    downstream accounting — it either gets a member here (and an
+    explicit :attr:`creates_fault_record` verdict) or the run fails
+    loudly.
+    """
+
+    CONTROLLER_CRASH = "controller-crash"
+    LEADER_PARTITION = "leader-partition"
+    CONTROLLER_RECOVERY = "controller-recovery"
+    LEADER_FAILOVER = "leader-failover"
+    PARTITION_HEALED = "partition-healed"
+
+    @property
+    def creates_fault_record(self) -> bool:
+        """Whether the run's fault-record merge adds a record for this kind.
+
+        Crashes and partitions are already recorded by the fault
+        injector itself; only the supervisor-side outcomes (recovery,
+        failover, heal) are new information.
+        """
+        return self in (
+            self.CONTROLLER_RECOVERY,
+            self.LEADER_FAILOVER,
+            self.PARTITION_HEALED,
+        )
+
+
+@dataclass(frozen=True)
+class SupervisionEvent:
+    """One controller-supervision event (crash, partition, recovery...)."""
+
+    time: int
+    kind: SupervisionEventKind
+    #: the replica involved (e.g. ``"controller-1"``), or ``"old->new"``
+    #: for failovers
+    detail: str
+
+
+@dataclass(frozen=True)
+class ActionEvent:
+    """One management-action outcome appended to the platform audit log."""
+
+    time: int
+    #: a :class:`repro.serviceglobe.actions.ActionOutcome`
+    outcome: Any
+
+
+class SituationPhase(enum.Enum):
+    """Lifecycle of a watch-time observation at the LMS."""
+
+    OPENED = "opened"
+    CONFIRMED = "confirmed"
+    CANCELLED = "cancelled"
+
+
+@dataclass(frozen=True)
+class SituationEvent:
+    """One situation transition at the load monitoring system."""
+
+    time: int
+    phase: SituationPhase
+    kind: SituationKind
+    subject: str
+    service_name: Optional[str]
+    #: the confirming watch-time mean; only set for CONFIRMED
+    observed_mean: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class AlertEvent:
+    """One administrative alert.
+
+    ``severity`` is the :class:`repro.core.alerts.AlertSeverity` value
+    string (``"info"``/``"warning"``/``"escalation"``) — kept as a plain
+    string so this module stays import-free.
+    """
+
+    time: int
+    severity: str
+    message: str
+
+
+@dataclass(frozen=True)
+class LoadReportBatch:
+    """One tick's aggregated load reports, flushed to the archive.
+
+    ``rows`` are ``(subject, metric, time, value)`` tuples in sampling
+    order (hosts' cpu, hosts' mem, services, instances).
+    """
+
+    time: int
+    rows: Tuple[Tuple[str, str, int, float], ...]
+
+
+TelemetryRecord = Union[
+    ActionEvent,
+    FaultRecord,
+    SupervisionEvent,
+    SituationEvent,
+    AlertEvent,
+    LoadReportBatch,
+]
+
+TOPIC_ACTIONS = "actions"
+TOPIC_FAULTS = "faults"
+TOPIC_SUPERVISION = "supervision"
+TOPIC_SITUATIONS = "situations"
+TOPIC_ALERTS = "alerts"
+TOPIC_REPORTS = "reports"
+
+TOPICS = (
+    TOPIC_ACTIONS,
+    TOPIC_FAULTS,
+    TOPIC_SUPERVISION,
+    TOPIC_SITUATIONS,
+    TOPIC_ALERTS,
+    TOPIC_REPORTS,
+)
+
+_TOPIC_BY_TYPE = {
+    ActionEvent: TOPIC_ACTIONS,
+    FaultRecord: TOPIC_FAULTS,
+    SupervisionEvent: TOPIC_SUPERVISION,
+    SituationEvent: TOPIC_SITUATIONS,
+    AlertEvent: TOPIC_ALERTS,
+    LoadReportBatch: TOPIC_REPORTS,
+}
+
+
+def topic_of(record: TelemetryRecord) -> str:
+    """The topic a record publishes on; ``TypeError`` for foreign types."""
+    try:
+        return _TOPIC_BY_TYPE[type(record)]
+    except KeyError:
+        raise TypeError(
+            f"not a telemetry record: {type(record).__name__}"
+        ) from None
+
+
+def record_to_dict(record: TelemetryRecord) -> Dict[str, Any]:
+    """JSON-able dict of one record (for the JSONL export).
+
+    Enums flatten to their value strings; the action outcome flattens to
+    its public scalar fields.
+    """
+    payload: Dict[str, Any] = {"type": type(record).__name__}
+    if isinstance(record, ActionEvent):
+        outcome = record.outcome
+        payload.update(
+            time=record.time,
+            action=getattr(getattr(outcome, "action", None), "value", None),
+            service_name=getattr(outcome, "service_name", None),
+            instance_id=getattr(outcome, "instance_id", None),
+            source_host=getattr(outcome, "source_host", None),
+            target_host=getattr(outcome, "target_host", None),
+            status=getattr(outcome, "status", None),
+            attempts=getattr(outcome, "attempts", None),
+            note=getattr(outcome, "note", None),
+        )
+        return payload
+    for field in dataclasses.fields(record):
+        value = getattr(record, field.name)
+        if isinstance(value, enum.Enum):
+            value = value.value
+        elif isinstance(value, tuple):
+            value = [list(row) if isinstance(row, tuple) else row for row in value]
+        payload[field.name] = value
+    return payload

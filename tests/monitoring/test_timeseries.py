@@ -4,7 +4,8 @@ import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
-from repro.monitoring.timeseries import LoadSeries
+from repro.monitoring.timeseries import LoadSeries, SeriesItemsView, SeriesView
+from repro.telemetry.windows import RollingWindow
 
 
 class TestRecording:
@@ -98,3 +99,139 @@ class TestWindows:
             series.record(t, value)
         mean = series.mean_over_last(duration)
         assert min(values) - 1e-12 <= mean <= max(values) + 1e-12
+
+
+class TestViews:
+    """items()/values()/times() are live, cheap views — not copies."""
+
+    def test_views_are_not_lists_but_compare_equal(self):
+        series = LoadSeries()
+        series.record(0, 0.1)
+        series.record(1, 0.2)
+        assert isinstance(series.values(), SeriesView)
+        assert isinstance(series.items(), SeriesItemsView)
+        assert series.values() == [0.1, 0.2]
+        assert [0.1, 0.2] == list(series.values())
+        assert series.values() != [0.1]
+        assert series.items() == [(0, 0.1), (1, 0.2)]
+        assert series.values() != "ab"
+
+    def test_views_are_live(self):
+        series = LoadSeries()
+        values = series.values()
+        items = series.items()
+        assert len(values) == 0 and list(items) == []
+        series.record(5, 0.5)
+        assert list(values) == [0.5]
+        assert items[-1] == (5, 0.5)
+        assert items[0:2] == [(5, 0.5)]
+
+    def test_view_indexing_and_repr(self):
+        series = LoadSeries()
+        series.record(0, 0.1)
+        series.record(1, 0.2)
+        assert series.values()[1] == 0.2
+        assert series.times()[0:2] == [0, 1]
+        assert "0.1" in repr(series.values())
+        assert "(0, 0.1)" in repr(series.items())
+
+
+class TestWindowEdges:
+    def test_empty_window_means_are_none(self):
+        series = LoadSeries()
+        assert series.mean_between(0, 10) is None
+        assert series.max_between(0, 10) is None
+        assert series.count_between(0, 10) == 0
+        series.record(5, 0.5)
+        # window entirely before / after the lone sample
+        assert series.mean_between(0, 4) is None
+        assert series.mean_between(6, 10) is None
+
+    def test_window_boundaries_are_inclusive(self):
+        series = LoadSeries()
+        for t in range(10, 20):
+            series.record(t, (t - 10) / 10)
+        assert series.count_between(12, 14) == 3
+        assert series.mean_between(12, 12) == pytest.approx(0.2)
+        assert series.count_between(9, 10) == 1
+        assert series.count_between(19, 25) == 1
+
+    def test_gap_in_samples_shrinks_the_window_mean(self):
+        series = LoadSeries()
+        series.record(0, 0.2)
+        series.record(1, 0.4)
+        # minutes 2..4 missing (monitoring outage)
+        series.record(5, 0.9)
+        assert series.count_between(0, 5) == 3
+        assert series.mean_between(0, 5) == pytest.approx((0.2 + 0.4 + 0.9) / 3)
+        assert series.mean_between(2, 4) is None
+
+    def test_mark_dropped_accounts_for_lost_reports(self):
+        series = LoadSeries("cpu")
+        series.record(0, 0.2)
+        series.mark_dropped(1)
+        series.mark_dropped(2)
+        series.record(3, 0.4)
+        assert series.dropped_between(0, 3) == 2
+        assert series.dropped_between(2, 10) == 1
+        assert series.count_between(0, 3) == 2
+        # dropped minutes never invent values
+        assert series.mean_between(0, 3) == pytest.approx(0.3)
+
+    def test_mark_dropped_keeps_timestamps_monotone(self):
+        series = LoadSeries("cpu")
+        series.mark_dropped(5)
+        with pytest.raises(ValueError, match="not after"):
+            series.record(5, 0.1)
+        with pytest.raises(ValueError, match="not after"):
+            series.mark_dropped(4)
+        series.record(6, 0.1)
+        with pytest.raises(ValueError, match="not after"):
+            series.mark_dropped(6)
+
+    def test_rolling_window_tracks_gaps(self):
+        series = LoadSeries()
+        series.record(0, 1.0)
+        assert series.mean_over_last(3) == pytest.approx(1.0)
+        series.record(1, 0.0)
+        series.record(10, 0.5)
+        # only minute 10 lies within the trailing 3-minute window [8, 10]
+        assert series.mean_over_last(3) == pytest.approx(0.5)
+
+
+class TestIncrementalEquivalence:
+    """The O(1) rolling mean must agree with a naive re-scan."""
+
+    @given(st.lists(st.tuples(st.integers(min_value=1, max_value=5),
+                              st.floats(min_value=0.0, max_value=1.0,
+                                        allow_nan=False)),
+                    min_size=1, max_size=60),
+           st.integers(min_value=1, max_value=15))
+    def test_rolling_mean_matches_naive_mean(self, steps, duration):
+        series = LoadSeries()
+        naive = []
+        t = 0
+        # interleave queries with appends so the window is exercised
+        # mid-stream, not only at the end
+        for gap, value in steps:
+            t += gap
+            series.record(t, value)
+            window = [v for tt, v in naive if tt > t - duration] + [value]
+            naive.append((t, value))
+            expected = sum(window) / len(window)
+            assert series.mean_over_last(duration) == pytest.approx(
+                expected, rel=1e-12, abs=1e-12
+            )
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+                    min_size=1, max_size=40),
+           st.integers(min_value=1, max_value=12))
+    def test_seeded_window_matches_incremental_window(self, values, duration):
+        """Seeding from history == pushing every sample as it arrived."""
+        incremental = RollingWindow(duration)
+        for t, value in enumerate(values):
+            incremental.push(t, value)
+        seeded = RollingWindow(duration)
+        seeded.seed(list(range(len(values))), [float(v) for v in values])
+        assert seeded.values() == incremental.values()
+        assert seeded.mean() == pytest.approx(incremental.mean(), rel=1e-12)

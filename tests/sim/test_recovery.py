@@ -109,6 +109,60 @@ class TestChaosAcceptance:
         ).summary()
 
 
+class TestTelemetryPipeline:
+    """The bus-backed monitoring pipeline feeds the same data the
+    consumers used to read from private lists."""
+
+    def test_result_actions_mirror_the_audit_log(self, recovery_runs):
+        for runner, result in recovery_runs:
+            assert result.actions == list(runner.platform.audit_log)
+
+    def test_bus_counts_match_the_producers(self, recovery_runs):
+        (runner, __), __ = recovery_runs
+        counts = runner.platform.bus.counts()
+        assert counts["actions"] == len(runner.platform.audit_log)
+        assert counts["faults"] == len(runner.injector.faults)
+        assert counts.get("reports", 0) > 0
+        assert counts.get("situations", 0) > 0
+
+    def test_archive_consumes_batched_flushes_off_the_bus(self, recovery_runs):
+        (runner, __), __ = recovery_runs
+        flusher = runner.controller.archive_flusher
+        assert flusher is runner.controller.archive.bus_flusher
+        assert flusher.batches_flushed == runner.platform.bus.counts()["reports"]
+        assert flusher.rows_flushed > flusher.batches_flushed
+
+    def test_supervision_events_are_typed_on_the_bus(self, recovery_runs):
+        from repro.telemetry.records import SupervisionEvent, SupervisionEventKind
+
+        __, (runner, result) = recovery_runs
+        events = runner._supervision_events
+        assert events and all(
+            isinstance(event, SupervisionEvent)
+            and isinstance(event.kind, SupervisionEventKind)
+            for event in events
+        )
+        merged_kinds = {record.kind for record in result.fault_records}
+        for event in events:
+            if event.kind.creates_fault_record:
+                assert event.kind.value in merged_kinds
+
+    def test_telemetry_export_covers_the_retained_history(
+        self, recovery_runs, tmp_path
+    ):
+        from repro.sim.export import export_telemetry_jsonl
+
+        (runner, __), __ = recovery_runs
+        path = tmp_path / "telemetry.jsonl"
+        exported = export_telemetry_jsonl(runner.platform.bus, path)
+        lines = path.read_text().splitlines()
+        assert exported == len(lines) > 0
+        first, last = json.loads(lines[0]), json.loads(lines[-1])
+        assert first["seq"] < last["seq"] == runner.platform.bus.last_seq
+        topics = {json.loads(line)["topic"] for line in lines}
+        assert "reports" in topics and "actions" in topics
+
+
 _HARNESS = """\
 import sys
 from repro.sim.runner import SimulationRunner

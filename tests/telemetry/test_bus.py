@@ -1,0 +1,162 @@
+"""Tests for the telemetry event bus and its typed records."""
+
+import pytest
+
+from repro.telemetry.bus import DEFAULT_HISTORY, WILDCARD, EventBus
+from repro.telemetry.records import (
+    TOPIC_ALERTS,
+    TOPIC_FAULTS,
+    TOPIC_SUPERVISION,
+    TOPICS,
+    AlertEvent,
+    FaultRecord,
+    SupervisionEvent,
+    SupervisionEventKind,
+    record_to_dict,
+    topic_of,
+)
+
+
+def _fault(time=0, kind="crash"):
+    return FaultRecord(time, "oltp-1", "OLTP", "host01", kind)
+
+
+def _alert(time=0):
+    return AlertEvent(time, "info", "hello")
+
+
+class TestPublish:
+    def test_sequence_is_globally_monotonic_across_topics(self):
+        bus = EventBus()
+        seqs = [
+            bus.publish(record).seq
+            for record in (_fault(0), _alert(1), _fault(2), _alert(3))
+        ]
+        assert seqs == [1, 2, 3, 4]
+        assert bus.last_seq == 4
+
+    def test_topic_derived_from_record_type(self):
+        bus = EventBus()
+        envelope = bus.publish(_fault())
+        assert envelope.topic == TOPIC_FAULTS
+        assert bus.publish(_alert()).topic == TOPIC_ALERTS
+
+    def test_foreign_type_raises_at_publish(self):
+        with pytest.raises(TypeError, match="not a telemetry record"):
+            EventBus().publish(object())
+        with pytest.raises(TypeError, match="not a telemetry record"):
+            topic_of("just a string")
+
+    def test_counts_track_totals_per_topic(self):
+        bus = EventBus(history=2)
+        for time in range(5):
+            bus.publish(_fault(time))
+        bus.publish(_alert(9))
+        assert bus.counts() == {TOPIC_FAULTS: 5, TOPIC_ALERTS: 1}
+
+
+class TestRings:
+    def test_history_is_bounded_drop_oldest(self):
+        bus = EventBus(history=3)
+        for time in range(10):
+            bus.publish(_fault(time))
+        tail = bus.tail(topic=TOPIC_FAULTS, limit=100)
+        assert [envelope.record.time for envelope in tail] == [7, 8, 9]
+
+    def test_default_history(self):
+        assert EventBus()._history_limit == DEFAULT_HISTORY
+
+    def test_invalid_history_rejected(self):
+        with pytest.raises(ValueError):
+            EventBus(history=0)
+
+    def test_tail_merges_topics_by_sequence(self):
+        bus = EventBus()
+        bus.publish(_fault(0))
+        bus.publish(_alert(1))
+        bus.publish(_fault(2))
+        merged = bus.tail(limit=10)
+        assert [envelope.seq for envelope in merged] == [1, 2, 3]
+        assert [envelope.topic for envelope in merged] == [
+            TOPIC_FAULTS,
+            TOPIC_ALERTS,
+            TOPIC_FAULTS,
+        ]
+
+    def test_tail_limit_and_empty(self):
+        bus = EventBus()
+        assert bus.tail() == []
+        for time in range(5):
+            bus.publish(_fault(time))
+        assert [e.record.time for e in bus.tail(limit=2)] == [3, 4]
+        assert bus.tail(limit=0) == []
+        assert bus.tail(topic=TOPIC_ALERTS) == []
+
+
+class TestSubscriptions:
+    def test_subscribers_run_inline_in_order(self):
+        bus = EventBus()
+        calls = []
+        bus.subscribe(TOPIC_FAULTS, lambda e: calls.append(("first", e.seq)))
+        bus.subscribe(TOPIC_FAULTS, lambda e: calls.append(("second", e.seq)))
+        bus.publish(_fault())
+        assert calls == [("first", 1), ("second", 1)]
+
+    def test_wildcard_sees_every_topic_after_topic_subscribers(self):
+        bus = EventBus()
+        calls = []
+        bus.subscribe(WILDCARD, lambda e: calls.append(("any", e.topic)))
+        bus.subscribe(TOPIC_FAULTS, lambda e: calls.append(("faults", e.topic)))
+        bus.publish(_fault())
+        bus.publish(_alert())
+        assert calls == [
+            ("faults", TOPIC_FAULTS),
+            ("any", TOPIC_FAULTS),
+            ("any", TOPIC_ALERTS),
+        ]
+
+    def test_unsubscribe(self):
+        bus = EventBus()
+        seen = []
+        callback = seen.append
+        bus.subscribe(TOPIC_FAULTS, callback)
+        bus.publish(_fault(0))
+        assert bus.unsubscribe(TOPIC_FAULTS, callback) is True
+        assert bus.unsubscribe(TOPIC_FAULTS, callback) is False
+        bus.publish(_fault(1))
+        assert len(seen) == 1
+
+
+class TestSupervisionKinds:
+    def test_every_kind_has_explicit_fault_record_verdict(self):
+        verdicts = {
+            kind: kind.creates_fault_record for kind in SupervisionEventKind
+        }
+        assert verdicts == {
+            SupervisionEventKind.CONTROLLER_CRASH: False,
+            SupervisionEventKind.LEADER_PARTITION: False,
+            SupervisionEventKind.CONTROLLER_RECOVERY: True,
+            SupervisionEventKind.LEADER_FAILOVER: True,
+            SupervisionEventKind.PARTITION_HEALED: True,
+        }
+
+    def test_unknown_kind_raises_instead_of_silently_dropping(self):
+        with pytest.raises(ValueError):
+            SupervisionEventKind("quorum-lost")
+
+
+class TestRecordToDict:
+    def test_supervision_event_flattens_enum(self):
+        record = SupervisionEvent(
+            7, SupervisionEventKind.LEADER_FAILOVER, "controller-1->controller-2"
+        )
+        assert record_to_dict(record) == {
+            "type": "SupervisionEvent",
+            "time": 7,
+            "kind": "leader-failover",
+            "detail": "controller-1->controller-2",
+        }
+
+    def test_topics_constant_is_complete(self):
+        assert len(TOPICS) == 6
+        assert TOPIC_SUPERVISION in TOPICS
