@@ -131,6 +131,48 @@ def _microbench_controller_tick(horizon: int) -> float:
     return round((time.perf_counter() - started) / ticks * 1e3, 4)
 
 
+def _microbench_domain_scaling(horizon: int) -> dict:
+    """Per-tick controller cost on a 4x-replicated landscape, flat vs sharded.
+
+    The flat controller's situation detection and placement scans scale
+    with the whole landscape; four control domains each scan a quarter.
+    Both variants run the same warmed-up workload before timing.
+    """
+    from repro.config.builtin import partition_landscape, replicated_landscape
+    from repro.sim.runner import SimulationRunner
+    from repro.sim.scenarios import Scenario
+
+    results = {}
+    for label, landscape in (
+        ("flat", replicated_landscape(4)),
+        ("domains4", partition_landscape(replicated_landscape(4), 4)),
+    ):
+        runner = SimulationRunner(
+            Scenario.FULL_MOBILITY,
+            user_factor=1.15,
+            horizon=horizon,
+            seed=7,
+            landscape=landscape,
+            collect_host_series=False,
+        )
+        runner.run()
+        controller = runner.controller
+        end = runner.start_minute + runner.horizon
+        ticks = 120
+        started = time.perf_counter()
+        for offset in range(ticks):
+            controller.tick(end + offset)
+        results[f"controller_tick_4x_{label}_ms"] = round(
+            (time.perf_counter() - started) / ticks * 1e3, 4
+        )
+    results["controller_tick_4x_domains_speedup"] = round(
+        results["controller_tick_4x_flat_ms"]
+        / results["controller_tick_4x_domains4_ms"],
+        2,
+    )
+    return results
+
+
 def run(quick: bool) -> dict:
     results: dict = {}
     print("chaos run, 12 hours ...", flush=True)
@@ -151,6 +193,8 @@ def run(quick: bool) -> dict:
     results["controller_tick_ms"] = _microbench_controller_tick(
         720 if quick else 4800
     )
+    print("domain-scaling microbenchmark (4x landscape) ...", flush=True)
+    results.update(_microbench_domain_scaling(240 if quick else 720))
 
     speedup = {}
     for key, before in PRE_REFACTOR_BASELINE.items():

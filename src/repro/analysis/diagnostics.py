@@ -74,6 +74,11 @@ CODE_TABLE: Dict[str, Tuple[Severity, str]] = {
     "AG205": (Severity.WARNING, "minimum instances unenforceable: no start/scale-out allowed"),
     "AG206": (Severity.WARNING, "rule override asserts an action outside allowedActions"),
     "AG208": (Severity.ERROR, "workload references an unknown load profile"),
+    # -- control-domain analyzer (AG21x) -----------------------------------
+    "AG210": (Severity.ERROR, "control domain references an unknown server"),
+    "AG211": (Severity.WARNING, "control domain administers no servers"),
+    "AG212": (Severity.ERROR, "exclusive service's initial allocation spans foreign domains"),
+    "AG213": (Severity.ERROR, "minimum instances unsatisfiable within any single control domain"),
 }
 
 

@@ -19,7 +19,13 @@ controller — at all:
 * **AG205** a positive ``minInstances`` with a non-empty allowed-action
   set lacking both ``start`` and ``scaleOut`` cannot be re-established
   by the controller once an instance stops;
-* **AG208** workload profiles must be registered load curves.
+* **AG208** workload profiles must be registered load curves;
+* **AG210-AG213** declared control domains must reference known servers,
+  administer at least one server, keep an exclusive service's initial
+  allocation inside its home domain, and leave at least one domain whose
+  eligible hosts can satisfy each service's ``minInstances`` (services
+  are administered by exactly one domain, so capacity in *other* domains
+  does not help).
 """
 
 from __future__ import annotations
@@ -281,6 +287,115 @@ def analyze_feasibility(landscape: LandscapeSpec) -> List[Diagnostic]:
                     ),
                     subject=f"service {service.name!r}",
                     service=service.name,
+                )
+            )
+
+    # -- AG210-AG213: control-domain feasibility ---------------------------
+    if landscape.domains:
+        diagnostics.extend(_analyze_domains(landscape))
+    return diagnostics
+
+
+def _analyze_domains(landscape: LandscapeSpec) -> List[Diagnostic]:
+    """Domain-specific checks, run only when domains are declared."""
+    diagnostics: List[Diagnostic] = []
+    server_names = {server.name for server in landscape.servers}
+    servers_by_name = {server.name: server for server in landscape.servers}
+    for domain in landscape.domains:
+        for host_name in domain.servers:
+            if host_name not in server_names:
+                diagnostics.append(
+                    Diagnostic(
+                        code="AG210",
+                        severity=Severity.ERROR,
+                        message=(
+                            f"control domain {domain.name!r} references "
+                            f"unknown server {host_name!r}"
+                        ),
+                        subject=f"domain {domain.name!r}",
+                        details={"server": host_name},
+                    )
+                )
+        if not domain.servers:
+            diagnostics.append(
+                Diagnostic(
+                    code="AG211",
+                    severity=Severity.WARNING,
+                    message=(
+                        f"control domain {domain.name!r} administers no "
+                        f"servers; its controller can never act"
+                    ),
+                    subject=f"domain {domain.name!r}",
+                )
+            )
+    domain_of = {
+        host: domain.name
+        for domain in landscape.domains
+        for host in domain.servers
+    }
+
+    # AG212: an exclusive service is administered by its home domain only;
+    # initial instances in other domains escape its exclusivity enforcement
+    for service in landscape.services:
+        if not service.constraints.exclusive:
+            continue
+        homes = sorted(
+            {
+                domain_of[host]
+                for host in landscape.instances_of(service.name)
+                if host in domain_of
+            }
+        )
+        if len(homes) > 1:
+            diagnostics.append(
+                Diagnostic(
+                    code="AG212",
+                    severity=Severity.ERROR,
+                    message=(
+                        f"exclusive service initially allocated across control "
+                        f"domains {', '.join(homes)}; only its home domain "
+                        f"({homes[0]}) would administer the foreign replicas"
+                    ),
+                    subject=f"service {service.name!r}",
+                    service=service.name,
+                    details={"domains": homes},
+                )
+            )
+
+    # AG213: minInstances must fit inside at least one single domain
+    for service in landscape.services:
+        minimum = service.constraints.min_instances
+        if minimum <= 0:
+            continue
+        eligible = set(_eligible_hosts(service, landscape.servers))
+        if not eligible:
+            continue  # AG202 already flags the hopeless case
+        per_instance = max(service.workload.memory_per_instance_mb, 1)
+        best = 0
+        for domain in landscape.domains:
+            slots = 0
+            for host_name in domain.servers:
+                if host_name not in eligible:
+                    continue
+                if service.constraints.exclusive:
+                    slots += 1  # exclusive instances need distinct hosts
+                else:
+                    slots += servers_by_name[host_name].memory_mb // per_instance
+            best = max(best, slots)
+        if best < minimum:
+            diagnostics.append(
+                Diagnostic(
+                    code="AG213",
+                    severity=Severity.ERROR,
+                    message=(
+                        f"minInstances={minimum} cannot be satisfied within "
+                        f"any single control domain (best domain fits {best} "
+                        f"instance(s)); instances are administered by one "
+                        f"domain and cannot be split across shards"
+                    ),
+                    subject=f"service {service.name!r}",
+                    service=service.name,
+                    details={"min_instances": minimum, "best_domain_slots": best},
                 )
             )
     return diagnostics

@@ -46,6 +46,29 @@ from repro.sim.scenarios import Scenario
 __all__ = ["main", "build_parser"]
 
 
+def _clock_time(text: str) -> int:
+    from repro.sim.clock import parse_clock_time
+
+    try:
+        return parse_clock_time(text)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc))
+
+
+def _positive_domains(text: str) -> int:
+    try:
+        count = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"invalid domain count {text!r}: expected a positive integer"
+        )
+    if count < 1:
+        raise argparse.ArgumentTypeError(
+            f"invalid domain count {count}: need at least one domain"
+        )
+    return count
+
+
 def _scenario(name: str) -> Scenario:
     for scenario in Scenario:
         if scenario.value == name:
@@ -70,6 +93,13 @@ def build_parser() -> argparse.ArgumentParser:
                      help="relative user population (1.0 = Table 4)")
     run.add_argument("--hours", type=float, default=80.0)
     run.add_argument("--seed", type=int, default=7)
+    run.add_argument("--start", type=_clock_time, default=None, metavar="HH:MM",
+                     help="wall-clock start time of day (default 12:00)")
+    run.add_argument("--domains", type=_positive_domains, default=None,
+                     metavar="N",
+                     help="partition the landscape into N control domains, "
+                          "each with its own controller, coordinated by the "
+                          "federation layer")
     run.add_argument("--actions", action="store_true",
                      help="print the controller action log")
     run.add_argument("--export", default=None, metavar="DIR",
@@ -160,11 +190,24 @@ def _cmd_run(args) -> int:
         from repro.sim.scenarios import default_chaos
 
         chaos = default_chaos(seed=args.chaos_seed)
+    landscape = None
+    if args.domains is not None and args.domains > 1:
+        from repro.config.builtin import paper_landscape, partition_landscape
+
+        landscape = partition_landscape(paper_landscape(), args.domains)
+    horizon = int(args.hours * 60)
+    start_minute = args.start if args.start is not None else 12 * 60
+    # fail fast on a start/horizon mismatch before building the platform
+    from repro.sim.clock import SimClock
+
+    SimClock(start_minute, horizon=start_minute + horizon)
     runner = SimulationRunner(
         args.scenario,
         user_factor=args.users,
-        horizon=int(args.hours * 60),
+        horizon=horizon,
         seed=args.seed,
+        start_minute=start_minute,
+        landscape=landscape,
         collect_host_series=args.export is not None,
         controller_enabled=False if args.no_controller else None,
         chaos=chaos,
@@ -175,6 +218,12 @@ def _cmd_run(args) -> int:
     )
     result = runner.run()
     print(result.summary())
+    requests = getattr(runner.controller, "relocation_requests", None)
+    if requests is not None:
+        moved = sum(1 for request in requests if request.status == "moved")
+        print(f"  control domains: {len(runner.controller.shards)}; "
+              f"cross-domain relocations: {moved} moved / "
+              f"{len(requests)} requested")
     if runner.injector is not None:
         print(f"  {runner.injector.summary()}")
         worst = sorted(

@@ -38,6 +38,7 @@ from typing import List, Tuple
 
 from repro.config.model import (
     Action,
+    ControlDomainSpec,
     ControllerSettings,
     LandscapeSpec,
     ServerSpec,
@@ -55,6 +56,8 @@ __all__ = [
     "INITIAL_USERS",
     "paper_landscape",
     "paper_landscape_xml",
+    "partition_landscape",
+    "replicated_landscape",
     "shipped_landscape_path",
 ]
 
@@ -287,6 +290,85 @@ def paper_landscape() -> LandscapeSpec:
         services=services,
         initial_allocation=list(INITIAL_ALLOCATION),
         controller=ControllerSettings(),
+    )
+
+
+def partition_landscape(landscape: LandscapeSpec, count: int) -> LandscapeSpec:
+    """Auto-partition a landscape into ``count`` contiguous control domains.
+
+    Servers are split in declaration order into chunks of near-equal
+    size (``domain-1`` .. ``domain-N``).  Contiguous chunks keep
+    replicated landscapes (see :func:`replicated_landscape`) aligned on
+    replica boundaries: partitioning a 4x-replicated landscape into four
+    domains yields exactly one replica per domain.
+    """
+    if count < 1:
+        raise ValueError(f"domain count must be positive, got {count}")
+    if count > len(landscape.servers):
+        raise ValueError(
+            f"cannot split {len(landscape.servers)} servers into {count} "
+            f"control domains"
+        )
+    base, remainder = divmod(len(landscape.servers), count)
+    domains = []
+    cursor = 0
+    for index in range(count):
+        size = base + (1 if index < remainder else 0)
+        chunk = landscape.servers[cursor:cursor + size]
+        cursor += size
+        domains.append(
+            ControlDomainSpec(
+                name=f"domain-{index + 1}",
+                servers=tuple(server.name for server in chunk),
+            )
+        )
+    return LandscapeSpec(
+        name=landscape.name,
+        servers=list(landscape.servers),
+        services=list(landscape.services),
+        initial_allocation=list(landscape.initial_allocation),
+        controller=landscape.controller,
+        domains=domains,
+    )
+
+
+def replicated_landscape(copies: int) -> LandscapeSpec:
+    """The Section 5.1 landscape tiled ``copies`` times.
+
+    Every server, service and allocation entry is duplicated with a
+    ``-rN`` suffix; subsystems are suffixed too, so central-instance and
+    database forwarding stays within each replica.  Used by the benchmark
+    harness to compare one flat controller against per-replica control
+    domains at equal total size.
+    """
+    if copies < 1:
+        raise ValueError(f"replica count must be positive, got {copies}")
+    base = paper_landscape()
+    servers: List[ServerSpec] = []
+    services: List[ServiceSpec] = []
+    allocation: List[Tuple[str, str]] = []
+    from dataclasses import replace as _replace
+
+    for copy in range(1, copies + 1):
+        suffix = f"-r{copy}"
+        for server in base.servers:
+            servers.append(_replace(server, name=server.name + suffix))
+        for service in base.services:
+            services.append(
+                _replace(
+                    service,
+                    name=service.name + suffix,
+                    subsystem=service.subsystem + suffix,
+                )
+            )
+        for service_name, host_name in base.initial_allocation:
+            allocation.append((service_name + suffix, host_name + suffix))
+    return LandscapeSpec(
+        name=f"sap-medium-x{copies}",
+        servers=servers,
+        services=services,
+        initial_allocation=allocation,
+        controller=base.controller,
     )
 
 

@@ -22,6 +22,7 @@ __all__ = [
     "WorkloadSpec",
     "ServiceSpec",
     "ControllerSettings",
+    "ControlDomainSpec",
     "LandscapeSpec",
 ]
 
@@ -253,6 +254,29 @@ class ControllerSettings:
         return self.idle_threshold_base / performance_index
 
 
+@dataclass(frozen=True)
+class ControlDomainSpec:
+    """One control domain: a named shard of the landscape's servers.
+
+    Each domain gets its own controller, LMS, advisors and load archive;
+    a federation layer coordinates relocations across domains.  A
+    landscape without ``<controlDomains>`` has a single implicit domain
+    covering every server, which behaves exactly like the pre-domain
+    stack.
+    """
+
+    name: str
+    servers: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("control domain needs a non-empty name")
+
+
+#: Name of the implicit domain used when a landscape declares none.
+DEFAULT_DOMAIN = "default"
+
+
 @dataclass
 class LandscapeSpec:
     """A complete landscape: servers, services, allocation and settings."""
@@ -264,6 +288,9 @@ class LandscapeSpec:
     #: instance, in start order (Figure 11).
     initial_allocation: List[Tuple[str, str]] = field(default_factory=list)
     controller: ControllerSettings = field(default_factory=ControllerSettings)
+    #: Declared control domains; empty means one implicit domain spanning
+    #: all servers (the classic single-controller deployment).
+    domains: List[ControlDomainSpec] = field(default_factory=list)
 
     def server(self, name: str) -> ServerSpec:
         match = self._servers_by_name().get(name)
@@ -286,6 +313,58 @@ class LandscapeSpec:
     def instances_of(self, service_name: str) -> List[str]:
         """Host names of the initial instances of a service, in order."""
         return [host for svc, host in self.initial_allocation if svc == service_name]
+
+    @property
+    def is_federated(self) -> bool:
+        """True when the landscape declares more than one control domain."""
+        return len(self.domains) > 1
+
+    def effective_domains(self) -> List[ControlDomainSpec]:
+        """The declared domains, or the single implicit one covering all servers."""
+        if self.domains:
+            return list(self.domains)
+        return [
+            ControlDomainSpec(
+                name=DEFAULT_DOMAIN,
+                servers=tuple(server.name for server in self.servers),
+            )
+        ]
+
+    def domain_of(self, host_name: str) -> str:
+        """Name of the control domain a server belongs to."""
+        for domain in self.effective_domains():
+            if host_name in domain.servers:
+                return domain.name
+        raise KeyError(
+            f"landscape {self.name!r}: server {host_name!r} belongs to no "
+            f"control domain"
+        )
+
+    def service_domains(self) -> Dict[str, str]:
+        """Home control domain of every service.
+
+        A service belongs to the domain of its first initially allocated
+        host; a service with no initial instances falls to the first
+        declared domain.  The home domain's controller administers the
+        service for the whole run — even after the federation relocates
+        one of its instances onto another domain's host.
+        """
+        domains = self.effective_domains()
+        server_domain = {
+            server: domain.name for domain in domains for server in domain.servers
+        }
+        homes: Dict[str, str] = {}
+        for service_name, host_name in self.initial_allocation:
+            home = server_domain.get(host_name)
+            if home is None:
+                raise KeyError(
+                    f"landscape {self.name!r}: server {host_name!r} belongs "
+                    f"to no control domain"
+                )
+            homes.setdefault(service_name, home)
+        for service in self.services:
+            homes.setdefault(service.name, domains[0].name)
+        return homes
 
     def scaled_users(self, factor: float) -> "LandscapeSpec":
         """A copy with every interactive service's users scaled by ``factor``.
@@ -316,4 +395,5 @@ class LandscapeSpec:
             services=scaled_services,
             initial_allocation=list(self.initial_allocation),
             controller=self.controller,
+            domains=list(self.domains),
         )

@@ -30,7 +30,15 @@ Example document::
       <allocation>
         <instance service="FI" host="Blade3"/>
       </allocation>
+      <controlDomains>
+        <controlDomain name="erp">
+          <server name="Blade1"/>
+        </controlDomain>
+      </controlDomains>
     </landscape>
+
+``<controlDomains>`` is optional: without it the landscape forms one
+implicit control domain spanning every server.
 """
 
 from __future__ import annotations
@@ -41,6 +49,7 @@ from typing import Dict, List, Optional, Tuple, Union
 
 from repro.config.model import (
     Action,
+    ControlDomainSpec,
     ControllerMode,
     ControllerSettings,
     LandscapeSpec,
@@ -196,6 +205,35 @@ def _parse_service(element: ET.Element) -> ServiceSpec:
     )
 
 
+def _parse_domains(element: Optional[ET.Element]) -> List[ControlDomainSpec]:
+    if element is None:
+        return []
+    domains = []
+    for domain_element in element.findall("controlDomain"):
+        name = _require(domain_element, "name")
+        servers = tuple(
+            _require(server, "name") for server in domain_element.findall("server")
+        )
+        domains.append(ControlDomainSpec(name=name, servers=servers))
+    seen: set = set()
+    for domain in domains:
+        if domain.name in seen:
+            raise LandscapeParseError(
+                f"duplicate control domain name {domain.name!r}"
+            )
+        seen.add(domain.name)
+    assigned: Dict[str, str] = {}
+    for domain in domains:
+        for server in domain.servers:
+            if server in assigned:
+                raise LandscapeParseError(
+                    f"server {server!r} assigned to both control domains "
+                    f"{assigned[server]!r} and {domain.name!r}"
+                )
+            assigned[server] = domain.name
+    return domains
+
+
 def _parse_allocation(element: Optional[ET.Element]) -> List[Tuple[str, str]]:
     if element is None:
         return []
@@ -229,6 +267,7 @@ def landscape_from_xml(text: str) -> LandscapeSpec:
         ],
         initial_allocation=_parse_allocation(root.find("allocation")),
         controller=_parse_controller(root.find("controller")),
+        domains=_parse_domains(root.find("controlDomains")),
     )
 
 

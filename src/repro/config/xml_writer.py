@@ -109,6 +109,12 @@ def landscape_to_xml(landscape: LandscapeSpec) -> str:
     allocation = ET.SubElement(root, "allocation")
     for service_name, host_name in landscape.initial_allocation:
         ET.SubElement(allocation, "instance", {"service": service_name, "host": host_name})
+    if landscape.domains:
+        domains = ET.SubElement(root, "controlDomains")
+        for domain in landscape.domains:
+            domain_element = ET.SubElement(domains, "controlDomain", {"name": domain.name})
+            for server_name in domain.servers:
+                ET.SubElement(domain_element, "server", {"name": server_name})
     raw = ET.tostring(root, encoding="unicode")
     return minidom.parseString(raw).toprettyxml(indent="  ")
 

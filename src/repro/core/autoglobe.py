@@ -49,13 +49,20 @@ class AutoGlobeController:
         enabled: bool = True,
         reservations=None,
         executor: Optional[ActionExecutor] = None,
+        relocation_handler=None,
     ) -> None:
         self.platform = platform
         self.settings = settings if settings is not None else platform.landscape.controller
         self.archive = archive if archive is not None else InMemoryLoadArchive()
         self.enabled = enabled
+        #: name of the control domain this controller administers; empty
+        #: for the classic single-controller deployment (``platform`` is
+        #: then the full :class:`~repro.serviceglobe.platform.Platform`,
+        #: not a :class:`~repro.serviceglobe.platform.DomainView`)
+        self.domain = getattr(platform, "domain_name", "")
         self.lms = LoadMonitoringSystem()
         self.lms.bus = platform.bus
+        self.lms.domain = self.domain
         self.protection = ProtectionRegistry(self.settings.protection_time)
         self.alerts = AlertChannel(
             confirm, approval_ttl=self.settings.approval_ttl, bus=platform.bus
@@ -75,6 +82,7 @@ class AutoGlobeController:
             alerts=self.alerts,
             settings=self.settings,
             executor=self.executor,
+            relocation_handler=relocation_handler,
         )
         self.situations_handled: List[Situation] = []
         #: heartbeat-based failure detection feeding the self-healing path
@@ -128,8 +136,9 @@ class AutoGlobeController:
             flusher is None
             or flusher.bus is not self.platform.bus
             or flusher.archive is not self.archive
+            or flusher.domain != self.domain
         ):
-            flusher = ArchiveFlusher(self.archive, self.platform.bus)
+            flusher = ArchiveFlusher(self.archive, self.platform.bus, domain=self.domain)
             self.archive.bus_flusher = flusher
         return flusher
 
@@ -355,7 +364,7 @@ class AutoGlobeController:
         # reports off the bus before any decision queries watch-time means
         if self._report_buffer:
             self.platform.bus.publish(
-                LoadReportBatch(now, tuple(self._report_buffer))
+                LoadReportBatch(now, tuple(self._report_buffer), self.domain)
             )
             self._report_buffer.clear()
         for name, advisor in self._host_advisors.items():

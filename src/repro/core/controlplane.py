@@ -1,0 +1,62 @@
+"""The control-plane contract of the simulation runner.
+
+Everything that drives a landscape — the fuzzy
+:class:`~repro.core.autoglobe.AutoGlobeController`, the crisp baseline
+(:class:`~repro.core.crisp.CrispThresholdController`), a supervised
+controller behind :class:`~repro.core.failover.ControllerSupervisor`,
+and the sharded :class:`~repro.core.federation.FederatedControlPlane` —
+presents the same narrow surface to the runner:
+
+* :meth:`ControlPlane.tick` — one per-minute cycle returning the
+  executed action outcomes,
+* :attr:`ControlPlane.alerts` — the administrator channel (info /
+  warning / escalation, plus the semi-automatic approval queue),
+* :meth:`ControlPlane.snapshot_state` / :meth:`ControlPlane.restore_state`
+  — JSON-able soft state for kill-and-resume recovery,
+* :meth:`ControlPlane.reconcile` — resolve in-flight action intents a
+  crashed leader left behind.
+
+The protocol is structural (duck-typed): implementations do not inherit
+from it, and ``isinstance`` checks only attribute presence.  Signature
+variations are deliberate where recovery context differs —
+``ControllerSupervisor.restore_state`` takes the resume minute because
+it must truncate its journal, the plain controllers do not need it.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Protocol, runtime_checkable
+
+from repro.serviceglobe.actions import ActionOutcome
+
+__all__ = ["ControlPlane"]
+
+
+@runtime_checkable
+class ControlPlane(Protocol):
+    """Structural interface every landscape controller implements."""
+
+    #: whether the plane takes actions; a disabled plane still monitors
+    enabled: bool
+
+    @property
+    def alerts(self) -> Any:
+        """The administrator alert channel (or an aggregated view of one)."""
+
+    def tick(self, now: int) -> List[ActionOutcome]:
+        """Run one controller cycle for simulated minute ``now``."""
+        ...
+
+    def snapshot_state(self) -> Dict[str, Any]:
+        """JSON-able soft state for durable run snapshots."""
+        ...
+
+    def restore_state(self, payload: Dict[str, Any], *args: Any) -> None:
+        """Rebuild soft state from a :meth:`snapshot_state` payload."""
+        ...
+
+    def reconcile(
+        self, now: int, intents: Dict[str, Dict[str, Any]]
+    ) -> List[ActionOutcome]:
+        """Resolve action intents left unresolved by a crashed leader."""
+        ...

@@ -12,7 +12,7 @@ and servers into protection mode.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Callable, List, Optional
 
 from repro.config.model import ControllerMode, ControllerSettings
 from repro.core.action_selection import RankedAction
@@ -52,6 +52,9 @@ class DecisionLoop:
         alerts: AlertChannel,
         settings: ControllerSettings,
         executor: Optional[ActionExecutor] = None,
+        relocation_handler: Optional[
+            Callable[[Situation, int], Optional[ActionOutcome]]
+        ] = None,
     ) -> None:
         self.platform = platform
         self.server_selector = server_selector
@@ -61,6 +64,11 @@ class DecisionLoop:
         #: every action flows through the failure-hardened executor; the
         #: default is a transparent pass-through (no injected faults)
         self.executor = executor if executor is not None else ActionExecutor(platform)
+        #: last resort for overloads no local action can remedy: a
+        #: federation-installed callback that may relocate an instance to
+        #: another control domain.  ``None`` (single-domain deployments)
+        #: escalates to the administrator as before.
+        self.relocation_handler = relocation_handler
         self.records: List[DecisionRecord] = []
 
     # -- helpers -----------------------------------------------------------------
@@ -131,6 +139,14 @@ class DecisionLoop:
             # recently executed and the system is deliberately settling
             self.alerts.info(now, f"deferred (protection active): {situation}")
         elif situation.kind.is_overload:
+            if self.relocation_handler is not None:
+                outcome = self.relocation_handler(situation, now)
+                if outcome is not None:
+                    record.outcome = outcome
+                    if protect:
+                        self._protect_involved(outcome, now)
+                    self.alerts.info(now, f"executed {outcome}")
+                    return outcome
             self.alerts.escalate(
                 now,
                 f"no applicable action for {situation}; human interaction required",

@@ -129,8 +129,15 @@ class ControllerSupervisor:
         standby: bool = False,
         executor_factory: Optional[Callable[[str, int], ActionExecutor]] = None,
         lease_ttl: int = DEFAULT_LEASE_TTL,
+        relocation_handler=None,
     ) -> None:
         self.platform = platform
+        #: control domain this supervisor's replicas administer (from a
+        #: DomainView's marker); empty when supervising the whole landscape
+        self.domain = getattr(platform, "domain_name", "")
+        #: forwarded to every replica's decision loop so failover
+        #: replicas stay wired to the federation's relocation path
+        self._relocation_handler = relocation_handler
         self.settings = (
             settings if settings is not None else platform.landscape.controller
         )
@@ -168,7 +175,9 @@ class ControllerSupervisor:
         """
         event_kind = SupervisionEventKind(kind)
         self.events.append((now, kind, detail))
-        self.platform.bus.publish(SupervisionEvent(now, event_kind, detail))
+        self.platform.bus.publish(
+            SupervisionEvent(now, event_kind, detail, self.domain)
+        )
 
     # -- replica construction -------------------------------------------------------
 
@@ -186,6 +195,7 @@ class ControllerSupervisor:
             confirm=self._confirm,
             enabled=self._enabled,
             executor=executor,
+            relocation_handler=self._relocation_handler,
         )
         controller.attach_journal(self.store.journal)
         self.replicas.append(controller)
@@ -434,6 +444,20 @@ class ControllerSupervisor:
         self._monitor_outages[host_name] = max(current, until)
         if self.active is not None:
             self.active.degrade_monitoring(host_name, until)
+
+    def reconcile(
+        self, now: int, intents: Dict[str, Dict[str, Any]]
+    ) -> List[ActionOutcome]:
+        """Resolve externally supplied intents (ControlPlane surface).
+
+        With a live leader the intents resolve immediately; otherwise
+        they queue with the store-recovered ones and resolve on the
+        first tick after recovery.
+        """
+        if self.active is None:
+            self._pending_intents.update(intents)
+            return []
+        return self.active.reconcile(now, intents)
 
     # -- run-level durability (kill -9 and resume) -------------------------------------
 

@@ -396,16 +396,20 @@ class ArchiveFlusher:
     archive).
     """
 
-    def __init__(self, archive: LoadArchive, bus: EventBus) -> None:
+    def __init__(self, archive: LoadArchive, bus: EventBus, domain: str = "") -> None:
         self.archive = archive
         self.bus = bus
+        #: control domain whose batches this flusher stores; with per-domain
+        #: archives on one shared bus, each flusher must ignore the other
+        #: domains' batches so archive writes never cross shards
+        self.domain = domain
         self.batches_flushed = 0
         self.rows_flushed = 0
         bus.subscribe(TOPIC_REPORTS, self._on_batch)
 
     def _on_batch(self, envelope) -> None:
         batch: LoadReportBatch = envelope.record
-        if not batch.rows:
+        if not batch.rows or batch.domain != self.domain:
             return
         self.archive.record_reports(list(batch.rows))
         self.batches_flushed += 1

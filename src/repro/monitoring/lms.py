@@ -19,6 +19,10 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.monitoring.monitor import LoadMonitor
+
+# SituationKind historically lived here; it is now defined in
+# repro.telemetry.records and re-exported below as a thin alias so
+# existing imports keep working.
 from repro.telemetry.records import (
     SituationEvent,
     SituationKind,
@@ -108,6 +112,9 @@ class LoadMonitoringSystem:
         #: open/confirm/cancel transitions publish on the ``situations``
         #: topic when set
         self.bus = None
+        #: control domain this LMS belongs to, stamped into published
+        #: situation events; empty in single-domain deployments
+        self.domain = ""
 
     def _journal_close(self, key: Tuple[str, SituationKind]) -> None:
         if self.journal is not None:
@@ -132,6 +139,7 @@ class LoadMonitoringSystem:
                 subject=observation.subject,
                 service_name=observation.service_name,
                 observed_mean=observed_mean,
+                domain=self.domain,
             )
         )
 

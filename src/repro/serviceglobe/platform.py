@@ -39,7 +39,7 @@ from repro.serviceglobe.service import (
 from repro.telemetry.bus import EventBus
 from repro.telemetry.records import ActionEvent
 
-__all__ = ["Platform"]
+__all__ = ["Platform", "DomainView"]
 
 
 class Platform:
@@ -382,6 +382,7 @@ class Platform:
         attempts: int = 1,
         duration: float = 0.0,
         fencing_token: Optional[int] = None,
+        domain: str = "",
     ) -> ActionOutcome:
         """Execute one management action (Table 2).
 
@@ -392,7 +393,10 @@ class Platform:
         failure-hardened executor when the action needed retries.
         ``fencing_token`` identifies the leadership epoch of the issuing
         controller; a stale token is rejected with
-        :class:`FencedActionError` before anything happens.
+        :class:`FencedActionError` before anything happens.  ``domain``
+        names the control domain that issued the action (empty in
+        single-domain deployments); it only stamps the published
+        :class:`~repro.telemetry.records.ActionEvent`.
         """
         self.fence.validate(fencing_token)
         service = self.service(service_name)
@@ -425,10 +429,10 @@ class Platform:
             attempts=attempts,
             duration=duration,
         )
-        self.record_outcome(outcome)
+        self.record_outcome(outcome, domain=domain)
         return outcome
 
-    def record_outcome(self, outcome: ActionOutcome) -> None:
+    def record_outcome(self, outcome: ActionOutcome, domain: str = "") -> None:
         """Append one outcome to the audit log and publish it on the bus.
 
         The single entry point for recording executed actions: the audit
@@ -437,7 +441,7 @@ class Platform:
         observe the same record live.
         """
         self.audit_log.append(outcome)
-        self.bus.publish(ActionEvent(outcome.time, outcome))
+        self.bus.publish(ActionEvent(outcome.time, outcome, domain))
 
     # Individual handlers.  Each returns a provisional ActionOutcome; the
     # applicability/note stamping happens in execute().
@@ -707,3 +711,210 @@ class Platform:
             self.host(i.host_name).cpu_capacity
             for i in self.service(service_name).running_instances
         )
+
+
+class DomainView:
+    """One control domain's scoped view of a shared :class:`Platform`.
+
+    The substrate (fabric, registry, dispatcher, code repository, audit
+    log, telemetry bus) stays shared — there is still exactly one
+    ServiceGlobe federation.  What the view scopes is *administration*:
+
+    * :attr:`hosts` / :attr:`services` contain only the domain's servers
+      and the services it administers (a service's home domain is the
+      domain of its first initially allocated host), so a controller
+      built on the view monitors and manages its shard only;
+    * :meth:`eligible_hosts` filters placement candidates to domain
+      hosts, keeping every controller-chosen remedy inside the shard;
+    * the view carries its own :class:`FencingGuard`: leases and fencing
+      tokens are per-domain, so a failover in one domain can never fence
+      another domain's leader.
+
+    Name lookups (:meth:`host`, :meth:`service`, :meth:`instance`) stay
+    global: an instance relocated into the domain by the federation may
+    reference a foreign source host, and measurements of a relocated
+    instance must resolve its current (possibly foreign) host.
+
+    Actions executed through the view are validated against the *view's*
+    fence, then run on the substrate stamped with the domain's name.
+    """
+
+    def __init__(
+        self,
+        platform: Platform,
+        name: str,
+        host_names,
+        service_names,
+    ) -> None:
+        if not name:
+            raise ValueError("control domain view needs a non-empty name")
+        self.platform = platform
+        self.name = name
+        #: marker the controller stack reads to stamp telemetry records
+        self.domain_name = name
+        wanted_hosts = set(host_names)
+        unknown = wanted_hosts - set(platform.hosts)
+        if unknown:
+            raise NoSuchTarget(
+                f"control domain {name!r}: unknown hosts {sorted(unknown)}"
+            )
+        wanted_services = set(service_names)
+        foreign = wanted_services - set(platform.services)
+        if foreign:
+            raise NoSuchTarget(
+                f"control domain {name!r}: unknown services {sorted(foreign)}"
+            )
+        # host/service definition objects are stable across
+        # Platform.restore_state (it mutates them in place), so the
+        # filtered dicts can be built once; substrate iteration order is
+        # preserved for determinism
+        self.hosts: Dict[str, ServiceHost] = {
+            n: h for n, h in platform.hosts.items() if n in wanted_hosts
+        }
+        self.services: Dict[str, ServiceDefinition] = {
+            n: s for n, s in platform.services.items() if n in wanted_services
+        }
+        self.fence = FencingGuard()
+        # pure delegations bind the substrate's methods directly: the
+        # monitoring hot path calls these tens of thousands of times per
+        # simulated hour, and an extra proxy frame per call is measurable
+        # (lookups stay global: relocated instances may reference foreign
+        # hosts)
+        self.host = platform.host
+        self.service = platform.service
+        self.instance = platform.instance
+        self.memory_of = platform.memory_of
+        self.can_host = platform.can_host
+        self.crash_instance = platform.crash_instance
+        self.host_cpu_load = platform.host_cpu_load
+        self.host_mem_load = platform.host_mem_load
+        self.instance_load = platform.instance_load
+        self.service_load = platform.service_load
+        self.service_demand = platform.service_demand
+        self.service_capacity = platform.service_capacity
+
+    # -- shared substrate (objects the Platform may replace wholesale) ------------
+
+    @property
+    def landscape(self) -> LandscapeSpec:
+        return self.platform.landscape
+
+    @property
+    def bus(self) -> EventBus:
+        return self.platform.bus
+
+    @property
+    def audit_log(self) -> List[ActionOutcome]:
+        return self.platform.audit_log
+
+    @property
+    def fabric(self) -> NetworkFabric:
+        return self.platform.fabric
+
+    @property
+    def registry(self) -> ServiceRegistry:
+        return self.platform.registry
+
+    @property
+    def dispatcher(self) -> Dispatcher:
+        return self.platform.dispatcher
+
+    @property
+    def code_repository(self) -> CodeRepository:
+        return self.platform.code_repository
+
+    @property
+    def stopped_services(self) -> Set[str]:
+        return self.platform.stopped_services
+
+    @property
+    def user_distribution(self) -> UserDistribution:
+        return self.platform.user_distribution
+
+    @property
+    def current_time(self) -> int:
+        return self.platform.current_time
+
+    @current_time.setter
+    def current_time(self, value: int) -> None:
+        self.platform.current_time = value
+
+    @property
+    def move_fault_hook(self):
+        return self.platform.move_fault_hook
+
+    @move_fault_hook.setter
+    def move_fault_hook(self, hook) -> None:
+        self.platform.move_fault_hook = hook
+
+    def all_instances(self) -> List[ServiceInstance]:
+        """Running instances of the domain's *own* services only."""
+        return [
+            instance
+            for definition in self.services.values()
+            for instance in definition.running_instances
+        ]
+
+    # -- feasibility (placement candidates stay inside the shard) ------------------
+
+    def eligible_hosts(self, service_name: str) -> List[ServiceHost]:
+        return [
+            host
+            for host in self.hosts.values()
+            if self.platform.can_host(service_name, host.name) is None
+        ]
+
+    # -- faults and healing --------------------------------------------------------
+
+    def drain_orphans(self) -> List[ServiceInstance]:
+        """Take only the orphans of services this domain administers."""
+        mine = [o for o in self.platform.orphans if o.service_name in self.services]
+        if mine:
+            self.platform.orphans = [
+                o for o in self.platform.orphans if o.service_name not in self.services
+            ]
+        return mine
+
+    def hosts_down(self) -> List[str]:
+        """Domain hosts currently out of the landscape."""
+        return sorted(name for name, host in self.hosts.items() if not host.up)
+
+    # -- action execution ----------------------------------------------------------
+
+    def execute(
+        self,
+        action: Action,
+        service_name: str,
+        instance_id: Optional[str] = None,
+        target_host: Optional[str] = None,
+        applicability: Optional[float] = None,
+        enforce_allowed: bool = True,
+        note: str = "",
+        attempts: int = 1,
+        duration: float = 0.0,
+        fencing_token: Optional[int] = None,
+        domain: str = "",
+    ) -> ActionOutcome:
+        """Execute on the substrate under the *domain's* fence.
+
+        The caller's fencing token is checked against this view's guard
+        (leadership epochs are per-domain); the substrate call then runs
+        unfenced and the published action event carries the domain name.
+        """
+        self.fence.validate(fencing_token)
+        return self.platform.execute(
+            action,
+            service_name,
+            instance_id=instance_id,
+            target_host=target_host,
+            applicability=applicability,
+            enforce_allowed=enforce_allowed,
+            note=note,
+            attempts=attempts,
+            duration=duration,
+            fencing_token=None,
+            domain=self.name,
+        )
+
+    def record_outcome(self, outcome: ActionOutcome, domain: str = "") -> None:
+        self.platform.record_outcome(outcome, domain=domain or self.name)

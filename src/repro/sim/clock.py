@@ -8,7 +8,15 @@ acceleration is irrelevant for a discrete simulator, so we simply step
 
 from __future__ import annotations
 
-__all__ = ["MINUTES_PER_DAY", "PAPER_HORIZON_MINUTES", "SimClock", "format_minute"]
+from typing import Optional
+
+__all__ = [
+    "MINUTES_PER_DAY",
+    "PAPER_HORIZON_MINUTES",
+    "SimClock",
+    "format_minute",
+    "parse_clock_time",
+]
 
 MINUTES_PER_DAY = 24 * 60
 
@@ -23,13 +31,46 @@ def format_minute(minute: int) -> str:
     return f"{day} {hour:02d}:{minute_in_hour:02d}"
 
 
-class SimClock:
-    """A simple advancing minute counter."""
+def parse_clock_time(text: str) -> int:
+    """Parse a wall-clock time of day (``HH:MM``) into a minute of day.
 
-    def __init__(self, start: int = 0) -> None:
+    Raises :class:`ValueError` with a precise message on anything that
+    is not a valid 24-hour time — the CLI forwards these verbatim.
+    """
+    parts = text.strip().split(":")
+    if len(parts) != 2 or not all(p.isdigit() for p in parts):
+        raise ValueError(
+            f"invalid clock time {text!r}: expected HH:MM (e.g. 12:00)"
+        )
+    hour, minute = int(parts[0]), int(parts[1])
+    if hour > 23:
+        raise ValueError(f"invalid clock time {text!r}: hour must be 0-23")
+    if minute > 59:
+        raise ValueError(f"invalid clock time {text!r}: minute must be 0-59")
+    return hour * 60 + minute
+
+
+class SimClock:
+    """A simple advancing minute counter.
+
+    ``horizon`` (optional) is the run's length in minutes: the clock
+    refuses a start beyond it, which catches swapped or mis-scaled
+    arguments before a simulation silently runs zero ticks.
+    """
+
+    def __init__(self, start: int = 0, horizon: Optional[int] = None) -> None:
         if start < 0:
             raise ValueError("clock cannot start before minute 0")
+        if horizon is not None:
+            if horizon < 0:
+                raise ValueError("clock horizon cannot be negative")
+            if start > horizon:
+                raise ValueError(
+                    f"clock start minute {start} lies beyond the "
+                    f"{horizon}-minute horizon"
+                )
         self.now = start
+        self.horizon = horizon
 
     def advance(self) -> int:
         self.now += 1

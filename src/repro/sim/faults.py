@@ -125,6 +125,21 @@ class FaultInjector:
         #: host name -> minute its reboot completes
         self._reboot_at: Dict[str, int] = {}
 
+    def _domain_of(self, host_name: str) -> str:
+        """Control domain of a host for fault-record stamping.
+
+        Empty in single-domain deployments so existing runs stay
+        byte-identical; in federated ones the record names the shard the
+        fault hit.
+        """
+        landscape = self.controller.platform.landscape
+        if not host_name or not getattr(landscape, "is_federated", False):
+            return ""
+        try:
+            return landscape.domain_of(host_name)
+        except KeyError:
+            return ""
+
     def _record_fault(
         self, record: FaultRecord, injected: List[FaultRecord]
     ) -> None:
@@ -169,9 +184,12 @@ class FaultInjector:
         ):
             low, high = self.controller_restart_minutes
             minutes = int(self._rng.integers(low, high + 1))
-            supervisor.crash_active(now, minutes)
+            # a federated plane routes the crash to one shard and returns
+            # its name; a plain supervisor returns None
+            domain = supervisor.crash_active(now, minutes) or ""
             self._record_fault(
-                FaultRecord(now, "", "", "", "controller-crash"), injected
+                FaultRecord(now, "", "", "", "controller-crash", domain),
+                injected,
             )
             return
         if self.leader_partition_probability > 0.0 and (
@@ -179,9 +197,10 @@ class FaultInjector:
         ):
             low, high = self.leader_partition_minutes
             minutes = int(self._rng.integers(low, high + 1))
-            supervisor.partition_active(now, minutes)
+            domain = supervisor.partition_active(now, minutes) or ""
             self._record_fault(
-                FaultRecord(now, "", "", "", "leader-partition"), injected
+                FaultRecord(now, "", "", "", "leader-partition", domain),
+                injected,
             )
 
     def _recover_hosts(self, now: int, injected: List[FaultRecord]) -> None:
@@ -191,7 +210,10 @@ class FaultInjector:
                 del self._reboot_at[host_name]
                 platform.recover_host(host_name)
                 self._record_fault(
-                    FaultRecord(now, "", "", host_name, "host-recovery"),
+                    FaultRecord(
+                        now, "", "", host_name, "host-recovery",
+                        self._domain_of(host_name),
+                    ),
                     injected,
                 )
 
@@ -208,7 +230,11 @@ class FaultInjector:
                 self._rng.integers(low, high + 1)
             )
             self._record_fault(
-                FaultRecord(now, "", "", host_name, "host-crash"), injected
+                FaultRecord(
+                    now, "", "", host_name, "host-crash",
+                    self._domain_of(host_name),
+                ),
+                injected,
             )
             for victim in victims:
                 # the heartbeat detector must not later report an
@@ -228,7 +254,10 @@ class FaultInjector:
             until = now + int(self._rng.integers(low, high + 1)) - 1
             self.controller.degrade_monitoring(host_name, until)
             self._record_fault(
-                FaultRecord(now, "", "", host_name, "monitor-outage"),
+                FaultRecord(
+                    now, "", "", host_name, "monitor-outage",
+                    self._domain_of(host_name),
+                ),
                 injected,
             )
 
@@ -248,6 +277,7 @@ class FaultInjector:
                     FaultRecord(
                         now, instance.instance_id, instance.service_name,
                         instance.host_name, "crash",
+                        self._domain_of(instance.host_name),
                     ),
                     injected,
                 )
@@ -260,6 +290,7 @@ class FaultInjector:
                     FaultRecord(
                         now, instance.instance_id, instance.service_name,
                         instance.host_name, "hang",
+                        self._domain_of(instance.host_name),
                     ),
                     injected,
                 )
@@ -314,7 +345,7 @@ class FaultInjector:
             "rng": self._rng.bit_generator.state,
             "reboot_at": dict(self._reboot_at),
             "faults": [
-                [f.time, f.instance_id, f.service_name, f.host_name, f.kind]
+                [f.time, f.instance_id, f.service_name, f.host_name, f.kind, f.domain]
                 for f in self.faults
             ],
         }
@@ -325,7 +356,11 @@ class FaultInjector:
             host: int(minute)
             for host, minute in payload.get("reboot_at", {}).items()  # type: ignore[union-attr]
         }
+        # pre-domain snapshots stored 5-element fault rows; tolerate both
         self.faults = [
-            FaultRecord(int(t), str(i), str(s), str(h), str(k))
-            for t, i, s, h, k in payload.get("faults", [])  # type: ignore[union-attr]
+            FaultRecord(
+                int(row[0]), str(row[1]), str(row[2]), str(row[3]), str(row[4]),
+                str(row[5]) if len(row) > 5 else "",
+            )
+            for row in payload.get("faults", [])  # type: ignore[union-attr]
         ]

@@ -200,13 +200,26 @@ class SimulationRunner:
             or standby
             or (chaos is not None and chaos.has_controller_faults)
         )
+        federated = scenario_landscape.is_federated
         if supervised and controller_factory is not None:
             raise ValueError(
                 "a custom controller_factory cannot be combined with "
                 "state_dir/standby/controller-fault chaos (those require "
                 "the supervised AutoGlobe controller)"
             )
-        if self.state_dir is not None and archive is None:
+        if federated and controller_factory is not None:
+            raise ValueError(
+                "a custom controller_factory cannot administer a landscape "
+                "with control domains (the runner builds a "
+                "FederatedControlPlane for those)"
+            )
+        if federated and archive is not None:
+            raise ValueError(
+                "a shared archive cannot serve a landscape with control "
+                "domains; each domain keeps its own archive (pass "
+                "state_dir for per-domain SQLite archives)"
+            )
+        if not federated and self.state_dir is not None and archive is None:
             from repro.monitoring.archive import SqliteLoadArchive
 
             self.state_dir.mkdir(parents=True, exist_ok=True)
@@ -214,7 +227,30 @@ class SimulationRunner:
         self.archive = archive
         self._store = None
         executor = None
-        if supervised:
+        if federated:
+            from repro.core.federation import FederatedControlPlane
+
+            if self.state_dir is not None:
+                from repro.core.state import DurableStateStore
+
+                self.state_dir.mkdir(parents=True, exist_ok=True)
+                # the root store holds the runner's full-run snapshots;
+                # each domain journals and leases under its own subdir
+                self._store = DurableStateStore(self.state_dir)
+            self.controller = FederatedControlPlane(
+                self.platform,
+                settings=scenario_landscape.controller,
+                enabled=enabled,
+                supervised=supervised,
+                state_dir=self.state_dir,
+                standby=standby,
+                archive_factory=self._make_archive_factory(),
+                execution_faults=(
+                    self._execution_faults(chaos) if chaos is not None else None
+                ),
+                chaos_seed=chaos.seed if chaos is not None else None,
+            )
+        elif supervised:
             from repro.core.failover import ControllerSupervisor
             from repro.core.state import DurableStateStore
 
@@ -281,6 +317,34 @@ class SimulationRunner:
             latency_jitter=chaos.action_latency_jitter,
         )
 
+    def _make_archive_factory(self):
+        """Per-domain archive builder for the federated control plane.
+
+        SQLite archives under ``state_dir/<domain>/`` when the run is
+        durable, in-memory archives otherwise — either way one archive
+        per domain, so measurements never cross shards.
+        """
+        state_dir = self.state_dir
+
+        def build(domain: str):
+            if state_dir is not None:
+                from repro.monitoring.archive import SqliteLoadArchive
+
+                directory = state_dir / domain
+                directory.mkdir(parents=True, exist_ok=True)
+                return SqliteLoadArchive(directory / "archive.db")
+            from repro.monitoring.archive import InMemoryLoadArchive
+
+            return InMemoryLoadArchive()
+
+        return build
+
+    def _domain_archives(self):
+        shards = getattr(self.controller, "shards", None)
+        if shards is None:
+            return [self.archive] if self.archive is not None else []
+        return [shard.archive for shard in shards.values()]
+
     def _make_executor_factory(self, chaos: Optional[ChaosProfile]):
         """Per-replica executor builder for the supervised controller.
 
@@ -308,8 +372,9 @@ class SimulationRunner:
 
     def _save_run_snapshot(self, now: int) -> None:
         assert self._store is not None
-        if self.archive is not None and hasattr(self.archive, "commit"):
-            self.archive.commit()
+        for archive in self._domain_archives():
+            if hasattr(archive, "commit"):
+                archive.commit()
         payload = {
             "platform": self.platform.snapshot_state(),
             "workload": self.workload.snapshot_state(),
@@ -336,10 +401,11 @@ class SimulationRunner:
         tick = int(snapshot["tick"])
         payload = snapshot["payload"]
         self.platform.restore_state(payload["platform"])
-        if self.archive is not None and hasattr(self.archive, "truncate_after"):
+        for archive in self._domain_archives():
             # whatever the abandoned timeline recorded past the snapshot
             # must not leak into the replayed one
-            self.archive.truncate_after(tick)
+            if hasattr(archive, "truncate_after"):
+                archive.truncate_after(tick)
         self.workload.restore_state(payload["workload"])
         self.collector.restore_state(payload["collector"])
         if self.injector is not None and "injector" in payload:
@@ -396,7 +462,10 @@ class SimulationRunner:
                 # the kind's own verdict decides what the merge adds
                 if event.kind.creates_fault_record:
                     records.append(
-                        FaultRecord(event.time, "", "", "", event.kind.value)
+                        FaultRecord(
+                            event.time, "", "", "", event.kind.value,
+                            getattr(event, "domain", ""),
+                        )
                     )
             records.sort(key=lambda record: record.time)
         return records or None

@@ -101,6 +101,7 @@ def apply_scenario(landscape: LandscapeSpec, scenario: Scenario) -> LandscapeSpe
         services=services,
         initial_allocation=list(landscape.initial_allocation),
         controller=landscape.controller,
+        domains=list(landscape.domains),
     )
 
 

@@ -85,6 +85,8 @@ class FaultRecord:
     service_name: str
     host_name: str
     kind: str
+    #: control domain the fault hit; empty in single-domain deployments
+    domain: str = ""
 
 
 class SupervisionEventKind(enum.Enum):
@@ -127,6 +129,8 @@ class SupervisionEvent:
     #: the replica involved (e.g. ``"controller-1"``), or ``"old->new"``
     #: for failovers
     detail: str
+    #: control domain whose controller is supervised; empty when single-domain
+    domain: str = ""
 
 
 @dataclass(frozen=True)
@@ -136,6 +140,8 @@ class ActionEvent:
     time: int
     #: a :class:`repro.serviceglobe.actions.ActionOutcome`
     outcome: Any
+    #: control domain that issued the action; empty when single-domain
+    domain: str = ""
 
 
 class SituationPhase(enum.Enum):
@@ -157,6 +163,8 @@ class SituationEvent:
     service_name: Optional[str]
     #: the confirming watch-time mean; only set for CONFIRMED
     observed_mean: Optional[float] = None
+    #: control domain whose LMS saw the situation; empty when single-domain
+    domain: str = ""
 
 
 @dataclass(frozen=True)
@@ -183,6 +191,8 @@ class LoadReportBatch:
 
     time: int
     rows: Tuple[Tuple[str, str, int, float], ...]
+    #: control domain the reports were sampled in; empty when single-domain
+    domain: str = ""
 
 
 TelemetryRecord = Union[
@@ -249,6 +259,7 @@ def record_to_dict(record: TelemetryRecord) -> Dict[str, Any]:
             status=getattr(outcome, "status", None),
             attempts=getattr(outcome, "attempts", None),
             note=getattr(outcome, "note", None),
+            domain=record.domain,
         )
         return payload
     for field in dataclasses.fields(record):

@@ -273,3 +273,104 @@ class TestRunnerIntegration:
 
         with pytest.raises(ValueError, match="lint"):
             SimulationRunner(Scenario.STATIC, lint="loud")
+
+
+class TestControlDomains:
+    """AG210-AG213: control-domain feasibility findings."""
+
+    @staticmethod
+    def _domained(servers, services, domains, allocation=None):
+        from repro.config.model import ControlDomainSpec
+
+        return LandscapeSpec(
+            "sharded",
+            servers=servers,
+            services=services,
+            initial_allocation=allocation or [],
+            domains=[
+                ControlDomainSpec(name, servers=tuple(members))
+                for name, members in domains
+            ],
+        )
+
+    def test_ag210_unknown_server_reference(self):
+        landscape = self._domained(
+            [ServerSpec("H1", performance_index=1.0)],
+            [_service("A")],
+            [("d1", ["H1", "ghost"])],
+        )
+        [finding] = [
+            d for d in analyze_feasibility(landscape) if d.code == "AG210"
+        ]
+        assert finding.severity is Severity.ERROR
+        assert "ghost" in finding.message
+
+    def test_ag211_empty_domain_warns(self):
+        landscape = self._domained(
+            [ServerSpec("H1", performance_index=1.0)],
+            [_service("A")],
+            [("d1", ["H1"]), ("idle", [])],
+        )
+        [finding] = [
+            d for d in analyze_feasibility(landscape) if d.code == "AG211"
+        ]
+        assert finding.severity is Severity.WARNING
+        assert "idle" in finding.message
+
+    def test_ag212_exclusive_service_split_across_domains(self):
+        landscape = self._domained(
+            [
+                ServerSpec("H1", performance_index=1.0),
+                ServerSpec("H2", performance_index=1.0),
+            ],
+            [_service("A", exclusive=True, min_instances=1)],
+            [("d1", ["H1"]), ("d2", ["H2"])],
+            allocation=[("A", "H1"), ("A", "H2")],
+        )
+        [finding] = [
+            d for d in analyze_feasibility(landscape) if d.code == "AG212"
+        ]
+        assert finding.severity is Severity.ERROR
+        assert finding.service == "A"
+
+    def test_ag212_silent_when_allocation_stays_home(self):
+        landscape = self._domained(
+            [
+                ServerSpec("H1", performance_index=1.0),
+                ServerSpec("H2", performance_index=1.0),
+            ],
+            [_service("A", exclusive=True, min_instances=1)],
+            [("d1", ["H1"]), ("d2", ["H2"])],
+            allocation=[("A", "H1")],
+        )
+        assert "AG212" not in _codes(analyze_feasibility(landscape))
+
+    def test_ag213_min_instances_do_not_fit_any_single_domain(self):
+        landscape = self._domained(
+            [
+                ServerSpec("H1", performance_index=1.0, memory_mb=512),
+                ServerSpec("H2", performance_index=1.0, memory_mb=512),
+            ],
+            [_service("A", min_instances=2, memory_mb=512)],
+            [("d1", ["H1"]), ("d2", ["H2"])],
+        )
+        [finding] = [
+            d for d in analyze_feasibility(landscape) if d.code == "AG213"
+        ]
+        assert finding.severity is Severity.ERROR
+        assert finding.details["best_domain_slots"] == 1
+
+    def test_ag213_silent_when_one_domain_fits_everything(self):
+        landscape = self._domained(
+            [
+                ServerSpec("H1", performance_index=1.0, memory_mb=2048),
+                ServerSpec("H2", performance_index=1.0, memory_mb=512),
+            ],
+            [_service("A", min_instances=2, memory_mb=512)],
+            [("d1", ["H1"]), ("d2", ["H2"])],
+        )
+        assert "AG213" not in _codes(analyze_feasibility(landscape))
+
+    def test_no_domain_codes_without_declared_domains(self):
+        diagnostics = analyze_feasibility(paper_landscape())
+        assert not any(d.code.startswith("AG21") for d in diagnostics)

@@ -1,0 +1,124 @@
+"""Control-domain declarations: XML parsing, round-trips, partitioning."""
+
+import pytest
+
+from repro.config.builtin import (
+    paper_landscape,
+    partition_landscape,
+    replicated_landscape,
+)
+from repro.config.model import ControlDomainSpec, DEFAULT_DOMAIN
+from repro.config.xml_loader import LandscapeParseError, landscape_from_xml
+from repro.config.xml_writer import landscape_to_xml
+
+DOMAIN_XML = """
+<landscape name="sharded">
+  <servers>
+    <server name="H1" performanceIndex="1"/>
+    <server name="H2" performanceIndex="1"/>
+    <server name="H3" performanceIndex="1"/>
+  </servers>
+  <services>
+    <service name="APP" kind="application-server">
+      <workload users="100"/>
+    </service>
+  </services>
+  <allocation>
+    <instance service="APP" host="H1"/>
+  </allocation>
+  <controlDomains>
+    <controlDomain name="left">
+      <server name="H1"/>
+      <server name="H2"/>
+    </controlDomain>
+    <controlDomain name="right">
+      <server name="H3"/>
+    </controlDomain>
+  </controlDomains>
+</landscape>
+"""
+
+
+class TestParsing:
+    def test_parses_declared_domains(self):
+        landscape = landscape_from_xml(DOMAIN_XML)
+        assert [d.name for d in landscape.domains] == ["left", "right"]
+        assert landscape.domains[0].servers == ("H1", "H2")
+        assert landscape.is_federated
+
+    def test_duplicate_domain_name_rejected(self):
+        bad = DOMAIN_XML.replace('name="right"', 'name="left"')
+        with pytest.raises(LandscapeParseError, match="duplicate control domain"):
+            landscape_from_xml(bad)
+
+    def test_double_assigned_server_rejected(self):
+        bad = DOMAIN_XML.replace(
+            '<controlDomain name="right">\n      <server name="H3"/>',
+            '<controlDomain name="right">\n      <server name="H2"/>',
+        )
+        with pytest.raises(LandscapeParseError, match="assigned to both"):
+            landscape_from_xml(bad)
+
+    def test_no_domains_means_single_implicit_domain(self):
+        landscape = paper_landscape()
+        assert landscape.domains == []
+        assert not landscape.is_federated
+        effective = landscape.effective_domains()
+        assert [d.name for d in effective] == [DEFAULT_DOMAIN]
+        assert set(effective[0].servers) == {s.name for s in landscape.servers}
+
+
+class TestRoundTrip:
+    def test_domains_survive_a_writer_loader_round_trip(self):
+        landscape = landscape_from_xml(DOMAIN_XML)
+        again = landscape_from_xml(landscape_to_xml(landscape))
+        assert again.domains == landscape.domains
+
+    def test_undomained_landscape_emits_no_domain_element(self):
+        xml = landscape_to_xml(paper_landscape())
+        assert "controlDomains" not in xml
+
+
+class TestHomeDomains:
+    def test_service_home_is_the_first_initial_hosts_domain(self):
+        landscape = landscape_from_xml(DOMAIN_XML)
+        assert landscape.service_domains() == {"APP": "left"}
+        assert landscape.domain_of("H3") == "right"
+
+    def test_unknown_host_raises(self):
+        landscape = landscape_from_xml(DOMAIN_XML)
+        with pytest.raises(KeyError):
+            landscape.domain_of("nope")
+
+
+class TestPartitioning:
+    def test_partition_covers_every_server_exactly_once(self):
+        base = paper_landscape()
+        sharded = partition_landscape(base, 4)
+        assert len(sharded.domains) == 4
+        assigned = [s for d in sharded.domains for s in d.servers]
+        assert sorted(assigned) == sorted(s.name for s in base.servers)
+        assert len(assigned) == len(set(assigned))
+
+    def test_partition_chunks_are_contiguous_and_balanced(self):
+        base = paper_landscape()
+        sharded = partition_landscape(base, 3)
+        sizes = [len(d.servers) for d in sharded.domains]
+        assert sum(sizes) == len(base.servers)
+        assert max(sizes) - min(sizes) <= 1
+        order = [s for d in sharded.domains for s in d.servers]
+        assert order == [s.name for s in base.servers]
+
+    def test_replicated_landscape_aligns_with_partitioning(self):
+        tiled = replicated_landscape(4)
+        base = paper_landscape()
+        assert len(tiled.servers) == 4 * len(base.servers)
+        assert len(tiled.services) == 4 * len(base.services)
+        sharded = partition_landscape(tiled, 4)
+        # replica boundaries line up: each domain holds exactly one replica
+        for index, domain in enumerate(sharded.domains, start=1):
+            assert all(s.endswith(f"-r{index}") for s in domain.servers)
+        homes = sharded.service_domains()
+        for service in tiled.services:
+            replica = service.name.rsplit("-r", 1)[1]
+            assert homes[service.name] == f"domain-{replica}"

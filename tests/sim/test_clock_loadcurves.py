@@ -5,7 +5,13 @@ import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
-from repro.sim.clock import MINUTES_PER_DAY, PAPER_HORIZON_MINUTES, SimClock, format_minute
+from repro.sim.clock import (
+    MINUTES_PER_DAY,
+    PAPER_HORIZON_MINUTES,
+    SimClock,
+    format_minute,
+    parse_clock_time,
+)
 from repro.sim.loadcurves import (
     available_profiles,
     profile_array,
@@ -37,6 +43,38 @@ class TestClock:
         assert format_minute(0) == "0 00:00"
         assert format_minute(8 * 60 + 5) == "0 08:05"
         assert format_minute(MINUTES_PER_DAY + 12 * 60) == "1 12:00"
+
+    def test_start_beyond_horizon_rejected(self):
+        with pytest.raises(ValueError, match="beyond"):
+            SimClock(start=500, horizon=499)
+        assert SimClock(start=500, horizon=500).now == 500
+
+    def test_negative_horizon_rejected(self):
+        with pytest.raises(ValueError, match="negative"):
+            SimClock(start=0, horizon=-1)
+
+
+class TestParseClockTime:
+    def test_parses_valid_times(self):
+        assert parse_clock_time("12:00") == 720
+        assert parse_clock_time("00:00") == 0
+        assert parse_clock_time("23:59") == 1439
+        assert parse_clock_time(" 08:30 ") == 510
+
+    @pytest.mark.parametrize(
+        "text, match",
+        [
+            ("25:00", "hour must be 0-23"),
+            ("12:60", "minute must be 0-59"),
+            ("-1:30", "expected HH:MM"),
+            ("noon", "expected HH:MM"),
+            ("12", "expected HH:MM"),
+            ("1:2:3", "expected HH:MM"),
+        ],
+    )
+    def test_rejects_malformed_times(self, text, match):
+        with pytest.raises(ValueError, match=match):
+            parse_clock_time(text)
 
 
 def minute(hours, minutes=0):

@@ -155,6 +155,7 @@ class TestRecordToDict:
             "time": 7,
             "kind": "leader-failover",
             "detail": "controller-1->controller-2",
+            "domain": "",
         }
 
     def test_topics_constant_is_complete(self):

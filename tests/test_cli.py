@@ -51,6 +51,39 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "controller actions" in out
 
+    def test_run_command_with_domains(self, capsys):
+        exit_code = main(
+            ["run", "--scenario", "full-mobility", "--hours", "2",
+             "--domains", "4"]
+        )
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "control domains: 4" in out
+        assert "cross-domain relocations" in out
+
+    def test_run_command_with_start_time(self, capsys):
+        exit_code = main(
+            ["run", "--scenario", "static", "--users", "1.0", "--hours", "1",
+             "--start", "08:30"]
+        )
+        assert exit_code == 0
+        assert "scenario=static" in capsys.readouterr().out
+
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["run", "--start", "25:00"],
+            ["run", "--start", "nope"],
+            ["run", "--domains", "0"],
+            ["run", "--domains", "many"],
+        ],
+    )
+    def test_run_command_rejects_bad_start_and_domains(self, argv, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(argv)
+        assert excinfo.value.code == 2
+        assert "invalid" in capsys.readouterr().err
+
     def test_console_command(self, capsys):
         exit_code = main(
             ["console", "--scenario", "static", "--users", "1.0", "--hours", "1"]
