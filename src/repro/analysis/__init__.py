@@ -16,7 +16,12 @@ simulation (or a production deployment) runs:
   (exclusive placement, performance indexes, capacity and memory
   headroom, unenforceable action sets);
 * :mod:`repro.analysis.engine` — orchestration, suppressions and the
-  :class:`AnalysisReport` consumed by the CLI and the simulation runner.
+  :class:`AnalysisReport` consumed by the CLI and the simulation runner;
+* :mod:`repro.analysis.verify` — the ``AG3xx`` temporal invariant
+  verifier ("``autoglobe verify``"): fencing safety, escrow ordering
+  under a happens-before model, exactly-once application, compensation
+  completeness, accounting consistency, plus the static AG306/AG307
+  controller-oscillation pass.
 """
 
 from repro.analysis.diagnostics import (
@@ -24,6 +29,7 @@ from repro.analysis.diagnostics import (
     EXIT_CLEAN,
     EXIT_ERRORS,
     EXIT_WARNINGS,
+    RESERVED_CODES,
     Diagnostic,
     Severity,
     render_json,
@@ -37,6 +43,12 @@ from repro.analysis.rulebase import (
     analyze_rule_bases,
     lint_override_text,
 )
+from repro.analysis.verify import (
+    TraceVerifier,
+    analyze_oscillation,
+    default_checkers,
+    verify_trace,
+)
 
 __all__ = [
     "ACTION_COUPLES",
@@ -47,12 +59,17 @@ __all__ = [
     "EXIT_ERRORS",
     "EXIT_WARNINGS",
     "LintError",
+    "RESERVED_CODES",
     "RuleBaseLinter",
     "Severity",
+    "TraceVerifier",
     "analyze_feasibility",
     "analyze_landscape",
+    "analyze_oscillation",
     "analyze_rule_bases",
+    "default_checkers",
     "lint_override_text",
     "render_json",
     "render_text",
+    "verify_trace",
 ]

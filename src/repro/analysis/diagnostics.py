@@ -79,6 +79,26 @@ CODE_TABLE: Dict[str, Tuple[Severity, str]] = {
     "AG211": (Severity.WARNING, "control domain administers no servers"),
     "AG212": (Severity.ERROR, "exclusive service's initial allocation spans foreign domains"),
     "AG213": (Severity.ERROR, "minimum instances unsatisfiable within any single control domain"),
+    # -- temporal invariant verifier (AG3xx) -------------------------------
+    "AG301": (Severity.ERROR, "fencing safety violated: action applied with a stale fencing token"),
+    "AG302": (Severity.ERROR, "escrow ordering violated: phase without its happens-before predecessor"),
+    "AG303": (Severity.ERROR, "exactly-once violated: identical action applied more than once"),
+    "AG304": (Severity.ERROR, "compensation incomplete: lost relocation source never restored or escalated"),
+    "AG305": (Severity.ERROR, "accounting inconsistent: summary does not reconcile with the event stream"),
+    "AG306": (Severity.ERROR, "controller thrash: scale-out lands the load inside the idle trigger region"),
+    "AG307": (Severity.WARNING, "limit-cycle-prone rule pair across overload and idle triggers"),
+}
+
+#: Codes that were assigned once and must never be reused for a new
+#: meaning, mapped to the reason they are off limits.  They are *not* in
+#: :data:`CODE_TABLE`: constructing a :class:`Diagnostic` with one fails,
+#: exactly like a typo would.
+RESERVED_CODES: Dict[str, str] = {
+    "AG207": (
+        "retired before release (was folded into AG206's allowedActions "
+        "cross-check); renumbering or reusing it would silently change "
+        "the meaning of existing lintIgnore suppressions"
+    ),
 }
 
 

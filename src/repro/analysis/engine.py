@@ -95,6 +95,7 @@ def analyze_landscape(
     landscape: LandscapeSpec,
     include_rule_bases: bool = True,
     include_feasibility: bool = True,
+    include_oscillation: bool = True,
     ignore: Optional[Iterable[str]] = None,
 ) -> AnalysisReport:
     """Run all static analyzers over a landscape.
@@ -102,12 +103,20 @@ def analyze_landscape(
     Never raises on landscape *content* — every finding becomes a
     diagnostic.  ``ignore`` drops codes globally; per-service
     ``lintIgnore`` declarations from the XML are always honored.
+    ``include_oscillation`` adds the AG306/AG307 controller-oscillation
+    pass over the effective action rule bases.
     """
+    # imported here: the oscillation pass builds a fuzzy controller, and
+    # eagerly importing that stack would cost every lint-only caller
+    from repro.analysis.verify.oscillation import analyze_oscillation
+
     diagnostics: List[Diagnostic] = []
     if include_rule_bases:
         diagnostics.extend(analyze_rule_bases(landscape))
     if include_feasibility:
         diagnostics.extend(analyze_feasibility(landscape))
+    if include_oscillation:
+        diagnostics.extend(analyze_oscillation(landscape))
     ignored: Set[str] = set(ignore or ())
     kept = [
         d

@@ -1,0 +1,591 @@
+"""The AG301-AG305 temporal invariant checkers.
+
+Each checker consumes the normalized event stream one
+:class:`~repro.telemetry.trace.TraceEvent` at a time (``feed``) and
+yields its findings once the stream ends (``finish``).  The same
+algorithm runs in both front ends — live as a bus subscriber and
+offline over an exported trace — which is what makes their findings
+byte-identical.
+
+The checkers only ever see the JSON-shaped record dicts produced by
+:func:`repro.telemetry.records.record_to_dict`; the live front end
+normalizes typed records through the same function before feeding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from repro.analysis.diagnostics import Diagnostic, Severity
+from repro.analysis.verify.hb import VectorClock, vc_format, vc_join, vc_leq
+from repro.telemetry.trace import TraceEvent
+
+__all__ = [
+    "VerificationContext",
+    "InvariantChecker",
+    "FencingChecker",
+    "EscrowOrderChecker",
+    "ExactlyOnceChecker",
+    "CompensationChecker",
+    "AccountingChecker",
+    "default_checkers",
+]
+
+#: Statuses meaning the platform actually mutated state (fully or until
+#: compensation kicked in).  ``"fenced"`` means the guard rejected the
+#: action — the invariant holding, not breaking; ``"failed"`` means no
+#: attempt ever touched the platform.
+_APPLIED_STATUSES = ("ok", "compensated")
+
+#: Supervision event kinds the run's fault-record merge turns into fault
+#: records (mirrors ``SupervisionEventKind.creates_fault_record``).
+_FAULT_CREATING_KINDS = ("controller-recovery", "leader-failover", "partition-healed")
+
+#: Actions whose successful execution restores a service that lost an
+#: instance (the AG304 self-heal criteria).
+_RESTORING_ACTIONS = ("start", "scaleOut", "move")
+
+#: Minutes of remaining trace an unhealed loss gets before AG304 fires;
+#: a loss at the very end of the horizon is not a completeness bug.
+COMPENSATION_GRACE_MINUTES = 15
+
+
+@dataclass(frozen=True)
+class VerificationContext:
+    """End-of-stream facts the checkers need to finalize findings."""
+
+    #: whether the stream holds *every* event of the run (trace header's
+    #: ``complete`` flag; always True for the live sanitizer)
+    complete: bool
+    #: the run summary (``summary.json`` payload) for accounting
+    #: reconciliation; ``None`` disables AG305
+    summary: Optional[Mapping[str, Any]] = None
+    #: simulated time of the last event in the stream
+    end_time: int = 0
+
+
+class InvariantChecker:
+    """Base class: one temporal invariant over the event stream."""
+
+    #: the diagnostic codes this checker can emit
+    codes: Tuple[str, ...] = ()
+
+    def __init__(self) -> None:
+        self._diagnostics: List[Diagnostic] = []
+
+    def feed(self, event: TraceEvent) -> None:
+        raise NotImplementedError
+
+    def finish(self, context: VerificationContext) -> List[Diagnostic]:
+        """Findings, in stream order.  Call once, after the last feed."""
+        return list(self._diagnostics)
+
+
+class FencingChecker(InvariantChecker):
+    """AG301: no action is ever *applied* with a stale fencing token.
+
+    Per scope (control domain, or the global scope for single-domain
+    runs) the checker tracks the highest token any applied event carried
+    — the stream's view of the current leadership epoch.  An applied
+    action (status ``ok``/``compensated``) or a non-abort escrow phase
+    carrying a *smaller* token means a deposed leader's action made it
+    past the guard.  ``fenced`` outcomes are the guard working and never
+    fire this check.
+    """
+
+    codes = ("AG301",)
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._watermarks: Dict[str, int] = {}
+
+    def _check(
+        self,
+        scope: str,
+        token: int,
+        applied: bool,
+        event: TraceEvent,
+        what: str,
+        service: Optional[str],
+    ) -> None:
+        mark = self._watermarks.get(scope, 0)
+        if token < mark:
+            if applied:
+                self._diagnostics.append(
+                    Diagnostic(
+                        code="AG301",
+                        severity=Severity.ERROR,
+                        message=(
+                            f"{what} applied with stale fencing token {token} "
+                            f"(scope {scope or 'global'!r} already saw token {mark})"
+                        ),
+                        subject=f"domain {scope}" if scope else "platform",
+                        service=service,
+                        details={
+                            "seq": event.seq,
+                            "time": event.record.get("time"),
+                            "token": token,
+                            "watermark": mark,
+                        },
+                    )
+                )
+        else:
+            self._watermarks[scope] = token
+
+    def feed(self, event: TraceEvent) -> None:
+        record = event.record
+        kind = record.get("type")
+        token = record.get("fencing_token")
+        if not isinstance(token, int):
+            return
+        if kind == "SupervisionEvent":
+            if record.get("kind") == "leader-epoch":
+                # the lease store granted a new epoch: every smaller token
+                # is stale from this point in the stream onwards
+                scope = str(record.get("domain") or "")
+                mark = self._watermarks.get(scope, 0)
+                self._watermarks[scope] = max(mark, token)
+            return
+        if kind == "ActionEvent":
+            status = record.get("status")
+            if status == "fenced":
+                return  # the guard rejected it: the invariant held
+            scope = str(record.get("domain") or "")
+            self._check(
+                scope,
+                token,
+                applied=status in _APPLIED_STATUSES,
+                event=event,
+                what=(
+                    f"action {record.get('action')!r} "
+                    f"({status}) on {record.get('service_name')!r}"
+                ),
+                service=record.get("service_name") or None,
+            )
+        elif kind == "EscrowEvent":
+            phase = record.get("phase")
+            if phase == "abort":
+                return  # aborts are frequently the fence doing its job
+            scope = str(record.get("source_domain") or "")
+            self._check(
+                scope,
+                token,
+                applied=True,
+                event=event,
+                what=(
+                    f"escrow {record.get('escrow_id')} phase {phase} "
+                    f"for {record.get('service_name')!r}"
+                ),
+                service=record.get("service_name") or None,
+            )
+
+
+@dataclass
+class _EscrowState:
+    """Per-escrow-id bookkeeping for the happens-before check."""
+
+    phases: List[str] = field(default_factory=list)
+    clocks: Dict[str, VectorClock] = field(default_factory=dict)
+    last_clock: VectorClock = field(default_factory=dict)
+    closed: bool = False
+    attached: bool = False
+    service_name: str = ""
+    #: first observed phase was not ``prepare`` — on an *incomplete*
+    #: trace the missing predecessors may simply have been evicted from
+    #: the bounded ring, so their absence is not evidence of a race
+    truncated_start: bool = False
+
+
+class EscrowOrderChecker(InvariantChecker):
+    """AG302: two-phase escrow ordering under the happens-before model.
+
+    prepare must happen-before commit, commit must happen-before attach.
+    Every domain-attributed event advances that domain's vector clock
+    (program order); escrow phases additionally join with the previous
+    phase's clock on the same escrow id — the only cross-domain
+    synchronization edge.  The attach phase is attributed to the
+    *target* domain, so its happens-after-commit relation exists purely
+    through the escrow chain: an attach whose clock does not dominate
+    the commit's clock is a real race, not a stream reordering.
+    """
+
+    codes = ("AG302",)
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._domain_clocks: Dict[str, VectorClock] = {}
+        self._escrows: Dict[str, _EscrowState] = {}
+        #: missing-predecessor findings on escrows whose start we never
+        #: saw; only real when the trace is known complete
+        self._suspect: List[Diagnostic] = []
+
+    def _violation(
+        self,
+        event: TraceEvent,
+        escrow_id: str,
+        message: str,
+        state: _EscrowState,
+        missing_predecessor: bool = False,
+    ) -> None:
+        sink = (
+            self._suspect
+            if missing_predecessor and state.truncated_start
+            else self._diagnostics
+        )
+        sink.append(
+            Diagnostic(
+                code="AG302",
+                severity=Severity.ERROR,
+                message=f"escrow {escrow_id}: {message}",
+                subject=f"escrow {escrow_id}",
+                service=state.service_name or None,
+                details={
+                    "seq": event.seq,
+                    "time": event.record.get("time"),
+                    "phases_seen": list(state.phases),
+                    "clocks": {
+                        phase: vc_format(clock)
+                        for phase, clock in state.clocks.items()
+                    },
+                },
+            )
+        )
+
+    def _advance(self, domain: str, join_with: Optional[VectorClock]) -> VectorClock:
+        clock = dict(self._domain_clocks.get(domain, {}))
+        if join_with:
+            clock = vc_join(clock, join_with)
+        clock[domain] = clock.get(domain, 0) + 1
+        self._domain_clocks[domain] = clock
+        return clock
+
+    def feed(self, event: TraceEvent) -> None:
+        record = event.record
+        kind = record.get("type")
+        if kind in ("ActionEvent", "SupervisionEvent", "FaultRecord"):
+            self._advance(str(record.get("domain") or ""), None)
+            return
+        if kind != "EscrowEvent":
+            return
+        phase = str(record.get("phase"))
+        escrow_id = str(record.get("escrow_id"))
+        # attach happens in the importing domain; everything else in the
+        # exporting one
+        domain = str(
+            (record.get("target_domain") if phase == "attach" else record.get("source_domain"))
+            or ""
+        )
+        state = self._escrows.get(escrow_id)
+        clock = self._advance(domain, state.last_clock if state else None)
+        if state is None:
+            state = self._escrows[escrow_id] = _EscrowState(
+                service_name=str(record.get("service_name") or ""),
+                truncated_start=phase != "prepare",
+            )
+        state.clocks[phase] = clock
+        state.last_clock = clock
+        if phase == "prepare":
+            if state.phases:
+                self._violation(
+                    event, escrow_id,
+                    f"duplicate prepare (after {', '.join(state.phases)})",
+                    state,
+                )
+        elif phase == "commit":
+            prepare_clock = state.clocks.get("prepare")
+            if "prepare" not in state.phases:
+                self._violation(
+                    event, escrow_id, "commit without prepare", state,
+                    missing_predecessor=True,
+                )
+            elif state.closed:
+                self._violation(
+                    event, escrow_id, "commit after the escrow was resolved", state
+                )
+            elif prepare_clock is not None and not vc_leq(prepare_clock, clock):
+                self._violation(
+                    event, escrow_id,
+                    "commit does not happen-after its prepare "
+                    f"({vc_format(prepare_clock)} vs {vc_format(clock)})",
+                    state,
+                )
+        elif phase == "attach":
+            commit_clock = state.clocks.get("commit")
+            if state.closed and not state.attached:
+                self._violation(event, escrow_id, "attach after abort", state)
+            elif "commit" not in state.phases:
+                self._violation(
+                    event, escrow_id,
+                    "attach without a commit in its causal past "
+                    "(the commit barrier never ran)",
+                    state,
+                    missing_predecessor=True,
+                )
+            elif commit_clock is not None and not vc_leq(commit_clock, clock):
+                self._violation(
+                    event, escrow_id,
+                    "attach does not happen-after the commit "
+                    f"({vc_format(commit_clock)} vs {vc_format(clock)})",
+                    state,
+                )
+            state.attached = True
+            state.closed = True
+        elif phase == "abort":
+            if state.attached:
+                self._violation(event, escrow_id, "abort after attach", state)
+            state.closed = True
+        state.phases.append(phase)
+
+    def finish(self, context: VerificationContext) -> List[Diagnostic]:
+        findings = list(self._diagnostics)
+        if context.complete:
+            findings.extend(self._suspect)
+            for escrow_id in sorted(self._escrows):
+                state = self._escrows[escrow_id]
+                if not state.closed:
+                    findings.append(
+                        Diagnostic(
+                            code="AG302",
+                            severity=Severity.ERROR,
+                            message=(
+                                f"escrow {escrow_id}: left unresolved at end of a "
+                                f"complete trace (phases: {', '.join(state.phases)})"
+                            ),
+                            subject=f"escrow {escrow_id}",
+                            service=state.service_name or None,
+                            details={"phases_seen": list(state.phases)},
+                        )
+                    )
+        return findings
+
+
+class ExactlyOnceChecker(InvariantChecker):
+    """AG303: no successful action is applied twice.
+
+    Two ``ok`` outcomes with the identical (time, action, service,
+    instance, source, target) signature mean a journal replay or a
+    failover double-apply: in one simulated minute an instance cannot
+    legitimately undergo the same transition twice (the first transition
+    changes the state the second would need).
+    """
+
+    codes = ("AG303",)
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._seen: Dict[Tuple[Any, ...], int] = {}
+
+    def feed(self, event: TraceEvent) -> None:
+        record = event.record
+        if record.get("type") != "ActionEvent" or record.get("status") != "ok":
+            return
+        key = (
+            record.get("time"),
+            record.get("action"),
+            record.get("service_name"),
+            record.get("instance_id"),
+            record.get("source_host"),
+            record.get("target_host"),
+        )
+        first_seq = self._seen.get(key)
+        if first_seq is None:
+            self._seen[key] = event.seq
+            return
+        self._diagnostics.append(
+            Diagnostic(
+                code="AG303",
+                severity=Severity.ERROR,
+                message=(
+                    f"action {record.get('action')!r} on "
+                    f"{record.get('service_name')!r} at t={record.get('time')} "
+                    f"applied twice (first seq {first_seq}, again seq {event.seq})"
+                ),
+                subject=f"instance {record.get('instance_id') or record.get('service_name')}",
+                service=record.get("service_name") or None,
+                details={
+                    "first_seq": first_seq,
+                    "duplicate_seq": event.seq,
+                    "time": record.get("time"),
+                    "action": record.get("action"),
+                },
+            )
+        )
+
+
+@dataclass
+class _LostSource:
+    time: int
+    seq: int
+    service_name: str
+    instance_id: str
+
+
+class CompensationChecker(InvariantChecker):
+    """AG304: every aborted relocation restores or self-heals the source.
+
+    A ``compensated`` outcome whose note records a *lost* source (the
+    source host died while the instance was in flight) leaves the
+    service one instance short.  Within a grace window the stream must
+    show either a successful restoring action for that service (start /
+    scale-out / move) or an administrator escalation; otherwise the
+    self-healing promise was silently broken.
+    """
+
+    codes = ("AG304",)
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._losses: List[_LostSource] = []
+        self._restored: Dict[str, List[int]] = {}
+        self._escalations: List[int] = []
+
+    def feed(self, event: TraceEvent) -> None:
+        record = event.record
+        kind = record.get("type")
+        if kind == "ActionEvent":
+            status = record.get("status")
+            note = str(record.get("note") or "")
+            service = str(record.get("service_name") or "")
+            time = int(record.get("time") or 0)
+            if status == "compensated" and "source lost" in note:
+                self._losses.append(
+                    _LostSource(
+                        time=time,
+                        seq=event.seq,
+                        service_name=service,
+                        instance_id=str(record.get("instance_id") or ""),
+                    )
+                )
+            elif status == "ok" and record.get("action") in _RESTORING_ACTIONS:
+                self._restored.setdefault(service, []).append(time)
+        elif kind == "AlertEvent" and record.get("severity") == "escalation":
+            self._escalations.append(int(record.get("time") or 0))
+
+    def finish(self, context: VerificationContext) -> List[Diagnostic]:
+        findings = list(self._diagnostics)
+        for loss in self._losses:
+            healed = any(
+                time >= loss.time for time in self._restored.get(loss.service_name, [])
+            )
+            escalated = any(time >= loss.time for time in self._escalations)
+            if healed or escalated:
+                continue
+            if context.end_time - loss.time <= COMPENSATION_GRACE_MINUTES:
+                continue  # the run ended before self-healing had a chance
+            findings.append(
+                Diagnostic(
+                    code="AG304",
+                    severity=Severity.ERROR,
+                    message=(
+                        f"instance {loss.instance_id!r} of "
+                        f"{loss.service_name!r} was lost during a relocation at "
+                        f"t={loss.time} and never restored or escalated "
+                        f"(trace ends at t={context.end_time})"
+                    ),
+                    subject=f"instance {loss.instance_id or loss.service_name}",
+                    service=loss.service_name or None,
+                    details={
+                        "seq": loss.seq,
+                        "time": loss.time,
+                        "end_time": context.end_time,
+                        "grace_minutes": COMPENSATION_GRACE_MINUTES,
+                    },
+                )
+            )
+        return findings
+
+
+class AccountingChecker(InvariantChecker):
+    """AG305: the run summary reconciles with the event stream.
+
+    Counts every action outcome, fault record and escalation in the
+    stream and compares against the corresponding ``summary.json`` keys.
+    Only runs on *complete* traces with a summary at hand — a truncated
+    ring export cannot be reconciled.  Summary keys that are absent are
+    skipped, so older summaries stay verifiable.
+    """
+
+    codes = ("AG305",)
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._actions = 0
+        self._by_status: Dict[str, int] = {}
+        self._retried = 0
+        self._faults = 0
+        self._escalations = 0
+
+    def feed(self, event: TraceEvent) -> None:
+        record = event.record
+        kind = record.get("type")
+        if kind == "ActionEvent":
+            self._actions += 1
+            status = str(record.get("status"))
+            self._by_status[status] = self._by_status.get(status, 0) + 1
+            attempts = record.get("attempts")
+            if status == "ok" and isinstance(attempts, int) and attempts > 1:
+                self._retried += 1
+        elif kind == "FaultRecord":
+            self._faults += 1
+        elif kind == "SupervisionEvent":
+            if record.get("kind") in _FAULT_CREATING_KINDS:
+                self._faults += 1
+        elif kind == "AlertEvent":
+            if record.get("severity") == "escalation":
+                self._escalations += 1
+
+    def _mismatch(self, key: str, stream: int, summary: Any) -> Diagnostic:
+        return Diagnostic(
+            code="AG305",
+            severity=Severity.ERROR,
+            message=(
+                f"summary {key}={summary!r} but the event stream "
+                f"accounts for {stream}"
+            ),
+            subject=f"summary.{key}",
+            details={"key": key, "stream": stream, "summary": summary},
+        )
+
+    def finish(self, context: VerificationContext) -> List[Diagnostic]:
+        findings = list(self._diagnostics)
+        summary = context.summary
+        if summary is None or not context.complete:
+            return findings
+        expectations = {
+            "action_count": self._actions,
+            "failed_action_count": self._by_status.get("failed", 0),
+            "compensated_action_count": self._by_status.get("compensated", 0),
+            "fenced_action_count": self._by_status.get("fenced", 0),
+            "retried_action_count": self._retried,
+            "injected_fault_count": self._faults,
+            "escalation_count": self._escalations,
+        }
+        for key, stream_value in expectations.items():
+            if key in summary and summary[key] != stream_value:
+                findings.append(self._mismatch(key, stream_value, summary[key]))
+        availability = summary.get("availability_by_service")
+        if isinstance(availability, Mapping) and "total_down_minutes" in summary:
+            down_sum = sum(
+                int(entry.get("down_minutes", 0))
+                for entry in availability.values()
+                if isinstance(entry, Mapping)
+            )
+            if summary["total_down_minutes"] != down_sum:
+                findings.append(
+                    self._mismatch(
+                        "total_down_minutes", down_sum, summary["total_down_minutes"]
+                    )
+                )
+        return findings
+
+
+def default_checkers() -> List[InvariantChecker]:
+    """Fresh instances of every stream checker, in catalog order."""
+    return [
+        FencingChecker(),
+        EscrowOrderChecker(),
+        ExactlyOnceChecker(),
+        CompensationChecker(),
+        AccountingChecker(),
+    ]

@@ -1,0 +1,42 @@
+"""Vector clocks: the verifier's happens-before model.
+
+Clock components are control-domain names (the empty string stands for
+the single-domain/global scope).  Each domain's events are totally
+ordered by the bus's global sequence (program order within the domain);
+cross-domain edges exist only where the system really synchronizes —
+the phases of one escrowed relocation joining on its escrow id.  A
+violation found under this model is therefore a genuine race, not an
+artifact of how two domains' events happened to interleave in the
+stream.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+__all__ = ["VectorClock", "vc_join", "vc_leq", "vc_format"]
+
+#: domain name -> number of events observed in that domain
+VectorClock = Dict[str, int]
+
+
+def vc_join(left: VectorClock, right: VectorClock) -> VectorClock:
+    """Component-wise maximum: the merged knowledge of both clocks."""
+    merged = dict(left)
+    for key, value in right.items():
+        if value > merged.get(key, 0):
+            merged[key] = value
+    return merged
+
+
+def vc_leq(left: VectorClock, right: VectorClock) -> bool:
+    """Whether ``left`` happened-before-or-equals ``right``."""
+    return all(value <= right.get(key, 0) for key, value in left.items())
+
+
+def vc_format(clock: VectorClock) -> str:
+    """Compact rendering, e.g. ``{east:3, west:1}``."""
+    inner = ", ".join(
+        f"{key or 'global'}:{value}" for key, value in sorted(clock.items())
+    )
+    return "{" + inner + "}"

@@ -29,9 +29,22 @@ Subcommands::
 
     autoglobe lint [LANDSCAPE.xml] [--format json] [--strict]
         Statically analyze a landscape description: lint every fuzzy
-        rule base (built-in and per-service overrides) and check the
-        landscape's feasibility.  Exits 0 when clean, 1 on warnings,
-        2 on errors (with --strict, warnings also exit 2).
+        rule base (built-in and per-service overrides), check the
+        landscape's feasibility and run the AG306/AG307 controller
+        oscillation pass.  Exits 0 when clean, 1 on warnings, 2 on
+        errors (with --strict, warnings also exit 2).
+
+    autoglobe run ... --verify
+        Additionally attach the temporal-invariant sanitizer to the
+        telemetry bus: every event is checked live against the AG3xx
+        invariants (fencing safety, escrow ordering, exactly-once,
+        compensation completeness, accounting consistency) and the
+        findings fold into the exit code like lint findings.
+
+    autoglobe verify TRACE.jsonl [--summary summary.json] [--strict]
+        Replay an exported telemetry trace through the same invariant
+        checkers offline.  For the same run, the offline report is
+        byte-identical to the live sanitizer's.
 """
 
 from __future__ import annotations
@@ -127,6 +140,15 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--kill-at", type=int, default=None, metavar="MINUTE",
                      help="SIGKILL the process after this absolute minute "
                           "(crash-recovery testing; requires --state-dir)")
+    run.add_argument("--verify", action="store_true",
+                     help="attach the AG3xx temporal-invariant sanitizer "
+                          "to the telemetry bus and fold its findings "
+                          "into the exit code")
+    run.add_argument("--strict", action="store_true",
+                     help="with --verify: treat warnings as errors (exit 2)")
+    run.add_argument("--ignore", action="append", default=[], metavar="CODE",
+                     help="with --verify: suppress a diagnostic code "
+                          "(repeatable)")
 
     capacity = subparsers.add_parser("capacity", help="Table 7 capacity sweep")
     capacity.add_argument("--scenario", type=_scenario, default=None,
@@ -175,6 +197,32 @@ def build_parser() -> argparse.ArgumentParser:
                       help="skip the rule-base linter")
     lint.add_argument("--no-feasibility", action="store_true",
                       help="skip the landscape feasibility analyzer")
+    lint.add_argument("--no-oscillation", action="store_true",
+                      help="skip the AG306/AG307 controller-oscillation pass")
+
+    verify = subparsers.add_parser(
+        "verify",
+        help="check an exported telemetry trace against the AG3xx "
+             "temporal invariants",
+    )
+    verify.add_argument(
+        "trace", metavar="TRACE.jsonl",
+        help="telemetry trace exported by 'autoglobe run --export'",
+    )
+    verify.add_argument(
+        "--summary", default=None, metavar="SUMMARY.json",
+        help="run summary for accounting reconciliation (default: a "
+             "summary.json next to the trace, when present)",
+    )
+    verify.add_argument("--format", choices=("text", "json"), default="text",
+                        dest="format_", metavar="FORMAT",
+                        help="report format: text (default) or json")
+    verify.add_argument("--strict", action="store_true",
+                        help="treat warnings as errors (exit 2)")
+    verify.add_argument("--ignore", action="append", default=[],
+                        metavar="CODE",
+                        help="suppress a diagnostic code globally "
+                             "(repeatable)")
     return parser
 
 
@@ -215,8 +263,26 @@ def _cmd_run(args) -> int:
         resume=args.resume,
         standby=args.standby,
         kill_at=args.kill_at,
+        verify=args.verify,
     )
+    trace_writer = None
+    if args.verify and args.export:
+        # stream the trace instead of dumping the bounded ring afterwards,
+        # so the exported file is complete and offline verification of it
+        # reproduces the live sanitizer's report
+        from pathlib import Path
+
+        from repro.telemetry.trace import TraceWriter
+
+        base = Path(args.export) / (
+            f"{args.scenario.value}_{round(args.users * 100)}"
+        )
+        base.mkdir(parents=True, exist_ok=True)
+        trace_writer = TraceWriter(base / "telemetry.jsonl")
+        trace_writer.attach(runner.platform.bus)
     result = runner.run()
+    if trace_writer is not None:
+        trace_writer.close()
     print(result.summary())
     requests = getattr(runner.controller, "relocation_requests", None)
     if requests is not None:
@@ -248,15 +314,25 @@ def _cmd_run(args) -> int:
         from repro.sim.export import export_all, export_telemetry_jsonl
 
         target = export_all(result, args.export)
-        exported = export_telemetry_jsonl(
-            runner.platform.bus, target / "telemetry.jsonl"
-        )
+        if trace_writer is not None:
+            exported = trace_writer.count
+        else:
+            exported = export_telemetry_jsonl(
+                runner.platform.bus, target / "telemetry.jsonl"
+            )
         print(f"  exported to {target} ({exported} telemetry records)")
     if args.explain:
         from repro.core.explain import explain_last_decisions
 
         print("\nmost recent decisions:")
         print(explain_last_decisions(runner.controller.decision_records))
+    if args.verify:
+        report = runner.verification_report(result)
+        if args.ignore:
+            report = report.without_codes(args.ignore)
+        print()
+        print(report.render("text"))
+        return report.exit_code(strict=args.strict)
     return 0
 
 
@@ -373,8 +449,24 @@ def _cmd_lint(args) -> int:
         landscape,
         include_rule_bases=not args.no_rules,
         include_feasibility=not args.no_feasibility,
+        include_oscillation=not args.no_oscillation,
         ignore=args.ignore,
     )
+    print(report.render(args.format_))
+    return report.exit_code(strict=args.strict)
+
+
+def _cmd_verify(args) -> int:
+    from repro.analysis import EXIT_ERRORS, verify_trace
+    from repro.telemetry.trace import TraceSchemaError
+
+    try:
+        report = verify_trace(
+            args.trace, summary_path=args.summary, ignore=args.ignore
+        )
+    except (OSError, TraceSchemaError, ValueError) as exc:
+        print(f"autoglobe verify: {args.trace}: {exc}", file=sys.stderr)
+        return EXIT_ERRORS
     print(report.render(args.format_))
     return report.exit_code(strict=args.strict)
 
@@ -389,6 +481,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "rebalance": _cmd_rebalance,
         "profiles": _cmd_profiles,
         "lint": _cmd_lint,
+        "verify": _cmd_verify,
     }[args.command]
     return handler(args)
 

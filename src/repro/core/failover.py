@@ -345,6 +345,19 @@ class ControllerSupervisor:
             self.active.executor.fencing_token = token
             # announce the new leadership epoch: anything older is stale
             self.platform.fence.advance(token)
+            # published (not journaled in self.events) so the verifier's
+            # fencing watermark advances before the first action of the
+            # new epoch — a stale application right after a failover is
+            # flagged even if the new leader has not acted yet
+            self.platform.bus.publish(
+                SupervisionEvent(
+                    now,
+                    SupervisionEventKind.LEADER_EPOCH,
+                    self.active.executor.name,
+                    self.domain,
+                    fencing_token=token,
+                )
+            )
 
     # -- the per-minute cycle ----------------------------------------------------------
 

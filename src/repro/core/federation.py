@@ -60,6 +60,7 @@ from repro.serviceglobe.actions import (
 )
 from repro.serviceglobe.executor import ActionExecutor, ExecutionFaults
 from repro.serviceglobe.platform import DomainView, Platform
+from repro.telemetry.records import EscrowEvent, EscrowPhase
 
 __all__ = ["DomainShard", "RelocationRequest", "FederatedControlPlane"]
 
@@ -243,6 +244,9 @@ class FederatedControlPlane:
         #: every published cross-domain relocation request, resolved or not
         self.relocation_requests: List[RelocationRequest] = []
         self._fault_cursor = 0
+        # escrow ids must stay unique across kill-and-resume, so the
+        # counter rides in snapshot_state alongside the fault cursor
+        self._escrow_sequence = 0
         self.shards: Dict[str, DomainShard] = {}
         homes_by_domain: Dict[str, List[str]] = {}
         for service_name, home in self.service_homes.items():
@@ -430,19 +434,60 @@ class FederatedControlPlane:
         target_domain: str,
         now: int,
     ) -> ActionOutcome:
-        """Two-phase escrow around the platform's relocation machinery."""
+        """Two-phase escrow around the platform's relocation machinery.
+
+        Every phase transition publishes an
+        :class:`~repro.telemetry.records.EscrowEvent` keyed by a unique
+        escrow id; the temporal-invariant verifier (AG302) rebuilds the
+        prepare → commit → attach happens-before chain from these.
+        """
         executor = shard.executor
         token = executor.fencing_token
+        self._escrow_sequence += 1
+        escrow_id = f"escrow-{self._escrow_sequence:06d}"
+        source_host = instance.host_name
+        committed = False
+        closed = False
+
+        def publish(phase: EscrowPhase, note: str = "") -> None:
+            self.platform.bus.publish(
+                EscrowEvent(
+                    time=now,
+                    phase=phase,
+                    escrow_id=escrow_id,
+                    service_name=instance.service_name,
+                    instance_id=instance.instance_id,
+                    source_domain=shard.name,
+                    target_domain=target_domain,
+                    source_host=source_host,
+                    target_host=target_host,
+                    fencing_token=token,
+                    note=note,
+                )
+            )
+
+        def abort(note: str) -> None:
+            nonlocal closed
+            if not closed:
+                closed = True
+                publish(EscrowPhase.ABORT, note)
+
         # phase 1 (prepare): the exporting domain must still be led by
         # the controller that raised the request, and the import must be
         # physically feasible right now
-        shard.view.fence.validate(token)
+        try:
+            shard.view.fence.validate(token)
+        except FencedActionError:
+            abort("prepare fenced")
+            raise
         reason = self.platform.can_host(instance.service_name, target_host)
         if reason is not None:
+            abort(f"prepare infeasible: {reason}")
             raise ActionError(
                 f"escrow prepare failed: {instance.service_name} on "
                 f"{target_host}: {reason}"
             )
+        publish(EscrowPhase.PREPARE)
         # phase 2 (commit): splice an escrow barrier into the existing
         # relocation commit barrier; it re-validates the exporting
         # domain's fencing token at the commit point, so a leadership
@@ -450,13 +495,23 @@ class FederatedControlPlane:
         previous = self.platform.move_fault_hook
 
         def escrow_barrier(moving, barrier_target: str) -> None:
+            nonlocal committed
             if previous is not None:
                 previous(moving, barrier_target)
-            shard.view.fence.validate(token)
+            try:
+                shard.view.fence.validate(token)
+            except FencedActionError:
+                abort("commit fenced")
+                raise
+            # published once even if chaos retries re-run the barrier:
+            # the retries re-commit the *same* transfer
+            if not committed:
+                committed = True
+                publish(EscrowPhase.COMMIT)
 
         self.platform.move_fault_hook = escrow_barrier
         try:
-            return executor.execute(
+            outcome = executor.execute(
                 Action.MOVE,
                 instance.service_name,
                 instance_id=instance.instance_id,
@@ -465,8 +520,17 @@ class FederatedControlPlane:
                     f"cross-domain relocation {shard.name}->{target_domain}"
                 ),
             )
+        except ActionError as exc:
+            abort(f"move failed: {exc}")
+            raise
         finally:
             self.platform.move_fault_hook = previous
+        if outcome.status == "ok":
+            closed = True
+            publish(EscrowPhase.ATTACH)
+        else:
+            abort(f"move {outcome.status}: {outcome.note}")
+        return outcome
 
     # -- the per-minute cycle ----------------------------------------------------------
 
@@ -574,6 +638,7 @@ class FederatedControlPlane:
     def snapshot_state(self) -> Dict[str, Any]:
         return {
             "fault_cursor": self._fault_cursor,
+            "escrow_sequence": self._escrow_sequence,
             "domains": {
                 name: shard.controller.snapshot_state()
                 for name, shard in self.shards.items()
@@ -582,6 +647,7 @@ class FederatedControlPlane:
 
     def restore_state(self, payload: Dict[str, Any], now: int = 0) -> None:
         self._fault_cursor = int(payload.get("fault_cursor", 0))
+        self._escrow_sequence = int(payload.get("escrow_sequence", 0))
         for name, shard_payload in payload.get("domains", {}).items():
             shard = self.shards.get(name)
             if shard is None or shard_payload is None:

@@ -300,7 +300,7 @@ class ActionExecutor:
             duration=duration,
         )
         self.log.append(outcome)
-        self.platform.record_outcome(outcome)
+        self.platform.record_outcome(outcome, fencing_token=self.fencing_token)
         return outcome
 
     # -- execution --------------------------------------------------------------------

@@ -383,6 +383,7 @@ class Platform:
         duration: float = 0.0,
         fencing_token: Optional[int] = None,
         domain: str = "",
+        audit_token: Optional[int] = None,
     ) -> ActionOutcome:
         """Execute one management action (Table 2).
 
@@ -396,7 +397,10 @@ class Platform:
         :class:`FencedActionError` before anything happens.  ``domain``
         names the control domain that issued the action (empty in
         single-domain deployments); it only stamps the published
-        :class:`~repro.telemetry.records.ActionEvent`.
+        :class:`~repro.telemetry.records.ActionEvent`.  ``audit_token``
+        stamps the published event with a token that was *already*
+        validated elsewhere (a domain view's per-domain fence) without
+        re-checking it against this platform's global guard.
         """
         self.fence.validate(fencing_token)
         service = self.service(service_name)
@@ -429,19 +433,30 @@ class Platform:
             attempts=attempts,
             duration=duration,
         )
-        self.record_outcome(outcome, domain=domain)
+        self.record_outcome(
+            outcome,
+            domain=domain,
+            fencing_token=fencing_token if fencing_token is not None else audit_token,
+        )
         return outcome
 
-    def record_outcome(self, outcome: ActionOutcome, domain: str = "") -> None:
+    def record_outcome(
+        self,
+        outcome: ActionOutcome,
+        domain: str = "",
+        fencing_token: Optional[int] = None,
+    ) -> None:
         """Append one outcome to the audit log and publish it on the bus.
 
         The single entry point for recording executed actions: the audit
         log stays the durable source of truth (it rides in snapshots)
         while bus subscribers — the result collector, the console tail —
-        observe the same record live.
+        observe the same record live.  ``fencing_token`` is the issuing
+        leadership epoch, stamped on the published event for the
+        temporal-invariant verifier.
         """
         self.audit_log.append(outcome)
-        self.bus.publish(ActionEvent(outcome.time, outcome, domain))
+        self.bus.publish(ActionEvent(outcome.time, outcome, domain, fencing_token))
 
     # Individual handlers.  Each returns a provisional ActionOutcome; the
     # applicability/note stamping happens in execute().
@@ -914,7 +929,15 @@ class DomainView:
             duration=duration,
             fencing_token=None,
             domain=self.name,
+            audit_token=fencing_token,
         )
 
-    def record_outcome(self, outcome: ActionOutcome, domain: str = "") -> None:
-        self.platform.record_outcome(outcome, domain=domain or self.name)
+    def record_outcome(
+        self,
+        outcome: ActionOutcome,
+        domain: str = "",
+        fencing_token: Optional[int] = None,
+    ) -> None:
+        self.platform.record_outcome(
+            outcome, domain=domain or self.name, fencing_token=fencing_token
+        )

@@ -24,6 +24,7 @@ from repro.sim.clock import format_minute
 from repro.sim.results import SimulationResult
 from repro.telemetry.bus import EventBus
 from repro.telemetry.records import record_to_dict
+from repro.telemetry.trace import trace_event_line, trace_header_line
 
 __all__ = [
     "export_summary_json",
@@ -177,22 +178,24 @@ def export_availability_csv(result: SimulationResult, path: PathLike) -> None:
 def export_telemetry_jsonl(bus: EventBus, path: PathLike, limit: int = 0) -> int:
     """Dump the bus's retained envelopes as JSON lines; returns the count.
 
-    Each line is ``{"seq": ..., "topic": ..., "record": {...}}`` in
-    global sequence order.  Only what the bounded per-topic rings still
-    hold is exported (the full action history additionally lives in the
-    audit log / actions CSV).  ``limit`` caps the number of newest
-    envelopes; 0 means everything retained.
+    The first line is a schema header (``schema_version``, ``complete``);
+    each following line is ``{"seq": ..., "topic": ..., "record": {...}}``
+    in global sequence order.  Only what the bounded per-topic rings
+    still hold is exported (the full action history additionally lives
+    in the audit log / actions CSV); the header's ``complete`` flag is
+    set only when the rings still held every envelope ever published.
+    ``limit`` caps the number of newest envelopes; 0 means everything
+    retained.
     """
     envelopes = bus.tail(limit=limit if limit > 0 else bus.last_seq or 1)
+    complete = len(envelopes) == bus.last_seq
     with open(path, "w", encoding="utf-8") as handle:
+        handle.write(trace_header_line(complete))
+        handle.write("\n")
         for envelope in envelopes:
             handle.write(
-                json.dumps(
-                    {
-                        "seq": envelope.seq,
-                        "topic": envelope.topic,
-                        "record": record_to_dict(envelope.record),
-                    }
+                trace_event_line(
+                    envelope.seq, envelope.topic, record_to_dict(envelope.record)
                 )
             )
             handle.write("\n")

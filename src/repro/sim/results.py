@@ -19,7 +19,7 @@ between a controller-enabled and a controller-disabled run.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Any, Dict, List, Optional, Set, Tuple
 
 import numpy as np
 
@@ -36,7 +36,31 @@ __all__ = [
     "ServiceAvailability",
     "SimulationResult",
     "ResultCollector",
+    "accounting_summary",
 ]
+
+
+def accounting_summary(result: "SimulationResult") -> Dict[str, Any]:
+    """The reconciliation subset of the exported summary.
+
+    Exactly the keys the AG305 accounting checker cross-checks against
+    the event stream; a ``summary.json`` written by the exporter is a
+    superset of this.
+    """
+    return {
+        "action_count": len(result.actions),
+        "escalation_count": result.escalation_count,
+        "injected_fault_count": len(result.fault_records),
+        "retried_action_count": result.retried_action_count,
+        "compensated_action_count": result.compensated_action_count,
+        "failed_action_count": result.failed_action_count,
+        "fenced_action_count": result.fenced_action_count,
+        "total_down_minutes": result.total_down_minutes,
+        "availability_by_service": {
+            name: {"down_minutes": record.down_minutes}
+            for name, record in result.availability.items()
+        },
+    }
 
 
 @dataclass(frozen=True)

@@ -115,6 +115,11 @@ class SimulationRunner:
         Absolute minute at which the process kills itself with SIGKILL
         right after the tick completes — the crash-recovery smoke test's
         hook.  Requires ``state_dir``.
+    verify:
+        Attach the AG3xx temporal-invariant verifier
+        (:class:`repro.analysis.verify.TraceVerifier`) to the telemetry
+        bus as a sanitizer: every published event is checked live, and
+        :meth:`verification_report` returns the findings after the run.
     """
 
     def __init__(
@@ -140,6 +145,7 @@ class SimulationRunner:
         standby: bool = False,
         snapshot_interval: int = 10,
         kill_at: Optional[int] = None,
+        verify: bool = False,
     ) -> None:
         if lint not in ("off", "warn", "strict"):
             raise ValueError(
@@ -175,6 +181,15 @@ class SimulationRunner:
         self.platform = Platform(
             scenario_landscape, user_distribution=user_distribution_for(scenario)
         )
+        #: the live AG3xx sanitizer; attached before anything publishes
+        #: so its view of the stream is complete
+        self.verifier = None
+        self._landscape_name = scenario_landscape.name
+        if verify:
+            from repro.analysis.verify import TraceVerifier
+
+            self.verifier = TraceVerifier()
+            self.verifier.attach(self.platform.bus)
         #: typed supervision events (crashes, recoveries, failovers)
         #: observed on the telemetry bus; merged into the run's fault
         #: records at finalize.  The subscription is typed end to end: an
@@ -452,6 +467,25 @@ class SimulationRunner:
                 self.controller, "downtime_minutes", 0
             ),
             **self._approval_counts(),
+        )
+
+    def verification_report(self, result: Optional[SimulationResult] = None):
+        """Finalize the live sanitizer and return its findings.
+
+        Pass the :class:`SimulationResult` of the finished run to enable
+        the AG305 accounting reconciliation; the report reuses the lint
+        framework (``render``, ``exit_code``, ``--strict`` semantics).
+        Only meaningful for single-process runs: a resumed run's result
+        counts pre-crash actions the fresh process's stream never saw.
+        """
+        if self.verifier is None:
+            raise RuntimeError("runner was not constructed with verify=True")
+        from repro.sim.results import accounting_summary
+
+        summary = accounting_summary(result) if result is not None else None
+        return self.verifier.report(
+            f"{self._landscape_name} ({self.scenario.value} run)",
+            summary=summary,
         )
 
     def _merged_fault_records(self):

@@ -18,6 +18,7 @@ from repro.telemetry.bus import Envelope, EventBus
 from repro.telemetry.records import (
     TOPIC_ACTIONS,
     TOPIC_ALERTS,
+    TOPIC_ESCROW,
     TOPIC_FAULTS,
     TOPIC_REPORTS,
     TOPIC_SITUATIONS,
@@ -25,6 +26,8 @@ from repro.telemetry.records import (
     TOPICS,
     ActionEvent,
     AlertEvent,
+    EscrowEvent,
+    EscrowPhase,
     FaultRecord,
     LoadReportBatch,
     SituationEvent,
@@ -36,12 +39,22 @@ from repro.telemetry.records import (
     record_to_dict,
     topic_of,
 )
+from repro.telemetry.trace import (
+    TRACE_SCHEMA_VERSION,
+    TraceEvent,
+    TraceHeader,
+    TraceSchemaError,
+    TraceWriter,
+    read_trace,
+)
 from repro.telemetry.windows import RollingWindow, window_bounds
 
 __all__ = [
     "ActionEvent",
     "AlertEvent",
     "Envelope",
+    "EscrowEvent",
+    "EscrowPhase",
     "EventBus",
     "FaultRecord",
     "LoadReportBatch",
@@ -54,11 +67,18 @@ __all__ = [
     "TOPICS",
     "TOPIC_ACTIONS",
     "TOPIC_ALERTS",
+    "TOPIC_ESCROW",
     "TOPIC_FAULTS",
     "TOPIC_REPORTS",
     "TOPIC_SITUATIONS",
     "TOPIC_SUPERVISION",
+    "TRACE_SCHEMA_VERSION",
     "TelemetryRecord",
+    "TraceEvent",
+    "TraceHeader",
+    "TraceSchemaError",
+    "TraceWriter",
+    "read_trace",
     "record_to_dict",
     "topic_of",
     "window_bounds",

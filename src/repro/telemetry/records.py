@@ -31,6 +31,8 @@ __all__ = [
     "SupervisionEventKind",
     "SupervisionEvent",
     "ActionEvent",
+    "EscrowPhase",
+    "EscrowEvent",
     "SituationPhase",
     "SituationEvent",
     "AlertEvent",
@@ -42,6 +44,7 @@ __all__ = [
     "TOPIC_SITUATIONS",
     "TOPIC_ALERTS",
     "TOPIC_REPORTS",
+    "TOPIC_ESCROW",
     "TOPICS",
     "topic_of",
     "record_to_dict",
@@ -104,6 +107,10 @@ class SupervisionEventKind(enum.Enum):
     CONTROLLER_RECOVERY = "controller-recovery"
     LEADER_FAILOVER = "leader-failover"
     PARTITION_HEALED = "partition-healed"
+    #: a leader acquired the lease under a new fencing token; the event
+    #: carries the token, so stream consumers (the AG301 checker) learn
+    #: of the new epoch *before* the first action applied under it
+    LEADER_EPOCH = "leader-epoch"
 
     @property
     def creates_fault_record(self) -> bool:
@@ -131,6 +138,8 @@ class SupervisionEvent:
     detail: str
     #: control domain whose controller is supervised; empty when single-domain
     domain: str = ""
+    #: the new leadership epoch's fencing token (LEADER_EPOCH only)
+    fencing_token: Optional[int] = None
 
 
 @dataclass(frozen=True)
@@ -142,6 +151,48 @@ class ActionEvent:
     outcome: Any
     #: control domain that issued the action; empty when single-domain
     domain: str = ""
+    #: fencing token the issuing executor held; ``None`` for unfenced
+    #: paths (manual platform calls, pre-supervision deployments)
+    fencing_token: Optional[int] = None
+
+
+class EscrowPhase(enum.Enum):
+    """Lifecycle of one cross-domain escrowed relocation.
+
+    ``PREPARE`` happens in the source domain (token validation plus
+    capacity check at the target), ``COMMIT`` is the barrier between
+    detach and attach, ``ATTACH`` is the instance landing in the target
+    domain, and ``ABORT`` replaces COMMIT/ATTACH when the transfer is
+    fenced or fails capacity checks.
+    """
+
+    PREPARE = "prepare"
+    COMMIT = "commit"
+    ATTACH = "attach"
+    ABORT = "abort"
+
+
+@dataclass(frozen=True)
+class EscrowEvent:
+    """One phase transition of a cross-domain escrowed relocation.
+
+    ``escrow_id`` ties the phases of one transfer together; the verifier
+    builds its happens-before edges from this chain, so the id must be
+    unique per transfer across the whole run (the federated plane keeps
+    a durable counter).
+    """
+
+    time: int
+    phase: EscrowPhase
+    escrow_id: str
+    service_name: str
+    instance_id: str
+    source_domain: str
+    target_domain: str
+    source_host: str = ""
+    target_host: str = ""
+    fencing_token: Optional[int] = None
+    note: str = ""
 
 
 class SituationPhase(enum.Enum):
@@ -197,6 +248,7 @@ class LoadReportBatch:
 
 TelemetryRecord = Union[
     ActionEvent,
+    EscrowEvent,
     FaultRecord,
     SupervisionEvent,
     SituationEvent,
@@ -210,6 +262,7 @@ TOPIC_SUPERVISION = "supervision"
 TOPIC_SITUATIONS = "situations"
 TOPIC_ALERTS = "alerts"
 TOPIC_REPORTS = "reports"
+TOPIC_ESCROW = "escrow"
 
 TOPICS = (
     TOPIC_ACTIONS,
@@ -218,10 +271,12 @@ TOPICS = (
     TOPIC_SITUATIONS,
     TOPIC_ALERTS,
     TOPIC_REPORTS,
+    TOPIC_ESCROW,
 )
 
 _TOPIC_BY_TYPE = {
     ActionEvent: TOPIC_ACTIONS,
+    EscrowEvent: TOPIC_ESCROW,
     FaultRecord: TOPIC_FAULTS,
     SupervisionEvent: TOPIC_SUPERVISION,
     SituationEvent: TOPIC_SITUATIONS,
@@ -260,6 +315,7 @@ def record_to_dict(record: TelemetryRecord) -> Dict[str, Any]:
             attempts=getattr(outcome, "attempts", None),
             note=getattr(outcome, "note", None),
             domain=record.domain,
+            fencing_token=record.fencing_token,
         )
         return payload
     for field in dataclasses.fields(record):

@@ -1,0 +1,223 @@
+"""Versioned telemetry trace files (``telemetry.jsonl``).
+
+A trace is a JSON-lines file: one header line followed by one line per
+bus envelope, in global sequence order.  The header carries the schema
+version (so readers can reject traces written by a future format) and a
+``complete`` flag — whether the file holds *every* envelope the bus ever
+published, or only what the bounded per-topic history rings still held
+at export time.  The distinction matters to the verifier: accounting
+reconciliation (AG305) is only sound on complete traces.
+
+Two producers exist:
+
+* :func:`repro.sim.export.export_telemetry_jsonl` dumps the rings after
+  a run (complete only for short runs that fit in the rings);
+* :class:`TraceWriter` streams every envelope as it is published
+  (always complete when attached before the first publish), used by
+  ``autoglobe run --verify``.
+
+Traces written before schema versioning existed (no header line) are
+still readable; :func:`read_trace` flags them as ``legacy`` so callers
+can warn.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import IO, Any, Dict, List, Optional, Tuple, Union
+
+from repro.telemetry.bus import Envelope, EventBus, WILDCARD
+from repro.telemetry.records import record_to_dict
+
+__all__ = [
+    "TRACE_SCHEMA_VERSION",
+    "TRACE_KIND",
+    "TraceSchemaError",
+    "TraceHeader",
+    "TraceEvent",
+    "trace_header_line",
+    "trace_event_line",
+    "read_trace",
+    "TraceWriter",
+]
+
+#: Current trace format version.  Bump on any incompatible change to the
+#: header or event-line layout; readers reject anything newer.
+TRACE_SCHEMA_VERSION = 1
+
+#: Sanity marker distinguishing a trace header from an ordinary record.
+TRACE_KIND = "autoglobe-trace"
+
+PathLike = Union[str, Path]
+
+
+class TraceSchemaError(ValueError):
+    """The trace file violates the schema or is from a newer version."""
+
+
+@dataclass(frozen=True)
+class TraceHeader:
+    """The trace file's leading metadata line."""
+
+    schema_version: int
+    #: whether the file holds the run's full event stream (vs. only what
+    #: the bounded history rings retained at export time)
+    complete: bool
+    #: True for pre-versioning files without a header line
+    legacy: bool = False
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One replayed envelope: the JSON payload of one trace line."""
+
+    seq: int
+    topic: str
+    record: Dict[str, Any]
+
+
+def trace_header_line(complete: bool) -> str:
+    """The serialized header line (no trailing newline)."""
+    return json.dumps(
+        {
+            "schema_version": TRACE_SCHEMA_VERSION,
+            "kind": TRACE_KIND,
+            "complete": complete,
+        }
+    )
+
+
+def trace_event_line(seq: int, topic: str, record: Dict[str, Any]) -> str:
+    """The serialized event line for one envelope (no trailing newline)."""
+    return json.dumps({"seq": seq, "topic": topic, "record": record})
+
+
+def _parse_event(payload: Dict[str, Any], line_number: int) -> TraceEvent:
+    seq = payload.get("seq")
+    topic = payload.get("topic")
+    record = payload.get("record")
+    if not isinstance(seq, int) or not isinstance(topic, str) or not isinstance(record, dict):
+        raise TraceSchemaError(
+            f"line {line_number}: not a trace event "
+            "(expected seq/topic/record keys)"
+        )
+    return TraceEvent(seq=seq, topic=topic, record=record)
+
+
+def read_trace(path: PathLike) -> Tuple[TraceHeader, List[TraceEvent]]:
+    """Read a telemetry trace; returns its header and events in order.
+
+    Raises :class:`TraceSchemaError` for traces written by a newer
+    schema version, for malformed JSON, and for event lines missing the
+    ``seq``/``topic``/``record`` keys.  Pre-versioning traces (no header
+    line) parse fine and come back with ``header.legacy`` set; callers
+    should warn that completeness is unknown.
+    """
+    events: List[TraceEvent] = []
+    header: Optional[TraceHeader] = None
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_number, raw in enumerate(handle, start=1):
+            line = raw.strip()
+            if not line:
+                continue
+            try:
+                payload = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise TraceSchemaError(
+                    f"line {line_number}: not valid JSON: {exc}"
+                ) from exc
+            if not isinstance(payload, dict):
+                raise TraceSchemaError(
+                    f"line {line_number}: expected a JSON object"
+                )
+            if header is None and "schema_version" in payload:
+                version = payload["schema_version"]
+                if not isinstance(version, int):
+                    raise TraceSchemaError(
+                        f"line {line_number}: schema_version must be an integer"
+                    )
+                if version > TRACE_SCHEMA_VERSION:
+                    raise TraceSchemaError(
+                        f"trace schema version {version} is newer than the "
+                        f"supported version {TRACE_SCHEMA_VERSION}"
+                    )
+                kind = payload.get("kind")
+                if kind != TRACE_KIND:
+                    raise TraceSchemaError(
+                        f"line {line_number}: unexpected trace kind {kind!r}"
+                    )
+                header = TraceHeader(
+                    schema_version=version,
+                    complete=bool(payload.get("complete", False)),
+                )
+                continue
+            if header is None:
+                # Pre-versioning trace: the first line is already an event.
+                header = TraceHeader(
+                    schema_version=0, complete=False, legacy=True
+                )
+            events.append(_parse_event(payload, line_number))
+    if header is None:
+        header = TraceHeader(schema_version=0, complete=False, legacy=True)
+    return header, events
+
+
+class TraceWriter:
+    """Streams every published envelope to a trace file.
+
+    Attach before the run starts (``attach`` subscribes to the wildcard
+    topic) and ``close`` afterwards.  Unlike the ring-based export, the
+    resulting trace is complete even for runs whose event volume exceeds
+    the bus history — provided the writer was attached before the first
+    publish (the header records which case applies).
+    """
+
+    def __init__(self, path: PathLike) -> None:
+        self._path = Path(path)
+        self._handle: Optional[IO[str]] = None
+        self._bus: Optional[EventBus] = None
+        self._count = 0
+
+    @property
+    def count(self) -> int:
+        """Envelopes written so far."""
+        return self._count
+
+    def attach(self, bus: EventBus) -> None:
+        """Open the file, write the header and start streaming."""
+        if self._bus is not None:
+            raise RuntimeError("trace writer is already attached")
+        complete = bus.last_seq == 0
+        self._handle = open(self._path, "w", encoding="utf-8")
+        self._handle.write(trace_header_line(complete))
+        self._handle.write("\n")
+        bus.subscribe(WILDCARD, self._on_envelope)
+        self._bus = bus
+
+    def _on_envelope(self, envelope: Envelope) -> None:
+        if self._handle is None:
+            return
+        self._handle.write(
+            trace_event_line(
+                envelope.seq, envelope.topic, record_to_dict(envelope.record)
+            )
+        )
+        self._handle.write("\n")
+        self._count += 1
+
+    def close(self) -> None:
+        """Stop streaming and flush the file; safe to call twice."""
+        if self._bus is not None:
+            self._bus.unsubscribe(WILDCARD, self._on_envelope)
+            self._bus = None
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "TraceWriter":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

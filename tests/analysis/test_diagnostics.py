@@ -1,11 +1,14 @@
 """Tests for the diagnostics framework (codes, reporters, exit codes)."""
 
 import json
+import re
+from pathlib import Path
 
 import pytest
 
 from repro.analysis.diagnostics import (
     CODE_TABLE,
+    RESERVED_CODES,
     EXIT_CLEAN,
     EXIT_ERRORS,
     EXIT_WARNINGS,
@@ -55,6 +58,36 @@ class TestDiagnostic:
     def test_as_dict_carries_details(self):
         payload = _diag(details={"demand": 1.5}).as_dict()
         assert payload["details"] == {"demand": 1.5}
+
+
+class TestCodeRegistry:
+    """The code space is append-only: unique, documented, never reused."""
+
+    def test_reserved_codes_are_disjoint_from_the_table(self):
+        assert not set(RESERVED_CODES) & set(CODE_TABLE)
+        for code, reason in RESERVED_CODES.items():
+            assert code.startswith("AG") and len(code) == 5
+            assert reason
+
+    def test_reserved_code_cannot_be_issued(self):
+        with pytest.raises(ValueError, match="unknown diagnostic code"):
+            Diagnostic(code="AG207", severity=Severity.WARNING, message="boom")
+
+    def test_every_code_is_documented_in_the_readme(self):
+        readme = (
+            Path(__file__).resolve().parents[2] / "README.md"
+        ).read_text(encoding="utf-8")
+        table_codes = set(re.findall(r"^\| (AG\d{3}) \|", readme, re.MULTILINE))
+        assert set(CODE_TABLE) <= table_codes, (
+            f"codes missing from the README table: "
+            f"{sorted(set(CODE_TABLE) - table_codes)}"
+        )
+        assert set(RESERVED_CODES) <= table_codes, (
+            "reserved codes must stay visible in the README table"
+        )
+        assert not table_codes - set(CODE_TABLE) - set(RESERVED_CODES), (
+            "README documents codes that no longer exist"
+        )
 
 
 class TestOrderingAndExitCodes:

@@ -1,0 +1,98 @@
+"""Tests for the AG306/AG307 static controller-oscillation pass."""
+
+import dataclasses
+
+from repro.analysis import analyze_landscape
+from repro.analysis.verify import analyze_oscillation
+from repro.config.builtin import paper_landscape
+
+
+def _codes(diagnostics):
+    return [d.code for d in diagnostics]
+
+
+def _aggressive(landscape, overload=0.5, idle=0.4):
+    landscape.controller = dataclasses.replace(
+        landscape.controller,
+        overload_threshold=overload,
+        idle_threshold_base=idle,
+    )
+    return landscape
+
+
+class TestDefaults:
+    def test_paper_defaults_are_thrash_free(self):
+        assert analyze_oscillation(paper_landscape()) == []
+
+    def test_full_lint_stays_clean_with_oscillation_pass(self):
+        report = analyze_landscape(paper_landscape())
+        assert report.clean
+
+
+class TestThrashDetection:
+    def test_overlapping_thresholds_trigger_ag306(self):
+        diagnostics = analyze_oscillation(_aggressive(paper_landscape()))
+        assert "AG306" in _codes(diagnostics)
+        [finding] = [d for d in diagnostics if d.code == "AG306"]
+        assert "idle region" in finding.message
+        witness = finding.details["witness"]
+        # the witness is a genuine closed cycle: scale-out conserves work
+        load, n = witness["load"], witness["instances"]
+        assert abs(witness["transformed_load"] - load * n / (n + 1)) < 1e-3
+        assert witness["transformed_load"] < finding.details["idle_threshold"]
+
+    def test_ag306_fires_through_analyze_landscape(self):
+        report = analyze_landscape(_aggressive(paper_landscape()))
+        assert "AG306" in [d.code for d in report.diagnostics]
+        assert report.exit_code() == 2
+
+    def test_oscillation_pass_can_be_skipped(self):
+        report = analyze_landscape(
+            _aggressive(paper_landscape()), include_oscillation=False
+        )
+        assert "AG306" not in [d.code for d in report.diagnostics]
+
+
+class TestLimitCyclePairs:
+    def _override_landscape(self):
+        landscape = _aggressive(paper_landscape(), overload=0.45, idle=0.35)
+        landscape.services[0] = dataclasses.replace(
+            landscape.services[0],
+            rule_overrides={
+                "serviceOverloaded": (
+                    "IF serviceLoad IS medium THEN scaleOut IS applicable"
+                ),
+                "serviceIdle": (
+                    "IF serviceLoad IS low THEN scaleIn IS applicable"
+                ),
+            },
+        )
+        return landscape
+
+    def test_coupled_override_rules_trigger_ag307(self):
+        landscape = self._override_landscape()
+        diagnostics = analyze_oscillation(landscape)
+        ag307 = [d for d in diagnostics if d.code == "AG307"]
+        assert ag307, _codes(diagnostics)
+        service = landscape.services[0].name
+        assert any(d.service == service for d in ag307)
+        # AG307 is a warning: structural precondition, not a proven cycle
+        assert all(d.severity.name == "WARNING" for d in ag307)
+
+    def test_override_findings_name_both_rules(self):
+        diagnostics = analyze_oscillation(self._override_landscape())
+        finding = next(d for d in diagnostics if d.code == "AG307")
+        assert finding.details["overload_rule"]
+        assert finding.details["idle_rule"]
+
+    def test_unparseable_override_is_skipped_here(self):
+        # the rule-base linter owns the parse failure (AG108); the
+        # oscillation pass must not crash or double-report it
+        landscape = paper_landscape()
+        landscape.services[0] = dataclasses.replace(
+            landscape.services[0],
+            rule_overrides={"serviceOverloaded": "IF nonsense THEN boom"},
+        )
+        diagnostics = analyze_oscillation(landscape)
+        assert "AG306" not in _codes(diagnostics)
+        assert "AG307" not in _codes(diagnostics)

@@ -155,7 +155,8 @@ class TestTelemetryPipeline:
         (runner, __), __ = recovery_runs
         path = tmp_path / "telemetry.jsonl"
         exported = export_telemetry_jsonl(runner.platform.bus, path)
-        lines = path.read_text().splitlines()
+        header, *lines = path.read_text().splitlines()
+        assert json.loads(header)["kind"] == "autoglobe-trace"
         assert exported == len(lines) > 0
         first, last = json.loads(lines[0]), json.loads(lines[-1])
         assert first["seq"] < last["seq"] == runner.platform.bus.last_seq

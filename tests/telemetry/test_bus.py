@@ -127,6 +127,71 @@ class TestSubscriptions:
         assert len(seen) == 1
 
 
+class TestSubscriptionEdgeCases:
+    def test_wildcard_ordering_holds_regardless_of_subscribe_order(self):
+        # topic subscribers always run before wildcard ones, even when
+        # the wildcard subscription was registered first
+        bus = EventBus()
+        calls = []
+        bus.subscribe(WILDCARD, lambda e: calls.append("wildcard"))
+        bus.subscribe(TOPIC_FAULTS, lambda e: calls.append("topic"))
+        bus.publish(_fault())
+        assert calls == ["topic", "wildcard"]
+
+    def test_subscriber_added_during_publish_misses_that_publish(self):
+        # the subscriber snapshot is taken at publish time; mutating the
+        # subscription list from inside a callback affects later
+        # publishes only
+        bus = EventBus()
+        late_calls = []
+
+        def late(envelope):
+            late_calls.append(envelope.seq)
+
+        def registrar(envelope):
+            bus.subscribe(TOPIC_FAULTS, late)
+
+        bus.subscribe(TOPIC_FAULTS, registrar)
+        bus.publish(_fault(0))
+        assert late_calls == []
+        bus.unsubscribe(TOPIC_FAULTS, registrar)
+        bus.publish(_fault(1))
+        assert late_calls == [2]
+
+    def test_subscriber_exception_does_not_corrupt_the_sequence(self):
+        # a raising subscriber propagates to the publisher, but the
+        # envelope was already sequenced and retained: the stream stays
+        # gapless and later publishes continue from the right number
+        bus = EventBus()
+
+        def explode(envelope):
+            raise RuntimeError("subscriber bug")
+
+        bus.subscribe(TOPIC_FAULTS, explode)
+        with pytest.raises(RuntimeError, match="subscriber bug"):
+            bus.publish(_fault(0))
+        assert bus.last_seq == 1
+        assert [e.seq for e in bus.tail(TOPIC_FAULTS)] == [1]
+        bus.unsubscribe(TOPIC_FAULTS, explode)
+        envelope = bus.publish(_fault(1))
+        assert envelope.seq == 2
+
+    def test_ring_eviction_during_wildcard_tail(self):
+        # a tiny ring evicts old envelopes while a wildcard subscriber
+        # keeps streaming: the subscriber sees everything, the tail only
+        # what the ring still holds — and the merge stays seq-ordered
+        bus = EventBus(history=3)
+        streamed = []
+        bus.subscribe(WILDCARD, lambda e: streamed.append(e.seq))
+        for time in range(5):
+            bus.publish(_fault(time))
+        bus.publish(_alert(5))
+        assert streamed == [1, 2, 3, 4, 5, 6]
+        merged = [e.seq for e in bus.tail(limit=bus.last_seq)]
+        assert merged == [3, 4, 5, 6]
+        assert merged == sorted(merged)
+
+
 class TestSupervisionKinds:
     def test_every_kind_has_explicit_fault_record_verdict(self):
         verdicts = {
@@ -138,6 +203,7 @@ class TestSupervisionKinds:
             SupervisionEventKind.CONTROLLER_RECOVERY: True,
             SupervisionEventKind.LEADER_FAILOVER: True,
             SupervisionEventKind.PARTITION_HEALED: True,
+            SupervisionEventKind.LEADER_EPOCH: False,
         }
 
     def test_unknown_kind_raises_instead_of_silently_dropping(self):
@@ -156,8 +222,9 @@ class TestRecordToDict:
             "kind": "leader-failover",
             "detail": "controller-1->controller-2",
             "domain": "",
+            "fencing_token": None,
         }
 
     def test_topics_constant_is_complete(self):
-        assert len(TOPICS) == 6
+        assert len(TOPICS) == 7
         assert TOPIC_SUPERVISION in TOPICS

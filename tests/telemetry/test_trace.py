@@ -1,0 +1,153 @@
+"""Tests for the versioned telemetry trace format (``telemetry.jsonl``)."""
+
+import json
+
+import pytest
+
+from repro.telemetry.bus import EventBus
+from repro.telemetry.records import AlertEvent
+from repro.telemetry.trace import (
+    TRACE_KIND,
+    TRACE_SCHEMA_VERSION,
+    TraceSchemaError,
+    TraceWriter,
+    read_trace,
+    trace_event_line,
+    trace_header_line,
+)
+
+
+def _write(tmp_path, *lines, name="trace.jsonl"):
+    path = tmp_path / name
+    path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+    return path
+
+
+def _event_line(seq=1, topic="alerts", record=None):
+    return trace_event_line(seq, topic, record or {"type": "AlertEvent", "time": 1})
+
+
+class TestHeaderRoundTrip:
+    def test_header_line_carries_version_kind_and_completeness(self):
+        header = json.loads(trace_header_line(True))
+        assert header == {
+            "schema_version": TRACE_SCHEMA_VERSION,
+            "kind": TRACE_KIND,
+            "complete": True,
+        }
+
+    def test_written_trace_reads_back(self, tmp_path):
+        path = _write(tmp_path, trace_header_line(False), _event_line(seq=7))
+        header, events = read_trace(path)
+        assert header.schema_version == TRACE_SCHEMA_VERSION
+        assert header.complete is False
+        assert header.legacy is False
+        [event] = events
+        assert (event.seq, event.topic) == (7, "alerts")
+
+
+class TestVersionGate:
+    def test_newer_schema_version_rejected(self, tmp_path):
+        future = json.loads(trace_header_line(True))
+        future["schema_version"] = TRACE_SCHEMA_VERSION + 1
+        path = _write(tmp_path, json.dumps(future))
+        with pytest.raises(TraceSchemaError, match="newer than the supported"):
+            read_trace(path)
+
+    def test_wrong_kind_rejected(self, tmp_path):
+        header = json.loads(trace_header_line(True))
+        header["kind"] = "something-else"
+        path = _write(tmp_path, json.dumps(header))
+        with pytest.raises(TraceSchemaError, match="unexpected trace kind"):
+            read_trace(path)
+
+    def test_non_integer_version_rejected(self, tmp_path):
+        path = _write(tmp_path, '{"schema_version": "one"}')
+        with pytest.raises(TraceSchemaError, match="must be an integer"):
+            read_trace(path)
+
+
+class TestMalformedLines:
+    def test_invalid_json_names_the_line(self, tmp_path):
+        path = _write(tmp_path, trace_header_line(True), "{not json")
+        with pytest.raises(TraceSchemaError, match="line 2"):
+            read_trace(path)
+
+    def test_non_object_line_names_the_line(self, tmp_path):
+        path = _write(tmp_path, trace_header_line(True), _event_line(), "[1, 2]")
+        with pytest.raises(TraceSchemaError, match="line 3"):
+            read_trace(path)
+
+    def test_event_missing_keys_names_the_line(self, tmp_path):
+        path = _write(tmp_path, trace_header_line(True), '{"seq": 1}')
+        with pytest.raises(TraceSchemaError, match="line 2.*seq/topic/record"):
+            read_trace(path)
+
+    def test_blank_lines_are_skipped(self, tmp_path):
+        path = _write(tmp_path, trace_header_line(True), "", _event_line())
+        _, events = read_trace(path)
+        assert len(events) == 1
+
+
+class TestLegacyTraces:
+    def test_headerless_trace_is_flagged_legacy(self, tmp_path):
+        path = _write(tmp_path, _event_line(seq=1), _event_line(seq=2))
+        header, events = read_trace(path)
+        assert header.legacy is True
+        assert header.schema_version == 0
+        assert header.complete is False
+        assert len(events) == 2
+
+    def test_empty_file_is_legacy_and_empty(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("", encoding="utf-8")
+        header, events = read_trace(path)
+        assert header.legacy is True
+        assert events == []
+
+
+class TestTraceWriter:
+    def test_virgin_bus_yields_complete_trace(self, tmp_path):
+        bus = EventBus()
+        path = tmp_path / "stream.jsonl"
+        with TraceWriter(path) as writer:
+            writer.attach(bus)
+            bus.publish(AlertEvent(1, "info", "hello"))
+            bus.publish(AlertEvent(2, "warning", "world"))
+        header, events = read_trace(path)
+        assert header.complete is True
+        assert writer.count == 2
+        assert [e.seq for e in events] == [1, 2]
+
+    def test_late_attachment_is_marked_incomplete(self, tmp_path):
+        bus = EventBus()
+        bus.publish(AlertEvent(1, "info", "missed"))
+        path = tmp_path / "late.jsonl"
+        with TraceWriter(path) as writer:
+            writer.attach(bus)
+            bus.publish(AlertEvent(2, "info", "seen"))
+        header, events = read_trace(path)
+        assert header.complete is False
+        assert [e.seq for e in events] == [2]
+
+    def test_double_attach_rejected(self, tmp_path):
+        bus = EventBus()
+        writer = TraceWriter(tmp_path / "t.jsonl")
+        writer.attach(bus)
+        try:
+            with pytest.raises(RuntimeError, match="already attached"):
+                writer.attach(bus)
+        finally:
+            writer.close()
+
+    def test_close_stops_streaming_and_is_idempotent(self, tmp_path):
+        bus = EventBus()
+        path = tmp_path / "closed.jsonl"
+        writer = TraceWriter(path)
+        writer.attach(bus)
+        bus.publish(AlertEvent(1, "info", "in"))
+        writer.close()
+        writer.close()
+        bus.publish(AlertEvent(2, "info", "out"))
+        _, events = read_trace(path)
+        assert [e.seq for e in events] == [1]
