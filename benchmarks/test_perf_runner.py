@@ -38,6 +38,52 @@ def test_committed_bench_documents_hot_path_speedup():
     assert payload["results"]["runner_chaos_80h_seconds"] > 0
 
 
+def test_committed_bench_documents_multiproc_domain_scaling():
+    payload = _committed()
+    results = payload["results"]
+    assert results["federation_2x_multiproc_ticks_per_second"] > 0
+    assert results["federation_4x_multiproc_ticks_per_second"] > 0
+    assert results["controller_tick_multiproc_agent_ms"] > 0
+    # Doubling the agent processes (each with a constant-size domain)
+    # must raise aggregate throughput even on a single-core box, where
+    # only journal fsyncs and wire waits overlap; with real cores the
+    # scaling should be near-linear (2.0 would be perfect for 2 -> 4).
+    scaling = results["controller_tick_multiproc_scaling"]
+    assert scaling >= 1.0
+    if payload.get("cpu_count") and payload["cpu_count"] >= 4:
+        assert scaling >= 1.6
+
+
+def test_multiproc_federation_throughput_no_regression(tmp_path):
+    from repro.net.orchestrator import run_multiproc
+    from repro.sim.scenarios import Scenario
+
+    committed = _committed()["results"]
+    horizon = committed["federation_multiproc_horizon_minutes"]
+    started = time.perf_counter()
+    result = run_multiproc(
+        2,
+        tmp_path / "state",
+        tmp_path / "out",
+        scenario=Scenario.FULL_MOBILITY,
+        user_factor=1.15,
+        horizon=horizon,
+        seed=7,
+        start_minute=720,
+        landscape_kind="replicated",
+    )
+    elapsed = time.perf_counter() - started
+    assert result.report.errors == ()
+    ticks_per_second = 2 * horizon / elapsed
+    # process spawn + wire overhead is noisier than the in-process
+    # runner, so the floor is looser than REGRESSION_TOLERANCE
+    floor = committed["federation_2x_multiproc_ticks_per_second"] * 0.5
+    assert ticks_per_second >= floor, (
+        f"multiproc federation throughput regressed: "
+        f"{ticks_per_second:.1f} ticks/s < {floor:.1f}"
+    )
+
+
 def test_runner_throughput_no_regression():
     from repro.sim.runner import SimulationRunner
     from repro.sim.scenarios import Scenario, default_chaos

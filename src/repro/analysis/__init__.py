@@ -48,6 +48,7 @@ from repro.analysis.verify import (
     analyze_oscillation,
     default_checkers,
     verify_trace,
+    verify_traces,
 )
 
 __all__ = [
@@ -72,4 +73,5 @@ __all__ = [
     "render_json",
     "render_text",
     "verify_trace",
+    "verify_traces",
 ]

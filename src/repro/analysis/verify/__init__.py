@@ -18,7 +18,12 @@ from repro.analysis.verify.checkers import (
     VerificationContext,
     default_checkers,
 )
-from repro.analysis.verify.engine import TraceVerifier, load_summary, verify_trace
+from repro.analysis.verify.engine import (
+    TraceVerifier,
+    load_summary,
+    verify_trace,
+    verify_traces,
+)
 from repro.analysis.verify.hb import VectorClock, vc_format, vc_join, vc_leq
 from repro.analysis.verify.oscillation import analyze_oscillation
 
@@ -39,4 +44,5 @@ __all__ = [
     "vc_join",
     "vc_leq",
     "verify_trace",
+    "verify_traces",
 ]

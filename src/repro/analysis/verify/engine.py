@@ -31,9 +31,9 @@ from repro.analysis.verify.checkers import (
 )
 from repro.telemetry.bus import Envelope, EventBus, WILDCARD
 from repro.telemetry.records import TOPIC_REPORTS, record_to_dict
-from repro.telemetry.trace import TraceEvent, read_trace
+from repro.telemetry.trace import TraceEvent, merge_traces, read_trace
 
-__all__ = ["TraceVerifier", "verify_trace", "load_summary"]
+__all__ = ["TraceVerifier", "verify_trace", "verify_traces", "load_summary"]
 
 PathLike = Union[str, Path]
 
@@ -165,4 +165,44 @@ def verify_trace(
         name or trace_file.stem,
         complete=header.complete,
         summary=summary,
+    )
+
+
+def verify_traces(
+    trace_paths: List[PathLike],
+    summary_path: Optional[PathLike] = None,
+    ignore: Iterable[str] = (),
+    name: str = "",
+) -> AnalysisReport:
+    """Verify several per-agent trace exports as one merged run.
+
+    Each file is a multi-process agent's Lamport-stamped trace (see
+    :class:`~repro.telemetry.trace.ClockedTraceWriter`); the streams are
+    merged with :func:`~repro.telemetry.trace.merge_traces` into the
+    same causally ordered sequence the federation server verifies live,
+    so offline replay of the per-agent exports reproduces the server's
+    report.  The merged run counts as complete only if every input
+    trace is complete.  A single path degrades to :func:`verify_trace`.
+    """
+    if len(trace_paths) == 1:
+        return verify_trace(
+            trace_paths[0], summary_path=summary_path, ignore=ignore, name=name
+        )
+    sources = []
+    complete = True
+    for path in trace_paths:
+        trace_file = Path(path)
+        header, events = read_trace(trace_file)
+        complete = complete and header.complete
+        sources.append((trace_file.parent.name or trace_file.stem, events))
+    sources.sort(key=lambda pair: pair[0])
+    merged = merge_traces(sources)
+    verifier = TraceVerifier(ignore=ignore)
+    for event in merged:
+        verifier.feed(event)
+    summary: Optional[Dict[str, Any]] = None
+    if summary_path is not None:
+        summary = load_summary(summary_path)
+    return verifier.report(
+        name or "merged", complete=complete, summary=summary
     )

@@ -331,8 +331,8 @@ def analyze_oscillation(landscape: LandscapeSpec) -> List[Diagnostic]:
             merged[trigger_name] = default.merged_with(override)
         if not merged:
             continue
-        diagnostics.extend(
-            _analyze_pair(
+        try:
+            found = _analyze_pair(
                 controller,
                 grades,
                 merged.get(relevant[0], overload_default),
@@ -346,5 +346,9 @@ def analyze_oscillation(landscape: LandscapeSpec) -> List[Diagnostic]:
                 ),
                 service=service.name,
             )
-        )
+        except (KeyError, ValueError):
+            # the override parses but is not evaluable (unknown input
+            # variable or term) — the linter reports that (AG101-AG104)
+            continue
+        diagnostics.extend(found)
     return diagnostics

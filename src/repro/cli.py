@@ -82,6 +82,17 @@ def _positive_domains(text: str) -> int:
     return count
 
 
+def _kill_agent(text: str) -> "tuple":
+    domain, _, minute = text.partition(":")
+    try:
+        return (domain, int(minute))
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"invalid kill spec {text!r}: expected DOMAIN:MINUTE "
+            "(e.g. domain-2:760)"
+        )
+
+
 def _scenario(name: str) -> Scenario:
     for scenario in Scenario:
         if scenario.value == name:
@@ -149,6 +160,21 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--ignore", action="append", default=[], metavar="CODE",
                      help="with --verify: suppress a diagnostic code "
                           "(repeatable)")
+    run.add_argument("--multiproc", action="store_true",
+                     help="run each control domain as its own agent "
+                          "process coordinated by a federation server "
+                          "(requires --domains >= 2 and --state-dir)")
+    run.add_argument("--net-chaos", action="store_true",
+                     help="with --multiproc: inject wire faults (drop/"
+                          "duplicate/delay plus one seeded one-way "
+                          "partition)")
+    run.add_argument("--net-chaos-seed", type=int, default=115,
+                     help="wire-fault RNG seed (default 115)")
+    run.add_argument("--kill-agent", type=_kill_agent, default=None,
+                     metavar="DOMAIN:MINUTE",
+                     help="with --multiproc: SIGKILL that domain's agent "
+                          "after the given absolute minute; it is "
+                          "respawned with --resume")
 
     capacity = subparsers.add_parser("capacity", help="Table 7 capacity sweep")
     capacity.add_argument("--scenario", type=_scenario, default=None,
@@ -206,8 +232,10 @@ def build_parser() -> argparse.ArgumentParser:
              "temporal invariants",
     )
     verify.add_argument(
-        "trace", metavar="TRACE.jsonl",
-        help="telemetry trace exported by 'autoglobe run --export'",
+        "trace", metavar="TRACE.jsonl", nargs="+",
+        help="telemetry trace exported by 'autoglobe run --export'; "
+             "several per-agent traces from a --multiproc run are "
+             "merged by Lamport clock before verification",
     )
     verify.add_argument(
         "--summary", default=None, metavar="SUMMARY.json",
@@ -229,6 +257,8 @@ def build_parser() -> argparse.ArgumentParser:
 def _cmd_run(args) -> int:
     from repro.sim.runner import SimulationRunner
 
+    if args.multiproc:
+        return _cmd_run_multiproc(args)
     chaos = None
     if args.chaos_controller:
         from repro.sim.scenarios import controller_chaos
@@ -333,6 +363,80 @@ def _cmd_run(args) -> int:
         print()
         print(report.render("text"))
         return report.exit_code(strict=args.strict)
+    return 0
+
+
+def _cmd_run_multiproc(args) -> int:
+    from pathlib import Path
+
+    from repro.analysis import EXIT_ERRORS
+
+    if args.domains is None or args.domains < 2:
+        print("autoglobe run: --multiproc requires --domains N (N >= 2)",
+              file=sys.stderr)
+        return EXIT_ERRORS
+    if args.state_dir is None:
+        print("autoglobe run: --multiproc requires --state-dir (agents "
+              "journal and snapshot there)", file=sys.stderr)
+        return EXIT_ERRORS
+    for flag, name in (
+        (args.chaos_controller, "--chaos-controller"),
+        (args.no_controller, "--no-controller"),
+        (args.standby, "--standby"),
+        (args.resume, "--resume"),
+        (args.kill_at is not None, "--kill-at"),
+    ):
+        if flag:
+            print(f"autoglobe run: {name} is not supported with "
+                  "--multiproc (use --kill-agent for crash chaos)",
+                  file=sys.stderr)
+            return EXIT_ERRORS
+    from repro.net.orchestrator import run_multiproc
+
+    state_dir = Path(args.state_dir)
+    out_dir = Path(args.export) if args.export else state_dir / "merged"
+    start_minute = args.start if args.start is not None else 12 * 60
+    result = run_multiproc(
+        args.domains,
+        state_dir,
+        out_dir,
+        scenario=args.scenario,
+        user_factor=args.users,
+        horizon=int(args.hours * 60),
+        seed=args.seed,
+        start_minute=start_minute,
+        chaos_seed=args.chaos_seed if args.chaos else None,
+        net_chaos_seed=args.net_chaos_seed if args.net_chaos else None,
+        kill_agent=args.kill_agent,
+        ignore=tuple(args.ignore),
+    )
+    summary = result.summary
+    print(f"{args.scenario.value} x{args.users:.2f}: "
+          f"{args.domains} agent processes, "
+          f"{summary.get('action_count', 0)} actions, "
+          f"horizon {summary.get('horizon_minutes', int(args.hours * 60))} min")
+    for domain in sorted(result.domain_summaries):
+        payload = result.domain_summaries[domain]
+        net = payload.get("net", {})
+        perf = payload.get("perf", {})
+        print(f"  {domain}: actions {payload.get('action_count', 0)}, "
+              f"respawns {result.respawns.get(domain, 0)}, "
+              f"degraded {net.get('degraded_count', 0)}x, "
+              f"escrow out/in {net.get('escrow_out', 0)}/"
+              f"{net.get('escrow_in', 0)}, "
+              f"tick {perf.get('controller_tick_seconds', 0.0) * 1000 / max(perf.get('ticks', 1), 1):.2f} ms")
+    if result.net_stats:
+        rendered = ", ".join(
+            f"{key}: {value}" for key, value in sorted(result.net_stats.items())
+        )
+        print(f"  wire chaos: {rendered}")
+    if result.deposed_count:
+        print(f"  sessions deposed for silence: {result.deposed_count}")
+    print(f"  merged trace: {result.trace_path}")
+    if args.verify:
+        print()
+        print(result.report.render("text"))
+        return result.report.exit_code(strict=args.strict)
     return 0
 
 
@@ -457,15 +561,16 @@ def _cmd_lint(args) -> int:
 
 
 def _cmd_verify(args) -> int:
-    from repro.analysis import EXIT_ERRORS, verify_trace
+    from repro.analysis import EXIT_ERRORS, verify_traces
     from repro.telemetry.trace import TraceSchemaError
 
     try:
-        report = verify_trace(
+        report = verify_traces(
             args.trace, summary_path=args.summary, ignore=args.ignore
         )
     except (OSError, TraceSchemaError, ValueError) as exc:
-        print(f"autoglobe verify: {args.trace}: {exc}", file=sys.stderr)
+        target = args.trace[0] if len(args.trace) == 1 else args.trace
+        print(f"autoglobe verify: {target}: {exc}", file=sys.stderr)
         return EXIT_ERRORS
     print(report.render(args.format_))
     return report.exit_code(strict=args.strict)

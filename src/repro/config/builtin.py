@@ -54,6 +54,7 @@ __all__ = [
     "DATABASES",
     "INITIAL_ALLOCATION",
     "INITIAL_USERS",
+    "domain_sublandscape",
     "paper_landscape",
     "paper_landscape_xml",
     "partition_landscape",
@@ -329,6 +330,106 @@ def partition_landscape(landscape: LandscapeSpec, count: int) -> LandscapeSpec:
         initial_allocation=list(landscape.initial_allocation),
         controller=landscape.controller,
         domains=domains,
+    )
+
+
+def domain_sublandscape(
+    landscape: LandscapeSpec, domain_name: str
+) -> LandscapeSpec:
+    """Carve one control domain out of a domained landscape.
+
+    A multi-process agent administers its domain with a *standalone*
+    platform, so it needs a landscape containing only the domain's
+    servers and the services homed there (first-initial-host rule, the
+    same resolution :meth:`LandscapeSpec.service_domains` gives the
+    in-process federation).  Initial allocations of a homed service that
+    point at a foreign server — the paper landscape allocates a few
+    services across what becomes a domain boundary — are repaired
+    greedily onto the domain server with the most free memory that can
+    take the instance; an instance that fits nowhere raises
+    ``ValueError`` so the infeasibility is loud, not a silent capacity
+    loss.
+
+    The result declares itself as a single control domain of the same
+    name, so every telemetry record the agent produces carries the
+    domain the federation expects.
+    """
+    domains = {d.name: d for d in landscape.effective_domains()}
+    domain = domains.get(domain_name)
+    if domain is None:
+        raise ValueError(
+            f"landscape {landscape.name!r} declares no control domain "
+            f"{domain_name!r} (has {sorted(domains)})"
+        )
+    homes = landscape.service_domains()
+    server_names = set(domain.servers)
+    servers = [s for s in landscape.servers if s.name in server_names]
+    services = [
+        svc for svc in landscape.services if homes.get(svc.name) == domain_name
+    ]
+    service_by_name = {svc.name: svc for svc in services}
+    # repair foreign-hosted allocations of homed services; free memory is
+    # tracked against the declared per-instance footprints
+    free_memory = {s.name: float(s.memory_mb) for s in servers}
+    exclusive_on: dict = {}
+    occupants: dict = {}
+    allocation: List[Tuple[str, str]] = []
+
+    def _can_place(spec: ServiceSpec, server: ServerSpec) -> bool:
+        if spec.constraints.min_performance_index > server.performance_index:
+            return False
+        if free_memory[server.name] < spec.workload.memory_per_instance_mb:
+            return False
+        holder = exclusive_on.get(server.name)
+        if holder is not None and holder != spec.name:
+            return False
+        if spec.constraints.exclusive and any(
+            name != spec.name for name in occupants.get(server.name, ())
+        ):
+            return False
+        return True
+
+    def _place(spec: ServiceSpec, server_name: str) -> None:
+        free_memory[server_name] -= spec.workload.memory_per_instance_mb
+        occupants.setdefault(server_name, []).append(spec.name)
+        if spec.constraints.exclusive:
+            exclusive_on[server_name] = spec.name
+        allocation.append((spec.name, server_name))
+
+    server_by_name = {s.name: s for s in servers}
+    repaired: List[Tuple[str, str]] = []
+    for service_name, host_name in landscape.initial_allocation:
+        spec = service_by_name.get(service_name)
+        if spec is None:
+            continue  # homed elsewhere; that domain's agent owns it
+        if host_name in server_names:
+            _place(spec, host_name)
+        else:
+            repaired.append((service_name, host_name))
+    for service_name, host_name in repaired:
+        spec = service_by_name[service_name]
+        candidates = sorted(
+            (s for s in servers if _can_place(spec, s)),
+            key=lambda s: (-free_memory[s.name], s.name),
+        )
+        if not candidates:
+            raise ValueError(
+                f"domain {domain_name!r}: no server can take the initial "
+                f"instance of {service_name!r} (was on foreign host "
+                f"{host_name!r})"
+            )
+        _place(spec, candidates[0].name)
+    return LandscapeSpec(
+        name=f"{landscape.name}/{domain_name}",
+        servers=servers,
+        services=services,
+        initial_allocation=allocation,
+        controller=landscape.controller,
+        domains=[
+            ControlDomainSpec(
+                name=domain_name, servers=tuple(s.name for s in servers)
+            )
+        ],
     )
 
 

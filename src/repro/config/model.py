@@ -24,6 +24,8 @@ __all__ = [
     "ControllerSettings",
     "ControlDomainSpec",
     "LandscapeSpec",
+    "service_spec_to_dict",
+    "service_spec_from_dict",
 ]
 
 
@@ -226,6 +228,89 @@ class ServiceSpec:
     def with_users(self, users: int) -> "ServiceSpec":
         """A copy of the spec with a different reference user count."""
         return replace(self, workload=replace(self.workload, users=users))
+
+
+def service_spec_to_dict(spec: ServiceSpec) -> Dict[str, object]:
+    """A JSON-able encoding of a full service spec.
+
+    Used wherever a spec crosses a process boundary: the federation
+    wire protocol ships the spec of a cross-domain escrowed service to
+    the adopting agent, and platform snapshots persist adopted specs so
+    a killed-and-resumed agent can rebuild them.  The round trip through
+    :func:`service_spec_from_dict` is lossless.
+    """
+    return {
+        "name": spec.name,
+        "kind": spec.kind.value,
+        "subsystem": spec.subsystem,
+        "constraints": {
+            "exclusive": spec.constraints.exclusive,
+            "min_performance_index": spec.constraints.min_performance_index,
+            "min_instances": spec.constraints.min_instances,
+            "max_instances": spec.constraints.max_instances,
+            "allowed_actions": sorted(
+                action.value for action in spec.constraints.allowed_actions
+            ),
+        },
+        "workload": {
+            "users": spec.workload.users,
+            "profile": spec.workload.profile,
+            "load_per_user": spec.workload.load_per_user,
+            "basic_load": spec.workload.basic_load,
+            "ci_cost_per_user": spec.workload.ci_cost_per_user,
+            "db_cost_per_user": spec.workload.db_cost_per_user,
+            "batch": spec.workload.batch,
+            "memory_per_instance_mb": spec.workload.memory_per_instance_mb,
+            "fluctuation_rate": spec.workload.fluctuation_rate,
+        },
+        "rule_overrides": dict(spec.rule_overrides),
+        "lint_suppressions": sorted(spec.lint_suppressions),
+    }
+
+
+def service_spec_from_dict(payload: Mapping[str, object]) -> ServiceSpec:
+    """Rebuild a :class:`ServiceSpec` encoded by :func:`service_spec_to_dict`."""
+    constraints = payload.get("constraints") or {}
+    workload = payload.get("workload") or {}
+    assert isinstance(constraints, Mapping) and isinstance(workload, Mapping)
+    return ServiceSpec(
+        name=str(payload["name"]),
+        kind=ServiceKind(payload["kind"]),
+        subsystem=str(payload.get("subsystem", "")),
+        constraints=ServiceConstraints(
+            exclusive=bool(constraints.get("exclusive", False)),
+            min_performance_index=float(
+                constraints.get("min_performance_index", 0.0)
+            ),
+            min_instances=int(constraints.get("min_instances", 1)),
+            max_instances=(
+                None
+                if constraints.get("max_instances") is None
+                else int(constraints["max_instances"])  # type: ignore[index]
+            ),
+            allowed_actions=frozenset(
+                Action(value)
+                for value in constraints.get("allowed_actions", ())  # type: ignore[union-attr]
+            ),
+        ),
+        workload=WorkloadSpec(
+            users=int(workload.get("users", 0)),
+            profile=str(workload.get("profile", "workday")),
+            load_per_user=float(workload.get("load_per_user", 0.005)),
+            basic_load=float(workload.get("basic_load", 0.02)),
+            ci_cost_per_user=float(workload.get("ci_cost_per_user", 0.0)),
+            db_cost_per_user=float(workload.get("db_cost_per_user", 0.0)),
+            batch=bool(workload.get("batch", False)),
+            memory_per_instance_mb=int(
+                workload.get("memory_per_instance_mb", 1024)
+            ),
+            fluctuation_rate=float(workload.get("fluctuation_rate", 0.003)),
+        ),
+        rule_overrides=dict(payload.get("rule_overrides", {})),  # type: ignore[call-overload]
+        lint_suppressions=frozenset(
+            str(code) for code in payload.get("lint_suppressions", ())  # type: ignore[union-attr]
+        ),
+    )
 
 
 @dataclass(frozen=True)

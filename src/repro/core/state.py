@@ -261,6 +261,15 @@ class LeaseStore:
     renewed), else ``None`` — somebody else holds an unexpired lease.
     A change of holder always increments the token; a renewal never
     does.
+
+    Every mutation runs inside a ``BEGIN IMMEDIATE`` transaction that
+    re-reads the lease row *after* taking SQLite's write lock.  Without
+    that, two processes racing for an expired lease could both read the
+    old row, both "take over", and both leave believing they hold the
+    same bumped token — overlapping leadership, exactly what fencing
+    exists to prevent.  With the write lock held from the first read,
+    the loser of the race observes the winner's fresh lease and backs
+    off with ``None``.
     """
 
     _SCHEMA = """
@@ -272,10 +281,29 @@ class LeaseStore:
     );
     """
 
-    def __init__(self, path: Union[str, Path] = ":memory:") -> None:
-        self._connection = sqlite3.connect(str(path))
+    #: How long a writer waits for a competing process's transaction
+    #: before giving up; lease transactions are tiny, so contention
+    #: clears in microseconds and this is pure safety margin.
+    BUSY_TIMEOUT_MS = 5_000
+
+    def __init__(
+        self,
+        path: Union[str, Path] = ":memory:",
+        cross_thread: bool = False,
+    ) -> None:
+        # cross_thread relaxes SQLite's same-thread check for callers
+        # that serialize access themselves (the federation server touches
+        # each domain's lease from reader, sweep and shutdown threads,
+        # all under one lock)
+        self._connection = sqlite3.connect(
+            str(path), check_same_thread=not cross_thread
+        )
+        self._connection.execute(
+            f"PRAGMA busy_timeout = {self.BUSY_TIMEOUT_MS}"
+        )
+        # autocommit mode: transactions are opened explicitly below
+        self._connection.isolation_level = None
         self._connection.executescript(self._SCHEMA)
-        self._connection.commit()
 
     def close(self) -> None:
         self._connection.close()
@@ -292,34 +320,44 @@ class LeaseStore:
     def acquire(self, holder: str, now: int, ttl: int) -> Optional[int]:
         if ttl < 1:
             raise ValueError("lease ttl must be at least one minute")
-        row = self.current()
-        if row is None:
-            token = 1
-            self._connection.execute(
-                "INSERT INTO lease (id, holder, token, expires_at) "
-                "VALUES (1, ?, ?, ?)",
-                (holder, token, now + ttl),
-            )
-            self._connection.commit()
-            return token
-        current_holder, token, expires_at = row
-        if current_holder == holder:
-            # renewal: same leadership, same token
-            self._connection.execute(
-                "UPDATE lease SET expires_at = ? WHERE id = 1", (now + ttl,)
-            )
-            self._connection.commit()
-            return token
-        if expires_at <= now:
-            token += 1
-            self._connection.execute(
-                "UPDATE lease SET holder = ?, token = ?, expires_at = ? "
-                "WHERE id = 1",
-                (holder, token, now + ttl),
-            )
-            self._connection.commit()
-            return token
-        return None
+        connection = self._connection
+        connection.execute("BEGIN IMMEDIATE")
+        try:
+            row = connection.execute(
+                "SELECT holder, token, expires_at FROM lease WHERE id = 1"
+            ).fetchone()
+            if row is None:
+                token = 1
+                connection.execute(
+                    "INSERT INTO lease (id, holder, token, expires_at) "
+                    "VALUES (1, ?, ?, ?)",
+                    (holder, token, now + ttl),
+                )
+                connection.execute("COMMIT")
+                return token
+            current_holder, token, expires_at = str(row[0]), int(row[1]), int(row[2])
+            if current_holder == holder:
+                # renewal: same leadership, same token
+                connection.execute(
+                    "UPDATE lease SET expires_at = ? WHERE id = 1",
+                    (now + ttl,),
+                )
+                connection.execute("COMMIT")
+                return token
+            if expires_at <= now:
+                token += 1
+                connection.execute(
+                    "UPDATE lease SET holder = ?, token = ?, expires_at = ? "
+                    "WHERE id = 1",
+                    (holder, token, now + ttl),
+                )
+                connection.execute("COMMIT")
+                return token
+            connection.execute("COMMIT")
+            return None
+        except BaseException:
+            connection.execute("ROLLBACK")
+            raise
 
     def renew(self, holder: str, now: int, ttl: int) -> Optional[int]:
         """Extend the lease if (and only if) ``holder`` still owns it."""
@@ -330,12 +368,12 @@ class LeaseStore:
 
     def release(self, holder: str) -> None:
         """Voluntarily give up the lease (the token stays monotonic)."""
-        row = self.current()
-        if row is not None and row[0] == holder:
-            self._connection.execute(
-                "UPDATE lease SET expires_at = 0 WHERE id = 1"
-            )
-            self._connection.commit()
+        # the WHERE clause makes check-then-release a single atomic
+        # statement: releasing a lease someone else took over is a no-op
+        self._connection.execute(
+            "UPDATE lease SET expires_at = 0 WHERE id = 1 AND holder = ?",
+            (holder,),
+        )
 
 
 # -- the facade -----------------------------------------------------------------------

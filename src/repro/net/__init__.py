@@ -1,0 +1,50 @@
+"""Multi-process federation: agent/server control plane over a wire protocol.
+
+The package splits :class:`repro.core.federation.FederatedControlPlane`
+across real OS processes: one coordinating :class:`FederationServer` and
+one :class:`DomainAgent` process per control domain, speaking a small
+versioned length-prefixed JSON RPC protocol.
+
+Modules
+-------
+``protocol``
+    Wire framing (4-byte big-endian length prefix + UTF-8 JSON) and the
+    versioned message schema.
+``transport``
+    Blocking :class:`Endpoint` abstraction with a TCP implementation and
+    an in-process loopback pair for deterministic tests.
+``chaos``
+    :class:`NetFaultInjector` — deterministic per-link wire faults
+    (drop / duplicate / reorder / delay / one-way partition).
+``session``
+    Server-side heartbeat sessions backed by the per-domain
+    :class:`repro.core.state.LeaseStore` fencing semantics.
+``server``
+    The coordinating server: handshake, heartbeats, idempotent escrow
+    brokering, telemetry collection and merged-trace verification.
+``agent``
+    The per-domain agent process: a full controller stack over a
+    sub-landscape, with degraded-mode autonomy and crash recovery.
+``orchestrator``
+    Process supervision for ``autoglobe run --multiproc``.
+"""
+
+from repro.net.protocol import (  # noqa: F401
+    PROTOCOL_VERSION,
+    FrameDecoder,
+    FrameError,
+    ProtocolError,
+    encode_frame,
+    make_message,
+    validate_message,
+)
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "FrameDecoder",
+    "FrameError",
+    "ProtocolError",
+    "encode_frame",
+    "make_message",
+    "validate_message",
+]

@@ -1,0 +1,173 @@
+"""Deterministic wire-level fault injection for the federation protocol.
+
+The :class:`NetFaultInjector` sits on the server side of every agent
+link and filters messages per *directed* link (``domain``/``in`` for
+agent-to-server, ``domain``/``out`` for server-to-agent).  Faults:
+
+* **drop** — the message vanishes; senders retry idempotently,
+* **duplicate** — delivered twice; receivers dedup by escrow id,
+  batch sequence or heartbeat monotonicity,
+* **delay / reorder** — the message is held back a fraction of a
+  second, letting later messages on the link overtake it,
+* **one-way partition** — every message in one direction is dropped for
+  a window of simulated minutes while the opposite direction flows,
+  the classic asymmetric-partition failure.
+
+Decisions come from one ``random.Random`` stream per directed link,
+seeded from ``(seed, domain, direction)``, so a seeded run injects the
+identical fault schedule regardless of OS scheduling — the same
+philosophy as :class:`repro.sim.faults.FaultInjector` for the simulated
+landscape.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Tuple
+
+__all__ = [
+    "PartitionWindow",
+    "LinkFaults",
+    "NetChaosProfile",
+    "NetFaultInjector",
+]
+
+
+@dataclass(frozen=True)
+class PartitionWindow:
+    """One-way partition: ``direction`` is blocked for [start, end]."""
+
+    direction: str  # "in" (agent->server) or "out" (server->agent)
+    start_minute: int
+    end_minute: int
+
+    def blocks(self, direction: str, minute: int) -> bool:
+        return (
+            direction == self.direction
+            and self.start_minute <= minute <= self.end_minute
+        )
+
+
+@dataclass(frozen=True)
+class LinkFaults:
+    """Fault probabilities for both directions of one agent link."""
+
+    drop_probability: float = 0.0
+    duplicate_probability: float = 0.0
+    delay_probability: float = 0.0
+    delay_seconds: Tuple[float, float] = (0.02, 0.12)
+    partitions: Tuple[PartitionWindow, ...] = ()
+
+
+@dataclass(frozen=True)
+class NetChaosProfile:
+    """Per-domain link fault configuration for one run."""
+
+    seed: int = 115
+    links: Dict[str, LinkFaults] = field(default_factory=dict)
+    default: LinkFaults = field(default_factory=LinkFaults)
+
+    def faults_for(self, domain: str) -> LinkFaults:
+        return self.links.get(domain, self.default)
+
+    @classmethod
+    def seeded(
+        cls,
+        seed: int,
+        domains: List[str],
+        start_minute: int,
+        horizon_minutes: int,
+    ) -> "NetChaosProfile":
+        """The standard chaos mix used by ``--net-chaos`` and CI.
+
+        Every link sees light drop/duplicate/delay noise; one
+        deterministically chosen domain additionally suffers a one-way
+        partition (agent-to-server blocked) for roughly an eighth of the
+        run, placed mid-run so there is traffic on both sides of it.
+        """
+        rng = random.Random(f"netchaos:{seed}")
+        noisy = LinkFaults(
+            drop_probability=0.03,
+            duplicate_probability=0.02,
+            delay_probability=0.05,
+        )
+        links: Dict[str, LinkFaults] = {}
+        if domains and horizon_minutes >= 40:
+            victim = sorted(domains)[rng.randrange(len(domains))]
+            width = max(10, horizon_minutes // 8)
+            latest = start_minute + horizon_minutes - width - 5
+            begin = rng.randint(start_minute + 5, max(start_minute + 5, latest))
+            links[victim] = LinkFaults(
+                drop_probability=noisy.drop_probability,
+                duplicate_probability=noisy.duplicate_probability,
+                delay_probability=noisy.delay_probability,
+                partitions=(
+                    PartitionWindow("in", begin, begin + width),
+                ),
+            )
+        return cls(seed=seed, links=links, default=noisy)
+
+
+class NetFaultInjector:
+    """Filter messages on a directed link according to the profile.
+
+    :meth:`filter` returns the deliveries a message expands to: an empty
+    list (dropped), one entry (delivered, possibly delayed), or two
+    (duplicated).  Each entry is ``(message, delay_seconds)``; the
+    transport layer is responsible for holding delayed deliveries back.
+    """
+
+    def __init__(self, profile: NetChaosProfile) -> None:
+        self.profile = profile
+        self._rngs: Dict[Tuple[str, str], random.Random] = {}
+        self.stats: Dict[str, int] = {
+            "delivered": 0,
+            "dropped": 0,
+            "duplicated": 0,
+            "delayed": 0,
+            "partition_blocked": 0,
+        }
+
+    def _rng(self, domain: str, direction: str) -> random.Random:
+        key = (domain, direction)
+        rng = self._rngs.get(key)
+        if rng is None:
+            rng = random.Random(f"{self.profile.seed}:{domain}:{direction}")
+            self._rngs[key] = rng
+        return rng
+
+    def filter(
+        self,
+        domain: str,
+        direction: str,
+        minute: int,
+        message: Dict[str, Any],
+    ) -> List[Tuple[Dict[str, Any], float]]:
+        faults = self.profile.faults_for(domain)
+        for window in faults.partitions:
+            if window.blocks(direction, minute):
+                self.stats["partition_blocked"] += 1
+                return []
+        rng = self._rng(domain, direction)
+        # one roll per decision, always in the same order, so the fault
+        # schedule depends only on the message sequence of the link
+        drop = rng.random() < faults.drop_probability
+        duplicate = rng.random() < faults.duplicate_probability
+        delay_roll = rng.random() < faults.delay_probability
+        delay = rng.uniform(*faults.delay_seconds) if delay_roll else 0.0
+        if drop:
+            self.stats["dropped"] += 1
+            return []
+        deliveries: List[Tuple[Dict[str, Any], float]] = [(message, delay)]
+        if duplicate:
+            self.stats["duplicated"] += 1
+            deliveries.append((dict(message), delay))
+        if delay_roll:
+            self.stats["delayed"] += 1
+        self.stats["delivered"] += len(deliveries)
+        return deliveries
+
+    def partition_active(self, domain: str, direction: str, minute: int) -> bool:
+        faults = self.profile.faults_for(domain)
+        return any(w.blocks(direction, minute) for w in faults.partitions)

@@ -1,0 +1,201 @@
+"""Wire framing and the versioned federation message schema.
+
+Framing is deliberately minimal: every frame is a 4-byte big-endian
+payload length followed by that many bytes of UTF-8 JSON encoding one
+message object.  Messages are dictionaries with three universal keys —
+``schema_version`` (the protocol revision that produced the message),
+``kind`` (one of :data:`MESSAGE_KINDS`) and ``clock`` (the sender's
+Lamport clock, used to merge per-agent telemetry into one causally
+consistent trace) — plus kind-specific fields.
+
+Version negotiation mirrors the trace format: a peer accepts messages
+whose ``schema_version`` is at or below its own :data:`PROTOCOL_VERSION`
+and rejects newer ones with :class:`ProtocolError` instead of guessing
+at unknown semantics.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from typing import Any, Dict, List, Optional
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "MAX_FRAME_BYTES",
+    "MESSAGE_KINDS",
+    "FrameError",
+    "ProtocolError",
+    "FrameDecoder",
+    "encode_frame",
+    "make_message",
+    "validate_message",
+]
+
+#: Current protocol revision.  Bump on any incompatible schema change.
+PROTOCOL_VERSION = 1
+
+#: Upper bound on a single frame; a telemetry batch for one simulated
+#: minute of a large landscape stays well below this.
+MAX_FRAME_BYTES = 32 * 1024 * 1024
+
+_LENGTH = struct.Struct(">I")
+
+
+class FrameError(ValueError):
+    """A malformed or oversized wire frame."""
+
+
+class ProtocolError(ValueError):
+    """A structurally invalid or incompatibly versioned message."""
+
+
+#: Message kinds and their required kind-specific fields.  ``clock`` and
+#: ``schema_version`` are required on every message and checked
+#: separately.
+MESSAGE_KINDS: Dict[str, tuple] = {
+    # session lifecycle
+    "hello": ("domain", "incarnation", "minute"),
+    "welcome": ("token", "session", "max_clock", "resumed"),
+    "reject": ("reason",),
+    "heartbeat": ("domain", "minute"),
+    "heartbeat_ack": ("status", "global_min"),
+    "deregister": ("domain", "minute", "summary"),
+    "deregister_ack": (),
+    # telemetry forwarding
+    "telemetry": ("domain", "batch", "events"),
+    "telemetry_ack": ("batch",),
+    # cross-domain escrow (two-phase, server-brokered)
+    "escrow_request": ("escrow_id", "domain", "service", "users", "minute", "token"),
+    "escrow_reserve": ("escrow_id", "source_domain", "service", "users", "minute"),
+    "escrow_reserved": ("escrow_id", "ok", "host", "note"),
+    "escrow_prepared": ("escrow_id", "ok", "target_domain", "target_host", "note"),
+    "escrow_commit": ("escrow_id", "domain", "instance_id", "source_host", "minute", "token"),
+    "escrow_committed": ("escrow_id", "ok", "note"),
+    "escrow_attach": (
+        "escrow_id",
+        "service",
+        "users",
+        "host",
+        "source_domain",
+        "source_host",
+        "token",
+        "minute",
+    ),
+    "escrow_attached": ("escrow_id", "ok", "note"),
+    "escrow_abort": ("escrow_id", "domain", "minute", "note"),
+    "escrow_aborted": ("escrow_id",),
+    "escrow_release": ("escrow_id", "note"),
+}
+
+
+def encode_frame(message: Dict[str, Any]) -> bytes:
+    """Serialize one message into a length-prefixed frame."""
+    payload = json.dumps(
+        message, separators=(",", ":"), sort_keys=True
+    ).encode("utf-8")
+    if len(payload) > MAX_FRAME_BYTES:
+        raise FrameError(f"frame of {len(payload)} bytes exceeds the protocol maximum")
+    return _LENGTH.pack(len(payload)) + payload
+
+
+class FrameDecoder:
+    """Incremental decoder: feed raw bytes, collect complete messages.
+
+    Tolerates arbitrary fragmentation — a frame may arrive one byte at a
+    time or many frames in a single read — which is exactly what TCP
+    delivers.  Raises :class:`FrameError` on oversized or non-JSON
+    frames; the connection should be dropped after that, as framing sync
+    is lost.
+    """
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+
+    def feed(self, data: bytes) -> List[Dict[str, Any]]:
+        self._buffer.extend(data)
+        messages: List[Dict[str, Any]] = []
+        while True:
+            if len(self._buffer) < _LENGTH.size:
+                return messages
+            (length,) = _LENGTH.unpack_from(self._buffer)
+            if length > MAX_FRAME_BYTES:
+                raise FrameError(
+                    f"frame of {length} bytes exceeds the protocol maximum"
+                )
+            if len(self._buffer) < _LENGTH.size + length:
+                return messages
+            payload = bytes(self._buffer[_LENGTH.size : _LENGTH.size + length])
+            del self._buffer[: _LENGTH.size + length]
+            try:
+                decoded = json.loads(payload.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+                raise FrameError(f"undecodable frame: {exc}") from exc
+            if not isinstance(decoded, dict):
+                raise FrameError("frame payload is not a JSON object")
+            messages.append(decoded)
+
+    @property
+    def pending_bytes(self) -> int:
+        return len(self._buffer)
+
+
+def make_message(kind: str, clock: int, **fields: Any) -> Dict[str, Any]:
+    """Build a schema-stamped message of ``kind``.
+
+    Fields are validated against :data:`MESSAGE_KINDS` at construction so
+    a malformed message fails at the producer, not on the peer.
+    """
+    message: Dict[str, Any] = {
+        "schema_version": PROTOCOL_VERSION,
+        "kind": kind,
+        "clock": int(clock),
+    }
+    message.update(fields)
+    return validate_message(message)
+
+
+def validate_message(message: Any) -> Dict[str, Any]:
+    """Check a decoded object against the schema; return it unchanged.
+
+    Raises :class:`ProtocolError` on a missing/unknown kind, missing
+    required fields, or a ``schema_version`` newer than this build
+    understands.
+    """
+    if not isinstance(message, dict):
+        raise ProtocolError("message is not an object")
+    version = message.get("schema_version")
+    if not isinstance(version, int):
+        raise ProtocolError("message lacks an integer schema_version")
+    if version > PROTOCOL_VERSION:
+        raise ProtocolError(
+            f"message schema_version {version} is newer than the supported "
+            f"version {PROTOCOL_VERSION}; upgrade this peer"
+        )
+    kind = message.get("kind")
+    if not isinstance(kind, str) or kind not in MESSAGE_KINDS:
+        raise ProtocolError(f"unknown message kind {kind!r}")
+    clock = message.get("clock")
+    if not isinstance(clock, int) or clock < 0:
+        raise ProtocolError(f"message kind {kind!r}: missing or negative clock")
+    missing = [f for f in MESSAGE_KINDS[kind] if f not in message]
+    if missing:
+        raise ProtocolError(
+            f"message kind {kind!r}: missing required fields {missing}"
+        )
+    return message
+
+
+def reply_kind_for(kind: str) -> Optional[str]:
+    """The expected direct reply kind for a request kind, if any."""
+    return {
+        "hello": "welcome",
+        "heartbeat": "heartbeat_ack",
+        "telemetry": "telemetry_ack",
+        "deregister": "deregister_ack",
+        "escrow_request": "escrow_prepared",
+        "escrow_reserve": "escrow_reserved",
+        "escrow_commit": "escrow_committed",
+        "escrow_attach": "escrow_attached",
+        "escrow_abort": "escrow_aborted",
+    }.get(kind)

@@ -15,7 +15,13 @@ from __future__ import annotations
 
 from typing import Any, Callable, Dict, List, Optional, Set
 
-from repro.config.model import Action, LandscapeSpec, ServiceSpec
+from repro.config.model import (
+    Action,
+    LandscapeSpec,
+    ServiceSpec,
+    service_spec_from_dict,
+    service_spec_to_dict,
+)
 from repro.config.validation import validate_landscape
 from repro.serviceglobe.actions import (
     ActionError,
@@ -122,6 +128,36 @@ class Platform:
         self._instance_sequence = 0
         for service_name, host_name in landscape.initial_allocation:
             self._materialize_instance(service_name, host_name)
+
+    # -- dynamic services (cross-domain adoption) ---------------------------------
+
+    def adopt_service(self, spec) -> "ServiceDefinition":
+        """Register a service that was not part of the built landscape.
+
+        Multi-process federation: when a cross-domain escrow moves an
+        instance into this domain, the receiving agent adopts the
+        service's spec (shipped over the wire) so the platform can
+        start, monitor and administer instances of it.  Idempotent — a
+        retried escrow attach finds the service already registered.  The
+        adopted spec is part of :meth:`snapshot_state`, so a
+        killed-and-resumed agent rebuilds it before restoring instances.
+        """
+        existing = self.services.get(spec.name)
+        if existing is not None:
+            return existing
+        definition = ServiceDefinition(spec)
+        self.services[spec.name] = definition
+        self.registry.register(definition)
+        self.code_repository.publish(CodeBundle(spec.name, version=1))
+        return definition
+
+    def _adopted_specs(self):
+        declared = {spec.name for spec in self.landscape.services}
+        return [
+            definition.spec
+            for name, definition in self.services.items()
+            if name not in declared
+        ]
 
     # -- lookups ------------------------------------------------------------------
 
@@ -649,6 +685,9 @@ class Platform:
             "orphans": [self._instance_to_dict(i) for i in self.orphans],
             "audit_log": [outcome_to_dict(o) for o in self.audit_log],
             "code": self.code_repository.snapshot_state(),
+            "adopted_services": [
+                service_spec_to_dict(spec) for spec in self._adopted_specs()
+            ],
         }
 
     def restore_state(self, payload: Dict[str, Any]) -> None:
@@ -661,6 +700,8 @@ class Platform:
         """
         from repro.core.state import outcome_from_dict
 
+        for raw_spec in payload.get("adopted_services", []):
+            self.adopt_service(service_spec_from_dict(raw_spec))
         self.current_time = int(payload["current_time"])
         self._instance_sequence = int(payload["instance_sequence"])
         self.fence.token = int(payload.get("fence_token", 0))

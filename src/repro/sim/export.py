@@ -27,6 +27,7 @@ from repro.telemetry.records import record_to_dict
 from repro.telemetry.trace import trace_event_line, trace_header_line
 
 __all__ = [
+    "summary_json_payload",
     "export_summary_json",
     "export_host_series_csv",
     "export_actions_csv",
@@ -38,9 +39,14 @@ __all__ = [
 PathLike = Union[str, Path]
 
 
-def export_summary_json(result: SimulationResult, path: PathLike) -> None:
-    """Write a machine-readable run summary."""
-    payload = {
+def summary_json_payload(result: SimulationResult) -> dict:
+    """The JSON-able run summary dict (shared with the summary export).
+
+    Multi-process agents ship this payload over the wire at deregister
+    time; the federation server merges the per-domain payloads into one
+    run summary, so the key set here is the de-facto summary schema.
+    """
+    return {
         "scenario": result.scenario_name,
         "user_factor": result.user_factor,
         "horizon_minutes": result.horizon,
@@ -82,6 +88,11 @@ def export_summary_json(result: SimulationResult, path: PathLike) -> None:
         "expired_approval_count": result.expired_approval_count,
         "pending_approval_count": result.pending_approval_count,
     }
+
+
+def export_summary_json(result: SimulationResult, path: PathLike) -> None:
+    """Write a machine-readable run summary."""
+    payload = summary_json_payload(result)
     Path(path).write_text(json.dumps(payload, indent=2), encoding="utf-8")
 
 

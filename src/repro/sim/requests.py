@@ -52,6 +52,19 @@ class RequestFlows:
             )
         mapping[spec.subsystem] = spec.name
 
+    def adopt(self, spec: ServiceSpec) -> None:
+        """Track a dynamically adopted application service.
+
+        If the service's subsystem has no central instance or database
+        in this platform — the usual case for a cross-domain adoption,
+        where the subsystem's CI/DB stay home — its request flow simply
+        has no local target and contributes nothing here.
+        """
+        if spec.kind is ServiceKind.APPLICATION_SERVER and not any(
+            existing.name == spec.name for existing in self._apps
+        ):
+            self._apps.append(spec)
+
     def ci_service_of(self, subsystem: str) -> str:
         return self._ci_of[subsystem]
 

@@ -342,6 +342,20 @@ class ResultCollector:
     def _on_action(self, envelope) -> None:
         self._actions.append(envelope.record.outcome)
 
+    def track_service(self, name: str) -> None:
+        """Start availability accounting for a service adopted mid-run.
+
+        Multi-process federation: a cross-domain escrow can hand this
+        domain an instance of a service the platform was not built with;
+        without registration its down-minutes would silently go
+        unaccounted.  Minutes before adoption count as up — the service
+        was running (in its home domain) the whole time.
+        """
+        if name not in self._down_minutes:
+            self._service_names = sorted(self._service_names + [name])
+            self._down_minutes[name] = 0
+            self._open_down_since[name] = None
+
     def observe(self, now: int) -> None:
         self._ticks += 1
         for name in self._host_names:
@@ -502,6 +516,9 @@ class ResultCollector:
             name: int(v)
             for name, v in payload.get("down_minutes", {}).items()  # type: ignore[union-attr]
         }
+        # the snapshot's keys are authoritative: they include services
+        # adopted (cross-domain escrow) after this collector was built
+        self._service_names = sorted(self._down_minutes)
         self._downtime_episodes = [
             DowntimeEpisode(str(n), int(s), int(e))
             for n, s, e in payload.get("downtime_episodes", [])  # type: ignore[union-attr]

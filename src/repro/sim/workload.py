@@ -93,6 +93,26 @@ class WorkloadModel:
                     definition.running_instances, spec.workload.users
                 )
 
+    # -- dynamic services (cross-domain adoption) --------------------------------------
+
+    def adopt(self, spec: ServiceSpec) -> None:
+        """Start driving demand for a service adopted after construction.
+
+        Multi-process federation: an escrowed instance arriving from
+        another domain brings its service spec along; registering it
+        here makes the demand model treat its users exactly like those
+        of a landscape-declared service.  Only application servers are
+        escrowed.  Idempotent for retried attaches.
+        """
+        if spec.kind is not ServiceKind.APPLICATION_SERVER:
+            raise ValueError(
+                f"only application-server services can be adopted, "
+                f"got {spec.kind.value!r} for {spec.name!r}"
+            )
+        if spec.name not in self._app_specs:
+            self._app_specs[spec.name] = spec
+            self._flows.adopt(spec)
+
     # -- noise ------------------------------------------------------------------------
 
     def _noise_factor(self, instance: ServiceInstance) -> float:

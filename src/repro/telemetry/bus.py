@@ -64,6 +64,21 @@ class EventBus:
         """Sequence number of the most recent publish (0 before any)."""
         return self._seq
 
+    def fast_forward(self, seq: int) -> None:
+        """Advance the sequence counter without publishing.
+
+        A resumed process rebuilds a fresh bus but appends to a trace
+        that already holds envelopes 1..``seq``; fast-forwarding keeps
+        post-resume sequence numbers unique so per-source dedup keyed on
+        ``(domain, seq)`` stays sound.  Only forward jumps are allowed —
+        rewinding would mint duplicate sequence numbers.
+        """
+        if self._seq > 0:
+            raise RuntimeError("fast_forward requires a fresh bus")
+        if seq < 0:
+            raise ValueError("sequence numbers are non-negative")
+        self._seq = int(seq)
+
     def publish(self, record: TelemetryRecord) -> Envelope:
         """Publish one record; returns its envelope.
 

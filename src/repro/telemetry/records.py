@@ -111,6 +111,15 @@ class SupervisionEventKind(enum.Enum):
     #: carries the token, so stream consumers (the AG301 checker) learn
     #: of the new epoch *before* the first action applied under it
     LEADER_EPOCH = "leader-epoch"
+    #: a multi-process agent lost its federation server (wire partition
+    #: or server death) and continues administering its own domain
+    #: autonomously — local actions keep flowing, cross-domain escrow
+    #: refuses cleanly until the link heals
+    NET_DEGRADED = "net-degraded"
+    #: the partitioned agent's link healed and the session resumed
+    #: (possibly under a fresh fencing token, announced separately by a
+    #: LEADER_EPOCH event)
+    NET_RESYNCED = "net-resynced"
 
     @property
     def creates_fault_record(self) -> bool:
@@ -118,7 +127,9 @@ class SupervisionEventKind(enum.Enum):
 
         Crashes and partitions are already recorded by the fault
         injector itself; only the supervisor-side outcomes (recovery,
-        failover, heal) are new information.
+        failover, heal) are new information.  Wire-level degradation is
+        connectivity state, not a landscape fault: the domain keeps
+        running, so no fault record is due.
         """
         return self in (
             self.CONTROLLER_RECOVERY,

@@ -40,7 +40,11 @@ __all__ = [
     "trace_header_line",
     "trace_event_line",
     "read_trace",
+    "merge_traces",
+    "write_trace",
     "TraceWriter",
+    "LamportClock",
+    "ClockedTraceWriter",
 ]
 
 #: Current trace format version.  Bump on any incompatible change to the
@@ -71,11 +75,18 @@ class TraceHeader:
 
 @dataclass(frozen=True)
 class TraceEvent:
-    """One replayed envelope: the JSON payload of one trace line."""
+    """One replayed envelope: the JSON payload of one trace line.
+
+    ``clock`` is the optional Lamport timestamp multi-process agents
+    stamp on their lines (see :class:`ClockedTraceWriter`); single
+    process traces omit it and parse with ``clock=None``, keeping the
+    default trace format byte-identical.
+    """
 
     seq: int
     topic: str
     record: Dict[str, Any]
+    clock: Optional[int] = None
 
 
 def trace_header_line(complete: bool) -> str:
@@ -89,9 +100,21 @@ def trace_header_line(complete: bool) -> str:
     )
 
 
-def trace_event_line(seq: int, topic: str, record: Dict[str, Any]) -> str:
-    """The serialized event line for one envelope (no trailing newline)."""
-    return json.dumps({"seq": seq, "topic": topic, "record": record})
+def trace_event_line(
+    seq: int,
+    topic: str,
+    record: Dict[str, Any],
+    clock: Optional[int] = None,
+) -> str:
+    """The serialized event line for one envelope (no trailing newline).
+
+    The ``clock`` key is only emitted when a Lamport timestamp is given,
+    so single-process traces are unchanged byte for byte.
+    """
+    payload: Dict[str, Any] = {"seq": seq, "topic": topic, "record": record}
+    if clock is not None:
+        payload["clock"] = clock
+    return json.dumps(payload)
 
 
 def _parse_event(payload: Dict[str, Any], line_number: int) -> TraceEvent:
@@ -103,7 +126,12 @@ def _parse_event(payload: Dict[str, Any], line_number: int) -> TraceEvent:
             f"line {line_number}: not a trace event "
             "(expected seq/topic/record keys)"
         )
-    return TraceEvent(seq=seq, topic=topic, record=record)
+    clock = payload.get("clock")
+    if clock is not None and not isinstance(clock, int):
+        raise TraceSchemaError(
+            f"line {line_number}: clock must be an integer when present"
+        )
+    return TraceEvent(seq=seq, topic=topic, record=record, clock=clock)
 
 
 def read_trace(path: PathLike) -> Tuple[TraceHeader, List[TraceEvent]]:
@@ -164,6 +192,51 @@ def read_trace(path: PathLike) -> Tuple[TraceHeader, List[TraceEvent]]:
     return header, events
 
 
+def merge_traces(
+    sources: List[Tuple[str, List[TraceEvent]]],
+) -> List[TraceEvent]:
+    """Merge per-source event streams into one causally consistent trace.
+
+    ``sources`` pairs a stable source label (the domain name) with that
+    source's events in local sequence order.  Events are ordered by
+    ``(clock, label, seq)`` and renumbered 1..N: the Lamport clock gives
+    a linear extension of the happens-before relation (every message
+    carries the sender's clock and receivers advance past it), the label
+    breaks concurrent ties deterministically, and the local sequence
+    preserves program order.  Events without a clock sort by local
+    sequence alone, which is only meaningful for single-source input.
+
+    Every AG3xx stream invariant that holds per source holds on the
+    merged stream: program order is preserved within a source and the
+    escrow-id chains (prepare before commit before attach) follow the
+    message chains the clocks linearize.
+    """
+    keyed = []
+    for label, events in sources:
+        for event in events:
+            clock = event.clock if event.clock is not None else event.seq
+            keyed.append(((clock, label, event.seq), event))
+    keyed.sort(key=lambda pair: pair[0])
+    return [
+        TraceEvent(seq=i, topic=e.topic, record=e.record, clock=e.clock)
+        for i, (__, e) in enumerate(keyed, start=1)
+    ]
+
+
+def write_trace(
+    path: PathLike, events: List[TraceEvent], complete: bool
+) -> None:
+    """Write a header plus the given events as a trace file."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(trace_header_line(complete))
+        handle.write("\n")
+        for event in events:
+            handle.write(
+                trace_event_line(event.seq, event.topic, event.record, event.clock)
+            )
+            handle.write("\n")
+
+
 class TraceWriter:
     """Streams every published envelope to a trace file.
 
@@ -221,3 +294,76 @@ class TraceWriter:
 
     def __exit__(self, *exc_info: object) -> None:
         self.close()
+
+
+class LamportClock:
+    """A scalar logical clock shared by a process's bus and its links.
+
+    Every locally published envelope ticks the clock; every received
+    wire message advances it past the sender's stamp (``witness``).  The
+    resulting per-event stamps give :func:`merge_traces` a linear
+    extension of happens-before across processes.
+    """
+
+    __slots__ = ("time",)
+
+    def __init__(self, time: int = 0) -> None:
+        self.time = int(time)
+
+    def tick(self) -> int:
+        self.time += 1
+        return self.time
+
+    def witness(self, remote: int) -> int:
+        self.time = max(self.time, int(remote))
+        return self.time
+
+
+class ClockedTraceWriter(TraceWriter):
+    """A :class:`TraceWriter` that Lamport-stamps every event line.
+
+    Used by multi-process agents: the shared ``clock`` ticks once per
+    published envelope, the stamp lands on the trace line (a ``clock``
+    key single-process readers ignore), and an optional ``on_event``
+    callback lets the telemetry forwarder observe the exact stamped
+    tuple that was written.  ``flush`` makes the tail durable before a
+    snapshot, so a killed-and-resumed agent finds its trace consistent
+    with its journal.
+    """
+
+    def __init__(self, path: PathLike, clock: LamportClock, on_event=None) -> None:
+        super().__init__(path)
+        self.clock = clock
+        self._on_event = on_event
+
+    def attach_resumed(self, bus: EventBus) -> None:
+        """Append to an existing trace after a crash-resume.
+
+        The file already has its header and the pre-crash events (the
+        resume path truncates it to the snapshot's sequence first), so
+        this opens in append mode, writes no header, and starts
+        streaming.  The bus should be fast-forwarded to the snapshot's
+        last sequence before the first publish.
+        """
+        if self._bus is not None:
+            raise RuntimeError("trace writer is already attached")
+        self._handle = open(self._path, "a", encoding="utf-8")
+        bus.subscribe(WILDCARD, self._on_envelope)
+        self._bus = bus
+
+    def _on_envelope(self, envelope: Envelope) -> None:
+        if self._handle is None:
+            return
+        stamp = self.clock.tick()
+        record = record_to_dict(envelope.record)
+        self._handle.write(
+            trace_event_line(envelope.seq, envelope.topic, record, stamp)
+        )
+        self._handle.write("\n")
+        self._count += 1
+        if self._on_event is not None:
+            self._on_event(envelope.seq, envelope.topic, record, stamp)
+
+    def flush(self) -> None:
+        if self._handle is not None:
+            self._handle.flush()

@@ -276,3 +276,73 @@ class TestReplayJournal:
     def test_unknown_kinds_are_skipped(self):
         records = _records(("from-the-future", {"x": 1}), ("tick", {"now": 5}))
         assert replay_journal(None, records)["tick"] == 5
+
+
+_LEASE_RACER = """
+import os, sys, time
+from repro.core.state import LeaseStore
+
+path, holder, go_file, rounds = (
+    sys.argv[1], sys.argv[2], sys.argv[3], int(sys.argv[4])
+)
+store = LeaseStore(path)
+while not os.path.exists(go_file):
+    time.sleep(0.001)
+# both processes share the go-file's mtime as their clock epoch, so
+# "now" (in ms) advances identically for both and every lease (ttl 2ms)
+# expires almost immediately -- a takeover race roughly every round
+epoch = os.path.getmtime(go_file)
+for k in range(rounds):
+    now = int((time.time() - epoch) * 1000)
+    token = store.acquire(holder, now=now, ttl=2)
+    if token is not None:
+        print(f"{holder} {token}")
+        # sleep past our own ttl so the peer gets a takeover window
+        time.sleep(0.004)
+store.close()
+"""
+
+
+class TestLeaseFencingAcrossProcesses:
+    def test_two_processes_never_hold_the_same_token(self, tmp_path):
+        """Two real processes hammer one lease.db; tokens never overlap.
+
+        Each round's lease (ttl 1 minute) is expired by the next round,
+        so both processes race for the takeover ~every round.  A change
+        of holder always bumps the token and a renewal never does, so
+        token <-> holder is a bijection — unless two processes both win
+        the same takeover, which is exactly the expiry race the
+        BEGIN IMMEDIATE transaction in LeaseStore.acquire prevents.
+        """
+        import subprocess
+        import sys as _sys
+
+        db = tmp_path / "lease.db"
+        go = tmp_path / "go"
+        procs = [
+            subprocess.Popen(
+                [_sys.executable, "-c", _LEASE_RACER,
+                 str(db), holder, str(go), "300"],
+                stdout=subprocess.PIPE,
+                text=True,
+            )
+            for holder in ("proc-a", "proc-b")
+        ]
+        go.touch()  # both children spin on this: near-simultaneous start
+        outputs = [p.communicate(timeout=120)[0] for p in procs]
+        assert all(p.returncode == 0 for p in procs)
+        holders_by_token = {}
+        for output in outputs:
+            for line in output.splitlines():
+                holder, token = line.split()
+                holders_by_token.setdefault(int(token), set()).add(holder)
+        assert holders_by_token, "neither process ever acquired the lease"
+        overlapping = {
+            token: sorted(holders)
+            for token, holders in holders_by_token.items()
+            if len(holders) > 1
+        }
+        assert overlapping == {}
+        # both processes took leadership at least once (the race happened)
+        everyone = set().union(*holders_by_token.values())
+        assert everyone == {"proc-a", "proc-b"}

@@ -1,0 +1,102 @@
+"""Deterministic wire-level fault injection.
+
+Acceptance: the fault schedule is a pure function of (seed, directed
+link, message sequence) — independent of OS scheduling — and one-way
+partitions block exactly one direction for exactly their window.
+"""
+
+from repro.net.chaos import (
+    LinkFaults,
+    NetChaosProfile,
+    NetFaultInjector,
+    PartitionWindow,
+)
+from repro.net.protocol import make_message
+
+
+def _msg(minute):
+    return make_message("heartbeat", minute, domain="domain-1", minute=minute)
+
+
+class TestDeterminism:
+    def test_same_seed_same_schedule(self):
+        profile = NetChaosProfile(
+            seed=42,
+            default=LinkFaults(
+                drop_probability=0.2,
+                duplicate_probability=0.2,
+                delay_probability=0.3,
+            ),
+        )
+        runs = []
+        for _ in range(2):
+            injector = NetFaultInjector(profile)
+            schedule = [
+                len(injector.filter("domain-1", "in", 720 + i, _msg(i)))
+                for i in range(200)
+            ]
+            runs.append((schedule, dict(injector.stats)))
+        assert runs[0] == runs[1]
+
+    def test_links_draw_from_independent_streams(self):
+        profile = NetChaosProfile(
+            seed=42, default=LinkFaults(drop_probability=0.5)
+        )
+        injector = NetFaultInjector(profile)
+        fates = {
+            (domain, direction): [
+                bool(injector.filter(domain, direction, 720, _msg(i)))
+                for i in range(64)
+            ]
+            for domain in ("domain-1", "domain-2")
+            for direction in ("in", "out")
+        }
+        # four directed links, four distinct coin-flip sequences
+        assert len({tuple(v) for v in fates.values()}) == 4
+
+    def test_duplicate_delivers_two_copies_with_equal_delay(self):
+        profile = NetChaosProfile(
+            seed=7, default=LinkFaults(duplicate_probability=1.0)
+        )
+        injector = NetFaultInjector(profile)
+        deliveries = injector.filter("domain-1", "in", 720, _msg(0))
+        assert len(deliveries) == 2
+        assert deliveries[0][0] == deliveries[1][0]
+        assert deliveries[0][1] == deliveries[1][1]
+        assert injector.stats["duplicated"] == 1
+        assert injector.stats["delivered"] == 2
+
+
+class TestPartitions:
+    def test_partition_blocks_only_its_direction_and_window(self):
+        window = PartitionWindow("in", 750, 800)
+        profile = NetChaosProfile(
+            seed=1,
+            links={"domain-2": LinkFaults(partitions=(window,))},
+        )
+        injector = NetFaultInjector(profile)
+        assert injector.filter("domain-2", "in", 749, _msg(0))
+        assert injector.filter("domain-2", "in", 750, _msg(1)) == []
+        assert injector.filter("domain-2", "in", 800, _msg(2)) == []
+        assert injector.filter("domain-2", "in", 801, _msg(3))
+        # the reverse direction flows throughout (one-way partition)
+        assert injector.filter("domain-2", "out", 775, _msg(4))
+        # other domains are unaffected
+        assert injector.filter("domain-1", "in", 775, _msg(5))
+        assert injector.stats["partition_blocked"] == 2
+        assert injector.partition_active("domain-2", "in", 775)
+        assert not injector.partition_active("domain-2", "out", 775)
+
+    def test_seeded_profile_picks_one_victim_inside_the_run(self):
+        domains = ["domain-1", "domain-2", "domain-3", "domain-4"]
+        profile = NetChaosProfile.seeded(115, domains, 720, 720)
+        assert profile == NetChaosProfile.seeded(115, domains, 720, 720)
+        victims = list(profile.links)
+        assert len(victims) == 1
+        (window,) = profile.links[victims[0]].partitions
+        assert window.direction == "in"
+        assert 720 < window.start_minute < window.end_minute < 720 + 720
+
+    def test_short_runs_get_no_partition(self):
+        profile = NetChaosProfile.seeded(115, ["domain-1", "domain-2"], 720, 30)
+        assert profile.links == {}

@@ -1,0 +1,208 @@
+"""In-process federation: agents over loopback endpoints.
+
+Acceptance: a two-domain federated run over the wire protocol produces
+AG3xx-clean merged traces; offline replay of the per-agent trace
+exports reproduces the live server-side verifier's report verbatim
+(satellite: trace-replay equivalence); and a sustained one-way
+partition drives the victim agent through degraded mode — it keeps
+administering its own domain autonomously and resyncs on heal.
+"""
+
+import json
+import threading
+from types import SimpleNamespace
+
+import pytest
+
+from repro.analysis import verify_traces
+from repro.net.agent import DomainAgent
+from repro.net.chaos import LinkFaults, NetChaosProfile, PartitionWindow
+from repro.net.server import FederationServer
+from repro.net.transport import loopback_pair
+from repro.sim.scenarios import Scenario
+from repro.telemetry.trace import read_trace
+
+START = 12 * 60
+HORIZON = 120
+DOMAINS = ["domain-1", "domain-2"]
+
+
+def _run_agents(server, state_dir, join_timeout=240.0, **agent_kwargs):
+    """Run one agent thread per domain against ``server`` via loopback.
+
+    Agents are constructed *inside* their threads: their sqlite handles
+    (journal, archive) must belong to the thread that uses them.
+    """
+    errors = {}
+
+    def worker(domain):
+        def factory():
+            client, server_side = loopback_pair()
+            server.serve_endpoint(server_side)
+            return client
+
+        try:
+            agent = DomainAgent(
+                domain,
+                len(DOMAINS),
+                factory,
+                state_dir,
+                scenario=Scenario.FULL_MOBILITY,
+                user_factor=1.15,
+                horizon=HORIZON,
+                seed=7,
+                start_minute=START,
+                **agent_kwargs,
+            )
+            agent.run()
+        except Exception as exc:  # surfaced by the caller
+            errors[domain] = exc
+
+    threads = [
+        threading.Thread(target=worker, args=(domain,), daemon=True)
+        for domain in DOMAINS
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=join_timeout)
+    assert not any(thread.is_alive() for thread in threads), "agents hung"
+    assert errors == {}
+    summaries = {
+        domain: json.loads(
+            (state_dir / domain / "summary.json").read_text(encoding="utf-8")
+        )
+        for domain in DOMAINS
+    }
+    trace_paths = {
+        domain: state_dir / domain / "telemetry.jsonl" for domain in DOMAINS
+    }
+    return summaries, trace_paths
+
+
+@pytest.fixture(scope="module")
+def clean_run(tmp_path_factory):
+    """One clean (fault-free) two-domain loopback run, finalized twice:
+    from the server's live wire-collected telemetry, and from the
+    per-agent on-disk exports."""
+    base = tmp_path_factory.mktemp("federation")
+    state_dir = base / "state"
+    server = FederationServer(DOMAINS, state_dir, START, HORIZON)
+    server.start()
+    try:
+        summaries, trace_paths = _run_agents(server, state_dir)
+        live_report, live_summary, _ = server.finalize(base / "live")
+        disk_report, disk_summary, merged_path = server.finalize(
+            base / "disk", summaries=summaries, trace_paths=trace_paths
+        )
+    finally:
+        server.stop()
+    return SimpleNamespace(
+        state_dir=state_dir,
+        base=base,
+        summaries=summaries,
+        trace_paths=trace_paths,
+        live_report=live_report,
+        live_summary=live_summary,
+        disk_report=disk_report,
+        disk_summary=disk_summary,
+        merged_path=merged_path,
+    )
+
+
+class TestCleanFederatedRun:
+    def test_merged_trace_is_invariant_clean(self, clean_run):
+        assert clean_run.disk_report.errors == ()
+        assert clean_run.disk_report.warnings == ()
+
+    def test_every_agent_completed_its_horizon(self, clean_run):
+        for domain, summary in clean_run.summaries.items():
+            assert summary["net"]["partial"] is False, domain
+            assert summary["horizon_minutes"] == HORIZON
+
+    def test_merged_summary_sums_the_domains(self, clean_run):
+        total = sum(
+            s["action_count"] for s in clean_run.summaries.values()
+        )
+        assert clean_run.disk_summary["action_count"] == total
+        assert clean_run.disk_summary["schema"] == "multiproc-merged"
+        assert clean_run.disk_summary["domains"] == DOMAINS
+
+    def test_merged_trace_is_causally_ordered(self, clean_run):
+        header, events = read_trace(clean_run.merged_path)
+        assert header.complete
+        clocks = [event.clock for event in events]
+        assert clocks == sorted(clocks)
+        assert [event.seq for event in events] == list(
+            range(1, len(events) + 1)
+        )
+
+    def test_offline_replay_matches_the_live_verifier(self, clean_run):
+        """Satellite: per-agent exports replayed through `autoglobe
+        verify` reproduce the live server-side verifier's report."""
+        offline = verify_traces(
+            [clean_run.trace_paths[d] for d in DOMAINS],
+            summary_path=clean_run.base / "live" / "summary.json",
+            name="multiproc",
+        )
+        assert offline.render("json") == clean_run.live_report.render("json")
+
+    def test_disk_and_wire_finalization_agree_when_nothing_was_lost(
+        self, clean_run
+    ):
+        assert (
+            clean_run.disk_report.render("json")
+            == clean_run.live_report.render("json")
+        )
+
+
+class TestDegradedMode:
+    def test_partitioned_agent_degrades_then_resyncs(self, tmp_path):
+        """A sustained one-way (agent->server) partition: the victim
+        keeps administering autonomously, the server deposes it for
+        silence, and on heal it re-handshakes under a bumped fencing
+        token and records the resync."""
+        victim = "domain-2"
+        window = PartitionWindow("in", START + 15, START + 70)
+        profile = NetChaosProfile(
+            seed=3, links={victim: LinkFaults(partitions=(window,))}
+        )
+        state_dir = tmp_path / "state"
+        server = FederationServer(
+            DOMAINS,
+            state_dir,
+            START,
+            HORIZON,
+            net_chaos=profile,
+            wall_ttl_seconds=2.0,
+            wall_grace_seconds=0.5,
+        )
+        server.start()
+        try:
+            summaries, trace_paths = _run_agents(
+                server, state_dir, ack_timeout=0.25
+            )
+            report, merged_summary, _ = server.finalize(
+                tmp_path / "out", summaries=summaries, trace_paths=trace_paths
+            )
+        finally:
+            server.stop()
+        net = summaries[victim]["net"]
+        assert net["degraded_count"] >= 1
+        assert net["partial"] is False  # it still completed its horizon
+        # local administration continued: the victim still acted alone
+        assert summaries[victim]["action_count"] >= 1
+        assert server.injector.stats["partition_blocked"] > 0
+        # the outage and the heal are on the record (the resync may land
+        # mid-run or during the final drain, but it always lands: the
+        # partition is over by the time the agent deregisters)
+        _, events = read_trace(trace_paths[victim])
+        kind_values = [
+            event.record.get("kind")
+            for event in events
+            if event.topic == "supervision"
+        ]
+        assert "net-degraded" in kind_values
+        assert "net-resynced" in kind_values
+        # fencing history is intact: the merged trace verifies clean
+        assert report.errors == ()

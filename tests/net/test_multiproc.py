@@ -1,0 +1,151 @@
+"""Real OS-process federation: graceful shutdown, crash respawn, chaos.
+
+Acceptance: SIGTERM is graceful — the agent flushes its journal and
+trace, writes a resumable partial summary and deregisters with a final
+heartbeat (satellite: graceful shutdown); and a seeded multi-process
+chaos run (agent SIGKILL + wire faults + one-way partition) completes
+with the merged trace AG3xx-clean.
+"""
+
+import json
+import signal
+import subprocess
+import time
+
+import pytest
+
+from repro.net.orchestrator import (
+    _agent_command,
+    _agent_environment,
+    run_multiproc,
+)
+from repro.net.server import FederationServer
+from repro.sim.scenarios import Scenario
+from repro.telemetry.trace import read_trace
+
+START = 12 * 60
+HORIZON = 120
+DOMAINS = ["domain-1", "domain-2"]
+
+
+def _spawn(domain, port, state_dir, resume=False, env=None):
+    command = _agent_command(
+        domain=domain,
+        domains=len(DOMAINS),
+        port=port,
+        host="127.0.0.1",
+        state_dir=state_dir,
+        scenario=Scenario.FULL_MOBILITY,
+        user_factor=1.15,
+        horizon=HORIZON,
+        seed=7,
+        start_minute=START,
+        landscape_kind="paper",
+        chaos_seed=None,
+        snapshot_interval=10,
+        kill_at=None,
+        resume=resume,
+    )
+    return subprocess.Popen(command, env=env or _agent_environment())
+
+
+def _await(predicate, timeout=60.0, interval=0.05):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return False
+
+
+class TestGracefulShutdown:
+    def test_sigterm_flushes_a_resumable_partial_run(self, tmp_path):
+        state_dir = tmp_path / "state"
+        server = FederationServer(DOMAINS, state_dir, START, HORIZON)
+        server.start()
+        port = server.listen()
+        try:
+            # start only domain-1: with domain-2 absent the pacing floor
+            # pins at the start minute, so domain-1 deterministically
+            # parks ~sim_lead_minutes in -- a stable mid-run state to
+            # deliver SIGTERM into
+            agent = _spawn("domain-1", port, state_dir)
+            parked = _await(
+                lambda: (
+                    (session := server.sessions.sessions.get("domain-1"))
+                    is not None
+                    and session.minute >= START + 30
+                )
+            )
+            assert parked, "agent never reached the pacing park"
+            agent.send_signal(signal.SIGTERM)
+            assert agent.wait(timeout=60) == 0
+
+            summary_path = state_dir / "domain-1" / "summary.json"
+            summary = json.loads(summary_path.read_text(encoding="utf-8"))
+            assert summary["net"]["partial"] is True
+            # the final deregister (with the summary) got through
+            assert server.sessions.sessions["domain-1"].completed
+            # the trace was flushed and properly closed
+            header, events = read_trace(state_dir / "domain-1" / "telemetry.jsonl")
+            assert events, "trace was not flushed"
+            # the run is resumable: finish it, with domain-2 alongside
+            resumed = _spawn("domain-1", port, state_dir, resume=True)
+            other = _spawn("domain-2", port, state_dir)
+            assert resumed.wait(timeout=240) == 0
+            assert other.wait(timeout=240) == 0
+            summaries = {
+                domain: json.loads(
+                    (state_dir / domain / "summary.json").read_text(
+                        encoding="utf-8"
+                    )
+                )
+                for domain in DOMAINS
+            }
+            assert all(
+                not s["net"]["partial"] for s in summaries.values()
+            )
+            report, merged, _ = server.finalize(
+                tmp_path / "out",
+                summaries=summaries,
+                trace_paths={
+                    domain: state_dir / domain / "telemetry.jsonl"
+                    for domain in DOMAINS
+                },
+            )
+            assert report.errors == ()
+        finally:
+            server.stop()
+
+
+class TestChaosRun:
+    def test_crash_partition_and_wire_faults_verify_clean(self, tmp_path):
+        """The tentpole acceptance shape in miniature: agent SIGKILL +
+        seeded drop/duplicate/delay/partition, resumed and merged."""
+        result = run_multiproc(
+            2,
+            tmp_path / "state",
+            tmp_path / "out",
+            scenario=Scenario.FULL_MOBILITY,
+            user_factor=1.15,
+            horizon=HORIZON,
+            seed=7,
+            start_minute=START,
+            net_chaos_seed=7,
+            kill_agent=("domain-2", START + 40),
+        )
+        assert result.report.errors == ()
+        assert result.report.warnings == ()
+        assert result.respawns["domain-2"] == 1
+        assert result.net_stats["delivered"] > 0
+        # every domain finished its horizon despite the chaos
+        assert all(
+            not s["net"]["partial"]
+            for s in result.domain_summaries.values()
+        )
+        assert result.summary["schema"] == "multiproc-merged"
+        # availability accounting stayed intact through the crash
+        assert "availability_by_service" in result.summary
+        header, events = read_trace(result.trace_path)
+        assert header.complete
+        assert events

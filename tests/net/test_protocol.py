@@ -1,0 +1,105 @@
+"""Wire framing and the versioned message schema.
+
+Acceptance: frames survive arbitrary TCP fragmentation, malformed or
+oversized frames fail loudly (framing sync is lost, the connection must
+drop), and version negotiation refuses messages from a newer schema
+instead of guessing at unknown semantics.
+"""
+
+import json
+import struct
+
+import pytest
+
+from repro.net.protocol import (
+    MAX_FRAME_BYTES,
+    MESSAGE_KINDS,
+    PROTOCOL_VERSION,
+    FrameDecoder,
+    FrameError,
+    ProtocolError,
+    encode_frame,
+    make_message,
+    reply_kind_for,
+    validate_message,
+)
+
+
+class TestFraming:
+    def test_roundtrip_single_frame(self):
+        message = make_message("heartbeat", 3, domain="domain-1", minute=725)
+        decoded = FrameDecoder().feed(encode_frame(message))
+        assert decoded == [message]
+
+    def test_byte_at_a_time_fragmentation(self):
+        message = make_message("reject", 1, reason="nope")
+        frame = encode_frame(message)
+        decoder = FrameDecoder()
+        collected = []
+        for index in range(len(frame)):
+            collected.extend(decoder.feed(frame[index : index + 1]))
+        assert collected == [message]
+        assert decoder.pending_bytes == 0
+
+    def test_many_frames_in_one_read(self):
+        messages = [
+            make_message("heartbeat", clock, domain="domain-1", minute=720 + clock)
+            for clock in range(5)
+        ]
+        blob = b"".join(encode_frame(m) for m in messages)
+        assert FrameDecoder().feed(blob) == messages
+
+    def test_oversized_length_prefix_is_fatal(self):
+        decoder = FrameDecoder()
+        with pytest.raises(FrameError):
+            decoder.feed(struct.pack(">I", MAX_FRAME_BYTES + 1))
+
+    def test_non_json_payload_is_fatal(self):
+        payload = b"\xff\xfe not json"
+        with pytest.raises(FrameError):
+            FrameDecoder().feed(struct.pack(">I", len(payload)) + payload)
+
+    def test_non_object_payload_is_fatal(self):
+        payload = json.dumps([1, 2, 3]).encode()
+        with pytest.raises(FrameError):
+            FrameDecoder().feed(struct.pack(">I", len(payload)) + payload)
+
+
+class TestSchema:
+    def test_make_message_stamps_version_and_clock(self):
+        message = make_message("deregister_ack", 9)
+        assert message["schema_version"] == PROTOCOL_VERSION
+        assert message["clock"] == 9
+
+    def test_missing_required_field_fails_at_the_producer(self):
+        with pytest.raises(ProtocolError, match="missing required fields"):
+            make_message("hello", 1, domain="domain-1")  # no incarnation/minute
+
+    def test_unknown_kind_is_rejected(self):
+        with pytest.raises(ProtocolError, match="unknown message kind"):
+            make_message("gossip", 1)
+
+    def test_newer_schema_version_is_rejected(self):
+        message = make_message("deregister_ack", 1)
+        message["schema_version"] = PROTOCOL_VERSION + 1
+        with pytest.raises(ProtocolError, match="newer than the supported"):
+            validate_message(message)
+
+    def test_older_schema_version_is_accepted(self):
+        # downgrade tolerance: a v1 server must keep talking to v1 agents
+        # after a future bump, so "at or below" is the contract
+        message = make_message("deregister_ack", 1)
+        message["schema_version"] = PROTOCOL_VERSION  # current == accepted
+        assert validate_message(message) is message
+
+    def test_negative_clock_is_rejected(self):
+        message = make_message("deregister_ack", 1)
+        message["clock"] = -1
+        with pytest.raises(ProtocolError, match="clock"):
+            validate_message(message)
+
+    def test_every_request_reply_pair_exists_in_the_schema(self):
+        for kind in MESSAGE_KINDS:
+            reply = reply_kind_for(kind)
+            if reply is not None:
+                assert reply in MESSAGE_KINDS

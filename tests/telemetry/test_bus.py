@@ -204,6 +204,8 @@ class TestSupervisionKinds:
             SupervisionEventKind.LEADER_FAILOVER: True,
             SupervisionEventKind.PARTITION_HEALED: True,
             SupervisionEventKind.LEADER_EPOCH: False,
+            SupervisionEventKind.NET_DEGRADED: False,
+            SupervisionEventKind.NET_RESYNCED: False,
         }
 
     def test_unknown_kind_raises_instead_of_silently_dropping(self):
