@@ -132,6 +132,114 @@ def _microbench_controller_tick(horizon: int) -> float:
     return round((time.perf_counter() - started) / ticks * 1e3, 4)
 
 
+def _microbench_scan_modes(horizon: int) -> dict:
+    """Columnar vs object-graph controller tick on a ~1k-host landscape.
+
+    Both variants run the same warmed-up seeded workload (53 replicas of
+    the Section 5.1 landscape, 1,007 hosts) and then time bare controller
+    ticks.  The columnar mode reads host/service measurements from the
+    shared :class:`LandscapeState` columns and batches fuzzy inference;
+    the object-graph mode walks every host and instance per tick — the
+    pre-columnar behaviour, kept as a switchable baseline precisely so
+    this comparison stays honest.  Bare steady-state ticks include the
+    per-monitor record/report pipeline both modes pay identically, so
+    this ratio is a floor on the scan speedup; the end-to-end 10k
+    dual-mode run below measures the full controller workload.
+    """
+    from repro.config.builtin import replicated_landscape
+    from repro.sim.runner import SimulationRunner
+    from repro.sim.scenarios import Scenario
+
+    results = {}
+    for label, mode in (("columnar", "columnar"), ("object_graph", "object-graph")):
+        runner = SimulationRunner(
+            Scenario.FULL_MOBILITY,
+            user_factor=1.15,
+            horizon=horizon,
+            seed=7,
+            landscape=replicated_landscape(53),
+            collect_host_series=False,
+            scan_mode=mode,
+        )
+        runner.run()
+        controller = runner.controller
+        end = runner.start_minute + runner.horizon
+        ticks = 240
+        started = time.perf_counter()
+        for offset in range(ticks):
+            controller.tick(end + offset)
+        results[f"controller_tick_1k_{label}_ms"] = round(
+            (time.perf_counter() - started) / ticks * 1e3, 4
+        )
+    results["controller_tick_columnar_speedup"] = round(
+        results["controller_tick_1k_object_graph_ms"]
+        / results["controller_tick_1k_columnar_ms"],
+        2,
+    )
+    return results
+
+
+def _bench_landscape_10k(horizon: int, both_modes: bool) -> dict:
+    """End-to-end seeded run on the synthetic 10k-host landscape.
+
+    No chaos profile (the fault injector's RNG stream is a separate
+    concern); the numbers answer one question — does a simulated minute
+    on 10,013 hosts tick in a small fraction of a real minute?
+
+    With ``both_modes`` the same seeded window also runs in object-graph
+    scan mode.  The two runs make identical decisions (the equivalence
+    tests pin that byte-for-byte), so the wall-clock ratio is the honest
+    controller speedup on the full 10k workload — monitor sweep,
+    situation scan, fuzzy ranking and the watch-time decision bursts
+    included.  The object-graph run takes minutes, so ``--quick`` skips
+    it.
+    """
+    from repro.config.builtin import landscape_10k
+    from repro.sim.runner import SimulationRunner
+    from repro.sim.scenarios import Scenario
+
+    build_started = time.perf_counter()
+    runner = SimulationRunner(
+        Scenario.FULL_MOBILITY,
+        user_factor=1.0,
+        horizon=horizon,
+        seed=7,
+        landscape=landscape_10k(),
+        collect_host_series=False,
+        lint="off",
+    )
+    build_seconds = time.perf_counter() - build_started
+    started = time.perf_counter()
+    runner.run()
+    elapsed = time.perf_counter() - started
+    results = {
+        "landscape_10k_hosts": len(runner.platform.hosts),
+        "landscape_10k_horizon_minutes": horizon,
+        "landscape_10k_build_seconds": round(build_seconds, 3),
+        "landscape_10k_seconds": round(elapsed, 3),
+        "landscape_10k_ticks_per_second": round(horizon / elapsed, 2),
+        "landscape_10k_seconds_per_sim_minute": round(elapsed / horizon, 4),
+    }
+    if both_modes:
+        print("landscape-10k object-graph comparison run ...", flush=True)
+        og_runner = SimulationRunner(
+            Scenario.FULL_MOBILITY,
+            user_factor=1.0,
+            horizon=horizon,
+            seed=7,
+            landscape=landscape_10k(),
+            collect_host_series=False,
+            lint="off",
+            scan_mode="object-graph",
+        )
+        started = time.perf_counter()
+        og_runner.run()
+        og_elapsed = time.perf_counter() - started
+        results["landscape_10k_object_graph_seconds"] = round(og_elapsed, 3)
+        results["landscape_10k_columnar_speedup"] = round(og_elapsed / elapsed, 2)
+    return results
+
+
 def _microbench_domain_scaling(horizon: int) -> dict:
     """Per-tick controller cost on a 4x-replicated landscape, flat vs sharded.
 
@@ -234,6 +342,11 @@ def _microbench_multiproc(horizon: int) -> dict:
     results["controller_tick_multiproc_scaling"] = round(
         throughput[4] / throughput[2], 2
     )
+    # with fewer than 4 cores the 4 agent processes cannot actually run
+    # in parallel; the ratio then measures I/O overlap (journal fsyncs,
+    # wire waits), not CPU scaling — flag it so consumers of the
+    # committed file read the number accordingly
+    results["federation_multiproc_core_bound"] = (os.cpu_count() or 1) < 4
     return results
 
 
@@ -257,6 +370,10 @@ def run(quick: bool) -> dict:
     results["controller_tick_ms"] = _microbench_controller_tick(
         720 if quick else 4800
     )
+    print("scan-mode microbenchmark (1k-host landscape) ...", flush=True)
+    results.update(_microbench_scan_modes(120 if quick else 240))
+    print("landscape-10k end-to-end run ...", flush=True)
+    results.update(_bench_landscape_10k(10 if quick else 30, both_modes=not quick))
     print("domain-scaling microbenchmark (4x landscape) ...", flush=True)
     results.update(_microbench_domain_scaling(240 if quick else 720))
     print("multi-process federation (2 and 4 agent processes) ...", flush=True)

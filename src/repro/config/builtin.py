@@ -55,6 +55,7 @@ __all__ = [
     "INITIAL_ALLOCATION",
     "INITIAL_USERS",
     "domain_sublandscape",
+    "landscape_10k",
     "paper_landscape",
     "paper_landscape_xml",
     "partition_landscape",
@@ -471,6 +472,28 @@ def replicated_landscape(copies: int) -> LandscapeSpec:
         initial_allocation=allocation,
         controller=base.controller,
     )
+
+
+#: Replica count of the 10k-host synthetic landscape.  The Section 5.1
+#: landscape has 19 hosts, so 527 copies give 10,013 hosts and roughly
+#: 1.38 million users — the scale target of the columnar substrate.
+LANDSCAPE_10K_COPIES = 527
+
+
+def landscape_10k() -> LandscapeSpec:
+    """A synthetic ~10k-host landscape for scale benchmarks.
+
+    :func:`replicated_landscape` tiled ``LANDSCAPE_10K_COPIES`` times:
+    10,013 hosts, 6,324 services (10,013 initial instances) and ~1.38M
+    users, renamed to
+    the stable identifier ``landscape-10k`` so benchmark series and the
+    CI smoke job can reference one canonical configuration.  Generation
+    is deterministic — the spec is pure data derived from
+    :func:`paper_landscape`.
+    """
+    from dataclasses import replace as _replace
+
+    return _replace(replicated_landscape(LANDSCAPE_10K_COPIES), name="landscape-10k")
 
 
 def paper_landscape_xml() -> str:

@@ -10,8 +10,8 @@ applicability.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.config.model import Action
 from repro.core import variables
@@ -73,6 +73,10 @@ class ActionSelector:
             self._controller.engine.validate(rulebase)
         #: service name -> trigger -> override rule base
         self._service_rulebases: Dict[str, Dict[SituationKind, RuleBase]] = {}
+        #: memoized merged rule bases: (kind, service) -> merged base, so
+        #: the hot path reuses one object per combination (also the key
+        #: the batched evaluation groups contexts by)
+        self._merged_rulebases: Dict[Tuple[SituationKind, str], RuleBase] = {}
 
     # -- service-specific rule bases ------------------------------------------------
 
@@ -91,15 +95,34 @@ class ActionSelector:
         )
         self._controller.engine.validate(override)
         self._service_rulebases.setdefault(service_name, {})[kind] = override
+        self._merged_rulebases.pop((kind, service_name), None)
 
     def rulebase_for(self, kind: SituationKind, service_name: str) -> RuleBase:
-        base = self._rulebases[kind]
-        override = self._service_rulebases.get(service_name, {}).get(kind)
-        if override is None:
-            return base
-        return base.merged_with(override)
+        key = (kind, service_name)
+        merged = self._merged_rulebases.get(key)
+        if merged is None:
+            base = self._rulebases[kind]
+            override = self._service_rulebases.get(service_name, {}).get(kind)
+            merged = base if override is None else base.merged_with(override)
+            self._merged_rulebases[key] = merged
+        return merged
 
     # -- evaluation --------------------------------------------------------------------
+
+    def _ranked_from_outputs(
+        self, context: ActionContext, outputs: Mapping[str, float]
+    ) -> List[RankedAction]:
+        ranked = [
+            RankedAction(
+                action=Action.from_name(name),
+                applicability=value,
+                service_name=context.service_name,
+                instance_id=context.instance_id,
+            )
+            for name, value in outputs.items()
+        ]
+        ranked.sort(key=lambda r: (-r.applicability, r.action.value))
+        return ranked
 
     def rank(
         self, kind: SituationKind, context: ActionContext
@@ -108,17 +131,39 @@ class ActionSelector:
         descending (ties broken by action name for determinism)."""
         rulebase = self.rulebase_for(kind, context.service_name)
         result = self._controller.evaluate(dict(context.measurements), rulebase)
-        ranked = [
-            RankedAction(
-                action=Action.from_name(name),
-                applicability=value,
-                service_name=context.service_name,
-                instance_id=context.instance_id,
-            )
-            for name, value in result.outputs.items()
-        ]
-        ranked.sort(key=lambda r: (-r.applicability, r.action.value))
-        return ranked
+        return self._ranked_from_outputs(context, result.outputs)
+
+    def _outputs_for(
+        self, kind: SituationKind, contexts: Sequence[ActionContext]
+    ) -> List[Dict[str, float]]:
+        """Crisp outputs aligned with ``contexts``.
+
+        Contexts are grouped by their (memoized) merged rule base and each
+        group is evaluated in one vectorized batch; results come back in
+        the original context order so callers assemble rankings exactly as
+        the per-context path would.
+        """
+        if len(contexts) == 1:
+            context = contexts[0]
+            rulebase = self.rulebase_for(kind, context.service_name)
+            result = self._controller.evaluate(dict(context.measurements), rulebase)
+            return [result.outputs]
+        groups: Dict[int, Tuple[RuleBase, List[int]]] = {}
+        for idx, context in enumerate(contexts):
+            rulebase = self.rulebase_for(kind, context.service_name)
+            entry = groups.get(id(rulebase))
+            if entry is None:
+                groups[id(rulebase)] = (rulebase, [idx])
+            else:
+                entry[1].append(idx)
+        outputs_list: List[Dict[str, float]] = [{} for _ in contexts]
+        for rulebase, indices in groups.values():
+            batch = [contexts[i].measurements for i in indices]
+            for i, outputs in zip(
+                indices, self._controller.evaluate_many(batch, rulebase)
+            ):
+                outputs_list[i] = outputs
+        return outputs_list
 
     def rank_many(
         self, kind: SituationKind, contexts: List[ActionContext]
@@ -126,9 +171,56 @@ class ActionSelector:
         """Server-triggered evaluation: run the controller for each service
         on the host and collect all actions into one ranking (Figure 7)."""
         collected: List[RankedAction] = []
-        for context in contexts:
-            collected.extend(self.rank(kind, context))
+        for context, outputs in zip(contexts, self._outputs_for(kind, contexts)):
+            collected.extend(self._ranked_from_outputs(context, outputs))
         collected.sort(
             key=lambda r: (-r.applicability, r.action.value, r.service_name)
         )
         return collected
+
+    def rank_situations(
+        self,
+        entries: Sequence[Tuple[SituationKind, Sequence[ActionContext], bool]],
+    ) -> List[List[RankedAction]]:
+        """Rank many situations' contexts in one batched evaluation.
+
+        Each entry is ``(kind, contexts, server_style)``; ``server_style``
+        selects :meth:`rank_many` assembly (one merged ranking across the
+        entry's contexts) versus :meth:`rank` assembly (single context).
+        Contexts from *all* entries are pooled and grouped by merged rule
+        base, so one tick's open situations cost one vectorized inference
+        per distinct rule base instead of one scalar inference per
+        context.  Entry ``i`` of the result is bit-identical to calling
+        ``rank_many(kind, contexts)`` / ``rank(kind, contexts[0])``.
+        """
+        pooled: Dict[int, Tuple[RuleBase, List[Tuple[int, int]]]] = {}
+        for entry_idx, (kind, contexts, _server_style) in enumerate(entries):
+            for context_idx, context in enumerate(contexts):
+                rulebase = self.rulebase_for(kind, context.service_name)
+                slot = pooled.get(id(rulebase))
+                if slot is None:
+                    pooled[id(rulebase)] = (rulebase, [(entry_idx, context_idx)])
+                else:
+                    slot[1].append((entry_idx, context_idx))
+        outputs: Dict[Tuple[int, int], Dict[str, float]] = {}
+        for rulebase, slots in pooled.values():
+            batch = [entries[e][1][c].measurements for e, c in slots]
+            for slot, out in zip(
+                slots, self._controller.evaluate_many(batch, rulebase)
+            ):
+                outputs[slot] = out
+        results: List[List[RankedAction]] = []
+        for entry_idx, (kind, contexts, server_style) in enumerate(entries):
+            per_context = [
+                self._ranked_from_outputs(context, outputs[(entry_idx, context_idx)])
+                for context_idx, context in enumerate(contexts)
+            ]
+            if server_style:
+                collected = [r for ranked in per_context for r in ranked]
+                collected.sort(
+                    key=lambda r: (-r.applicability, r.action.value, r.service_name)
+                )
+                results.append(collected)
+            else:
+                results.append(per_context[0] if per_context else [])
+        return results

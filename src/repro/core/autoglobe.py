@@ -17,6 +17,8 @@ from __future__ import annotations
 
 from typing import Any, Dict, List, Optional, Set, Tuple
 
+import numpy as np
+
 from repro.config.model import Action, ControllerSettings
 from repro.core.action_selection import ActionContext, ActionSelector, RankedAction
 from repro.core.alerts import AlertChannel, ConfirmationCallback
@@ -50,8 +52,26 @@ class AutoGlobeController:
         reservations=None,
         executor: Optional[ActionExecutor] = None,
         relocation_handler=None,
+        scan_mode: str = "columnar",
     ) -> None:
+        if scan_mode not in ("columnar", "object-graph"):
+            raise ValueError(
+                f"scan_mode must be 'columnar' or 'object-graph', got {scan_mode!r}"
+            )
+        #: ``"columnar"`` (the default) drives the per-minute cycle off the
+        #: platform's :class:`~repro.serviceglobe.landscape_state.LandscapeState`:
+        #: monitor sets are re-synchronized only when a version counter
+        #: moved, samples are computed as vectorized column reads, down
+        #: hosts come from the cached down-id scan and open situations are
+        #: ranked in one batched fuzzy evaluation.  ``"object-graph"``
+        #: disables the columnar cache and walks the object graph exactly
+        #: as the pre-columnar controller did — the reference path for the
+        #: equivalence suite and the benchmark baseline.  All controllers
+        #: sharing one platform must use the same mode.
+        self.scan_mode = scan_mode
         self.platform = platform
+        if scan_mode == "object-graph":
+            platform.landscape_state.cache_enabled = False
         self.settings = settings if settings is not None else platform.landscape.controller
         self.archive = archive if archive is not None else InMemoryLoadArchive()
         self.enabled = enabled
@@ -119,6 +139,14 @@ class AutoGlobeController:
         #: (instance id, host name) -> advisor; recreated when the instance moves
         self._instance_advisors: Dict[Tuple[str, str], Advisor] = {}
         self._instance_monitors: Dict[str, LoadMonitor] = {}
+        #: landscape-state version cursors: the monitor-set scans run only
+        #: when the corresponding counter moved since the last sync
+        self._registry_cursor = -1
+        self._topology_cursor = -1
+        #: state ids aligned with the host/service monitor dicts, the index
+        #: vectors behind the batched per-tick column reads
+        self._host_monitor_ids = np.empty(0, dtype=np.int64)
+        self._service_monitor_ids = np.empty(0, dtype=np.int64)
         self._install_service_rule_overrides()
         self._sync_host_monitors()
 
@@ -151,6 +179,12 @@ class AutoGlobeController:
                 )
 
     def _sync_host_monitors(self) -> None:
+        state = self.platform.landscape_state
+        if (
+            self.scan_mode == "columnar"
+            and self._registry_cursor == state.registry_version
+        ):
+            return  # host set is fixed, service set unchanged since last sync
         for host in self.platform.hosts.values():
             if host.name in self._host_cpu_monitors:
                 continue
@@ -162,7 +196,7 @@ class AutoGlobeController:
             cpu_monitor.report_sink = self._report_buffer
             mem_monitor = LoadMonitor(
                 host.name, "mem",
-                probe=lambda h=host: h.mem_load(self.platform.memory_of),
+                probe=lambda n=host.name: self.platform.host_mem_load(n),
                 archive=self.archive,
             )
             mem_monitor.report_sink = self._report_buffer
@@ -190,6 +224,18 @@ class AutoGlobeController:
             )
             monitor.report_sink = self._report_buffer
             self._service_monitors[service_name] = monitor
+        self._registry_cursor = state.registry_version
+        if self.scan_mode == "columnar":
+            self._host_monitor_ids = np.fromiter(
+                (state.host_index.ids[name] for name in self._host_cpu_monitors),
+                dtype=np.int64,
+                count=len(self._host_cpu_monitors),
+            )
+            self._service_monitor_ids = np.fromiter(
+                (state.service_index.ids[name] for name in self._service_monitors),
+                dtype=np.int64,
+                count=len(self._service_monitors),
+            )
 
     def _sync_instance_monitors(self) -> None:
         """Create advisors for new instances, retire stale ones.
@@ -197,8 +243,18 @@ class AutoGlobeController:
         An instance's advisor watches the CPU load of the instance's
         *current* host (an instance suffers when its host saturates); its
         idle threshold depends on the host's performance index, so moving
-        an instance recreates its advisor.
+        an instance recreates its advisor.  In columnar scan mode the
+        rebuild runs only when the landscape's topology version moved —
+        placement, running set and host health changes are exactly the
+        events that can invalidate the advisor set.
         """
+        state = self.platform.landscape_state
+        if (
+            self.scan_mode == "columnar"
+            and self._topology_cursor == state.topology_version
+        ):
+            return
+        self._topology_cursor = state.topology_version
         running: Dict[str, ServiceInstance] = {
             instance.instance_id: instance
             for instance in self.platform.all_instances()
@@ -262,7 +318,7 @@ class AutoGlobeController:
         service = self.platform.service(instance.service_name)
         measurements = {
             "cpuLoad": cpu_mean,
-            "memLoad": host.mem_load(self.platform.memory_of),
+            "memLoad": self.platform.host_mem_load(host.name),
             "performanceIndex": host.performance_index,
             "instanceLoad": self.platform.instance_load(instance),
             "serviceLoad": self.platform.service_load(instance.service_name),
@@ -289,6 +345,55 @@ class AutoGlobeController:
         instance = self.platform.instance(situation.subject)
         context = self._context_for_instance(instance, kind, now)
         return self.action_selector.rank(kind, context)
+
+    def _speculative_rankings(
+        self, situations: List[Situation], blind: set, now: int
+    ) -> Tuple[Dict[int, List[RankedAction]], int]:
+        """Batch-rank this tick's situations in one fuzzy evaluation.
+
+        All situations that would survive the decision loop's cheap
+        guards are ranked together through
+        :meth:`ActionSelector.rank_situations`, keyed by ``id(situation)``
+        and stamped with the landscape's mutation version.  The decision
+        loop uses a cached ranking only while the version still matches —
+        an executed remedy mutates the landscape and invalidates every
+        ranking computed after it — so the speculation can never change
+        behavior, only save work.  The guards themselves are monotone
+        within a tick (protection is only added, blind hosts are fixed,
+        vanished instances stay vanished), so a situation filtered out
+        here is also skipped by the loop.
+        """
+        if self.scan_mode != "columnar" or len(situations) < 2:
+            return {}, -1
+        survivors = [
+            situation
+            for situation in situations
+            if not (situation.kind.is_server and situation.subject in blind)
+            and not self._instance_vanished(situation)
+            and not self._situation_protected(situation, now)
+        ]
+        if len(survivors) < 2:
+            return {}, -1
+        entries = []
+        for situation in survivors:
+            kind = situation.kind
+            if kind.is_server:
+                host = self.platform.host(situation.subject)
+                contexts = [
+                    self._context_for_instance(instance, kind, now)
+                    for instance in host.running_instances
+                ]
+                entries.append((kind, contexts, True))
+            else:
+                instance = self.platform.instance(situation.subject)
+                contexts = [self._context_for_instance(instance, kind, now)]
+                entries.append((kind, contexts, False))
+        version = self.platform.landscape_state.mutation_version
+        rankings = self.action_selector.rank_situations(entries)
+        return {
+            id(situation): ranked
+            for situation, ranked in zip(survivors, rankings)
+        }, version
 
     def _situation_protected(self, situation: Situation, now: int) -> bool:
         if self.protection.is_protected(situation.subject, now):
@@ -318,12 +423,32 @@ class AutoGlobeController:
         current = self._monitor_outages.get(host_name, -1)
         self._monitor_outages[host_name] = max(current, until)
 
+    def _down_host_names(self) -> List[str]:
+        """Down hosts of this controller's platform, in substrate order.
+
+        Columnar scan mode reads the landscape state's cached down-id
+        tuple (one identity check in the steady state) and filters it to
+        the platform's host set — a :class:`DomainView` administers a
+        subset of the global landscape.
+        """
+        state = self.platform.landscape_state
+        names = state.host_index.names
+        hosts = self.platform.hosts
+        return [
+            name
+            for hid in state.down_host_ids()
+            if (name := names[hid]) in hosts
+        ]
+
     def _blind_hosts(self, now: int) -> set:
         """Hosts with no usable measurements this minute: down or in a
         monitoring outage."""
-        blind = {
-            name for name, host in self.platform.hosts.items() if not host.up
-        }
+        if self.scan_mode == "columnar":
+            blind = set(self._down_host_names())
+        else:
+            blind = {
+                name for name, host in self.platform.hosts.items() if not host.up
+            }
         for name, until in list(self._monitor_outages.items()):
             if now <= until:
                 blind.add(name)
@@ -333,6 +458,63 @@ class AutoGlobeController:
 
     # -- the per-minute cycle ------------------------------------------------------------
 
+    def _sample_columnar(self, now: int, blind: set) -> None:
+        """One tick's monitor sweep off the columnar state.
+
+        The per-monitor probe lambdas are bypassed: each monitor family's
+        values come from one vectorized column read (the state flushes its
+        dirty ids once, up front) and are pushed through the exact same
+        record/report/observe pipeline as :meth:`LoadMonitor.sample`.
+        Loop order matches the object-graph sweep — cpu monitors, mem
+        monitors, service monitors, instance monitors, each in dict
+        insertion order — so the report buffer and every advisor see the
+        identical event sequence.
+        """
+        state = self.platform.landscape_state
+        cpu_values = state.host_cpu_values(self._host_monitor_ids)
+        mem_values = state.host_mem_values(self._host_monitor_ids)
+        if blind:
+            for (name, monitor), value in zip(
+                self._host_cpu_monitors.items(), cpu_values
+            ):
+                if name in blind:
+                    monitor.mark_dropped(now)
+                else:
+                    monitor.push(now, value)
+            for (name, monitor), value in zip(
+                self._host_mem_monitors.items(), mem_values
+            ):
+                if name in blind:
+                    monitor.mark_dropped(now)
+                else:
+                    monitor.push(now, value)
+        else:
+            for monitor, value in zip(self._host_cpu_monitors.values(), cpu_values):
+                monitor.push(now, value)
+            for monitor, value in zip(self._host_mem_monitors.values(), mem_values):
+                monitor.push(now, value)
+        # service demand is aggregated from the registry's own state, not
+        # shipped through per-host monitoring agents: always available
+        for monitor, value in zip(
+            self._service_monitors.values(),
+            state.service_demand_values(self._service_monitor_ids),
+        ):
+            monitor.push(now, value)
+        # an instance monitor reports its *current* host's cpu load; the
+        # already-computed column read covers the monitored hosts, and a
+        # foreign host (relocated instance in a domain view) falls back
+        # to a cached scalar read
+        cpu_by_name = dict(zip(self._host_cpu_monitors, cpu_values))
+        host_ids = state.host_index.ids
+        for (__, host_name), advisor in list(self._instance_advisors.items()):
+            if host_name in blind:
+                advisor.monitor.mark_dropped(now)
+            else:
+                value = cpu_by_name.get(host_name)
+                if value is None:
+                    value = state.host_cpu_load(host_ids[host_name])
+                advisor.monitor.push(now, value)
+
     def tick(self, now: int) -> List[ActionOutcome]:
         """One controller cycle: sample, inspect, confirm, decide, act."""
         self.platform.current_time = now
@@ -341,25 +523,29 @@ class AutoGlobeController:
         if self._pending_observation_restores:
             self._restore_observations(now)
         blind = self._blind_hosts(now)
-        for name, monitor in self._host_cpu_monitors.items():
-            if name in blind:
-                monitor.mark_dropped(now)
-            else:
+        if self.scan_mode == "columnar":
+            self._sample_columnar(now, blind)
+        else:
+            for name, monitor in self._host_cpu_monitors.items():
+                if name in blind:
+                    monitor.mark_dropped(now)
+                else:
+                    monitor.sample(now)
+            for name, monitor in self._host_mem_monitors.items():
+                if name in blind:
+                    monitor.mark_dropped(now)
+                else:
+                    monitor.sample(now)
+            # service demand is aggregated from the registry's own state,
+            # not shipped through per-host monitoring agents: always
+            # available
+            for monitor in self._service_monitors.values():
                 monitor.sample(now)
-        for name, monitor in self._host_mem_monitors.items():
-            if name in blind:
-                monitor.mark_dropped(now)
-            else:
-                monitor.sample(now)
-        # service demand is aggregated from the registry's own state, not
-        # shipped through per-host monitoring agents: always available
-        for monitor in self._service_monitors.values():
-            monitor.sample(now)
-        for (__, host_name), advisor in list(self._instance_advisors.items()):
-            if host_name in blind:
-                advisor.monitor.mark_dropped(now)
-            else:
-                advisor.monitor.sample(now)
+            for (__, host_name), advisor in list(self._instance_advisors.items()):
+                if host_name in blind:
+                    advisor.monitor.mark_dropped(now)
+                else:
+                    advisor.monitor.sample(now)
         # one batched flush per tick: the archive consumes this minute's
         # reports off the bus before any decision queries watch-time means
         if self._report_buffer:
@@ -376,9 +562,13 @@ class AutoGlobeController:
         # a crashed host voids its pending observations: whatever was
         # suspected before the crash cannot be confirmed against a host
         # that no longer exists in the landscape
-        for name, host in self.platform.hosts.items():
-            if not host.up:
+        if self.scan_mode == "columnar":
+            for name in self._down_host_names():
                 self.lms.cancel_subject(name, now)
+        else:
+            for name, host in self.platform.hosts.items():
+                if not host.up:
+                    self.lms.cancel_subject(name, now)
         outcomes: List[ActionOutcome] = []
         situations = self.lms.tick(now)
         if not self.enabled:
@@ -405,6 +595,10 @@ class AutoGlobeController:
         # handle service-level situations before server-level ones; the
         # protection entries of the first action suppress echoes
         situations.sort(key=lambda s: (s.kind.is_server, s.subject))
+        ranked_cache, cache_version = self._speculative_rankings(
+            situations, blind, now
+        )
+        state = self.platform.landscape_state
         for situation in situations:
             if situation.kind.is_server and situation.subject in blind:
                 continue  # no trustworthy measurements behind it
@@ -416,7 +610,11 @@ class AutoGlobeController:
             self.archive.store_event(
                 now, "situation", situation.subject, str(situation)
             )
-            ranked = self._rank_for_situation(situation, now)
+            ranked = ranked_cache.get(id(situation))
+            if ranked is None or state.mutation_version != cache_version:
+                # the batch was computed against a landscape an earlier
+                # remedy has since mutated: re-rank against fresh state
+                ranked = self._rank_for_situation(situation, now)
             outcome = self.decision_loop.handle(situation, ranked, now)
             if outcome is not None:
                 outcomes.append(outcome)
@@ -584,8 +782,17 @@ class AutoGlobeController:
         same tick.
         """
         outcomes: List[ActionOutcome] = []
+        state = self.platform.landscape_state
+        columnar = self.scan_mode == "columnar" and state.cache_enabled
+        service_ids = state.service_index.ids
         for service_name in sorted(self.platform.services):
-            if self.platform.service(service_name).running_instances:
+            if columnar:
+                running = state.service_running_count(service_ids[service_name]) > 0
+            else:
+                running = bool(
+                    self.platform.service(service_name).running_instances
+                )
+            if running:
                 self._seen_running.add(service_name)
                 continue
             if (

@@ -93,11 +93,10 @@ def candidate_hosts(
     """
     if not action.needs_target_host:
         return []
-    eligible = platform.eligible_hosts(service_name)
     if action in (Action.START, Action.SCALE_OUT):
         # a new instance may start anywhere feasible, including a host
         # that already runs one (memory permitting)
-        return eligible
+        return platform.eligible_hosts(service_name)
     instance = None
     if instance_id is not None:
         instance = platform.service(service_name).find_instance(instance_id)
@@ -109,14 +108,43 @@ def candidate_hosts(
         instance = max(
             running, key=lambda i: (platform.host_cpu_load(i.host_name), i.instance_id)
         )
-    source_index = platform.host(instance.host_name).performance_index
-    relation = {
-        Action.SCALE_UP: lambda target: target > source_index,
-        Action.SCALE_DOWN: lambda target: target < source_index,
-        Action.MOVE: lambda target: target == source_index,
-    }[action]
+    source_name = instance.host_name
+    state = getattr(platform, "landscape_state", None)
+    eligible_ids = getattr(platform, "eligible_ids", None)
+    if state is not None and state.cache_enabled and eligible_ids is not None:
+        # the perf-index relation over thousands of eligible hosts is one
+        # column comparison; ids arrive in the same substrate order the
+        # host objects would, so the filtered list is identical
+        ids = eligible_ids(service_name)
+        source_id = state.host_index.ids.get(source_name, -1)
+        if ids is not None and source_id >= 0:
+            perf = state.host_perf_index
+            source_index = perf[source_id]
+            if action is Action.SCALE_UP:
+                keep = perf[ids] > source_index
+            elif action is Action.SCALE_DOWN:
+                keep = perf[ids] < source_index
+            else:
+                keep = perf[ids] == source_index
+            keep &= ids != source_id
+            host_objs = state.host_objs
+            return [host_objs[i] for i in ids[keep]]
+    eligible = platform.eligible_hosts(service_name)
+    source_index = platform.host(source_name).performance_index
+    if action is Action.SCALE_UP:
+        return [
+            host
+            for host in eligible
+            if host.name != source_name and host.performance_index > source_index
+        ]
+    if action is Action.SCALE_DOWN:
+        return [
+            host
+            for host in eligible
+            if host.name != source_name and host.performance_index < source_index
+        ]
     return [
         host
         for host in eligible
-        if host.name != instance.host_name and relation(host.performance_index)
+        if host.name != source_name and host.performance_index == source_index
     ]

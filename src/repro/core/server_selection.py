@@ -17,13 +17,17 @@ so rankings are deterministic.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional
+from typing import Dict, List, Mapping, Optional, cast
+
+import numpy as np
 
 from repro.config.model import Action
 from repro.core import variables
 from repro.core.rulebases import default_server_rulebases
 from repro.fuzzy.controller import FuzzyController
+from repro.fuzzy.defuzzify import _GRADE_TOLERANCE, LeftmostMax
 from repro.fuzzy.rules import RuleBase
+from repro.fuzzy.sets import ClippedSet, MembershipFunction, UnionSet
 from repro.serviceglobe.host import ServiceHost
 from repro.serviceglobe.platform import Platform
 
@@ -113,6 +117,91 @@ class ServerSelector:
         )
         for rulebase in self._rulebases.values():
             self._controller.engine.validate(rulebase)
+        #: host name -> (spec, static Table 3 fields); the spec-derived
+        #: inputs never change while the spec object does not, so the
+        #: batch path re-derives only the four load-dependent fields
+        self._static_inputs: Dict[str, tuple] = {}
+        #: per-landscape-state static columns (spec fields + names),
+        #: keyed by ``id(state)``; see :meth:`_static_columns`
+        self._static_columns: Dict[int, tuple] = {}
+        #: per-rule-base leftmost-max lookup tables, keyed by
+        #: ``id(rulebase)``; see :meth:`_scores_analytic`
+        self._ramp_tables: Dict[int, tuple] = {}
+
+    _STATIC_FIELDS = (
+        ("performanceIndex", "performance_index"),
+        ("numberOfCpus", "num_cpus"),
+        ("cpuClock", "cpu_clock_mhz"),
+        ("cpuCache", "cpu_cache_kb"),
+        ("swapSpace", "swap_space_mb"),
+        ("tempSpace", "temp_space_mb"),
+    )
+
+    def _static_columns_for(self, state) -> tuple:
+        """Spec-derived input columns plus host names, indexed by host id.
+
+        Built once per landscape state (the host set and every host's
+        spec are fixed after construction); the per-candidate spec
+        identity check in :meth:`_rank_columnar` guards the rare spec
+        swap and falls back to the scalar path when it happens.
+        """
+        cached = self._static_columns.get(id(state))
+        if (
+            cached is not None
+            and cached[0] is state
+            and len(cached[1]) == len(state.host_objs)
+        ):
+            return cached
+        specs = [host.spec for host in state.host_objs]
+        columns = {
+            input_name: np.array(
+                [float(getattr(spec, attr)) for spec in specs], dtype=np.float64
+            )
+            for input_name, attr in self._STATIC_FIELDS
+        }
+        names = np.array([host.name for host in state.host_objs])
+        cached = (state, specs, columns, names)
+        self._static_columns[id(state)] = cached
+        return cached
+
+    def _measurements_for(
+        self, platform: Platform, host: ServiceHost
+    ) -> Dict[str, float]:
+        """:func:`host_measurements` with the static fields memoized.
+
+        Value-identical to the plain function — the spec-derived fields
+        are cached per host (invalidated when the spec object changes)
+        and the load-dependent ones read fresh every call.
+        """
+        spec = host.spec
+        cached = self._static_inputs.get(host.name)
+        if cached is None or cached[0] is not spec:
+            static = {
+                "performanceIndex": float(spec.performance_index),
+                "numberOfCpus": float(spec.num_cpus),
+                "cpuClock": float(spec.cpu_clock_mhz),
+                "cpuCache": float(spec.cpu_cache_kb),
+                "swapSpace": float(spec.swap_space_mb),
+                "tempSpace": float(spec.temp_space_mb),
+            }
+            self._static_inputs[host.name] = (spec, static)
+        else:
+            static = cached[1]
+        measurements = dict(static)
+        cpu_load = platform.host_cpu_load(host.name)
+        if self.reservations is not None:
+            cpu_load = self.reservations.effective_cpu_load(
+                host.name,
+                cpu_load,
+                host.cpu_capacity,
+                platform.current_time,
+                horizon=RESERVATION_HORIZON_MINUTES,
+            )
+        measurements["cpuLoad"] = cpu_load
+        measurements["memLoad"] = platform.host_mem_load(host.name)
+        measurements["instancesOnServer"] = float(len(host.running_instances))
+        measurements["memory"] = float(host.memory_free_mb(platform.memory_of))
+        return measurements
 
     def score(self, action: Action, measurements: Mapping[str, float]) -> float:
         """Suitability of one host for one action, in [0, 1]."""
@@ -128,15 +217,156 @@ class ServerSelector:
         action: Action,
         candidates: List[ServiceHost],
     ) -> List[RankedHost]:
-        """Score all candidates, most suitable first."""
-        scored = []
-        for host in candidates:
-            measurements = host_measurements(platform, host, self.reservations)
-            scored.append(
-                (
-                    RankedHost(host.name, self.score(action, measurements)),
-                    measurements["cpuLoad"],
-                )
-            )
+        """Score all candidates, most suitable first.
+
+        The whole candidate list goes through one batched fuzzy
+        evaluation (:meth:`FuzzyController.evaluate_many`), whose
+        per-element outputs are bit-identical to scoring each host
+        individually — on a 10k-host landscape a single relocation can
+        have thousands of candidates, and per-host inference dominated
+        the decision burst before batching.
+        """
+        rulebase = self._rulebases.get(action)
+        if rulebase is None:
+            raise ValueError(f"no server-selection rule base for {action.value}")
+        if self.reservations is None and len(candidates) >= 32:
+            ranked = self._rank_columnar(platform, rulebase, candidates)
+            if ranked is not None:
+                return ranked
+        measurements_list = [
+            self._measurements_for(platform, host) for host in candidates
+        ]
+        outputs = self._controller.evaluate_many(measurements_list, rulebase)
+        scored = [
+            (RankedHost(host.name, out[OUTPUT_VARIABLE]), measurements["cpuLoad"])
+            for host, out, measurements in zip(candidates, outputs, measurements_list)
+        ]
         scored.sort(key=lambda pair: (-pair[0].score, pair[1], pair[0].host_name))
         return [ranked for ranked, __ in scored]
+
+    def _scores_analytic(
+        self,
+        rulebase: RuleBase,
+        consequents: list,
+        domain: tuple,
+        strengths: "np.ndarray",
+    ) -> Optional["np.ndarray"]:
+        """Closed-form leftmost-max scores for single-consequent rule bases.
+
+        Every server rule asserts the same ramp-shaped ``applicable``
+        term, so the union of clipped consequents collapses pointwise:
+        ``max_r min(mu(x), h_r) == min(mu(x), max_r h_r)`` — both sides
+        select among the same floats, so the aggregated set's grid is
+        bitwise equal to clipping at the row-maximum strength.  With a
+        monotone consequent grid, the leftmost maximum is then one
+        ``searchsorted`` instead of a per-host grid sweep.  Returns
+        ``None`` (caller builds the sets per distinct strength row) when
+        the defuzzifier is not :class:`LeftmostMax`, the consequents
+        differ, or the grid is not monotone.
+        """
+        defuzzifier = self._controller.defuzzifier
+        if type(defuzzifier) is not LeftmostMax:
+            return None
+        cached = self._ramp_tables.get(id(rulebase))
+        if cached is None or cached[0] is not rulebase:
+            consequent = consequents[0]
+            table = None
+            if all(other is consequent for other in consequents):
+                lo, hi = domain
+                xs = np.linspace(lo, hi, defuzzifier.resolution)
+                grid = np.asarray(consequent.evaluate(xs), dtype=np.float64)
+                if np.all(np.diff(grid) >= 0.0):
+                    table = (xs, grid, float(grid.max()))
+            cached = (rulebase, table)
+            self._ramp_tables[id(rulebase)] = cached
+        table = cached[1]
+        if table is None:
+            return None
+        xs, grid, grid_max = table
+        heights = strengths.max(axis=1)
+        # the scalar defuzzifier computes peak = mus.max() = min(grid_max,
+        # height) and takes the first grid point with mus >= peak - tol;
+        # for a monotone grid that is exactly this searchsorted
+        thresholds = np.minimum(grid_max, heights) - _GRADE_TOLERANCE
+        indices = np.searchsorted(grid, thresholds, side="left")
+        return cast("np.ndarray", xs[indices])
+
+    def _rank_columnar(
+        self,
+        platform: Platform,
+        rulebase: RuleBase,
+        candidates: List[ServiceHost],
+    ) -> Optional[List[RankedHost]]:
+        """Column-at-a-time :meth:`rank` off the landscape substrate.
+
+        Reads every Table 3 input for all candidates in a handful of
+        vectorized column operations, fuzzifies the columns directly and
+        defuzzifies only the *distinct* firing-strength rows — replicated
+        landscapes collapse thousands of candidates to a few dozen unique
+        rows.  Returns ``None`` (caller falls back to the per-host path)
+        when a candidate is not bound to the platform's landscape state
+        or a spec object changed identity; the produced ranking is
+        bit-identical to the fallback's.
+        """
+        state = getattr(platform, "landscape_state", None)
+        if state is None or not state.cache_enabled:
+            return None
+        statics = self._static_columns_for(state)
+        __, specs, static_columns, names = statics
+        host_objs = state.host_objs
+        bound = len(host_objs)
+        id_list = []
+        for host in candidates:
+            hid = host.state_id
+            if (
+                hid < 0
+                or hid >= bound
+                or host_objs[hid] is not host
+                or specs[hid] is not host.spec
+            ):
+                return None
+            id_list.append(hid)
+        ids = np.asarray(id_list, dtype=np.int64)
+        cpu, mem, running, free = state.host_server_inputs(ids)
+        columns = {
+            "cpuLoad": cpu,
+            "memLoad": mem,
+            "instancesOnServer": running,
+            "memory": free,
+        }
+        for input_name in static_columns:
+            columns[input_name] = static_columns[input_name][ids]
+        engine = self._controller.engine
+        grades = engine.fuzzify_columns(columns)
+        rules = [
+            rule for rule in rulebase if rule.output_variable == OUTPUT_VARIABLE
+        ]
+        if not rules:
+            return None
+        strengths = np.stack(
+            [rule.antecedent.truth_many(grades) * rule.weight for rule in rules],
+            axis=1,
+        )
+        domain = engine.output_domain(OUTPUT_VARIABLE)
+        assert domain is not None  # validated at construction
+        consequents = [engine._resolve_consequent(rule) for rule in rules]
+        scores = self._scores_analytic(rulebase, consequents, domain, strengths)
+        if scores is None:
+            unique_rows, inverse = np.unique(strengths, axis=0, return_inverse=True)
+            unique_scores = np.empty(len(unique_rows), dtype=np.float64)
+            for j, row in enumerate(unique_rows):
+                heights = row.tolist()
+                clipped = [
+                    ClippedSet(consequent, height)
+                    for consequent, height in zip(consequents, heights)
+                ]
+                fuzzy_set: MembershipFunction = (
+                    clipped[0] if len(clipped) == 1 else UnionSet(tuple(clipped))
+                )
+                unique_scores[j] = self._controller.defuzzifier(fuzzy_set, domain)
+            scores = unique_scores[inverse]
+        candidate_names = names[ids]
+        order = np.lexsort((candidate_names, cpu, -scores))
+        score_list = scores.tolist()
+        name_list = candidate_names.tolist()
+        return [RankedHost(name_list[i], score_list[i]) for i in order]

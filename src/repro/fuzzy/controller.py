@@ -10,11 +10,12 @@ the configured defuzzifier (leftmost maximum by default, as in the paper).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
 
 from repro.fuzzy.defuzzify import Defuzzifier, LeftmostMax
 from repro.fuzzy.inference import FiredRule, InferenceEngine
 from repro.fuzzy.rules import RuleBase
+from repro.fuzzy.sets import ClippedSet, MembershipFunction, UnionSet
 from repro.fuzzy.variables import LinguisticVariable
 
 __all__ = ["ControllerResult", "FuzzyController"]
@@ -98,3 +99,69 @@ class FuzzyController:
         return ControllerResult(
             outputs=outputs, grades=inference.grades, fired=inference.fired
         )
+
+    def evaluate_many(
+        self,
+        measurements_list: Sequence[Mapping[str, float]],
+        rule_base: Optional[RuleBase] = None,
+    ) -> List[Dict[str, float]]:
+        """Batched :meth:`evaluate`: crisp outputs for many measurement sets.
+
+        All measurement mappings must share the same variable names (the
+        Table 1 contexts do).  The rule base is validated once for the
+        whole batch instead of once per context, fuzzification and rule
+        firing are vectorized across contexts, and defuzzification leans
+        on the defuzzifier's memoization — contexts produce identical
+        clipped sets far more often than not.  Element ``i`` of the
+        result is bit-identical to ``evaluate(measurements_list[i],
+        rule_base).outputs``.
+        """
+        active = rule_base if rule_base is not None else self.rule_base
+        if rule_base is not None:
+            self.engine.validate(rule_base)
+        if not measurements_list:
+            return []
+        engine = self.engine
+        grades = engine.fuzzify_many(measurements_list)
+        rules = list(active)
+        strengths: List[List[float]] = []
+        consequents = []
+        for rule in rules:
+            strength = rule.antecedent.truth_many(grades) * rule.weight
+            strengths.append(strength.tolist())
+            consequents.append(engine._resolve_consequent(rule))
+        by_output: Dict[str, List[int]] = {}
+        for index, rule in enumerate(rules):
+            by_output.setdefault(rule.output_variable, []).append(index)
+        domains = {}
+        for output_name in by_output:
+            domain = engine.output_domain(output_name)
+            assert domain is not None  # validate() guarantees it
+            domains[output_name] = domain
+        # within one batch the rule base (and thus each output variable's
+        # consequent sets) is fixed, so the crisp value is a pure function
+        # of the firing-strength tuple: memoize on it and only build the
+        # clipped/union sets — exactly as :meth:`evaluate` would — on a
+        # miss.  Landscapes with repeated host shapes hit this hard.
+        memo: Dict[tuple, float] = {}
+        all_outputs: List[Dict[str, float]] = []
+        for i in range(len(measurements_list)):
+            outputs: Dict[str, float] = {}
+            for output_name, rule_indices in by_output.items():
+                key = (output_name,) + tuple(
+                    strengths[index][i] for index in rule_indices
+                )
+                value = memo.get(key)
+                if value is None:
+                    clipped = [
+                        ClippedSet(consequents[index], strengths[index][i])
+                        for index in rule_indices
+                    ]
+                    fuzzy_set: MembershipFunction = (
+                        clipped[0] if len(clipped) == 1 else UnionSet(tuple(clipped))
+                    )
+                    value = self.defuzzifier(fuzzy_set, domains[output_name])
+                    memo[key] = value
+                outputs[output_name] = value
+            all_outputs.append(outputs)
+        return all_outputs

@@ -16,10 +16,17 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import FrozenSet, Mapping, Tuple
 
-__all__ = ["Expression", "Is", "And", "Or", "Not", "Very", "Somewhat", "GradeMap"]
+import numpy as np
+
+__all__ = ["Expression", "Is", "And", "Or", "Not", "Very", "Somewhat", "GradeMap",
+           "GradeArrayMap"]
 
 #: Fuzzified measurements: variable name -> (term name -> membership grade).
 GradeMap = Mapping[str, Mapping[str, float]]
+
+#: Batched fuzzified measurements: variable name -> (term name -> grade
+#: array over a batch of contexts).  Every array has the same length.
+GradeArrayMap = Mapping[str, Mapping[str, np.ndarray]]
 
 
 class Expression:
@@ -27,6 +34,17 @@ class Expression:
 
     def truth(self, grades: GradeMap) -> float:
         """Degree of truth of the expression under fuzzified measurements."""
+        raise NotImplementedError
+
+    def truth_many(self, grades: GradeArrayMap) -> np.ndarray:
+        """Vectorized :meth:`truth` over a batch of fuzzified contexts.
+
+        Every element of the returned array is bit-identical to what
+        :meth:`truth` computes for the corresponding context: ``min`` /
+        ``max`` / ``1 - x`` are exact element-wise, and the hedges apply
+        Python's scalar power per element because numpy's array ``**``
+        rounds differently in the last ulp.
+        """
         raise NotImplementedError
 
     def variables(self) -> FrozenSet[str]:
@@ -51,6 +69,20 @@ class Is(Expression):
     term: str
 
     def truth(self, grades: GradeMap) -> float:
+        try:
+            variable_grades = grades[self.variable]
+        except KeyError:
+            raise KeyError(
+                f"no fuzzified value for variable {self.variable!r}"
+            ) from None
+        try:
+            return variable_grades[self.term]
+        except KeyError:
+            raise KeyError(
+                f"variable {self.variable!r} has no term {self.term!r}"
+            ) from None
+
+    def truth_many(self, grades: GradeArrayMap) -> np.ndarray:
         try:
             variable_grades = grades[self.variable]
         except KeyError:
@@ -109,6 +141,9 @@ class And(_Nary):
     def truth(self, grades: GradeMap) -> float:
         return min(op.truth(grades) for op in self.operands)
 
+    def truth_many(self, grades: GradeArrayMap) -> np.ndarray:
+        return np.minimum.reduce([op.truth_many(grades) for op in self.operands])
+
     def __str__(self) -> str:
         return " AND ".join(_parenthesize(op) for op in self.operands)
 
@@ -118,6 +153,9 @@ class Or(_Nary):
 
     def truth(self, grades: GradeMap) -> float:
         return max(op.truth(grades) for op in self.operands)
+
+    def truth_many(self, grades: GradeArrayMap) -> np.ndarray:
+        return np.maximum.reduce([op.truth_many(grades) for op in self.operands])
 
     def __str__(self) -> str:
         return " OR ".join(_parenthesize(op) for op in self.operands)
@@ -131,6 +169,9 @@ class Not(Expression):
 
     def truth(self, grades: GradeMap) -> float:
         return 1.0 - self.operand.truth(grades)
+
+    def truth_many(self, grades: GradeArrayMap) -> np.ndarray:
+        return 1.0 - self.operand.truth_many(grades)
 
     def variables(self) -> FrozenSet[str]:
         return self.operand.variables()
@@ -152,6 +193,12 @@ class Very(Expression):
     def truth(self, grades: GradeMap) -> float:
         return self.operand.truth(grades) ** 2
 
+    def truth_many(self, grades: GradeArrayMap) -> np.ndarray:
+        # scalar pow per element: numpy's array ``**`` is not bit-identical
+        # to Python's float ``**`` in the last ulp
+        inner = self.operand.truth_many(grades)
+        return np.array([v ** 2 for v in inner.tolist()], dtype=np.float64)
+
     def variables(self) -> FrozenSet[str]:
         return self.operand.variables()
 
@@ -171,6 +218,10 @@ class Somewhat(Expression):
 
     def truth(self, grades: GradeMap) -> float:
         return self.operand.truth(grades) ** 0.5
+
+    def truth_many(self, grades: GradeArrayMap) -> np.ndarray:
+        inner = self.operand.truth_many(grades)
+        return np.array([v ** 0.5 for v in inner.tolist()], dtype=np.float64)
 
     def variables(self) -> FrozenSet[str]:
         return self.operand.variables()

@@ -18,7 +18,9 @@ Defuzzification (step 4 of Figure 4) lives in :mod:`repro.fuzzy.defuzzify`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.fuzzy.rules import Rule, RuleBase
 from repro.fuzzy.sets import ClippedSet, MembershipFunction, UnionSet
@@ -155,6 +157,100 @@ class InferenceEngine:
             else:
                 output_sets[output_variable] = UnionSet(tuple(clipped_sets))
         return InferenceResult(grades=grades, output_sets=output_sets, fired=fired)
+
+    # -- batched inference -------------------------------------------------------
+
+    def fuzzify_many(
+        self, measurements_list: Sequence[Mapping[str, float]]
+    ) -> Dict[str, Dict[str, np.ndarray]]:
+        """Fuzzify a batch of crisp measurement sets in one pass.
+
+        All measurement mappings must use the same variable names.  For
+        each variable the crisp values are clamped and evaluated against
+        every term's membership function vectorized; element ``i`` of each
+        grade array is bit-identical to ``fuzzify(measurements_list[i])``.
+        """
+        grades: Dict[str, Dict[str, np.ndarray]] = {}
+        if not measurements_list:
+            return grades
+        count = len(measurements_list)
+        for name in measurements_list[0]:
+            variable = self.input_variables.get(name)
+            if variable is None:
+                raise KeyError(f"measurement for unknown input variable {name!r}")
+            xs = np.fromiter(
+                (m[name] for m in measurements_list), dtype=np.float64, count=count
+            )
+            lo, hi = variable.domain
+            xs = np.minimum(np.maximum(xs, lo), hi)
+            grades[name] = {
+                term.name: np.asarray(term.membership.evaluate(xs), dtype=np.float64)
+                for term in variable.terms
+            }
+        return grades
+
+    def fuzzify_columns(
+        self, columns: Mapping[str, np.ndarray]
+    ) -> Dict[str, Dict[str, np.ndarray]]:
+        """:meth:`fuzzify_many` for measurements already in column form.
+
+        ``columns`` maps each input variable to one float array holding
+        that measurement for every context.  Skips the per-context dict
+        plumbing of :meth:`fuzzify_many`; the grade arrays are
+        bit-identical because the same values flow through the same clamp
+        and membership evaluations.
+        """
+        grades: Dict[str, Dict[str, np.ndarray]] = {}
+        for name, xs in columns.items():
+            variable = self.input_variables.get(name)
+            if variable is None:
+                raise KeyError(f"measurement for unknown input variable {name!r}")
+            lo, hi = variable.domain
+            xs = np.minimum(np.maximum(xs, lo), hi)
+            grades[name] = {
+                term.name: np.asarray(term.membership.evaluate(xs), dtype=np.float64)
+                for term in variable.terms
+            }
+        return grades
+
+    def infer_outputs_many(
+        self,
+        rule_base: RuleBase,
+        measurements_list: Sequence[Mapping[str, float]],
+    ) -> List[Dict[str, MembershipFunction]]:
+        """Aggregated output sets for a batch of measurement sets.
+
+        The batched counterpart of :meth:`infer` restricted to what the
+        decision path consumes: every rule's firing strengths are computed
+        for all contexts in one vectorized sweep, then the per-context
+        output sets are assembled in rule-base order exactly as
+        :meth:`infer` would.  No :class:`FiredRule` audit records are
+        produced — batch callers only rank the defuzzified outputs.
+        """
+        grades = self.fuzzify_many(measurements_list)
+        count = len(measurements_list)
+        rules = list(rule_base)
+        strengths: List[List[float]] = []
+        consequents: List[MembershipFunction] = []
+        for rule in rules:
+            strength = rule.antecedent.truth_many(grades) * rule.weight
+            strengths.append(strength.tolist())
+            consequents.append(self._resolve_consequent(rule))
+        results: List[Dict[str, MembershipFunction]] = []
+        for i in range(count):
+            clipped_by_output: Dict[str, List[MembershipFunction]] = {}
+            for r, rule in enumerate(rules):
+                clipped_by_output.setdefault(rule.output_variable, []).append(
+                    ClippedSet(consequents[r], strengths[r][i])
+                )
+            output_sets: Dict[str, MembershipFunction] = {}
+            for output_variable, clipped_sets in clipped_by_output.items():
+                if len(clipped_sets) == 1:
+                    output_sets[output_variable] = clipped_sets[0]
+                else:
+                    output_sets[output_variable] = UnionSet(tuple(clipped_sets))
+            results.append(output_sets)
+        return results
 
     def output_domain(self, output_variable: str) -> Optional[Tuple[float, float]]:
         variable = self.output_variables.get(output_variable)

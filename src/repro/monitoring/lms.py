@@ -103,6 +103,12 @@ class LoadMonitoringSystem:
 
     def __init__(self) -> None:
         self._observations: Dict[Tuple[str, SituationKind], Observation] = {}
+        #: subject -> kinds currently observed for it, maintained on every
+        #: open/cancel/confirm so :meth:`cancel_subject` is O(kinds of that
+        #: subject) instead of a scan over every open observation (the
+        #: controller calls it for each down host each tick); the inner
+        #: dict doubles as an ordered set, preserving insertion order
+        self._by_subject: Dict[str, Dict[SituationKind, None]] = {}
         self.confirmed: List[Situation] = []
         #: optional :class:`~repro.core.state.StateJournal`: watch-time
         #: progress is journalled (open/close) so a recovered controller
@@ -115,6 +121,16 @@ class LoadMonitoringSystem:
         #: control domain this LMS belongs to, stamped into published
         #: situation events; empty in single-domain deployments
         self.domain = ""
+
+    def _index_add(self, key: Tuple[str, SituationKind]) -> None:
+        self._by_subject.setdefault(key[0], {})[key[1]] = None
+
+    def _index_discard(self, key: Tuple[str, SituationKind]) -> None:
+        kinds = self._by_subject.get(key[0])
+        if kinds is not None:
+            kinds.pop(key[1], None)
+            if not kinds:
+                del self._by_subject[key[0]]
 
     def _journal_close(self, key: Tuple[str, SituationKind]) -> None:
         if self.journal is not None:
@@ -168,6 +184,7 @@ class LoadMonitoringSystem:
             watch_time=watch_time,
         )
         self._observations[key] = observation
+        self._index_add(key)
         if self.journal is not None:
             self.journal.append(
                 "observation-open", **self._describe(observation)
@@ -180,20 +197,27 @@ class LoadMonitoringSystem:
     ) -> None:
         observation = self._observations.pop((subject, kind), None)
         if observation is not None:
+            self._index_discard((subject, kind))
             self._journal_close((subject, kind))
             self._publish(now, SituationPhase.CANCELLED, observation)
 
     def cancel_subject(self, subject: str, now: Optional[int] = None) -> int:
         """Drop every observation of one subject (e.g. its host crashed).
 
-        Returns the number of cancelled observations.
+        Served from the per-subject index, so the cost scales with the
+        subject's own open observations (at most one per situation kind),
+        not with every observation in the system.  Returns the number of
+        cancelled observations.
         """
-        keys = [key for key in self._observations if key[0] == subject]
-        for key in keys:
+        kinds = self._by_subject.pop(subject, None)
+        if not kinds:
+            return 0
+        for kind in kinds:
+            key = (subject, kind)
             observation = self._observations.pop(key)
             self._journal_close(key)
             self._publish(now, SituationPhase.CANCELLED, observation)
-        return len(keys)
+        return len(kinds)
 
     def tick(self, now: int) -> List[Situation]:
         """Evaluate due observations; return newly confirmed situations."""
@@ -203,6 +227,7 @@ class LoadMonitoringSystem:
             if not observation.due(now):
                 continue
             del self._observations[key]
+            self._index_discard(key)
             self._journal_close(key)
             mean = observation.confirmed(now)
             if mean is None:
@@ -258,6 +283,7 @@ class LoadMonitoringSystem:
         key = (monitor.subject, kind)
         if key in self._observations:
             return False
+        self._index_add(key)
         self._observations[key] = Observation(
             kind=kind,
             monitor=monitor,

@@ -76,14 +76,26 @@ class LoadMonitor:
 
     def sample(self, time: int) -> float:
         """Take one measurement, record it and report it."""
-        value = float(self._probe())
+        return self.push(time, float(self._probe()))
+
+    def push(self, time: int, value: float) -> float:
+        """Record and report an externally computed measurement.
+
+        The columnar controller computes one tick's values for all
+        monitored subjects in a few vectorized array operations and
+        pushes them here, bypassing the per-monitor probe call; the
+        recording, sink/archive and observer plumbing is exactly the
+        probe path's.
+        """
         self.series.record(time, value)
         if self.report_sink is not None:
             self.report_sink.append((self.subject, self.metric, time, value))
         elif self._archive is not None:
             self._archive.store(self.subject, self.metric, time, value)
-        for observer in tuple(self._observers):
-            observer(time, value)
+        observers = self._observers
+        if observers:
+            for observer in tuple(observers):
+                observer(time, value)
         return value
 
     def mark_dropped(self, time: int) -> None:

@@ -110,12 +110,12 @@ class LoadSeries:
         #: trailing-window duration -> incrementally maintained window;
         #: created lazily on the first ``mean_over_last`` per duration
         self._rolling: Dict[int, RollingWindow] = {}
+        #: newest timestamp seen (recorded or dropped); the O(1)
+        #: monotonicity floor for the per-sample hot path
+        self._floor = -1
 
     def _check_monotone(self, time: int) -> None:
-        last = max(
-            self._times[-1] if self._times else -1,
-            self._dropped[-1] if self._dropped else -1,
-        )
+        last = self._floor
         if last >= 0 and time <= last:
             raise ValueError(
                 f"series {self.name!r}: time {time} not after {last}"
@@ -123,7 +123,9 @@ class LoadSeries:
 
     def record(self, time: int, value: float) -> None:
         """Append one measurement; timestamps must strictly increase."""
-        self._check_monotone(time)
+        if time <= self._floor:
+            self._check_monotone(time)
+        self._floor = time
         value = float(value)
         self._times.append(time)
         self._values.append(value)
@@ -137,7 +139,9 @@ class LoadSeries:
         windowed means simply see a gap, while ``dropped_between``
         exposes the lost coverage to consumers that need it.
         """
-        self._check_monotone(time)
+        if time <= self._floor:
+            self._check_monotone(time)
+        self._floor = time
         self._dropped.append(time)
 
     def dropped_between(self, start: int, end: int) -> int:

@@ -15,6 +15,8 @@ from __future__ import annotations
 
 from typing import Any, Callable, Dict, List, Optional, Set
 
+import numpy as np
+
 from repro.config.model import (
     Action,
     LandscapeSpec,
@@ -35,6 +37,7 @@ from repro.serviceglobe.actions import (
 from repro.serviceglobe.code import CodeBundle, CodeRepository
 from repro.serviceglobe.dispatcher import Dispatcher, UserDistribution
 from repro.serviceglobe.host import ServiceHost
+from repro.serviceglobe.landscape_state import LandscapeState
 from repro.serviceglobe.network import NetworkFabric
 from repro.serviceglobe.registry import ServiceRegistry
 from repro.serviceglobe.service import (
@@ -95,6 +98,12 @@ class Platform:
             definition = ServiceDefinition(spec)
             self.services[spec.name] = definition
             self.registry.register(definition)
+        #: columnar cache of the hot-path aggregates (exact sums, lazily
+        #: recomputed per dirty host/service); every instance/host
+        #: mutation writes through to it
+        self.landscape_state = LandscapeState(
+            self.hosts, self.services, self.memory_of
+        )
         self.dispatcher = Dispatcher(
             host_load=lambda i: self.hosts[i.host_name].cpu_load,
             host_capacity=lambda i: self.hosts[i.host_name].cpu_capacity,
@@ -149,6 +158,7 @@ class Platform:
         self.services[spec.name] = definition
         self.registry.register(definition)
         self.code_repository.publish(CodeBundle(spec.name, version=1))
+        self.landscape_state.register_service(definition)
         return definition
 
     def _adopted_specs(self):
@@ -174,6 +184,16 @@ class Platform:
             raise NoSuchTarget(f"unknown service {name!r}") from None
 
     def instance(self, instance_id: str) -> ServiceInstance:
+        # ids are generated as "<service>#<seq>", so the owning service is
+        # almost always derivable without scanning the whole registry; the
+        # full scan remains as a fallback for ids of any other shape
+        service_name, separator, __ = instance_id.rpartition("#")
+        if separator:
+            definition = self.services.get(service_name)
+            if definition is not None:
+                found = definition.find_instance(instance_id)
+                if found is not None:
+                    return found
         for definition in self.services.values():
             found = definition.find_instance(instance_id)
             if found is not None:
@@ -216,19 +236,46 @@ class Platform:
         for other_name in others:
             if self.service(other_name).spec.constraints.exclusive:
                 return f"host is reserved exclusively for {other_name}"
-        free = host.memory_free_mb(self.memory_of)
+        state = self.landscape_state
+        if state.cache_enabled:
+            free = state.host_memory_free(host.state_id)
+        else:
+            free = host.memory_free_mb(self.memory_of)
         needed = service.spec.workload.memory_per_instance_mb
         if needed > free:
             return f"needs {needed} MB but only {free} MB free"
         return None
 
     def eligible_hosts(self, service_name: str) -> List[ServiceHost]:
-        """All hosts that could physically run another instance now."""
+        """All hosts that could physically run another instance now.
+
+        The columnar fast path evaluates the ``can_host`` conjunction as
+        one vectorized mask over the landscape state's columns instead
+        of re-deriving memory sums and service rosters host by host.
+        """
+        ids = self.eligible_ids(service_name)
+        if ids is not None:
+            host_objs = self.landscape_state.host_objs
+            return [host_objs[i] for i in ids]
         return [
             host
             for host in self.hosts.values()
             if self.can_host(service_name, host.name) is None
         ]
+
+    def eligible_ids(self, service_name: str) -> Optional[np.ndarray]:
+        """State ids of the eligible hosts in substrate order.
+
+        ``None`` when the columnar cache is disabled (callers fall back
+        to the object-graph scan).  The id array lets placement filters
+        (performance-index relations, source exclusion) run as column
+        operations without materializing host objects first.
+        """
+        state = self.landscape_state
+        if not state.cache_enabled:
+            return None
+        mask = state.eligible_mask(self.service(service_name))
+        return np.flatnonzero(mask)
 
     # -- primitive operations -----------------------------------------------------------
 
@@ -253,6 +300,7 @@ class Platform:
             instance_id=f"{service_name}#{self._instance_sequence:03d}",
             started_at=self._clock(),
         )
+        instance.bind_state(self.landscape_state)
         self.fabric.bind(ip, host_name)
         host.attach(instance)
         service.instances.append(instance)
@@ -402,6 +450,10 @@ class Platform:
 
     def hosts_down(self) -> List[str]:
         """Names of hosts currently out of the landscape."""
+        state = self.landscape_state
+        if state.cache_enabled:
+            names = state.host_index.names
+            return sorted(names[hid] for hid in state.down_host_ids())
         return sorted(name for name, host in self.hosts.items() if not host.up)
 
     # -- action execution ------------------------------------------------------------------
@@ -719,18 +771,23 @@ class Platform:
             self.registry.register(definition)
         for raw in payload["instances"]:
             instance = self._instance_from_dict(raw)
+            instance.bind_state(self.landscape_state)
             self.services[instance.service_name].instances.append(instance)
             if instance.running:
                 self.fabric.bind(instance.virtual_ip, instance.host_name)
                 self.host(instance.host_name).attach(instance)
                 self.registry.publish_instance(instance)
-        self.orphans = [
-            self._instance_from_dict(raw) for raw in payload.get("orphans", [])
-        ]
+        self.orphans = []
+        for raw in payload.get("orphans", []):
+            orphan = self._instance_from_dict(raw)
+            orphan.bind_state(self.landscape_state)
+            self.orphans.append(orphan)
         self.audit_log = [
             outcome_from_dict(raw) for raw in payload.get("audit_log", [])
         ]
         self.code_repository.restore_state(payload.get("code", {}))
+        # the wholesale rebuild above bypassed the write-through hooks
+        self.landscape_state.rebuild()
 
     # -- measurements (read by the monitoring framework) ---------------------------------
 
@@ -738,14 +795,27 @@ class Platform:
         return self.host(host_name).cpu_load
 
     def host_mem_load(self, host_name: str) -> float:
-        return self.host(host_name).mem_load(self.memory_of)
+        host = self.host(host_name)
+        state = self.landscape_state
+        if state.cache_enabled:
+            return state.host_mem_load(host.state_id)
+        return host.mem_load(self.memory_of)
 
     def instance_load(self, instance: ServiceInstance) -> float:
         """The instance's own demand relative to its host's capacity."""
         return min(instance.demand / self.host(instance.host_name).cpu_capacity, 1.0)
 
+    def _service_id(self, service_name: str) -> Optional[int]:
+        state = self.landscape_state
+        if not state.cache_enabled:
+            return None
+        return state.service_index.ids.get(service_name)
+
     def service_load(self, service_name: str) -> float:
         """Average load of all instances of a service (Table 1)."""
+        sid = self._service_id(service_name)
+        if sid is not None:
+            return self.landscape_state.service_load(sid)
         instances = self.service(service_name).running_instances
         if not instances:
             return 0.0
@@ -759,10 +829,16 @@ class Platform:
         the load-forecasting extension: the daily pattern of a service's
         demand is not polluted by the controller's own remedies.
         """
+        sid = self._service_id(service_name)
+        if sid is not None:
+            return self.landscape_state.service_demand(sid)
         return sum(i.demand for i in self.service(service_name).running_instances)
 
     def service_capacity(self, service_name: str) -> float:
         """Total performance index of the hosts running the service."""
+        sid = self._service_id(service_name)
+        if sid is not None:
+            return self.landscape_state.service_capacity(sid)
         return sum(
             self.host(i.host_name).cpu_capacity
             for i in self.service(service_name).running_instances
@@ -830,6 +906,14 @@ class DomainView:
         self.services: Dict[str, ServiceDefinition] = {
             n: s for n, s in platform.services.items() if n in wanted_services
         }
+        # dense state ids of the domain's hosts (substrate order), used to
+        # slice the shared columnar landscape state to this shard
+        state = platform.landscape_state
+        self._host_id_array = np.fromiter(
+            (state.host_index.ids[n] for n in self.hosts),
+            dtype=np.int64,
+            count=len(self.hosts),
+        )
         self.fence = FencingGuard()
         # pure delegations bind the substrate's methods directly: the
         # monitoring hot path calls these tens of thousands of times per
@@ -850,6 +934,10 @@ class DomainView:
         self.service_capacity = platform.service_capacity
 
     # -- shared substrate (objects the Platform may replace wholesale) ------------
+
+    @property
+    def landscape_state(self) -> "LandscapeState":
+        return self.platform.landscape_state
 
     @property
     def landscape(self) -> LandscapeSpec:
@@ -914,11 +1002,24 @@ class DomainView:
     # -- feasibility (placement candidates stay inside the shard) ------------------
 
     def eligible_hosts(self, service_name: str) -> List[ServiceHost]:
+        ids = self.eligible_ids(service_name)
+        if ids is not None:
+            host_objs = self.platform.landscape_state.host_objs
+            return [host_objs[i] for i in ids]
         return [
             host
             for host in self.hosts.values()
             if self.platform.can_host(service_name, host.name) is None
         ]
+
+    def eligible_ids(self, service_name: str) -> Optional[np.ndarray]:
+        """Domain-scoped :meth:`Platform.eligible_ids` (substrate order)."""
+        state = self.platform.landscape_state
+        if not state.cache_enabled:
+            return None
+        mask = state.eligible_mask(self.platform.service(service_name))
+        ids = self._host_id_array
+        return ids[mask[ids]]
 
     # -- faults and healing --------------------------------------------------------
 
@@ -933,6 +1034,12 @@ class DomainView:
 
     def hosts_down(self) -> List[str]:
         """Domain hosts currently out of the landscape."""
+        state = self.platform.landscape_state
+        if state.cache_enabled:
+            ids = self._host_id_array
+            down = ids[~state.host_up[ids]]
+            names = state.host_index.names
+            return sorted(names[i] for i in down)
         return sorted(name for name, host in self.hosts.items() if not host.up)
 
     # -- action execution ----------------------------------------------------------

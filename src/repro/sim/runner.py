@@ -120,6 +120,16 @@ class SimulationRunner:
         (:class:`repro.analysis.verify.TraceVerifier`) to the telemetry
         bus as a sanitizer: every published event is checked live, and
         :meth:`verification_report` returns the findings after the run.
+    scan_mode:
+        Landscape scan strategy for every controller the runner builds.
+        ``"columnar"`` (the default) reads measurements from the
+        platform's :class:`~repro.serviceglobe.landscape_state.LandscapeState`
+        columns and batches fuzzy inference across open situations;
+        ``"object-graph"`` walks the host/instance objects per tick, the
+        pre-columnar behaviour.  Both modes produce bit-identical runs;
+        the flag exists for benchmarks and equivalence tests.  Ignored
+        by ``controller_factory`` controllers, which construct
+        themselves.
     """
 
     def __init__(
@@ -146,11 +156,17 @@ class SimulationRunner:
         snapshot_interval: int = 10,
         kill_at: Optional[int] = None,
         verify: bool = False,
+        scan_mode: str = "columnar",
     ) -> None:
         if lint not in ("off", "warn", "strict"):
             raise ValueError(
                 f"lint must be 'off', 'warn' or 'strict', got {lint!r}"
             )
+        if scan_mode not in ("columnar", "object-graph"):
+            raise ValueError(
+                f"scan_mode must be 'columnar' or 'object-graph', got {scan_mode!r}"
+            )
+        self.scan_mode = scan_mode
         if snapshot_interval < 1:
             raise ValueError("snapshot interval must be at least one minute")
         if resume and state_dir is None:
@@ -264,6 +280,7 @@ class SimulationRunner:
                     self._execution_faults(chaos) if chaos is not None else None
                 ),
                 chaos_seed=chaos.seed if chaos is not None else None,
+                scan_mode=scan_mode,
             )
         elif supervised:
             from repro.core.failover import ControllerSupervisor
@@ -278,6 +295,7 @@ class SimulationRunner:
                 store=self._store,
                 standby=standby,
                 executor_factory=self._make_executor_factory(chaos),
+                scan_mode=scan_mode,
             )
         elif controller_factory is not None:
             self.controller = controller_factory(
@@ -292,7 +310,7 @@ class SimulationRunner:
                 )
             self.controller = AutoGlobeController(
                 self.platform, enabled=enabled, archive=archive,
-                executor=executor,
+                executor=executor, scan_mode=scan_mode,
             )
         self.executor = executor
         self.injector: Optional[FaultInjector] = None
