@@ -282,6 +282,56 @@ def _microbench_domain_scaling(horizon: int) -> dict:
     return results
 
 
+def _bench_store_ingest(horizon: int) -> dict:
+    """Telemetry-store ingest overhead on the seeded chaos workload.
+
+    Runs the acceptance chaos run with and without ``--store`` attached,
+    interleaved (baseline, store, baseline, store) and taking the min of
+    each pair so scheduler noise hits both sides equally.  The ISSUE's
+    criterion is <10% wall-clock overhead on the 80-hour run; the
+    batched tick-aligned flush (16 ticks per transaction) keeps the
+    SQLite writes off the per-event path, so the measured overhead is
+    within run-to-run noise.
+    """
+    import tempfile
+
+    from repro.sim.runner import SimulationRunner
+    from repro.sim.scenarios import Scenario, default_chaos
+
+    def once(store_path):
+        started = time.perf_counter()
+        runner = SimulationRunner(
+            Scenario.FULL_MOBILITY,
+            user_factor=1.15,
+            horizon=horizon,
+            seed=7,
+            collect_host_series=False,
+            chaos=default_chaos(seed=115),
+            store_path=store_path,
+        )
+        runner.run()
+        elapsed = time.perf_counter() - started
+        rows = runner.telemetry_store.inserted if store_path else 0
+        return elapsed, rows
+
+    label = f"{horizon // 60}h"
+    baseline, stored, rows = [], [], 0
+    with tempfile.TemporaryDirectory() as tmp:
+        for attempt in range(2):
+            baseline.append(once(None)[0])
+            elapsed, rows = once(Path(tmp) / f"store{attempt}.db")
+            stored.append(elapsed)
+    base, with_store = min(baseline), min(stored)
+    return {
+        f"ops_store_ingest_{label}_baseline_seconds": round(base, 3),
+        f"ops_store_ingest_{label}_seconds": round(with_store, 3),
+        f"ops_store_ingest_{label}_rows": rows,
+        f"ops_store_ingest_{label}_overhead_pct": round(
+            (with_store - base) / base * 100.0, 1
+        ),
+    }
+
+
 def _microbench_multiproc(horizon: int) -> dict:
     """Domain scaling of the multi-process federation (agent processes).
 
@@ -378,6 +428,8 @@ def run(quick: bool) -> dict:
     results.update(_microbench_domain_scaling(240 if quick else 720))
     print("multi-process federation (2 and 4 agent processes) ...", flush=True)
     results.update(_microbench_multiproc(120 if quick else 240))
+    print("telemetry-store ingest overhead ...", flush=True)
+    results.update(_bench_store_ingest(720 if quick else 4800))
 
     speedup = {}
     for key, before in PRE_REFACTOR_BASELINE.items():

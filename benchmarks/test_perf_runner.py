@@ -105,6 +105,26 @@ def test_committed_bench_documents_10k_real_time_ticks():
     )
 
 
+def test_committed_bench_documents_store_ingest_overhead():
+    """The telemetry store must stay cheap on the acceptance workload.
+
+    ISSUE 10's criterion: persisting every telemetry record of the
+    80-hour chaos run to the SQLite event store adds <10% wall-clock
+    overhead over the same run without a store attached.  The committed
+    numbers come from interleaved baseline/with-store pairs (min of
+    each), so scheduler noise hits both sides equally.
+    """
+    results = _committed()["results"]
+    assert results["ops_store_ingest_80h_rows"] > 0
+    assert results["ops_store_ingest_80h_baseline_seconds"] > 0
+    assert results["ops_store_ingest_80h_seconds"] > 0
+    overhead = results["ops_store_ingest_80h_overhead_pct"]
+    assert overhead < 10.0, (
+        f"telemetry-store ingest overhead {overhead}% >= 10% on the "
+        f"80h chaos run"
+    )
+
+
 def test_multiproc_federation_throughput_no_regression(tmp_path):
     from repro.net.orchestrator import run_multiproc
     from repro.sim.scenarios import Scenario

@@ -135,6 +135,20 @@ def load_summary(path: PathLike) -> Dict[str, Any]:
     return payload
 
 
+def _read_trace_or_store(trace_file: Path):
+    """Dispatch on file format: SQLite event store or JSONL trace.
+
+    Both yield the same ``(TraceHeader, [TraceEvent])`` shape, so the
+    checkers downstream cannot tell which surface the run was captured
+    on — the ISSUE's "same report from either format" guarantee.
+    """
+    from repro.ops.store import is_store_file, read_store
+
+    if is_store_file(trace_file):
+        return read_store(trace_file)
+    return read_trace(trace_file)
+
+
 def verify_trace(
     trace_path: PathLike,
     summary_path: Optional[PathLike] = None,
@@ -143,14 +157,16 @@ def verify_trace(
 ) -> AnalysisReport:
     """Offline front end: verify one exported ``telemetry.jsonl`` trace.
 
-    When ``summary_path`` is omitted, a ``summary.json`` sitting next to
-    the trace is picked up automatically (accounting reconciliation
-    degrades gracefully to "off" when neither exists).  Raises
-    :class:`~repro.telemetry.trace.TraceSchemaError` for traces written
-    by a newer schema version.
+    A SQLite event store written by ``autoglobe run --store`` is
+    accepted in place of the JSONL trace; the report is identical for
+    the same run.  When ``summary_path`` is omitted, a ``summary.json``
+    sitting next to the trace is picked up automatically (accounting
+    reconciliation degrades gracefully to "off" when neither exists).
+    Raises :class:`~repro.telemetry.trace.TraceSchemaError` for traces
+    written by a newer schema version.
     """
     trace_file = Path(trace_path)
-    header, events = read_trace(trace_file)
+    header, events = _read_trace_or_store(trace_file)
     verifier = TraceVerifier(ignore=ignore)
     for event in events:
         verifier.feed(event)
@@ -192,7 +208,7 @@ def verify_traces(
     complete = True
     for path in trace_paths:
         trace_file = Path(path)
-        header, events = read_trace(trace_file)
+        header, events = _read_trace_or_store(trace_file)
         complete = complete and header.complete
         sources.append((trace_file.parent.name or trace_file.stem, events))
     sources.sort(key=lambda pair: pair[0])

@@ -44,12 +44,29 @@ Subcommands::
     autoglobe verify TRACE.jsonl [--summary summary.json] [--strict]
         Replay an exported telemetry trace through the same invariant
         checkers offline.  For the same run, the offline report is
-        byte-identical to the live sanitizer's.
+        byte-identical to the live sanitizer's.  A SQLite event store
+        written with --store is accepted in place of the JSONL trace.
+
+    autoglobe run ... --store store.db --serve 127.0.0.1:8642
+        Additionally persist every telemetry event to a crash-tolerant
+        SQLite store and expose the live ops API: landscape, situation
+        and approval snapshots over HTTP, an /events WebSocket, and
+        POST approve/reject verdicts (the live half of the paper's
+        semi-automatic mode; enable it with --semi-automatic).
+
+    autoglobe console --connect 127.0.0.1:8642 [--once]
+        Attach to a live run's ops API: render the landscape, open
+        situations and pending approvals, then tail the event stream.
+
+    autoglobe tail STORE.db [--topic T] [--since-seq N] [--follow]
+        Print events from a telemetry store; --follow keeps polling
+        for new rows, tail -f style, while a run is still writing.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -90,6 +107,17 @@ def _kill_agent(text: str) -> "tuple":
         raise argparse.ArgumentTypeError(
             f"invalid kill spec {text!r}: expected DOMAIN:MINUTE "
             "(e.g. domain-2:760)"
+        )
+
+
+def _serve_addr(text: str) -> "tuple":
+    host, _, port = text.rpartition(":")
+    try:
+        return (host or "127.0.0.1", int(port))
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"invalid serve address {text!r}: expected HOST:PORT "
+            "(e.g. 127.0.0.1:8642; port 0 binds an ephemeral port)"
         )
 
 
@@ -160,6 +188,23 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--ignore", action="append", default=[], metavar="CODE",
                      help="with --verify: suppress a diagnostic code "
                           "(repeatable)")
+    run.add_argument("--store", default=None, metavar="STORE.db",
+                     help="persist every telemetry event to a SQLite "
+                          "event store (crash-tolerant, verifiable with "
+                          "'autoglobe verify', tailable with "
+                          "'autoglobe tail')")
+    run.add_argument("--serve", type=_serve_addr, default=None,
+                     metavar="HOST:PORT",
+                     help="expose the live ops API while the run "
+                          "executes: HTTP snapshots, /events WebSocket "
+                          "and POST approve/reject verdicts")
+    run.add_argument("--pace", type=float, default=0.0, metavar="SECONDS",
+                     help="sleep this many real seconds per simulated "
+                          "minute (gives --serve clients time to react)")
+    run.add_argument("--semi-automatic", action="store_true",
+                     help="run the controller in the paper's "
+                          "semi-automatic mode: actions wait for "
+                          "administrator approval")
     run.add_argument("--multiproc", action="store_true",
                      help="run each control domain as its own agent "
                           "process coordinated by a federation server "
@@ -188,6 +233,16 @@ def build_parser() -> argparse.ArgumentParser:
     console.add_argument("--users", type=float, default=1.15)
     console.add_argument("--hours", type=float, default=26.0)
     console.add_argument("--seed", type=int, default=7)
+    console.add_argument("--connect", type=_serve_addr, default=None,
+                         metavar="HOST:PORT",
+                         help="attach to a live run's ops API instead of "
+                              "simulating locally")
+    console.add_argument("--once", action="store_true",
+                         help="with --connect: print one snapshot and "
+                              "exit instead of tailing the event stream")
+    console.add_argument("--max-events", type=int, default=None, metavar="N",
+                         help="with --connect: stop after N streamed "
+                              "events (default: until interrupted)")
 
     landscape = subparsers.add_parser("landscape", help="emit the landscape XML")
     landscape.add_argument("--design", action="store_true",
@@ -226,6 +281,23 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument("--no-oscillation", action="store_true",
                       help="skip the AG306/AG307 controller-oscillation pass")
 
+    tail = subparsers.add_parser(
+        "tail",
+        help="print events from a telemetry event store",
+    )
+    tail.add_argument("store", metavar="STORE.db",
+                      help="SQLite event store written by "
+                           "'autoglobe run --store'")
+    tail.add_argument("--topic", default=None,
+                      help="only events on this bus topic")
+    tail.add_argument("--since-seq", type=int, default=0, metavar="N",
+                      help="skip events with sequence number <= N")
+    tail.add_argument("--follow", action="store_true",
+                      help="keep polling for new rows (tail -f) until "
+                           "interrupted")
+    tail.add_argument("--max-events", type=int, default=None, metavar="N",
+                      help="stop after printing N events")
+
     verify = subparsers.add_parser(
         "verify",
         help="check an exported telemetry trace against the AG3xx "
@@ -233,9 +305,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     verify.add_argument(
         "trace", metavar="TRACE.jsonl", nargs="+",
-        help="telemetry trace exported by 'autoglobe run --export'; "
-             "several per-agent traces from a --multiproc run are "
-             "merged by Lamport clock before verification",
+        help="telemetry trace exported by 'autoglobe run --export', or "
+             "a SQLite event store written with --store; several "
+             "per-agent traces from a --multiproc run are merged by "
+             "Lamport clock before verification",
     )
     verify.add_argument(
         "--summary", default=None, metavar="SUMMARY.json",
@@ -294,7 +367,14 @@ def _cmd_run(args) -> int:
         standby=args.standby,
         kill_at=args.kill_at,
         verify=args.verify,
+        store_path=args.store,
+        serve=args.serve,
+        pace=args.pace,
+        semi_automatic=args.semi_automatic,
     )
+    if runner.ops_server is not None:
+        print(f"ops API listening on http://{runner.ops_server.host}:"
+              f"{runner.ops_server.port}", file=sys.stderr)
     trace_writer = None
     if args.verify and args.export:
         # stream the trace instead of dumping the bounded ring afterwards,
@@ -385,6 +465,10 @@ def _cmd_run_multiproc(args) -> int:
         (args.standby, "--standby"),
         (args.resume, "--resume"),
         (args.kill_at is not None, "--kill-at"),
+        (args.serve is not None, "--serve"),
+        (args.store is not None, "--store"),
+        (args.pace > 0, "--pace"),
+        (args.semi_automatic, "--semi-automatic"),
     ):
         if flag:
             print(f"autoglobe run: {name} is not supported with "
@@ -454,6 +538,13 @@ def _cmd_capacity(args) -> int:
 
 
 def _cmd_console(args) -> int:
+    if args.connect is not None:
+        from repro.ops.console import run_console
+
+        host, port = args.connect
+        return run_console(
+            host, port, once=args.once, max_events=args.max_events
+        )
     from repro.core.console import ControllerConsole
     from repro.sim.runner import SimulationRunner
 
@@ -560,6 +651,60 @@ def _cmd_lint(args) -> int:
     return report.exit_code(strict=args.strict)
 
 
+def _cmd_tail(args) -> int:
+    from repro.analysis import EXIT_ERRORS
+    from repro.ops.store import is_store_file, tail_store
+
+    from pathlib import Path
+
+    store = Path(args.store)
+    if not store.exists():
+        print(f"autoglobe tail: {store}: no such file", file=sys.stderr)
+        return EXIT_ERRORS
+    if not is_store_file(store):
+        print(f"autoglobe tail: {store}: not a telemetry event store "
+              "(expected SQLite written by 'autoglobe run --store')",
+              file=sys.stderr)
+        return EXIT_ERRORS
+    printed = 0
+    try:
+        for source, event in tail_store(
+            store,
+            topic=args.topic,
+            since_seq=args.since_seq,
+            follow=args.follow,
+        ):
+            origin = f"{source}/" if source else ""
+            clock = f" clock={event.clock}" if event.clock is not None else ""
+            record = event.record
+            print(f"#{origin}{event.seq:<7}[{event.topic}]{clock} "
+                  f"{record.get('type')} t={record.get('time')} "
+                  f"{_tail_detail(record)}")
+            printed += 1
+            if args.max_events is not None and printed >= args.max_events:
+                break
+    except KeyboardInterrupt:
+        pass
+    except BrokenPipeError:
+        # tail | head: the consumer closed the pipe, which is how these
+        # pipelines end — swap in /dev/null so interpreter shutdown does
+        # not trip over the final stdout flush
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+    return 0
+
+
+def _tail_detail(record: dict) -> str:
+    """The interesting non-key fields of one record, compactly."""
+    skip = {"type", "time", "schema"}
+    parts = [
+        f"{key}={value}"
+        for key, value in record.items()
+        if key not in skip and value not in ("", None, [], {})
+    ]
+    return " ".join(parts[:6])
+
+
 def _cmd_verify(args) -> int:
     from repro.analysis import EXIT_ERRORS, verify_traces
     from repro.telemetry.trace import TraceSchemaError
@@ -586,6 +731,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "rebalance": _cmd_rebalance,
         "profiles": _cmd_profiles,
         "lint": _cmd_lint,
+        "tail": _cmd_tail,
         "verify": _cmd_verify,
     }[args.command]
     return handler(args)

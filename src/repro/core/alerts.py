@@ -10,16 +10,20 @@ interaction by alerting the system administrator."  (Section 4.3)
 from __future__ import annotations
 
 import enum
+import threading
+from collections import deque
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional
+from typing import Any, Callable, Deque, Dict, List, Optional
 
-from repro.telemetry.records import AlertEvent
+from repro.telemetry.records import AlertEvent, ApprovalEvent, ApprovalPhase
 
 __all__ = [
     "AlertSeverity",
     "Alert",
     "ApprovalRequest",
     "ApprovalQueue",
+    "ApprovalCommand",
+    "CommandQueue",
     "AlertChannel",
 ]
 
@@ -54,6 +58,13 @@ class ApprovalRequest:
     ``"approved"``, ``"declined"`` or ``"expired"`` (the TTL ran out
     before anyone answered — surfaced so unattended semi-automatic
     controllers do not silently drop decisions).
+
+    ``action`` is the deferred action's JSON-able payload (action kind,
+    service, instance, target host, applicability) when the request was
+    raised by the decision loop; a late approval replays it through the
+    fenced executor.  ``executed`` flips once that deferred execution
+    has been journalled as an action intent — a recovered controller
+    must never apply the same approval twice.
     """
 
     request_id: str
@@ -61,6 +72,9 @@ class ApprovalRequest:
     description: str
     status: str = "pending"
     answered_at: Optional[int] = None
+    service_name: str = ""
+    action: Optional[Dict[str, Any]] = None
+    executed: bool = False
 
     @property
     def pending(self) -> bool:
@@ -68,6 +82,42 @@ class ApprovalRequest:
 
     def __str__(self) -> str:
         return f"[{self.request_id} {self.status}] {self.description}"
+
+
+@dataclass(frozen=True)
+class ApprovalCommand:
+    """One administrator verdict posted from outside the sim thread."""
+
+    request_id: str
+    approve: bool
+
+
+class CommandQueue:
+    """Thread-safe mailbox for operator commands into the control loop.
+
+    The ops API's HTTP threads only ever :meth:`post`; the simulation
+    thread drains the queue at tick boundaries.  This is the *only*
+    write path from the operations plane into the controller, which is
+    what keeps a ``--serve`` run byte-identical when nobody posts.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._pending: Deque[ApprovalCommand] = deque()
+
+    def post(self, command: ApprovalCommand) -> None:
+        with self._lock:
+            self._pending.append(command)
+
+    def drain(self) -> List[ApprovalCommand]:
+        with self._lock:
+            drained = list(self._pending)
+            self._pending.clear()
+        return drained
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._pending)
 
 
 class ApprovalQueue:
@@ -87,11 +137,41 @@ class ApprovalQueue:
         self._sequence = 0
         #: optional :class:`~repro.core.state.StateJournal`
         self.journal = None
+        #: optional :class:`~repro.telemetry.bus.EventBus`: lifecycle
+        #: transitions publish :class:`ApprovalEvent` records when set
+        self.bus = None
+        #: control domain of the owning controller (prefixes request ids
+        #: so federated domains never collide); empty when single-domain
+        self.domain = ""
 
-    def submit(self, now: int, description: str) -> ApprovalRequest:
+    def _publish(
+        self, now: int, phase: ApprovalPhase, request: ApprovalRequest
+    ) -> None:
+        if self.bus is not None:
+            self.bus.publish(
+                ApprovalEvent(
+                    time=now,
+                    phase=phase,
+                    request_id=request.request_id,
+                    description=request.description,
+                    service_name=request.service_name,
+                    domain=self.domain,
+                )
+            )
+
+    def submit(
+        self,
+        now: int,
+        description: str,
+        service_name: str = "",
+        action: Optional[Dict[str, Any]] = None,
+    ) -> ApprovalRequest:
         self._sequence += 1
-        request_id = f"apr-{self._sequence:06d}"
-        request = ApprovalRequest(request_id, now, description)
+        prefix = f"{self.domain}-apr" if self.domain else "apr"
+        request_id = f"{prefix}-{self._sequence:06d}"
+        request = ApprovalRequest(
+            request_id, now, description, service_name=service_name, action=action
+        )
         self._requests[request_id] = request
         if self.journal is not None:
             self.journal.append(
@@ -99,8 +179,14 @@ class ApprovalQueue:
                 request_id=request_id,
                 time=now,
                 description=description,
+                service_name=service_name,
+                action=action,
             )
+        self._publish(now, ApprovalPhase.REQUESTED, request)
         return request
+
+    def get(self, request_id: str) -> Optional[ApprovalRequest]:
+        return self._requests.get(request_id)
 
     def answer(self, request_id: str, approved: bool, now: int) -> bool:
         """Record the administrator's verdict; False if not answerable."""
@@ -116,7 +202,25 @@ class ApprovalQueue:
                 approved=approved,
                 time=now,
             )
+        self._publish(
+            now,
+            ApprovalPhase.APPROVED if approved else ApprovalPhase.REJECTED,
+            request,
+        )
         return True
+
+    def mark_executed(self, request_id: str, now: int) -> None:
+        """Flag an approved request's deferred action as applied.
+
+        The durable record of execution is the executor's action-intent
+        entry (which carries the approval id); this flag only mirrors it
+        in memory and on the telemetry stream.
+        """
+        request = self._requests.get(request_id)
+        if request is None or request.executed:
+            return
+        request.executed = True
+        self._publish(now, ApprovalPhase.EXECUTED, request)
 
     def expire(self, now: int) -> List[ApprovalRequest]:
         """Expire pending requests older than the TTL; returns them."""
@@ -132,6 +236,7 @@ class ApprovalQueue:
                         request_id=request.request_id,
                         time=now,
                     )
+                self._publish(now, ApprovalPhase.EXPIRED, request)
         return expired
 
     def pending(self) -> List[ApprovalRequest]:
@@ -155,6 +260,9 @@ class ApprovalQueue:
                     "description": r.description,
                     "status": r.status,
                     "answered_at": r.answered_at,
+                    "service_name": r.service_name,
+                    "action": r.action,
+                    "executed": r.executed,
                 }
                 for r in self._requests.values()
             ],
@@ -164,18 +272,25 @@ class ApprovalQueue:
     def restore_state(
         self, approvals: List[Dict[str, object]], sequence: int
     ) -> None:
-        """Upsert recovered requests by id (idempotent)."""
+        """Upsert recovered requests by id (idempotent, never publishes)."""
         for raw in approvals:
             request_id = str(raw["request_id"])
             existing = self._requests.get(request_id)
             if existing is not None and not existing.pending:
-                continue  # an answered verdict is never overwritten
+                # an answered verdict is never overwritten, but the
+                # executed flag may only be learned from the journal
+                if raw.get("executed"):
+                    existing.executed = True
+                continue
             self._requests[request_id] = ApprovalRequest(
                 request_id=request_id,
                 time=int(raw["time"]),  # type: ignore[arg-type]
                 description=str(raw.get("description", "")),
                 status=str(raw.get("status", "pending")),
                 answered_at=raw.get("answered_at"),  # type: ignore[arg-type]
+                service_name=str(raw.get("service_name", "")),
+                action=raw.get("action"),  # type: ignore[arg-type]
+                executed=bool(raw.get("executed", False)),
             )
         self._sequence = max(self._sequence, int(sequence))
 
@@ -206,6 +321,7 @@ class AlertChannel:
         #: every confirmation request is tracked here; unanswered ones
         #: expire after ``approval_ttl`` simulated minutes
         self.approvals = ApprovalQueue(approval_ttl)
+        self.approvals.bus = bus
 
     def _record(self, alert: Alert) -> None:
         self.alerts.append(alert)
@@ -224,9 +340,22 @@ class AlertChannel:
         """Request human interaction (no applicable action/host found)."""
         self._record(Alert(time, AlertSeverity.ESCALATION, message))
 
-    def request_confirmation(self, time: int, description: str) -> bool:
-        """Ask the administrator to approve an action (semi-automatic mode)."""
-        request = self.approvals.submit(time, description)
+    def request_confirmation(
+        self,
+        time: int,
+        description: str,
+        service_name: str = "",
+        action: Optional[Dict[str, Any]] = None,
+    ) -> bool:
+        """Ask the administrator to approve an action (semi-automatic mode).
+
+        ``action`` is the proposed action's JSON-able payload; it rides
+        on the request so a *later* approval (over the live ops API) can
+        still execute the deferred action.
+        """
+        request = self.approvals.submit(
+            time, description, service_name=service_name, action=action
+        )
         if self._confirm is None:
             # no administrator attached: the request stays pending until
             # its TTL expires — the controller must not act on its own
@@ -237,6 +366,10 @@ class AlertChannel:
             return False
         approved = bool(self._confirm(description))
         self.approvals.answer(request.request_id, approved, time)
+        if approved:
+            # the caller executes the action inline on a True return; the
+            # deferred-execution scanner must not run it a second time
+            request.executed = True
         verdict = "approved" if approved else "declined"
         self.info(time, f"administrator {verdict}: {description}")
         return approved

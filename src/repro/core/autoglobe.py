@@ -21,7 +21,14 @@ import numpy as np
 
 from repro.config.model import Action, ControllerSettings
 from repro.core.action_selection import ActionContext, ActionSelector, RankedAction
-from repro.core.alerts import AlertChannel, ConfirmationCallback
+from repro.core.alerts import (
+    AlertChannel,
+    ApprovalCommand,
+    ApprovalRequest,
+    CommandQueue,
+    ConfirmationCallback,
+)
+from repro.core.constraints import verify_action
 from repro.core.decision import DecisionLoop
 from repro.core.protection import ProtectionRegistry
 from repro.core.server_selection import ServerSelector
@@ -87,6 +94,10 @@ class AutoGlobeController:
         self.alerts = AlertChannel(
             confirm, approval_ttl=self.settings.approval_ttl, bus=platform.bus
         )
+        self.alerts.approvals.domain = self.domain
+        #: operator verdicts posted from outside the simulation thread
+        #: (the ops API); drained at the start of every enabled tick
+        self.commands = CommandQueue()
         self.action_selector = ActionSelector()
         #: optional ReservationBook: reserved capacity steers host selection
         self.reservations = reservations
@@ -573,6 +584,20 @@ class AutoGlobeController:
         situations = self.lms.tick(now)
         if not self.enabled:
             return outcomes
+        # operator verdicts first, then deferred executions, then expiry:
+        # an approval and the TTL racing on the same tick resolves in the
+        # administrator's favor
+        for command in self.commands.drain():
+            self._apply_command(command, now)
+        for request in self.alerts.approvals.requests:
+            if (
+                request.status == "approved"
+                and request.action
+                and not request.executed
+            ):
+                outcome = self._execute_approved(request, now)
+                if outcome is not None:
+                    outcomes.append(outcome)
         for request in self.alerts.approvals.expire(now):
             self.alerts.warning(
                 now, f"approval expired unanswered: {request.description}"
@@ -815,6 +840,87 @@ class AutoGlobeController:
                     now, f"could not restart dead service {service_name}"
                 )
         return outcomes
+
+    # -- live approvals (ops API) ---------------------------------------------------------
+
+    def _apply_command(self, command: ApprovalCommand, now: int) -> None:
+        """Answer one operator verdict posted over the ops API.
+
+        Unknown request ids are skipped silently: the federated plane
+        broadcasts every command to all domains and exactly one of them
+        owns the request.  A verdict arriving after the request was
+        answered or expired is acknowledged but changes nothing.
+        """
+        request = self.alerts.approvals.get(command.request_id)
+        if request is None:
+            return
+        if not request.pending:
+            self.alerts.info(
+                now,
+                f"ignored late verdict for {command.request_id} "
+                f"(already {request.status})",
+            )
+            return
+        self.alerts.approvals.answer(command.request_id, command.approve, now)
+        verdict = "approved" if command.approve else "rejected"
+        self.alerts.info(
+            now,
+            f"administrator {verdict} {command.request_id} over the ops API: "
+            f"{request.description}",
+        )
+
+    def _execute_approved(
+        self, request: ApprovalRequest, now: int
+    ) -> Optional[ActionOutcome]:
+        """Execute the deferred action of a late-approved request.
+
+        Runs exactly once per approval: the executor journals the action
+        intent with the approval id before the platform mutates, so a
+        controller recovered mid-execution sees the request as executed
+        (or reconciles the in-flight intent) instead of re-applying it.
+        The landscape may have drifted since the request was raised, so
+        the action is re-verified against current constraints first; a
+        proposal the landscape outgrew is consumed without effect.
+        """
+        data = request.action or {}
+        action = Action(str(data["action"]))
+        service_name = str(data["service_name"])
+        instance_id = data.get("instance_id")
+        problem = verify_action(
+            self.platform, action, service_name, instance_id
+        )
+        if problem is not None:
+            request.executed = True
+            self.alerts.warning(
+                now,
+                f"approved action no longer applicable ({problem}): "
+                f"{request.description}",
+            )
+            return None
+        try:
+            outcome = self.executor.execute(
+                action,
+                service_name,
+                instance_id=instance_id,
+                target_host=data.get("target_host"),
+                applicability=data.get("applicability"),
+                note=f"approved by administrator ({request.request_id})",
+                approval_id=request.request_id,
+            )
+        except ActionError as error:
+            # one attempt per approval: a permanently failing action must
+            # not be retried every tick (the intent is already resolved
+            # as aborted in the journal)
+            request.executed = True
+            self.alerts.warning(
+                now, f"approved action failed: {request.description}: {error}"
+            )
+            return None
+        self.alerts.approvals.mark_executed(request.request_id, now)
+        self.decision_loop._protect_involved(outcome, now)
+        self.alerts.info(now, f"executed {outcome}")
+        self.archive.store_event(now, "action", outcome.service_name, str(outcome))
+        return outcome
 
     # -- durability & crash recovery -----------------------------------------------------
 

@@ -73,10 +73,29 @@ class DecisionLoop:
 
     # -- helpers -----------------------------------------------------------------
 
-    def _approved(self, now: int, description: str) -> bool:
+    def _approved(
+        self,
+        now: int,
+        description: str,
+        ranked: RankedAction,
+        target_host: Optional[str] = None,
+    ) -> bool:
         if self.settings.mode is ControllerMode.AUTOMATIC:
             return True
-        return self.alerts.request_confirmation(now, description)
+        # the proposed action rides on the request so an administrator
+        # answering *later* (live ops API) can still have it executed
+        return self.alerts.request_confirmation(
+            now,
+            description,
+            service_name=ranked.service_name,
+            action={
+                "action": ranked.action.value,
+                "service_name": ranked.service_name,
+                "instance_id": ranked.instance_id,
+                "target_host": target_host,
+                "applicability": ranked.applicability,
+            },
+        )
 
     def _protect_involved(
         self, outcome: ActionOutcome, now: int
@@ -161,7 +180,7 @@ class DecisionLoop:
     ) -> Optional[ActionOutcome]:
         if not ranked.action.needs_target_host:
             description = str(ranked)
-            if not self._approved(now, description):
+            if not self._approved(now, description, ranked):
                 record.considered.append(f"{ranked}: declined by administrator")
                 return None
             try:
@@ -196,7 +215,7 @@ class DecisionLoop:
                 )
                 break
             description = f"{ranked} -> {scored}"
-            if not self._approved(now, description):
+            if not self._approved(now, description, ranked, scored.host_name):
                 record.considered.append(f"{description}: declined by administrator")
                 return None
             try:

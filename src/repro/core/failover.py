@@ -35,6 +35,7 @@ from __future__ import annotations
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.config.model import ControllerSettings
+from repro.core.alerts import CommandQueue
 from repro.core.autoglobe import AutoGlobeController
 from repro.core.state import DurableStateStore, replay_journal
 from repro.monitoring.archive import InMemoryLoadArchive, LoadArchive
@@ -170,6 +171,9 @@ class ControllerSupervisor:
         self._monitor_outages: Dict[str, int] = {}
         #: unresolved action intents awaiting reconciliation on the next tick
         self._pending_intents: Dict[str, Dict[str, Any]] = {}
+        #: operator verdicts posted while the active replica may be down
+        #: or changing; forwarded to whoever leads at the next tick
+        self.commands = CommandQueue()
         self.active: Optional[AutoGlobeController] = self._recover_from_store()
 
     def _record_event(self, now: int, kind: str, detail: str) -> None:
@@ -382,6 +386,11 @@ class ControllerSupervisor:
                     self.active.reconcile(now, self._pending_intents)
                 )
                 self._pending_intents = {}
+            # operator verdicts survive the dead window between a crash
+            # and the next promotion: they sit in the supervisor's queue
+            # and reach whichever replica leads now
+            for command in self.commands.drain():
+                self.active.commands.post(command)
             outcomes.extend(self.active.tick(now))
             self.store.journal.append("tick", now=now)
             self.store.snapshots.save(

@@ -46,6 +46,7 @@ from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Union
 
 from repro.config.model import Action, ControllerSettings
+from repro.core.alerts import CommandQueue
 from repro.core.autoglobe import AutoGlobeController
 from repro.core.failover import ControllerSupervisor
 from repro.core.server_selection import ServerSelector
@@ -252,6 +253,9 @@ class FederatedControlPlane:
         # escrow ids must stay unique across kill-and-resume, so the
         # counter rides in snapshot_state alongside the fault cursor
         self._escrow_sequence = 0
+        #: operator verdicts posted from outside the simulation thread;
+        #: broadcast to every shard at the next tick
+        self.commands = CommandQueue()
         self.shards: Dict[str, DomainShard] = {}
         homes_by_domain: Dict[str, List[str]] = {}
         for service_name, home in self.service_homes.items():
@@ -543,6 +547,11 @@ class FederatedControlPlane:
 
     def tick(self, now: int) -> List[ActionOutcome]:
         """Tick every domain controller in declaration order."""
+        # operator verdicts are broadcast: request ids are domain-prefixed,
+        # so exactly one shard owns each command and the rest skip it
+        for command in self.commands.drain():
+            for shard in self.shards.values():
+                shard.controller.commands.post(command)
         outcomes: List[ActionOutcome] = []
         for shard in self.shards.values():
             outcomes.extend(shard.controller.tick(now))

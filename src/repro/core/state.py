@@ -489,6 +489,9 @@ def replay_journal(
                     "description": data.get("description", ""),
                     "status": "pending",
                     "answered_at": None,
+                    "service_name": data.get("service_name", ""),
+                    "action": data.get("action"),
+                    "executed": False,
                 }
             sequence = int(request_id.rsplit("-", 1)[-1])
             if sequence > state["approval_sequence"]:
@@ -513,6 +516,14 @@ def replay_journal(
             state["pending_restarts"].pop(data["service_name"], None)
         elif record.kind == "action-intent":
             state["intents"][data["intent_id"]] = dict(data)
+            # an intent raised on behalf of an approved request is the
+            # durable proof that its deferred action was applied: a
+            # recovered controller must never execute the approval again
+            approval_id = data.get("approval_id")
+            if approval_id:
+                request = state["approvals"].get(approval_id)
+                if request is not None:
+                    request["executed"] = True
         elif record.kind == "action-commit":
             state["intents"].pop(data["intent_id"], None)
         # unknown kinds are skipped: journals are forward-compatible

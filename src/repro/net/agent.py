@@ -80,7 +80,12 @@ from repro.serviceglobe.platform import DomainView, Platform
 from repro.sim.clock import PAPER_HORIZON_MINUTES
 from repro.sim.export import summary_json_payload
 from repro.sim.faults import FaultInjector, FaultRecord
-from repro.sim.results import ResultCollector, SimulationResult, SlaPolicy
+from repro.sim.results import (
+    ResultCollector,
+    SimulationResult,
+    SlaPolicy,
+    expired_approvals_by_service,
+)
 from repro.sim.scenarios import (
     ChaosProfile,
     Scenario,
@@ -1242,6 +1247,7 @@ class DomainAgent:
         return {
             "expired_approval_count": len(queue.expired()),
             "pending_approval_count": len(queue.pending()),
+            "expired_approvals_by_service": expired_approvals_by_service(queue),
         }
 
     def _finish(self, last: int, end: int) -> SimulationResult:

@@ -216,6 +216,7 @@ def run_multiproc(
             summaries=summaries,
             trace_paths=trace_paths,
             ignore=ignore,
+            store_path=Path(out_dir) / "store.db",
         )
         return MultiprocResult(
             report=report,

@@ -800,6 +800,7 @@ class FederationServer:
         trace_paths: Optional[Dict[str, Path]] = None,
         ignore: Tuple[str, ...] = (),
         name: str = "multiproc",
+        store_path: Optional[Path] = None,
     ):
         """Merge, verify and export the federation's run artifacts.
 
@@ -808,7 +809,12 @@ class FederationServer:
         chaos, where the server's live telemetry copy may be missing a
         partitioned tail.  Without it the wire-collected events are
         used, which is what "the live server-side verifier" means.
-        Returns ``(report, merged_summary, merged_trace_path)``.
+        ``store_path`` additionally writes every per-source stream into
+        one SQLite event store (:class:`repro.ops.store.TelemetryStore`,
+        first write per ``(source, seq)`` wins); reading the store back
+        merges the sources by Lamport clock into the same stream
+        verified here.  Returns ``(report, merged_summary,
+        merged_trace_path)``.
         """
         out_dir = Path(out_dir)
         out_dir.mkdir(parents=True, exist_ok=True)
@@ -825,6 +831,27 @@ class FederationServer:
         synthesized = self._synthesize_aborts(merged)
         if synthesized:
             merged = merge_traces([("", merged), ("server", synthesized)])
+        if store_path is not None:
+            from repro.ops.store import TelemetryStore
+
+            with TelemetryStore(store_path) as event_store:
+                for domain, events in sources:
+                    event_store.insert_events(
+                        domain,
+                        [
+                            (e.seq, e.topic, e.record, e.clock)
+                            for e in events
+                        ],
+                    )
+                if synthesized:
+                    event_store.insert_events(
+                        "server",
+                        [
+                            (e.seq, e.topic, e.record, e.clock)
+                            for e in synthesized
+                        ],
+                    )
+                event_store.mark_complete(complete)
         summaries = summaries if summaries is not None else dict(self._summaries)
         merged_summary = merge_summaries(summaries, self.horizon)
         verifier = TraceVerifier(ignore=ignore)
@@ -914,9 +941,16 @@ def merge_summaries(
     availability: Dict[str, Dict[str, Any]] = {}
     host_down: Dict[str, int] = {}
     instance_counts: Dict[str, int] = {}
+    expired_by_service: Dict[str, int] = {}
     for summary in per_domain:
         for action, count in (summary.get("action_counts") or {}).items():
             action_counts[action] = action_counts.get(action, 0) + int(count)
+        for name, count in (
+            summary.get("expired_approvals_by_service") or {}
+        ).items():
+            expired_by_service[name] = expired_by_service.get(name, 0) + int(
+                count
+            )
         for name, record in (summary.get("availability_by_service") or {}).items():
             if name in availability:
                 down = availability[name]["down_minutes"] + int(
@@ -944,6 +978,9 @@ def merge_summaries(
     merged["availability_by_service"] = availability
     merged["host_down_minutes"] = host_down
     merged["final_instance_counts"] = instance_counts
+    merged["expired_approvals_by_service"] = dict(
+        sorted(expired_by_service.items())
+    )
     if availability:
         merged["mean_availability"] = sum(
             record["availability"] for record in availability.values()

@@ -1,0 +1,627 @@
+"""The live management API: asyncio HTTP + WebSocket, stdlib only.
+
+Two halves, meeting at a thread boundary:
+
+* :class:`OpsBridge` lives on the *simulation* side.  The runner calls
+  :meth:`OpsBridge.refresh` at every tick boundary, which rebuilds
+  lock-protected JSON snapshots of the landscape (read off the columnar
+  :class:`~repro.serviceglobe.landscape_state.LandscapeState`), open
+  situations, approvals and the running summary.  The bridge also
+  subscribes wildcard on the telemetry bus and forwards every envelope
+  to registered listeners — still on the simulation thread, so the
+  fan-out into the server's event loop is a single
+  ``call_soon_threadsafe`` per envelope.
+* :class:`OpsServer` runs an asyncio event loop on a background thread.
+  GET endpoints serve the bridge's snapshots; ``/events`` upgrades to a
+  WebSocket whose per-client bounded queues implement drop-counting
+  backpressure (a stalled client loses events and is told how many, but
+  can never block the simulation tick or starve other clients); the
+  approve/reject POST endpoints validate against the approvals snapshot
+  and post an :class:`~repro.core.alerts.ApprovalCommand` into the
+  controller's thread-safe command queue, drained at the next tick.
+
+The server never touches simulation state directly: snapshots flow
+sim-thread -> bridge -> server, verdicts flow server -> command queue ->
+tick.  With no verdicts posted, a served run is byte-identical to an
+unserved one.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import base64
+import hashlib
+import json
+import struct
+import threading
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.core.alerts import ApprovalCommand
+from repro.telemetry.bus import Envelope, EventBus, WILDCARD
+from repro.telemetry.records import record_to_dict
+
+__all__ = ["OpsBridge", "OpsServer"]
+
+#: RFC 6455 handshake GUID.
+_WS_GUID = "258EAFA5-E914-47DA-95CA-C5AB0DC85B11"
+
+#: Events a slow WebSocket client may have in flight before drops begin.
+CLIENT_QUEUE_LIMIT = 256
+
+Listener = Callable[[Dict[str, Any]], None]
+
+
+class OpsBridge:
+    """Thread-safe snapshot mirror and command router for one run.
+
+    ``control_plane`` is anything with the controller surface the runner
+    drives: a plain :class:`~repro.core.autoglobe.AutoGlobeController`,
+    a :class:`~repro.core.failover.ControllerSupervisor` or a
+    :class:`~repro.core.federation.FederatedControlPlane` — all expose
+    ``alerts.approvals`` and a thread-safe ``commands`` queue.
+    """
+
+    def __init__(
+        self,
+        platform: Any,
+        control_plane: Any,
+        run_info: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        self.platform = platform
+        self.control_plane = control_plane
+        self.run_info = dict(run_info or {})
+        self._lock = threading.Lock()
+        self._snapshots: Dict[str, Any] = {
+            "landscape": {"time": None, "hosts": [], "services": []},
+            "situations": {"time": None, "open": [], "handled": 0, "recent": []},
+            "approvals": {"time": None, "requests": []},
+            "summary": dict(self.run_info, time=None),
+        }
+        self._listeners: List[Listener] = []
+        self._bus: Optional[EventBus] = None
+        self.events_seen = 0
+        self.commands_posted = 0
+
+    # -- event fan-out (simulation thread) ------------------------------------------
+
+    def attach(self, bus: EventBus) -> None:
+        if self._bus is not None:
+            raise RuntimeError("ops bridge is already attached")
+        bus.subscribe(WILDCARD, self._on_envelope)
+        self._bus = bus
+
+    def detach(self) -> None:
+        if self._bus is not None:
+            self._bus.unsubscribe(WILDCARD, self._on_envelope)
+            self._bus = None
+
+    def add_listener(self, listener: Listener) -> None:
+        with self._lock:
+            self._listeners = self._listeners + [listener]
+
+    def remove_listener(self, listener: Listener) -> None:
+        with self._lock:
+            self._listeners = [l for l in self._listeners if l is not listener]
+
+    def _on_envelope(self, envelope: Envelope) -> None:
+        self.events_seen += 1
+        listeners = self._listeners
+        if not listeners:
+            return
+        payload = {
+            "seq": envelope.seq,
+            "topic": envelope.topic,
+            "record": record_to_dict(envelope.record),
+        }
+        for listener in listeners:
+            listener(payload)
+
+    # -- snapshots (rebuilt on the simulation thread) --------------------------------
+
+    def _leaf_controllers(self) -> List[Any]:
+        plane = self.control_plane
+        shards = getattr(plane, "shards", None)
+        planes = (
+            [shard.controller for shard in shards.values()] if shards else [plane]
+        )
+        leaves = []
+        for candidate in planes:
+            if hasattr(candidate, "replicas"):  # a ControllerSupervisor
+                active = candidate.active
+                if active is not None:
+                    leaves.append(active)
+            else:
+                leaves.append(candidate)
+        return leaves
+
+    def _landscape_snapshot(self, now: int) -> Dict[str, Any]:
+        platform = self.platform
+        state = platform.landscape_state
+        hosts = []
+        columnar = bool(getattr(state, "cache_enabled", False))
+        if columnar:
+            state.flush()
+        host_ids = state.host_index.ids if columnar else {}
+        for name, host in platform.hosts.items():
+            if columnar:
+                hid = host_ids[name]
+                cpu = state.host_cpu_load(hid)
+                mem = state.host_mem_load(hid)
+            else:
+                cpu = host.cpu_load
+                mem = platform.host_mem_load(name)
+            hosts.append(
+                {
+                    "name": name,
+                    "up": bool(host.up),
+                    "cpu_load": round(float(cpu), 6),
+                    "mem_load": round(float(mem), 6),
+                    "instances": [
+                        instance.instance_id
+                        for instance in host.running_instances
+                    ],
+                }
+            )
+        services = []
+        service_ids = state.service_index.ids if columnar else {}
+        for name in sorted(platform.services):
+            service = platform.service(name)
+            if columnar:
+                sid = service_ids[name]
+                running = state.service_running_count(sid)
+                demand = state.service_demand(sid)
+                load = state.service_load(sid)
+            else:
+                running = len(service.running_instances)
+                demand = platform.service_demand(name)
+                load = platform.service_load(name)
+            services.append(
+                {
+                    "name": name,
+                    "running_instances": int(running),
+                    "demand": round(float(demand), 6),
+                    "load": round(float(load), 6),
+                }
+            )
+        return {"time": now, "hosts": hosts, "services": services}
+
+    def _situations_snapshot(self, now: int) -> Dict[str, Any]:
+        open_observations: List[Dict[str, Any]] = []
+        handled = 0
+        recent: List[str] = []
+        for controller in self._leaf_controllers():
+            lms = getattr(controller, "lms", None)
+            if lms is not None:
+                open_observations.extend(lms.snapshot_state())
+            handled_list = getattr(controller, "situations_handled", [])
+            handled += len(handled_list)
+            recent.extend(str(situation) for situation in handled_list[-10:])
+        return {
+            "time": now,
+            "open": open_observations,
+            "handled": handled,
+            "recent": recent[-20:],
+        }
+
+    def _approvals_snapshot(self, now: int) -> Dict[str, Any]:
+        queue = self.control_plane.alerts.approvals
+        requests = [
+            {
+                "request_id": request.request_id,
+                "time": request.time,
+                "description": request.description,
+                "status": request.status,
+                "answered_at": request.answered_at,
+                "service_name": request.service_name,
+                "executed": request.executed,
+                "action": request.action,
+            }
+            for request in queue.requests
+        ]
+        return {"time": now, "requests": requests}
+
+    def _summary_snapshot(self, now: int) -> Dict[str, Any]:
+        queue = self.control_plane.alerts.approvals
+        summary = dict(self.run_info)
+        summary.update(
+            time=now,
+            events_seen=self.events_seen,
+            actions=len(self.platform.audit_log),
+            pending_approvals=len(queue.pending()),
+            expired_approvals=len(queue.expired()),
+            commands_posted=self.commands_posted,
+        )
+        return summary
+
+    def refresh(self, now: int) -> None:
+        """Rebuild every snapshot; called at tick boundaries."""
+        landscape = self._landscape_snapshot(now)
+        situations = self._situations_snapshot(now)
+        approvals = self._approvals_snapshot(now)
+        summary = self._summary_snapshot(now)
+        with self._lock:
+            self._snapshots["landscape"] = landscape
+            self._snapshots["situations"] = situations
+            self._snapshots["approvals"] = approvals
+            self._snapshots["summary"] = summary
+
+    def snapshot(self, name: str) -> Any:
+        with self._lock:
+            return self._snapshots[name]
+
+    # -- verdicts (any thread) --------------------------------------------------------
+
+    def post_verdict(self, request_id: str, approve: bool) -> Tuple[bool, str]:
+        """Validate a verdict against the approvals snapshot and post it.
+
+        Validation races the simulation by design (the snapshot is one
+        tick old at worst); the controller's own drain re-checks and
+        ignores verdicts for answered or expired requests.
+        """
+        with self._lock:
+            requests = self._snapshots["approvals"]["requests"]
+        known = {entry["request_id"]: entry for entry in requests}
+        entry = known.get(request_id)
+        if entry is None:
+            return False, f"unknown approval request: {request_id}"
+        if entry["status"] != "pending":
+            return False, f"request {request_id} is already {entry['status']}"
+        self.control_plane.commands.post(ApprovalCommand(request_id, approve))
+        self.commands_posted += 1
+        verdict = "approve" if approve else "reject"
+        return True, f"{verdict} {request_id} queued for the next tick"
+
+
+class _WSClient:
+    """One connected ``/events`` subscriber."""
+
+    _ids = 0
+
+    def __init__(self) -> None:
+        _WSClient._ids += 1
+        self.id = _WSClient._ids
+        self.queue: asyncio.Queue = asyncio.Queue(maxsize=CLIENT_QUEUE_LIMIT)
+        #: drops not yet surfaced in-band (reset when the notice sends)
+        self.dropped = 0
+        #: lifetime drops, for ``/stats`` — never reset
+        self.dropped_total = 0
+        self.delivered = 0
+        self.closed = False
+
+
+class OpsServer:
+    """The asyncio HTTP/WebSocket server on its background thread.
+
+    Endpoints::
+
+        GET  /                    endpoint index
+        GET  /state               landscape snapshot (columnar read)
+        GET  /situations          open observations + recently handled
+        GET  /approvals           every approval request and its status
+        GET  /summary             run summary counters
+        GET  /stats               server + per-client backpressure stats
+        POST /approvals/<id>/approve
+        POST /approvals/<id>/reject
+        GET  /events              WebSocket: live envelope stream
+
+    ``port=0`` binds an ephemeral port; :attr:`port` holds the real one
+    after :meth:`start` returns.
+    """
+
+    def __init__(
+        self, bridge: OpsBridge, host: str = "127.0.0.1", port: int = 0
+    ) -> None:
+        self.bridge = bridge
+        self.host = host
+        self.port = port
+        self._thread: Optional[threading.Thread] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._stop_event: Optional[asyncio.Event] = None
+        self._started = threading.Event()
+        self._startup_error: Optional[BaseException] = None
+        self._clients: List[_WSClient] = []
+        self.events_forwarded = 0
+
+    # -- lifecycle --------------------------------------------------------------------
+
+    def start(self) -> "OpsServer":
+        if self._thread is not None:
+            raise RuntimeError("ops server already started")
+        self._thread = threading.Thread(
+            target=self._run, name="ops-server", daemon=True
+        )
+        self._thread.start()
+        if not self._started.wait(timeout=10.0):
+            raise RuntimeError("ops server failed to start within 10s")
+        if self._startup_error is not None:
+            raise RuntimeError(
+                f"ops server failed to start: {self._startup_error}"
+            )
+        return self
+
+    def stop(self) -> None:
+        self.bridge.remove_listener(self._on_event)
+        loop = self._loop
+        if loop is not None and self._stop_event is not None:
+            try:
+                loop.call_soon_threadsafe(self._stop_event.set)
+            except RuntimeError:
+                pass  # loop already closed
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)
+            self._thread = None
+
+    def _run(self) -> None:
+        try:
+            asyncio.run(self._main())
+        except BaseException as error:  # pragma: no cover - startup races
+            self._startup_error = error
+            self._started.set()
+
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop_event = asyncio.Event()
+        try:
+            server = await asyncio.start_server(
+                self._handle_client, self.host, self.port
+            )
+        except OSError as error:
+            self._startup_error = error
+            self._started.set()
+            return
+        self.port = server.sockets[0].getsockname()[1]
+        self.bridge.add_listener(self._on_event)
+        self._started.set()
+        async with server:
+            await self._stop_event.wait()
+        for client in list(self._clients):
+            client.closed = True
+
+    # -- event fan-out ----------------------------------------------------------------
+
+    def _on_event(self, payload: Dict[str, Any]) -> None:
+        """Called on the simulation thread for every published envelope."""
+        loop = self._loop
+        if loop is None:
+            return
+        try:
+            loop.call_soon_threadsafe(self._fan_out, payload)
+        except RuntimeError:
+            pass  # server shutting down
+
+    def _fan_out(self, payload: Dict[str, Any]) -> None:
+        self.events_forwarded += 1
+        for client in self._clients:
+            if client.closed:
+                continue
+            try:
+                client.queue.put_nowait(payload)
+            except asyncio.QueueFull:
+                # backpressure: the stalled client loses this event and
+                # is told how many it lost once it drains again
+                client.dropped += 1
+                client.dropped_total += 1
+
+    def stats(self) -> Dict[str, Any]:
+        return {
+            "events_forwarded": self.events_forwarded,
+            "clients": [
+                {
+                    "id": client.id,
+                    "queued": client.queue.qsize(),
+                    "delivered": client.delivered,
+                    "dropped": client.dropped_total,
+                }
+                for client in self._clients
+            ],
+        }
+
+    # -- HTTP -------------------------------------------------------------------------
+
+    async def _handle_client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            request_line = await reader.readline()
+            if not request_line:
+                return
+            try:
+                method, path, _ = request_line.decode("latin-1").split(" ", 2)
+            except ValueError:
+                await self._respond(writer, 400, {"error": "malformed request"})
+                return
+            headers: Dict[str, str] = {}
+            while True:
+                line = await reader.readline()
+                if line in (b"\r\n", b"\n", b""):
+                    break
+                key, _, value = line.decode("latin-1").partition(":")
+                headers[key.strip().lower()] = value.strip()
+            length = int(headers.get("content-length", "0") or "0")
+            if length:
+                await reader.readexactly(length)
+            if (
+                path == "/events"
+                and "websocket" in headers.get("upgrade", "").lower()
+            ):
+                await self._websocket(reader, writer, headers)
+                return
+            await self._route(writer, method.upper(), path)
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, RuntimeError):
+                pass
+
+    async def _route(
+        self, writer: asyncio.StreamWriter, method: str, path: str
+    ) -> None:
+        if method == "GET":
+            if path == "/":
+                await self._respond(
+                    writer,
+                    200,
+                    {
+                        "endpoints": [
+                            "/state",
+                            "/situations",
+                            "/approvals",
+                            "/summary",
+                            "/stats",
+                            "/events (websocket)",
+                            "POST /approvals/<id>/approve",
+                            "POST /approvals/<id>/reject",
+                        ]
+                    },
+                )
+                return
+            if path == "/state":
+                await self._respond(writer, 200, self.bridge.snapshot("landscape"))
+                return
+            if path == "/situations":
+                await self._respond(writer, 200, self.bridge.snapshot("situations"))
+                return
+            if path == "/approvals":
+                await self._respond(writer, 200, self.bridge.snapshot("approvals"))
+                return
+            if path == "/summary":
+                await self._respond(writer, 200, self.bridge.snapshot("summary"))
+                return
+            if path == "/stats":
+                await self._respond(writer, 200, self.stats())
+                return
+        elif method == "POST":
+            parts = path.strip("/").split("/")
+            if (
+                len(parts) == 3
+                and parts[0] == "approvals"
+                and parts[2] in ("approve", "reject")
+            ):
+                ok, message = self.bridge.post_verdict(
+                    parts[1], parts[2] == "approve"
+                )
+                await self._respond(
+                    writer, 200 if ok else 409, {"ok": ok, "message": message}
+                )
+                return
+        await self._respond(writer, 404, {"error": f"no such endpoint: {path}"})
+
+    async def _respond(
+        self, writer: asyncio.StreamWriter, status: int, payload: Any
+    ) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        reason = {200: "OK", 400: "Bad Request", 404: "Not Found", 409: "Conflict"}
+        head = (
+            f"HTTP/1.1 {status} {reason.get(status, 'OK')}\r\n"
+            "Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            "Connection: close\r\n"
+            "\r\n"
+        ).encode("latin-1")
+        writer.write(head + body)
+        await writer.drain()
+
+    # -- WebSocket --------------------------------------------------------------------
+
+    async def _websocket(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        headers: Dict[str, str],
+    ) -> None:
+        key = headers.get("sec-websocket-key")
+        if not key:
+            await self._respond(writer, 400, {"error": "missing websocket key"})
+            return
+        accept = base64.b64encode(
+            hashlib.sha1((key + _WS_GUID).encode("latin-1")).digest()
+        ).decode("latin-1")
+        writer.write(
+            (
+                "HTTP/1.1 101 Switching Protocols\r\n"
+                "Upgrade: websocket\r\n"
+                "Connection: Upgrade\r\n"
+                f"Sec-WebSocket-Accept: {accept}\r\n"
+                "\r\n"
+            ).encode("latin-1")
+        )
+        await writer.drain()
+        client = _WSClient()
+        self._clients.append(client)
+        sender = asyncio.ensure_future(self._ws_sender(client, writer))
+        try:
+            await self._ws_receiver(client, reader, writer)
+        finally:
+            client.closed = True
+            sender.cancel()
+            try:
+                await sender
+            except (asyncio.CancelledError, ConnectionError):
+                pass
+            self._clients.remove(client)
+
+    async def _ws_sender(
+        self, client: _WSClient, writer: asyncio.StreamWriter
+    ) -> None:
+        hello = {"type": "hello", "endpoint": "/events"}
+        await self._ws_send_text(writer, json.dumps(hello))
+        while not client.closed:
+            payload = await client.queue.get()
+            if client.dropped:
+                # surface the loss in-band before resuming the stream
+                notice = {"type": "dropped", "count": client.dropped}
+                client.dropped = 0
+                await self._ws_send_text(writer, json.dumps(notice))
+            await self._ws_send_text(writer, json.dumps(payload))
+            client.delivered += 1
+
+    @staticmethod
+    async def _ws_send_text(writer: asyncio.StreamWriter, text: str) -> None:
+        data = text.encode("utf-8")
+        length = len(data)
+        if length < 126:
+            header = struct.pack("!BB", 0x81, length)
+        elif length < 1 << 16:
+            header = struct.pack("!BBH", 0x81, 126, length)
+        else:
+            header = struct.pack("!BBQ", 0x81, 127, length)
+        writer.write(header + data)
+        await writer.drain()
+
+    async def _ws_receiver(
+        self,
+        client: _WSClient,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        while not client.closed:
+            try:
+                first = await reader.readexactly(2)
+            except (asyncio.IncompleteReadError, ConnectionError):
+                return
+            opcode = first[0] & 0x0F
+            masked = bool(first[1] & 0x80)
+            length = first[1] & 0x7F
+            if length == 126:
+                length = struct.unpack("!H", await reader.readexactly(2))[0]
+            elif length == 127:
+                length = struct.unpack("!Q", await reader.readexactly(8))[0]
+            mask = await reader.readexactly(4) if masked else b""
+            payload = await reader.readexactly(length) if length else b""
+            if masked:
+                payload = bytes(
+                    byte ^ mask[i % 4] for i, byte in enumerate(payload)
+                )
+            if opcode == 0x8:  # close
+                writer.write(struct.pack("!BB", 0x88, 0))
+                await writer.drain()
+                return
+            if opcode == 0x9:  # ping -> pong
+                header = struct.pack("!BB", 0x8A, len(payload))
+                writer.write(header + payload)
+                await writer.drain()
+            # text/binary/pong frames from clients are ignored: the
+            # stream is one-way, verdicts go over POST

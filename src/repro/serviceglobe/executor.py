@@ -182,6 +182,7 @@ class ActionExecutor:
         instance_id: Optional[str],
         target_host: Optional[str],
         note: str,
+        approval_id: Optional[str] = None,
     ) -> Optional[str]:
         if self.journal is None:
             return None
@@ -196,6 +197,7 @@ class ActionExecutor:
             instance_id=instance_id,
             target_host=target_host,
             note=note,
+            approval_id=approval_id,
         )
         return intent_id
 
@@ -314,6 +316,7 @@ class ActionExecutor:
         applicability: Optional[float] = None,
         enforce_allowed: bool = True,
         note: str = "",
+        approval_id: Optional[str] = None,
     ) -> ActionOutcome:
         """Execute one action with the retry/timeout/backoff budget.
 
@@ -329,9 +332,13 @@ class ActionExecutor:
         the platform mutation and an ``action-commit`` record follows
         it (status ``"ok"``, ``"aborted"`` or ``"fenced"``) — crash
         recovery completes or compensates whatever intent has no commit.
+        ``approval_id`` ties the intent to the semi-automatic approval
+        that authorized it — recovery uses it to guarantee a late-approved
+        action is applied exactly once.
         """
         intent_id = self._journal_intent(
-            action, service_name, instance_id, target_host, note
+            action, service_name, instance_id, target_host, note,
+            approval_id=approval_id,
         )
         try:
             if self.faults.pristine:

@@ -87,6 +87,9 @@ def summary_json_payload(result: SimulationResult) -> dict:
         "leader_partition_count": result.controller_fault_count("leader-partition"),
         "expired_approval_count": result.expired_approval_count,
         "pending_approval_count": result.pending_approval_count,
+        "expired_approvals_by_service": dict(
+            sorted(result.expired_approvals_by_service.items())
+        ),
     }
 
 

@@ -37,7 +37,23 @@ __all__ = [
     "SimulationResult",
     "ResultCollector",
     "accounting_summary",
+    "expired_approvals_by_service",
 ]
+
+
+def expired_approvals_by_service(queue) -> Dict[str, int]:
+    """Group a queue's expired approvals by the requesting service.
+
+    Accepts any approvals view with an ``expired()`` method (the plain
+    :class:`~repro.core.alerts.ApprovalQueue`, the supervisor's and the
+    federation's aggregates); requests predating the service attribution
+    land under ``""``.
+    """
+    counts: Dict[str, int] = {}
+    for request in queue.expired():
+        name = getattr(request, "service_name", "") or ""
+        counts[name] = counts.get(name, 0) + 1
+    return counts
 
 
 def accounting_summary(result: "SimulationResult") -> Dict[str, Any]:
@@ -168,6 +184,9 @@ class SimulationResult:
     #: semi-automatic approvals that expired unanswered / are still open
     expired_approval_count: int = 0
     pending_approval_count: int = 0
+    #: service name -> approvals that expired unanswered for that service
+    #: (requests without a service attribution count under ``""``)
+    expired_approvals_by_service: Dict[str, int] = field(default_factory=dict)
 
     # -- aggregates ------------------------------------------------------------------
 
@@ -289,6 +308,14 @@ class SimulationResult:
                 f"  approvals: {self.pending_approval_count} pending, "
                 f"{self.expired_approval_count} expired unanswered"
             )
+            if self.expired_approvals_by_service:
+                rendered = ", ".join(
+                    f"{name or '(unattributed)'}: {count}"
+                    for name, count in sorted(
+                        self.expired_approvals_by_service.items()
+                    )
+                )
+                lines.append(f"  expired by service: {rendered}")
         return "\n".join(lines)
 
 
@@ -405,6 +432,7 @@ class ResultCollector:
         controller_down_minutes: int = 0,
         expired_approval_count: int = 0,
         pending_approval_count: int = 0,
+        expired_approvals_by_service: Optional[Dict[str, int]] = None,
     ) -> SimulationResult:
         for name, start in self._open_episode_start.items():
             if start is not None:
@@ -454,6 +482,7 @@ class ResultCollector:
             controller_down_minutes=controller_down_minutes,
             expired_approval_count=expired_approval_count,
             pending_approval_count=pending_approval_count,
+            expired_approvals_by_service=dict(expired_approvals_by_service or {}),
         )
 
     # -- durability (kill -9 and resume) -----------------------------------------------

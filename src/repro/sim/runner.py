@@ -12,8 +12,9 @@ from __future__ import annotations
 import dataclasses
 import os
 import signal
+import time
 from pathlib import Path
-from typing import Callable, Optional, Set, Union
+from typing import Callable, Optional, Set, Tuple, Union
 
 from repro.config.model import ControllerSettings, LandscapeSpec
 from repro.core.autoglobe import AutoGlobeController
@@ -21,7 +22,12 @@ from repro.serviceglobe.executor import ActionExecutor, ExecutionFaults
 from repro.serviceglobe.platform import Platform
 from repro.sim.clock import PAPER_HORIZON_MINUTES
 from repro.sim.faults import FaultInjector, FaultRecord
-from repro.sim.results import ResultCollector, SimulationResult, SlaPolicy
+from repro.sim.results import (
+    ResultCollector,
+    SimulationResult,
+    SlaPolicy,
+    expired_approvals_by_service,
+)
 from repro.sim.scenarios import (
     ChaosProfile,
     Scenario,
@@ -130,6 +136,31 @@ class SimulationRunner:
         the flag exists for benchmarks and equivalence tests.  Ignored
         by ``controller_factory`` controllers, which construct
         themselves.
+    store_path:
+        Persist every telemetry envelope to a SQLite event store
+        (:class:`repro.ops.store.TelemetryStore`) at this path; batches
+        commit transactionally at tick boundaries.  ``autoglobe verify``
+        and ``autoglobe tail`` read the store directly, and a resumed
+        run (``resume=True``) truncates it back to the snapshot's
+        sequence and continues it gaplessly.
+    serve:
+        ``(host, port)`` to expose the live ops API
+        (:class:`repro.ops.api.OpsServer`) for the duration of the run:
+        landscape/situation/approval snapshots over HTTP, an ``/events``
+        WebSocket, and POST approve/reject verdicts routed into the
+        controller's command queue at tick boundaries.  Port 0 binds an
+        ephemeral port (see ``runner.ops_server.port``).  Serving is
+        read-only with respect to the simulation — a served run is
+        byte-identical to an unserved one unless verdicts are posted.
+    pace:
+        Real seconds to sleep after each simulated minute; gives humans
+        (and the CI smoke job) time to interact with a served run.
+        ``0.0`` (the default) runs as fast as possible.
+    semi_automatic:
+        Run the controller in the paper's semi-automatic mode: actions
+        require administrator approval (over the ops API or the alert
+        channel callback) before execution.  Shorthand for overriding
+        ``controller_settings.mode``.
     """
 
     def __init__(
@@ -157,6 +188,10 @@ class SimulationRunner:
         kill_at: Optional[int] = None,
         verify: bool = False,
         scan_mode: str = "columnar",
+        store_path: Optional[Union[str, Path]] = None,
+        serve: Optional[Tuple[str, int]] = None,
+        pace: float = 0.0,
+        semi_automatic: bool = False,
     ) -> None:
         if lint not in ("off", "warn", "strict"):
             raise ValueError(
@@ -188,6 +223,19 @@ class SimulationRunner:
             scenario_landscape = dataclasses.replace(
                 scenario_landscape, controller=controller_settings
             )
+        if semi_automatic:
+            from repro.config.model import ControllerMode
+
+            scenario_landscape = dataclasses.replace(
+                scenario_landscape,
+                controller=dataclasses.replace(
+                    scenario_landscape.controller,
+                    mode=ControllerMode.SEMI_AUTOMATIC,
+                ),
+            )
+        if pace < 0:
+            raise ValueError("pace must be non-negative seconds per tick")
+        self.pace = pace
         self.lint_report = None
         if lint != "off":
             from repro.analysis import analyze_landscape
@@ -340,6 +388,37 @@ class SimulationRunner:
             collect_services=collect_services,
             start_minute=start_minute,
         )
+        #: the persistent SQLite event store, when the run keeps one
+        self.telemetry_store = None
+        if store_path is not None:
+            from repro.ops.store import TelemetryStore
+
+            self.telemetry_store = TelemetryStore(store_path)
+            if not resume:
+                # a resumed run re-attaches in _resume_from_snapshot,
+                # after truncating to the snapshot's bus sequence
+                self.telemetry_store.attach(self.platform.bus)
+        #: the live ops API (bridge + asyncio server), when serving
+        self.ops_bridge = None
+        self.ops_server = None
+        if serve is not None:
+            from repro.ops.api import OpsBridge, OpsServer
+
+            host, port = serve
+            self.ops_bridge = OpsBridge(
+                self.platform,
+                self.controller,
+                run_info={
+                    "scenario": scenario.value,
+                    "user_factor": user_factor,
+                    "horizon_minutes": horizon,
+                    "seed": seed,
+                    "start_minute": start_minute,
+                },
+            )
+            self.ops_bridge.attach(self.platform.bus)
+            self.ops_server = OpsServer(self.ops_bridge, host=host, port=port)
+            self.ops_server.start()
 
     @staticmethod
     def _execution_faults(chaos: ChaosProfile) -> ExecutionFaults:
@@ -408,11 +487,16 @@ class SimulationRunner:
         for archive in self._domain_archives():
             if hasattr(archive, "commit"):
                 archive.commit()
+        if self.telemetry_store is not None:
+            # the snapshot claims everything up to bus_seq is durable;
+            # the store must not still hold any of it in its batch buffer
+            self.telemetry_store.flush()
         payload = {
             "platform": self.platform.snapshot_state(),
             "workload": self.workload.snapshot_state(),
             "collector": self.collector.snapshot_state(),
             "supervisor": self.controller.snapshot_state(),
+            "bus_seq": self.platform.bus.last_seq,
         }
         if self.injector is not None:
             payload["injector"] = self.injector.snapshot_state()
@@ -450,9 +534,17 @@ class SimulationRunner:
         events = getattr(self.controller, "events", None)
         if events is not None:
             self._supervision_events = [
-                SupervisionEvent(time, SupervisionEventKind(kind), detail)
-                for time, kind, detail in events
+                SupervisionEvent(time_, SupervisionEventKind(kind), detail)
+                for time_, kind, detail in events
             ]
+        # continue the telemetry sequence where the snapshot left it:
+        # rows past bus_seq belong to the abandoned timeline
+        bus_seq = int(payload.get("bus_seq", 0))
+        if bus_seq:
+            self.platform.bus.fast_forward(bus_seq)
+        if self.telemetry_store is not None:
+            self.telemetry_store.truncate_after(bus_seq)
+            self.telemetry_store.attach_resumed(self.platform.bus)
         return tick
 
     def run(self) -> SimulationResult:
@@ -464,19 +556,31 @@ class SimulationRunner:
             self.workload.initialize()
         end = self.start_minute + self.horizon
         persistent = self._store is not None and self._store.persistent
-        for now in range(start, end):
-            self.workload.tick(now)
-            if self.injector is not None:
-                self.injector.tick(now)
-            self.controller.tick(now)
-            self.collector.observe(now)
-            if persistent and (
-                (now - self.start_minute + 1) % self.snapshot_interval == 0
-                or now == end - 1
-            ):
-                self._save_run_snapshot(now)
-            if self.kill_at is not None and now == self.kill_at:
-                os.kill(os.getpid(), signal.SIGKILL)
+        try:
+            for now in range(start, end):
+                self.workload.tick(now)
+                if self.injector is not None:
+                    self.injector.tick(now)
+                self.controller.tick(now)
+                self.collector.observe(now)
+                if self.ops_bridge is not None:
+                    if self.telemetry_store is not None:
+                        # live consumers (tail --follow, the CI smoke
+                        # job) want the batch durable every tick; bulk
+                        # runs keep the store's wider flush interval
+                        self.telemetry_store.flush()
+                    self.ops_bridge.refresh(now)
+                if persistent and (
+                    (now - self.start_minute + 1) % self.snapshot_interval == 0
+                    or now == end - 1
+                ):
+                    self._save_run_snapshot(now)
+                if self.kill_at is not None and now == self.kill_at:
+                    os.kill(os.getpid(), signal.SIGKILL)
+                if self.pace:
+                    time.sleep(self.pace)
+        finally:
+            self.close()
         return self.collector.finalize(
             final_minute=end - 1,
             escalation_count=len(self.controller.alerts.escalations()),
@@ -486,6 +590,17 @@ class SimulationRunner:
             ),
             **self._approval_counts(),
         )
+
+    def close(self) -> None:
+        """Stop the ops API and close the event store (idempotent)."""
+        if self.ops_server is not None:
+            self.ops_server.stop()
+            self.ops_server = None
+        if self.ops_bridge is not None:
+            self.ops_bridge.detach()
+            self.ops_bridge = None
+        if self.telemetry_store is not None:
+            self.telemetry_store.close()
 
     def verification_report(self, result: Optional[SimulationResult] = None):
         """Finalize the live sanitizer and return its findings.
@@ -529,4 +644,5 @@ class SimulationRunner:
         return {
             "expired_approval_count": len(queue.expired()),
             "pending_approval_count": len(queue.pending()),
+            "expired_approvals_by_service": expired_approvals_by_service(queue),
         }

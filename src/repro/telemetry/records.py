@@ -36,6 +36,8 @@ __all__ = [
     "SituationPhase",
     "SituationEvent",
     "AlertEvent",
+    "ApprovalPhase",
+    "ApprovalEvent",
     "LoadReportBatch",
     "TelemetryRecord",
     "TOPIC_ACTIONS",
@@ -43,6 +45,7 @@ __all__ = [
     "TOPIC_SUPERVISION",
     "TOPIC_SITUATIONS",
     "TOPIC_ALERTS",
+    "TOPIC_APPROVALS",
     "TOPIC_REPORTS",
     "TOPIC_ESCROW",
     "TOPICS",
@@ -243,6 +246,42 @@ class AlertEvent:
     message: str
 
 
+class ApprovalPhase(enum.Enum):
+    """Lifecycle of one semi-automatic confirmation request.
+
+    ``REQUESTED`` when the controller asks the administrator,
+    ``APPROVED``/``REJECTED`` when a verdict arrives (over the live ops
+    API or an attached callback), ``EXPIRED`` when the TTL ran out
+    unanswered.  ``EXECUTED`` marks the deferred action actually being
+    applied after a late approval — the phase the AG303 audit ties to.
+    """
+
+    REQUESTED = "requested"
+    APPROVED = "approved"
+    REJECTED = "rejected"
+    EXPIRED = "expired"
+    EXECUTED = "executed"
+
+
+@dataclass(frozen=True)
+class ApprovalEvent:
+    """One phase transition of a semi-automatic approval request.
+
+    ``request_id`` ties the phases of one request together across the
+    stream; ``service_name`` is the service the proposed action touches
+    (empty for server-level proposals), so per-service expiry accounting
+    does not have to re-parse descriptions.
+    """
+
+    time: int
+    phase: ApprovalPhase
+    request_id: str
+    description: str
+    service_name: str = ""
+    #: control domain whose controller asked; empty when single-domain
+    domain: str = ""
+
+
 @dataclass(frozen=True)
 class LoadReportBatch:
     """One tick's aggregated load reports, flushed to the archive.
@@ -264,6 +303,7 @@ TelemetryRecord = Union[
     SupervisionEvent,
     SituationEvent,
     AlertEvent,
+    ApprovalEvent,
     LoadReportBatch,
 ]
 
@@ -272,6 +312,7 @@ TOPIC_FAULTS = "faults"
 TOPIC_SUPERVISION = "supervision"
 TOPIC_SITUATIONS = "situations"
 TOPIC_ALERTS = "alerts"
+TOPIC_APPROVALS = "approvals"
 TOPIC_REPORTS = "reports"
 TOPIC_ESCROW = "escrow"
 
@@ -281,6 +322,7 @@ TOPICS = (
     TOPIC_SUPERVISION,
     TOPIC_SITUATIONS,
     TOPIC_ALERTS,
+    TOPIC_APPROVALS,
     TOPIC_REPORTS,
     TOPIC_ESCROW,
 )
@@ -292,6 +334,7 @@ _TOPIC_BY_TYPE = {
     SupervisionEvent: TOPIC_SUPERVISION,
     SituationEvent: TOPIC_SITUATIONS,
     AlertEvent: TOPIC_ALERTS,
+    ApprovalEvent: TOPIC_APPROVALS,
     LoadReportBatch: TOPIC_REPORTS,
 }
 

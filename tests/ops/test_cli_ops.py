@@ -1,0 +1,111 @@
+"""The operations-plane CLI surface: ``--store``/``--serve``, ``tail``.
+
+Satellite coverage: ``autoglobe tail <store.db>`` with ``--topic`` and
+``--since-seq`` filters; the run flags wire through to the runner; the
+``--multiproc`` path refuses single-process-only flags loudly.
+"""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.ops.store import TelemetryStore, read_store
+from repro.telemetry.bus import EventBus
+from repro.telemetry.records import AlertEvent
+
+EXIT_ERRORS = 2
+
+
+@pytest.fixture()
+def store(tmp_path):
+    bus = EventBus()
+    event_store = TelemetryStore(tmp_path / "store.db")
+    event_store.attach(bus)
+    for t in range(5):
+        bus.publish(AlertEvent(time=t, severity="info", message=f"m{t}"))
+    event_store.close()
+    return tmp_path / "store.db"
+
+
+class TestServeAddrParsing:
+    def test_host_and_port(self):
+        args = build_parser().parse_args(["run", "--serve", "0.0.0.0:8642"])
+        assert args.serve == ("0.0.0.0", 8642)
+
+    def test_port_only_defaults_to_loopback(self):
+        args = build_parser().parse_args(["run", "--serve", "8642"])
+        assert args.serve == ("127.0.0.1", 8642)
+
+    def test_bad_port_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--serve", "127.0.0.1:http"])
+
+
+class TestTailCommand:
+    def test_tail_prints_every_event(self, store, capsys):
+        assert main(["tail", str(store)]) == 0
+        out = capsys.readouterr().out
+        lines = [line for line in out.splitlines() if line.strip()]
+        assert len(lines) == 5
+        assert "[alerts]" in lines[0]
+        assert "AlertEvent" in lines[0]
+        assert "message=m0" in lines[0]
+
+    def test_tail_since_seq(self, store, capsys):
+        assert main(["tail", str(store), "--since-seq", "3"]) == 0
+        out = capsys.readouterr().out
+        assert len(out.splitlines()) == 2
+
+    def test_tail_topic_filter(self, store, capsys):
+        assert main(["tail", str(store), "--topic", "actions"]) == 0
+        assert capsys.readouterr().out == ""
+        assert main(["tail", str(store), "--topic", "alerts"]) == 0
+        assert len(capsys.readouterr().out.splitlines()) == 5
+
+    def test_tail_max_events(self, store, capsys):
+        assert main(["tail", str(store), "--max-events", "2"]) == 0
+        assert len(capsys.readouterr().out.splitlines()) == 2
+
+    def test_tail_missing_file_errors(self, tmp_path, capsys):
+        code = main(["tail", str(tmp_path / "nope.db")])
+        assert code == EXIT_ERRORS
+        assert "no such file" in capsys.readouterr().err
+
+    def test_tail_non_store_file_errors(self, tmp_path, capsys):
+        bogus = tmp_path / "trace.jsonl"
+        bogus.write_text("{}\n", encoding="utf-8")
+        code = main(["tail", str(bogus)])
+        assert code == EXIT_ERRORS
+        assert "not a telemetry event store" in capsys.readouterr().err
+
+
+class TestRunFlags:
+    def test_run_with_store_writes_complete_store(self, tmp_path, capsys):
+        store_path = tmp_path / "store.db"
+        code = main(
+            ["run", "--scenario", "static", "--users", "1.0",
+             "--hours", "1", "--store", str(store_path)]
+        )
+        assert code == 0
+        header, events = read_store(store_path)
+        assert header.complete is True
+        assert events  # the run's full telemetry is in the store
+
+    def test_run_with_serve_announces_endpoint(self, tmp_path, capsys):
+        code = main(
+            ["run", "--scenario", "static", "--users", "1.0",
+             "--hours", "1", "--serve", "127.0.0.1:0"]
+        )
+        assert code == 0
+        assert "ops API listening on http://127.0.0.1:" in capsys.readouterr().err
+
+    @pytest.mark.parametrize(
+        "flag", [["--serve", "127.0.0.1:0"], ["--store", "s.db"],
+                 ["--pace", "0.1"], ["--semi-automatic"]]
+    )
+    def test_multiproc_refuses_ops_flags(self, tmp_path, flag, capsys):
+        code = main(
+            ["run", "--multiproc", "--domains", "2",
+             "--state-dir", str(tmp_path)] + flag
+        )
+        assert code == EXIT_ERRORS
+        assert "not supported with" in capsys.readouterr().err

@@ -1,0 +1,322 @@
+"""The persistent telemetry store (``autoglobe run --store``).
+
+Acceptance: a store-backed run replays identically to its JSONL trace
+(same events, same AG3xx report); a SIGKILL mid-flush loses at most the
+last uncommitted batch and leaves a gapless committed prefix; resumable
+cursors let a crash-resumed run truncate the abandoned timeline and
+append seamlessly; ``tail_store`` follows commits live.
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import textwrap
+import threading
+import time
+
+import pytest
+
+import repro
+from repro.ops.store import (
+    STORE_SCHEMA_VERSION,
+    TelemetryStore,
+    is_store_file,
+    read_store,
+    tail_store,
+)
+from repro.telemetry.bus import EventBus
+from repro.telemetry.records import AlertEvent
+from repro.telemetry.trace import TraceWriter, read_trace
+
+
+def _publish_alerts(bus, count, start=0):
+    for t in range(start, start + count):
+        bus.publish(AlertEvent(time=t, severity="info", message=f"m{t}"))
+
+
+class TestRoundTrip:
+    def test_store_replays_identically_to_trace(self, tmp_path):
+        bus = EventBus()
+        store = TelemetryStore(tmp_path / "store.db")
+        writer = TraceWriter(tmp_path / "trace.jsonl")
+        store.attach(bus)
+        writer.attach(bus)
+        _publish_alerts(bus, 25)
+        store.close()
+        writer.close()
+        trace_header, trace_events = read_trace(tmp_path / "trace.jsonl")
+        store_header, store_events = read_store(tmp_path / "store.db")
+        assert store_header.complete is trace_header.complete is True
+        assert len(store_events) == len(trace_events) == 25
+        for ours, theirs in zip(store_events, trace_events):
+            assert (ours.seq, ours.topic, ours.record) == (
+                theirs.seq,
+                theirs.topic,
+                theirs.record,
+            )
+
+    def test_attach_to_used_bus_marks_incomplete(self, tmp_path):
+        bus = EventBus()
+        _publish_alerts(bus, 3)
+        store = TelemetryStore(tmp_path / "store.db")
+        store.attach(bus)
+        _publish_alerts(bus, 2, start=3)
+        store.close()
+        header, events = read_store(tmp_path / "store.db")
+        assert header.complete is False
+        assert [event.seq for event in events] == [4, 5]
+
+    def test_is_store_file_sniffs_sqlite_magic(self, tmp_path):
+        with TelemetryStore(tmp_path / "store.db"):
+            pass
+        (tmp_path / "trace.jsonl").write_text("{}\n", encoding="utf-8")
+        assert is_store_file(tmp_path / "store.db") is True
+        assert is_store_file(tmp_path / "trace.jsonl") is False
+        assert is_store_file(tmp_path / "missing.db") is False
+
+    def test_newer_schema_version_rejected(self, tmp_path):
+        store = TelemetryStore(tmp_path / "store.db")
+        store._set_meta("schema_version", str(STORE_SCHEMA_VERSION + 1))
+        store.close()
+        with pytest.raises(ValueError, match="newer"):
+            read_store(tmp_path / "store.db")
+
+    def test_double_close_is_idempotent(self, tmp_path):
+        store = TelemetryStore(tmp_path / "store.db")
+        store.close()
+        store.close()
+
+
+class TestBatching:
+    def test_interval_flush_never_splits_a_tick(self, tmp_path):
+        bus = EventBus()
+        store = TelemetryStore(tmp_path / "store.db", flush_ticks=4)
+        store.attach(bus)
+        # three events per tick: a flush boundary must land between
+        # ticks, so the committed prefix always ends on a tick edge
+        for t in range(10):
+            for i in range(3):
+                bus.publish(AlertEvent(time=t, severity="info", message=f"{t}/{i}"))
+        committed = store.last_seq()
+        assert committed > 0
+        assert committed % 3 == 0  # whole ticks only
+        store.close()
+
+    def test_size_cap_forces_flush(self, tmp_path):
+        bus = EventBus()
+        store = TelemetryStore(tmp_path / "store.db", flush_ticks=10_000)
+        store.attach(bus)
+        for i in range(store.MAX_BATCH + 1):
+            bus.publish(AlertEvent(time=0, severity="info", message=str(i)))
+        assert store.last_seq() >= store.MAX_BATCH
+        store.close()
+
+    def test_flush_ticks_must_be_positive(self, tmp_path):
+        with pytest.raises(ValueError, match="flush_ticks"):
+            TelemetryStore(tmp_path / "store.db", flush_ticks=0)
+
+
+class TestCrashSafety:
+    def test_sigkill_mid_flush_loses_at_most_one_batch(self, tmp_path):
+        """SIGKILL a writer process; the store must reopen unrepaired.
+
+        The child reports its last *committed* sequence just before
+        dying with a partial batch buffered; the reopened store must
+        hold exactly that gapless prefix — nothing torn, nothing past
+        the last commit.
+        """
+        store_path = tmp_path / "store.db"
+        mark_path = tmp_path / "mark.txt"
+        child = textwrap.dedent(
+            """
+            import os, signal, sys
+            from repro.telemetry.bus import EventBus
+            from repro.telemetry.records import AlertEvent
+            from repro.ops.store import TelemetryStore
+
+            bus = EventBus()
+            store = TelemetryStore(sys.argv[1], flush_ticks=4)
+            store.attach(bus)
+            for t in range(100):
+                bus.publish(AlertEvent(time=t, severity="info", message=f"m{t}"))
+            with open(sys.argv[2], "w") as handle:
+                handle.write(str(store.last_seq()))
+            os.kill(os.getpid(), signal.SIGKILL)
+            """
+        )
+        src = os.path.dirname(os.path.dirname(repro.__file__))
+        env = dict(os.environ, PYTHONPATH=src)
+        result = subprocess.run(
+            [sys.executable, "-c", child, str(store_path), str(mark_path)],
+            env=env,
+            timeout=60,
+        )
+        assert result.returncode == -signal.SIGKILL
+        committed = int(mark_path.read_text())
+        assert 0 < committed < 100  # died with a batch still buffered
+        header, events = read_store(store_path)
+        seqs = [event.seq for event in events]
+        assert seqs == list(range(1, committed + 1))  # gapless prefix
+        # at most one uncommitted batch lost (flush_ticks=4, one event
+        # per tick: the tail batch is at most 4 events)
+        assert 100 - committed <= 4
+
+    def test_torn_store_resumes_gaplessly(self, tmp_path):
+        """truncate_after + attach_resumed continue the sequence."""
+        bus = EventBus()
+        store = TelemetryStore(tmp_path / "store.db")
+        store.attach(bus)
+        _publish_alerts(bus, 10)
+        store.close()
+        # resume from a snapshot taken at seq 6: drop 7..10, continue
+        resumed = TelemetryStore(tmp_path / "store.db")
+        assert resumed.truncate_after(6) == 4
+        assert resumed.last_seq() == 6
+        fresh_bus = EventBus()
+        fresh_bus.fast_forward(6)
+        resumed.attach_resumed(fresh_bus)
+        _publish_alerts(fresh_bus, 3, start=6)
+        resumed.close()
+        header, events = read_store(tmp_path / "store.db")
+        assert header.complete is True
+        assert [event.seq for event in events] == list(range(1, 10))
+
+
+class TestMultiSource:
+    def test_insert_events_first_write_wins(self, tmp_path):
+        store = TelemetryStore(tmp_path / "store.db")
+        rows = [(1, "alerts", {"type": "AlertEvent", "time": 5, "v": "first"}, 9)]
+        dupes = [(1, "alerts", {"type": "AlertEvent", "time": 5, "v": "second"}, 9)]
+        assert store.insert_events("domain-1", rows) == 1
+        assert store.insert_events("domain-1", dupes) == 0  # dedup
+        store.close()
+        _, events = read_store(tmp_path / "store.db")
+        assert [event.record["v"] for event in events] == ["first"]
+
+    def test_multi_source_merge_matches_merge_traces(self, tmp_path):
+        from repro.telemetry.trace import TraceEvent, merge_traces
+
+        store = TelemetryStore(tmp_path / "store.db")
+        a = [(s, "alerts", {"type": "AlertEvent", "time": s}, clock)
+             for s, clock in ((1, 2), (2, 5))]
+        b = [(s, "alerts", {"type": "AlertEvent", "time": s}, clock)
+             for s, clock in ((1, 1), (2, 4))]
+        store.insert_events("domain-1", a)
+        store.insert_events("domain-2", b)
+        store.mark_complete(True)
+        store.close()
+        header, merged = read_store(tmp_path / "store.db")
+        assert header.complete is True
+        expected = merge_traces(
+            [
+                ("domain-1", [TraceEvent(s, t, r, clock=c) for s, t, r, c in a]),
+                ("domain-2", [TraceEvent(s, t, r, clock=c) for s, t, r, c in b]),
+            ]
+        )
+        assert [(e.seq, e.clock, e.record) for e in merged] == [
+            (e.seq, e.clock, e.record) for e in expected
+        ]
+
+
+class TestTail:
+    def _seeded(self, tmp_path):
+        bus = EventBus()
+        store = TelemetryStore(tmp_path / "store.db")
+        store.attach(bus)
+        for t in range(6):
+            bus.publish(
+                AlertEvent(
+                    time=t,
+                    severity="info" if t % 2 == 0 else "warning",
+                    message=f"m{t}",
+                )
+            )
+        store.close()
+        return tmp_path / "store.db"
+
+    def test_tail_yields_everything_in_order(self, tmp_path):
+        path = self._seeded(tmp_path)
+        events = list(tail_store(path))
+        assert [event.seq for _, event in events] == list(range(1, 7))
+        assert all(source == "" for source, _ in events)
+
+    def test_since_seq_cursor(self, tmp_path):
+        path = self._seeded(tmp_path)
+        events = list(tail_store(path, since_seq=4))
+        assert [event.seq for _, event in events] == [5, 6]
+
+    def test_topic_filter(self, tmp_path):
+        path = self._seeded(tmp_path)
+        assert list(tail_store(path, topic="actions")) == []
+        alerts = list(tail_store(path, topic="alerts"))
+        assert len(alerts) == 6
+
+    def test_follow_sees_fresh_commits(self, tmp_path):
+        path = self._seeded(tmp_path)
+        stop = threading.Event()
+        seen = []
+
+        def consume():
+            for source, event in tail_store(
+                path, follow=True, poll_interval=0.05, stop=stop
+            ):
+                seen.append(event.seq)
+                if event.seq >= 8:
+                    stop.set()
+
+        tailer = threading.Thread(target=consume, daemon=True)
+        tailer.start()
+        # append two more committed events while the tailer polls
+        time.sleep(0.1)
+        store = TelemetryStore(path)
+        store.insert_events(
+            "",
+            [
+                (7, "alerts", {"type": "AlertEvent", "time": 7}, None),
+                (8, "alerts", {"type": "AlertEvent", "time": 8}, None),
+            ],
+        )
+        store.close()
+        tailer.join(timeout=10)
+        assert not tailer.is_alive()
+        assert seen[-2:] == [7, 8]
+
+
+class TestVerifyFromStore:
+    def test_report_identical_to_jsonl_trace(self, tmp_path):
+        """The ISSUE's parity criterion, end to end on a real chaos run.
+
+        ``autoglobe verify`` over the SQLite store must produce the
+        byte-identical report to verifying the JSONL export of the same
+        run.
+        """
+        from repro.analysis.verify.engine import verify_trace
+        from repro.sim.runner import SimulationRunner
+        from repro.sim.scenarios import Scenario, default_chaos
+
+        runner = SimulationRunner(
+            Scenario.FULL_MOBILITY,
+            user_factor=1.15,
+            horizon=240,
+            seed=7,
+            chaos=default_chaos(seed=115),
+            store_path=tmp_path / "store.db",
+        )
+        writer = TraceWriter(tmp_path / "telemetry.jsonl")
+        writer.attach(runner.platform.bus)
+        runner.run()
+        writer.close()
+        from_trace = verify_trace(tmp_path / "telemetry.jsonl", name="run")
+        from_store = verify_trace(tmp_path / "store.db", name="run")
+        assert from_store.render("text") == from_trace.render("text")
+        assert from_store.render("json") == from_trace.render("json")
+        # and the streams themselves are event-for-event identical
+        _, trace_events = read_trace(tmp_path / "telemetry.jsonl")
+        _, store_events = read_store(tmp_path / "store.db")
+        assert len(store_events) == len(trace_events)
+        assert all(
+            (ours.seq, ours.topic, ours.record)
+            == (theirs.seq, theirs.topic, theirs.record)
+            for ours, theirs in zip(store_events, trace_events)
+        )

@@ -228,5 +228,5 @@ class TestRecordToDict:
         }
 
     def test_topics_constant_is_complete(self):
-        assert len(TOPICS) == 7
+        assert len(TOPICS) == 8
         assert TOPIC_SUPERVISION in TOPICS
